@@ -1,0 +1,121 @@
+// Command mdmtables regenerates the paper's tables:
+//
+//	mdmtables -table 1   component inventory (Table 1)
+//	mdmtables -table 4   performance accounting (Table 4) — the 1.34 Tflops headline
+//	mdmtables -table 5   current vs future MDM (Table 5)
+//	mdmtables -table all (default) everything
+//
+// Table 4 can be evaluated at a different system size with -n and -l.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mdm"
+	"mdm/internal/host"
+	"mdm/internal/perf"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to print: 1, 4, 5 or all")
+	n := flag.Int("n", perf.PaperN, "particle count for Table 4")
+	l := flag.Float64("l", perf.PaperL, "box side (Å) for Table 4")
+	breakdown := flag.Bool("breakdown", false, "also print the per-component step-time breakdown")
+	flag.Parse()
+
+	if *breakdown {
+		printBreakdown(*n, *l)
+		fmt.Println()
+	}
+	switch *table {
+	case "1":
+		printTable1()
+	case "4":
+		printTable4(*n, *l)
+	case "5":
+		printTable5()
+	case "all":
+		printTable1()
+		fmt.Println()
+		printTable4(*n, *l)
+		fmt.Println()
+		printTable5()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+		os.Exit(2)
+	}
+}
+
+func printBreakdown(n int, l float64) {
+	density := float64(n) / (l * l * l)
+	fmt.Println("Step-time breakdown (component model, §6.1 discussion):")
+	fmt.Printf("%-14s %12s %12s %12s %12s %10s %10s\n",
+		"machine", "WINE compute", "WINE comm", "MDG compute", "MDG comm", "host", "total")
+	for _, m := range []perf.MachineModel{perf.CurrentMDM(), perf.FutureMDM()} {
+		p := m.OptimalParams(n, l)
+		b := m.StepTime(p, n, density)
+		fmt.Printf("%-14s %11.2fs %11.2fs %11.2fs %11.2fs %9.2fs %9.2fs\n",
+			m.Name, b.TWineCompute, b.TWineComm, b.TMDGCompute, b.TMDGComm, b.THost, b.Total)
+	}
+}
+
+func printTable1() {
+	fmt.Println("Table 1: Components of the MDM system")
+	fmt.Printf("%-16s %-52s %s\n", "Component", "Product", "Manufacturer")
+	for _, c := range host.Inventory() {
+		fmt.Printf("%-16s %-52s %s\n", c.Component, c.Product, c.Manufacturer)
+	}
+}
+
+func printTable4(n int, l float64) {
+	cols, err := mdm.Table4At(n, l)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("Table 4: Performance of simulation (N = %.3g, L = %g Å)\n", float64(n), l)
+	fmt.Printf("%-38s %14s %14s %14s\n", "", cols[0].Name, cols[1].Name, cols[2].Name)
+	row := func(label string, f func(perf.Column) string) {
+		fmt.Printf("%-38s %14s %14s %14s\n", label, f(cols[0]), f(cols[1]), f(cols[2]))
+	}
+	row("alpha", func(c perf.Column) string { return fmt.Sprintf("%.1f", c.Alpha) })
+	row("r_cut (Å)", func(c perf.Column) string { return fmt.Sprintf("%.1f", c.RCut) })
+	row("L k_cut", func(c perf.Column) string { return fmt.Sprintf("%.1f", c.LKCut) })
+	row("N_int", func(c perf.Column) string {
+		if c.NInt == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.3g", c.NInt)
+	})
+	row("N_int_g", func(c perf.Column) string {
+		if c.NIntG == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.3g", c.NIntG)
+	})
+	row("N_wv", func(c perf.Column) string { return fmt.Sprintf("%.3g", c.NWv) })
+	row("Flops/step, real-space part", func(c perf.Column) string { return fmt.Sprintf("%.3g", c.FlopsReal) })
+	row("Flops/step, wavenumber-space part", func(c perf.Column) string { return fmt.Sprintf("%.3g", c.FlopsWave) })
+	row("Total flops per time-step", func(c perf.Column) string { return fmt.Sprintf("%.3g", c.FlopsTotal) })
+	row("sec/step", func(c perf.Column) string { return fmt.Sprintf("%.2f", c.SecPerStep) })
+	row("Calculation speed (Tflops)", func(c perf.Column) string { return fmt.Sprintf("%.2f", c.CalcTflops) })
+	row("Effective speed (Tflops)", func(c perf.Column) string { return fmt.Sprintf("%.2f", c.EffTflops) })
+
+	if n == perf.PaperN && l == perf.PaperL {
+		fmt.Println("\nPaper values for comparison:")
+		fmt.Printf("%-38s %14s %14s %14s\n", "sec/step (paper)", "43.8", "43.8", "4.48")
+		fmt.Printf("%-38s %14s %14s %14s\n", "Calculation speed (paper)", "15.4", "1.34", "48.7")
+		fmt.Printf("%-38s %14s %14s %14s\n", "Effective speed (paper)", "1.34", "1.34", "13.1")
+	}
+}
+
+func printTable5() {
+	fmt.Println("Table 5: Comparison of current and future versions of MDM")
+	fmt.Printf("%-42s %10s %10s\n", "System", "Current", "Future")
+	for _, r := range mdm.Table5() {
+		fmt.Printf("%-42s %10.4g %10.4g\n", r.Quantity, r.Current, r.Future)
+	}
+	fmt.Println("\n(Paper efficiencies: 26/29% current, 50% future; see EXPERIMENTS.md)")
+}

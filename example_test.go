@@ -1,0 +1,53 @@
+package mdm_test
+
+import (
+	"fmt"
+	"log"
+
+	"mdm"
+)
+
+// The minimal §5 protocol: build a crystal, thermostat it, free-run it, and
+// read the observables.
+func ExampleNewSimulation() {
+	sim, err := mdm.NewSimulation(mdm.Config{
+		Cells:       1,
+		Temperature: 300,
+		Dt:          1,
+		Backend:     mdm.BackendReference,
+		Seed:        2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = sim.Free() }()
+	if err := sim.RunNVT(5); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d NaCl ions in a %.2f Å box\n", sim.N(), sim.System.L)
+	fmt.Printf("thermostatted to %.0f K\n", sim.System.Temperature())
+	// Output:
+	// 8 NaCl ions in a 5.64 Å box
+	// thermostatted to 300 K
+}
+
+// Table 4's headline: the effective speed of the current MDM.
+func ExampleTable4() {
+	cols, err := mdm.Table4()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %.2f Tflops effective\n", cols[0].Name, cols[0].EffTflops)
+	// Output:
+	// MDM current: 1.34 Tflops effective
+}
+
+// Table 5's hardware inventory rows.
+func ExampleTable5() {
+	for _, r := range mdm.Table5()[:2] {
+		fmt.Printf("%s: %.0f -> %.0f\n", r.Quantity, r.Current, r.Future)
+	}
+	// Output:
+	// Number of MDGRAPE-2 chips: 64 -> 1536
+	// Number of WINE-2 chips: 2240 -> 2688
+}

@@ -1,0 +1,119 @@
+// Gravity: §6.4 of the paper notes that "MDM can be used for other
+// applications, such as cosmological simulation" — the MDGRAPE-2 pipeline
+// computes an *arbitrary* central force f⃗ = b·g(a r²)·r⃗ from its
+// coefficient RAM, so a 1/r² attraction is just another table.
+//
+// This example loads the Plummer-softened gravitational kernel
+// g(x) = (x + ε²)^(-3/2) into the simulated MDGRAPE-2 and integrates a small
+// self-gravitating cluster, GRAPE style: pipeline forces, host integration.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"mdm/internal/cellindex"
+	"mdm/internal/mdgrape2"
+	"mdm/internal/vec"
+)
+
+const (
+	nBodies = 256
+	boxSide = 100.0 // the cell grid wants a box; make it big enough that
+	// the cluster never feels the periodic images
+	soft  = 0.05 // Plummer softening
+	dt    = 1e-3
+	steps = 400
+)
+
+func main() {
+	// The pipelines evaluate g(x) = (x + ε²)^(-3/2); with a_ij = 1 and
+	// b_ij = -m_j (attraction) the force on i is -Σ m_j r⃗_ij/(r²+ε²)^(3/2).
+	sys, err := mdgrape2.NewSystem(mdgrape2.CurrentConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := func(x float64) float64 { return math.Pow(x+soft*soft, -1.5) }
+	if err := sys.LoadTable("plummer", g, -20, 12); err != nil {
+		log.Fatal(err)
+	}
+	co, err := mdgrape2.NewCoeffs(1, 1, -1) // unit masses, attractive
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Cold-ish Plummer-like sphere at the box center.
+	rng := rand.New(rand.NewSource(42))
+	pos := make([]vec.V, nBodies)
+	vel := make([]vec.V, nBodies)
+	types := make([]int, nBodies)
+	center := vec.New(boxSide/2, boxSide/2, boxSide/2)
+	for i := range pos {
+		for {
+			p := vec.New(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Scale(1.0)
+			if p.Norm() < 4 {
+				pos[i] = center.Add(p)
+				break
+			}
+		}
+		// Velocity dispersion chosen near virial equilibrium for this
+		// cluster (σ ≈ 5 per component gives 2·KE ≈ |PE|).
+		vel[i] = vec.New(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Scale(5.0)
+	}
+
+	// One big cell: every body interacts with every body, like a GRAPE run.
+	grid, err := cellindex.NewGrid(boxSide, boxSide)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	energy := func(forces []vec.V) (ke, pe float64) {
+		for i := range vel {
+			ke += 0.5 * vel[i].Norm2()
+		}
+		for i := 0; i < nBodies; i++ {
+			for j := i + 1; j < nBodies; j++ {
+				r := pos[i].Sub(pos[j]).Norm()
+				pe -= 1 / math.Sqrt(r*r+soft*soft)
+			}
+		}
+		return ke, pe
+	}
+
+	forcesAt := func() []vec.V {
+		js, err := mdgrape2.NewJSet(grid, pos, types)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := sys.ComputeForces("plummer", co, pos, types, nil, js)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return f
+	}
+
+	f := forcesAt()
+	ke0, pe0 := energy(f)
+	fmt.Printf("GRAPE-style N-body on the MDGRAPE-2 simulator: %d bodies\n", nBodies)
+	fmt.Printf("initial: KE %.3f  PE %.3f  E %.3f  virial -2KE/PE %.2f\n", ke0, pe0, ke0+pe0, -2*ke0/pe0)
+
+	// Leapfrog.
+	for s := 0; s < steps; s++ {
+		for i := range pos {
+			vel[i] = vel[i].Add(f[i].Scale(dt / 2))
+			pos[i] = pos[i].Add(vel[i].Scale(dt))
+		}
+		f = forcesAt()
+		for i := range pos {
+			vel[i] = vel[i].Add(f[i].Scale(dt / 2))
+		}
+	}
+	ke1, pe1 := energy(f)
+	fmt.Printf("after %d steps: KE %.3f  PE %.3f  E %.3f\n", steps, ke1, pe1, ke1+pe1)
+	fmt.Printf("energy drift: %.2e relative\n", math.Abs((ke1+pe1)-(ke0+pe0))/math.Abs(ke0+pe0))
+	st := sys.Stats()
+	fmt.Printf("pipeline work: %d pair evaluations in %d calls (%.1f µs at the real chip's rate)\n",
+		st.PairsEvaluated, st.Calls, sys.ComputeTime(st.PairsEvaluated)*1e6)
+}

@@ -1,0 +1,43 @@
+// Quickstart: run a small molten-NaCl simulation on the simulated MDM and
+// print the observables — the ten-line version of the paper's §5 protocol.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mdm"
+)
+
+func main() {
+	// 64 NaCl ions at 1200 K (the paper's melt temperature), forces
+	// evaluated by the simulated WINE-2 + MDGRAPE-2 machine.
+	sim, err := mdm.NewSimulation(mdm.Config{
+		Cells:       2,
+		Temperature: 1200,
+		Backend:     mdm.BackendMDM,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = sim.Free() }()
+
+	// NVT equilibration by velocity scaling, then an NVE segment, exactly
+	// like the paper's 2,000 + 1,000 step run (scaled down).
+	if err := sim.RunNVT(50); err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.RunNVE(50); err != nil {
+		log.Fatal(err)
+	}
+
+	p := sim.Params()
+	fmt.Printf("N = %d ions, box %.2f Å, Ewald alpha %.2f (r_cut %.2f Å, %0.f waves)\n",
+		sim.N(), p.L, p.Alpha, p.RCut, p.NWv())
+	mean, std := sim.TemperatureStats()
+	fmt.Printf("temperature: %.0f ± %.0f K\n", mean, std)
+	fmt.Printf("NVE energy drift: %.2e relative (paper: <5e-7 at N=1.9e7)\n", sim.EnergyDrift())
+
+	last := sim.Records()[len(sim.Records())-1]
+	fmt.Printf("final state: t = %.3f ps, E = %.3f eV\n", last.Time, last.E)
+}

@@ -1,0 +1,85 @@
+// Solidify: the scientific target the paper's machine was built for. §1:
+// "One of our target is to investigate the solid-liquid phase transition of
+// ionic system with over million particles... In the previous work, we
+// performed 1 ns of solidification simulations with 13,824 particles of
+// NaCl, and obtained small size of polycrystals."
+//
+// This example runs the quench protocol at laptop scale: melt a small NaCl
+// box well above the melting point, then quench it below, tracking the
+// structural order (first RDF peak), the potential energy and the pressure.
+// On cooling, the pair correlations sharpen and the potential drops — the
+// onset of re-ordering the paper's full-scale runs resolve into polycrystal
+// grains. It also writes an XYZ trajectory for visualization.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mdm"
+	"mdm/internal/analysis"
+	"mdm/internal/md"
+)
+
+func main() {
+	sim, err := mdm.NewSimulation(mdm.Config{
+		Cells:       2,
+		Temperature: 2500, // well molten
+		Dt:          2,
+		Backend:     mdm.BackendReference,
+		Seed:        11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = sim.Free() }()
+
+	traj, err := os.Create("solidify.xyz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer traj.Close()
+
+	stage := func(name string, tK float64, steps int) {
+		sim.Integrator.Target = tK
+		sim.Integrator.Mode = md.NVT
+		if err := sim.Integrator.Run(steps, nil); err != nil {
+			log.Fatal(err)
+		}
+		rdf, err := analysis.NewRDF(sim.System.L, sim.System.L/2*0.99, 60)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Sample a few configurations for the RDF.
+		for k := 0; k < 8; k++ {
+			if err := sim.Integrator.Run(5, nil); err != nil {
+				log.Fatal(err)
+			}
+			rdf.AddFrame(sim.System.Pos, sim.System.Pos)
+		}
+		rs, g := rdf.Curve()
+		peakR, peakH := analysis.FirstPeak(rs, g, 1.5)
+		press, err := sim.Pressure()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := md.WriteXYZ(traj, sim.System, fmt.Sprintf("stage=%s T=%.0fK", name, tK)); err != nil {
+			log.Fatal(err)
+		}
+		rec := sim.Integrator
+		fmt.Printf("%-8s T=%6.0f K  PE=%9.2f eV  P=%+7.2f GPa  g(r) peak %.2f Å height %.2f\n",
+			name, sim.System.Temperature(), rec.Potential(), press, peakR, peakH)
+	}
+
+	fmt.Printf("quench protocol, %d ions (paper: 13,824 ions over 1 ns in [14])\n\n", sim.N())
+	stage("melt", 2500, 150)
+	stage("cool-1", 1500, 100)
+	stage("cool-2", 900, 100)
+	stage("quench", 300, 200)
+
+	fmt.Println("\ntrajectory written to solidify.xyz (4 frames)")
+	fmt.Println("expected trend: potential energy drops and the first RDF peak")
+	fmt.Println("sharpens as the melt re-orders — the phase transition the MDM")
+	fmt.Println("was built to study at the million-particle scale.")
+}

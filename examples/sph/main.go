@@ -1,0 +1,86 @@
+// SPH: §6.4 of the paper — "MDM can be used for other applications, such as
+// cosmological simulation, Smoothed Particle Hydrodynamics (SPH), and vortex
+// dynamics simulation."
+//
+// This example runs an isothermal SPH gas entirely through the simulated
+// MDGRAPE-2 pipelines: densities via the potential mode (kernel table +
+// per-particle mass in the charge field) and symmetric pressure forces via
+// two force passes. A dense central blob relaxes toward uniform density
+// while total momentum stays at round-off.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mdm/internal/analysis"
+	"mdm/internal/mdgrape2"
+	"mdm/internal/sph"
+	"mdm/internal/vec"
+)
+
+const (
+	l     = 14.0
+	h     = 1.1
+	nBlob = 220
+	nBack = 180
+	dt    = 0.02
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	var pos []vec.V
+	var mass []float64
+	// Dense Gaussian blob in the middle…
+	center := vec.New(l/2, l/2, l/2)
+	for i := 0; i < nBlob; i++ {
+		p := vec.New(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Scale(1.2)
+		pos = append(pos, center.Add(p).Wrap(l))
+		mass = append(mass, 1)
+	}
+	// …in a sparse uniform background.
+	for i := 0; i < nBack; i++ {
+		pos = append(pos, vec.New(rng.Float64()*l, rng.Float64()*l, rng.Float64()*l))
+		mass = append(mass, 1)
+	}
+
+	fluid, err := sph.NewFluid(mdgrape2.CurrentConfig(), l, h, 1.0, pos, mass)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("SPH on the MDGRAPE-2 simulator: %d particles, h = %.1f, isothermal c = 1\n\n", fluid.N(), h)
+	fmt.Printf("%6s %12s %12s %14s\n", "step", "peak rho", "mean rho", "|momentum|")
+	report := func(step int, rho []float64) {
+		peak := 0.0
+		for _, r := range rho {
+			if r > peak {
+				peak = r
+			}
+		}
+		fmt.Printf("%6d %12.4f %12.4f %14.2e\n", step, peak, analysis.Mean(rho), fluid.Momentum().Norm())
+	}
+	rho, err := fluid.Densities()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(0, rho)
+	for batch := 1; batch <= 5; batch++ {
+		var last []float64
+		for s := 0; s < 12; s++ {
+			last, err = fluid.Step(dt)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		report(batch*12, last)
+	}
+	st := fluid.Stats()
+	fmt.Printf("\npipeline work: %d pair evaluations in %d passes", st.PairsEvaluated, st.Calls)
+	fmt.Printf(" (%.1f ms at the real 64-chip machine's rate)\n",
+		float64(st.PairsEvaluated)/(256*100e6)*1e3)
+	fmt.Println("expected: the blob's peak density relaxes toward the mean while")
+	fmt.Println("momentum stays at round-off — pressure-driven expansion computed")
+	fmt.Println("entirely by the special-purpose pipelines, as §6.4 envisioned.")
+}

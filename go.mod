@@ -1,0 +1,3 @@
+module mdm
+
+go 1.22

@@ -1,0 +1,327 @@
+// Package cellindex implements the cell-index (link-cell) method of Hockney
+// and Eastwood used by MDGRAPE-2 to locate interacting particles (§2.2 of the
+// paper).
+//
+// The simulation box is divided into cells at least r_cut wide; a particle
+// interacts with particles in its own and the 26 surrounding cells. The
+// MDGRAPE-2 board addresses particle memory through a cell-index counter and
+// a particle-index counter, which requires the particles of each cell to
+// occupy a contiguous index range ("We assumed that the indices of particles
+// in a cell are contiguous"). Sorted reproduces exactly that memory layout:
+// a permutation of the particles grouped by cell, with a start-offset table
+// (the "cell memory" of Figure 9).
+//
+// Two pair walkers are provided:
+//
+//   - ForEachOrderedPair visits every (i, j) with j in the 27 neighbor cells
+//     of i's cell, with no distance test and no use of Newton's third law —
+//     the MDGRAPE-2 operation mode, whose operation count is N_int_g ≈ 13 N_int.
+//   - ForEachHalfPair visits every unordered pair within r_cut exactly once —
+//     the conventional-computer mode with Newton's third law (N_int).
+package cellindex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mdm/internal/vec"
+)
+
+// Grid describes the cell decomposition of a cubic periodic box.
+type Grid struct {
+	L        float64 // box side
+	N        int     // cells per side
+	CellSize float64 // L / N (>= the cutoff used to build the grid)
+}
+
+// NewGrid builds a grid for box side l with cells no smaller than rcut
+// ("we set the size of a cell to a little larger than r_cut", §2.2).
+// It returns an error if l or rcut is not positive or rcut > l.
+func NewGrid(l, rcut float64) (*Grid, error) {
+	if l <= 0 || rcut <= 0 {
+		return nil, fmt.Errorf("cellindex: non-positive box %g or cutoff %g", l, rcut)
+	}
+	if rcut > l {
+		return nil, fmt.Errorf("cellindex: cutoff %g exceeds box side %g", rcut, l)
+	}
+	n := int(math.Floor(l / rcut))
+	if n < 1 {
+		n = 1
+	}
+	return &Grid{L: l, N: n, CellSize: l / float64(n)}, nil
+}
+
+// NumCells returns the total number of cells N³.
+func (g *Grid) NumCells() int { return g.N * g.N * g.N }
+
+// CellCoords returns the integer cell coordinates of a position (which is
+// wrapped into the box first).
+func (g *Grid) CellCoords(p vec.V) (ix, iy, iz int) {
+	w := p.Wrap(g.L)
+	ix = g.coord1(w.X)
+	iy = g.coord1(w.Y)
+	iz = g.coord1(w.Z)
+	return ix, iy, iz
+}
+
+func (g *Grid) coord1(x float64) int {
+	i := int(x / g.CellSize)
+	if i >= g.N { // x == L after rounding
+		i = g.N - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// Index flattens cell coordinates to a cell index in [0, NumCells).
+func (g *Grid) Index(ix, iy, iz int) int {
+	return (iz*g.N+iy)*g.N + ix
+}
+
+// Coords inverts Index.
+func (g *Grid) Coords(c int) (ix, iy, iz int) {
+	ix = c % g.N
+	iy = (c / g.N) % g.N
+	iz = c / (g.N * g.N)
+	return ix, iy, iz
+}
+
+// CellOf returns the flat cell index of a position.
+func (g *Grid) CellOf(p vec.V) int {
+	ix, iy, iz := g.CellCoords(p)
+	return g.Index(ix, iy, iz)
+}
+
+// Neighbor identifies one of the (up to 27) neighbor cells of a cell,
+// together with the periodic image shift that must be added to the positions
+// of its particles when computing displacements.
+type Neighbor struct {
+	Cell  int
+	Shift vec.V
+}
+
+// Neighbors returns the neighbor cells of cell c, including c itself.
+// For grids with N >= 3 the result always has exactly 27 distinct entries.
+// For smaller grids the same cell can appear several times with different
+// image shifts; entries are deduplicated by (cell, shift) so each physical
+// image is visited exactly once.
+func (g *Grid) Neighbors(c int) []Neighbor {
+	cx, cy, cz := g.Coords(c)
+	out := make([]Neighbor, 0, 27)
+	seen := make(map[[4]int]bool, 27)
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, sx := wrapCell(cx+dx, g.N)
+				ny, sy := wrapCell(cy+dy, g.N)
+				nz, sz := wrapCell(cz+dz, g.N)
+				key := [4]int{g.Index(nx, ny, nz), sx, sy, sz}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				out = append(out, Neighbor{
+					Cell:  key[0],
+					Shift: vec.New(float64(sx)*g.L, float64(sy)*g.L, float64(sz)*g.L),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// wrapCell wraps a cell coordinate into [0, n) and returns the image shift in
+// whole boxes (-1, 0 or +1).
+func wrapCell(i, n int) (wrapped, shift int) {
+	if i < 0 {
+		return i + n, -1
+	}
+	if i >= n {
+		return i - n, +1
+	}
+	return i, 0
+}
+
+// Sorted is the contiguous-per-cell particle layout: the paper's particle
+// memory plus cell memory. Positions are wrapped into the box.
+type Sorted struct {
+	Grid  *Grid
+	Pos   []vec.V // positions in sorted order, wrapped into [0, L)³
+	Order []int   // Order[k] = original index of sorted particle k
+	Start []int   // len NumCells+1; cell c owns sorted indices [Start[c], Start[c+1])
+}
+
+// Sort builds the sorted layout for the given positions.
+func Sort(g *Grid, pos []vec.V) *Sorted {
+	n := len(pos)
+	s := &Sorted{
+		Grid:  g,
+		Pos:   make([]vec.V, n),
+		Order: make([]int, n),
+		Start: make([]int, g.NumCells()+1),
+	}
+	cells := make([]int, n)
+	counts := make([]int, g.NumCells())
+	for i, p := range pos {
+		c := g.CellOf(p)
+		cells[i] = c
+		counts[c]++
+	}
+	for c, k := 0, 0; c < g.NumCells(); c++ {
+		s.Start[c] = k
+		k += counts[c]
+	}
+	s.Start[g.NumCells()] = n
+	fill := append([]int(nil), s.Start[:g.NumCells()]...)
+	for i, p := range pos {
+		c := cells[i]
+		k := fill[c]
+		fill[c]++
+		s.Pos[k] = p.Wrap(g.L)
+		s.Order[k] = i
+	}
+	return s
+}
+
+// Len returns the number of particles.
+func (s *Sorted) Len() int { return len(s.Pos) }
+
+// CellRange returns the half-open sorted-index range of cell c — the paper's
+// (jstart_c, jend_c) pair as read from the board's cell memory.
+func (s *Sorted) CellRange(c int) (jstart, jend int) {
+	return s.Start[c], s.Start[c+1]
+}
+
+// Unsort scatters values indexed in sorted order back to original particle
+// order: dst[Order[k]] = src[k]. dst and src must have the same length as the
+// particle count.
+func (s *Sorted) Unsort(dst, src []vec.V) {
+	for k, orig := range s.Order {
+		dst[orig] = src[k]
+	}
+}
+
+// ForEachOrderedPair visits, for every sorted particle i, every sorted
+// particle j in the 27 neighbor cells of i's cell (including i's own cell and
+// including j == i), passing the displacement rij = ri - (rj + shift).
+// No distance test is applied — this is exactly the MDGRAPE-2 operation mode
+// (§2.2): the pipeline evaluates all N_int_g candidates and relies on the
+// force kernel vanishing beyond the cutoff. The visit order is deterministic.
+func (s *Sorted) ForEachOrderedPair(f func(i, j int, rij vec.V)) {
+	g := s.Grid
+	for c := 0; c < g.NumCells(); c++ {
+		is, ie := s.CellRange(c)
+		if is == ie {
+			continue
+		}
+		nbrs := g.Neighbors(c)
+		for i := is; i < ie; i++ {
+			ri := s.Pos[i]
+			for _, nb := range nbrs {
+				js, je := s.CellRange(nb.Cell)
+				for j := js; j < je; j++ {
+					rij := ri.Sub(s.Pos[j].Add(nb.Shift))
+					f(i, j, rij)
+				}
+			}
+		}
+	}
+}
+
+// OrderedPairCount returns the number of (i, j) visits ForEachOrderedPair
+// makes; it equals N · N_int_g in the paper's notation.
+func (s *Sorted) OrderedPairCount() int {
+	count := 0
+	g := s.Grid
+	for c := 0; c < g.NumCells(); c++ {
+		is, ie := s.CellRange(c)
+		ni := ie - is
+		if ni == 0 {
+			continue
+		}
+		nj := 0
+		for _, nb := range g.Neighbors(c) {
+			js, je := s.CellRange(nb.Cell)
+			nj += je - js
+		}
+		count += ni * nj
+	}
+	return count
+}
+
+// ForEachHalfPair visits every unordered pair (i < j in visit semantics) with
+// minimum-image distance below rcut exactly once, passing rij = ri - rj
+// (image-corrected). This is the conventional-computer mode using Newton's
+// third law (operation count N · N_int). rcut must not exceed the grid cell
+// size times one (the grid guarantees this when built with the same cutoff).
+func (s *Sorted) ForEachHalfPair(rcut float64, f func(i, j int, rij vec.V)) {
+	g := s.Grid
+	r2 := rcut * rcut
+	for c := 0; c < g.NumCells(); c++ {
+		is, ie := s.CellRange(c)
+		if is == ie {
+			continue
+		}
+		for _, nb := range g.Neighbors(c) {
+			js, je := s.CellRange(nb.Cell)
+			for i := is; i < ie; i++ {
+				ri := s.Pos[i]
+				for j := js; j < je; j++ {
+					// Visit each unordered pair once: within the same image
+					// of the same cell use j > i; across cells/images use a
+					// canonical ordering on (cell, shift, index).
+					if nb.Cell == c && nb.Shift == vec.Zero {
+						if j <= i {
+							continue
+						}
+					} else if !canonical(c, nb, i, j) {
+						continue
+					}
+					rij := ri.Sub(s.Pos[j].Add(nb.Shift))
+					if rij.Norm2() < r2 {
+						f(i, j, rij)
+					}
+				}
+			}
+		}
+	}
+}
+
+// canonical decides which of the two directed visits of a cross-cell pair is
+// kept. Pairs between cell c and neighbor nb are seen twice (once from each
+// side, with opposite shifts); keep the visit with the lexicographically
+// smaller (cell, -shift…) key, breaking exact self-image ties by index.
+func canonical(c int, nb Neighbor, i, j int) bool {
+	if c != nb.Cell {
+		return c < nb.Cell
+	}
+	// Same cell seen through a non-zero image shift S: the pair is also
+	// visited from the other side with shift -S. Keep the visit whose first
+	// non-zero shift component is positive.
+	switch {
+	case nb.Shift.X != 0:
+		return nb.Shift.X > 0
+	case nb.Shift.Y != 0:
+		return nb.Shift.Y > 0
+	case nb.Shift.Z != 0:
+		return nb.Shift.Z > 0
+	}
+	// Unreachable for ForEachHalfPair (the zero-shift same-cell case is
+	// handled by the j > i test), but keep a sane default.
+	return i < j
+}
+
+// Occupancies returns the sorted list of per-cell particle counts; useful for
+// diagnostics and load-balance tests.
+func (s *Sorted) Occupancies() []int {
+	occ := make([]int, s.Grid.NumCells())
+	for c := range occ {
+		a, b := s.CellRange(c)
+		occ[c] = b - a
+	}
+	sort.Ints(occ)
+	return occ
+}

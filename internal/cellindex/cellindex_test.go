@@ -1,0 +1,332 @@
+package cellindex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mdm/internal/vec"
+)
+
+func randomPositions(n int, l float64, seed int64) []vec.V {
+	rng := rand.New(rand.NewSource(seed))
+	pos := make([]vec.V, n)
+	for i := range pos {
+		pos[i] = vec.New(rng.Float64()*l, rng.Float64()*l, rng.Float64()*l)
+	}
+	return pos
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(0, 1); err == nil {
+		t.Error("zero box accepted")
+	}
+	if _, err := NewGrid(10, 0); err == nil {
+		t.Error("zero cutoff accepted")
+	}
+	if _, err := NewGrid(10, 11); err == nil {
+		t.Error("cutoff > box accepted")
+	}
+	g, err := NewGrid(10, 2.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 4 {
+		t.Errorf("N = %d, want 4", g.N)
+	}
+	if g.CellSize < 2.4 {
+		t.Errorf("CellSize = %g < cutoff", g.CellSize)
+	}
+}
+
+func TestIndexCoordsRoundTrip(t *testing.T) {
+	g, _ := NewGrid(12, 2)
+	for c := 0; c < g.NumCells(); c++ {
+		x, y, z := g.Coords(c)
+		if got := g.Index(x, y, z); got != c {
+			t.Fatalf("round trip %d -> (%d,%d,%d) -> %d", c, x, y, z, got)
+		}
+	}
+}
+
+func TestCellOfWrapsPositions(t *testing.T) {
+	g, _ := NewGrid(10, 2)
+	inside := g.CellOf(vec.New(1, 1, 1))
+	outside := g.CellOf(vec.New(11, -9, 21))
+	if inside != outside {
+		t.Errorf("CellOf should wrap: %d vs %d", inside, outside)
+	}
+}
+
+func TestNeighbors27Distinct(t *testing.T) {
+	g, _ := NewGrid(30, 3) // N = 10 >= 3
+	for c := 0; c < g.NumCells(); c++ {
+		nbrs := g.Neighbors(c)
+		if len(nbrs) != 27 {
+			t.Fatalf("cell %d: %d neighbors, want 27", c, len(nbrs))
+		}
+		seen := map[int]bool{}
+		for _, nb := range nbrs {
+			if seen[nb.Cell] {
+				t.Fatalf("cell %d: duplicate neighbor cell %d", c, nb.Cell)
+			}
+			seen[nb.Cell] = true
+		}
+		if !seen[c] {
+			t.Fatalf("cell %d missing itself", c)
+		}
+	}
+}
+
+func TestNeighborsSmallGrid(t *testing.T) {
+	// N = 1: the 27 images of the single cell are distinct (cell, shift)
+	// combinations.
+	g, _ := NewGrid(10, 10)
+	if g.N != 1 {
+		t.Fatalf("N = %d", g.N)
+	}
+	nbrs := g.Neighbors(0)
+	if len(nbrs) != 27 {
+		t.Fatalf("%d image neighbors, want 27", len(nbrs))
+	}
+	zero := 0
+	for _, nb := range nbrs {
+		if nb.Shift == vec.Zero {
+			zero++
+		}
+	}
+	if zero != 1 {
+		t.Errorf("%d zero-shift entries, want 1", zero)
+	}
+}
+
+func TestSortedLayoutContiguous(t *testing.T) {
+	g, _ := NewGrid(20, 4)
+	pos := randomPositions(500, 20, 1)
+	s := Sort(g, pos)
+	if s.Len() != 500 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Every sorted particle must sit in the cell its range claims.
+	total := 0
+	for c := 0; c < g.NumCells(); c++ {
+		a, b := s.CellRange(c)
+		total += b - a
+		for k := a; k < b; k++ {
+			if got := g.CellOf(s.Pos[k]); got != c {
+				t.Fatalf("sorted particle %d in range of cell %d but located in %d", k, c, got)
+			}
+		}
+	}
+	if total != 500 {
+		t.Fatalf("ranges cover %d particles", total)
+	}
+	// Order must be a permutation.
+	seen := make([]bool, 500)
+	for _, o := range s.Order {
+		if seen[o] {
+			t.Fatalf("index %d appears twice in Order", o)
+		}
+		seen[o] = true
+	}
+}
+
+func TestUnsort(t *testing.T) {
+	g, _ := NewGrid(20, 4)
+	pos := randomPositions(100, 20, 2)
+	s := Sort(g, pos)
+	dst := make([]vec.V, 100)
+	s.Unsort(dst, s.Pos)
+	for i := range pos {
+		if vec.Dist(dst[i], pos[i].Wrap(20)) > 1e-12 {
+			t.Fatalf("Unsort mismatch at %d: %v vs %v", i, dst[i], pos[i])
+		}
+	}
+}
+
+// brutePairs counts unordered pairs within rcut using the minimum image
+// convention directly — the oracle for ForEachHalfPair.
+func brutePairs(pos []vec.V, l, rcut float64) (count int, sumR float64) {
+	for i := 0; i < len(pos); i++ {
+		for j := i + 1; j < len(pos); j++ {
+			d := pos[i].Sub(pos[j]).MinImage(l).Norm()
+			if d < rcut {
+				count++
+				sumR += d
+			}
+		}
+	}
+	return count, sumR
+}
+
+func TestHalfPairsMatchBruteForce(t *testing.T) {
+	const l, rcut = 18.0, 4.5
+	for seed := int64(0); seed < 5; seed++ {
+		pos := randomPositions(300, l, seed)
+		g, _ := NewGrid(l, rcut)
+		s := Sort(g, pos)
+		var count int
+		var sumR float64
+		s.ForEachHalfPair(rcut, func(i, j int, rij vec.V) {
+			count++
+			sumR += rij.Norm()
+		})
+		wantCount, wantSum := brutePairs(pos, l, rcut)
+		if count != wantCount {
+			t.Errorf("seed %d: %d pairs, brute force %d", seed, count, wantCount)
+		}
+		if math.Abs(sumR-wantSum) > 1e-9*wantSum {
+			t.Errorf("seed %d: sum |rij| = %g, want %g", seed, sumR, wantSum)
+		}
+	}
+}
+
+func TestHalfPairsSmallGridMatchesBruteForce(t *testing.T) {
+	// N = 2 grid exercises the image-shift deduplication logic.
+	const l, rcut = 10.0, 4.9
+	pos := randomPositions(120, l, 7)
+	g, _ := NewGrid(l, rcut)
+	if g.N != 2 {
+		t.Fatalf("N = %d, want 2", g.N)
+	}
+	s := Sort(g, pos)
+	count := 0
+	s.ForEachHalfPair(rcut, func(i, j int, rij vec.V) { count++ })
+	want, _ := brutePairs(pos, l, rcut)
+	if count != want {
+		t.Errorf("N=2 grid: %d pairs, brute force %d", count, want)
+	}
+}
+
+func TestOrderedPairCount(t *testing.T) {
+	const l, rcut = 20.0, 4.0
+	pos := randomPositions(400, l, 3)
+	g, _ := NewGrid(l, rcut)
+	s := Sort(g, pos)
+	visits := 0
+	s.ForEachOrderedPair(func(i, j int, rij vec.V) { visits++ })
+	if got := s.OrderedPairCount(); got != visits {
+		t.Errorf("OrderedPairCount = %d, visits = %d", got, visits)
+	}
+	// Expectation: N * 27 * rho * cell³.
+	rho := 400 / (l * l * l)
+	want := 400 * 27 * rho * math.Pow(g.CellSize, 3)
+	if math.Abs(float64(visits)-want) > 0.25*want {
+		t.Errorf("ordered visits = %d, expected ≈ %g", visits, want)
+	}
+}
+
+// The paper's key accounting claim (§2.2): N_int_g ≈ 13 N_int when the cell
+// size is close to r_cut (27 / (2π/3) ≈ 12.9).
+func TestCellIndexOverheadFactor(t *testing.T) {
+	const l = 30.0
+	const rcut = 3.0 // divides l exactly: cell size == rcut
+	pos := randomPositions(3000, l, 4)
+	g, _ := NewGrid(l, rcut)
+	s := Sort(g, pos)
+	ordered := s.OrderedPairCount()
+	half := 0
+	s.ForEachHalfPair(rcut, func(i, j int, rij vec.V) { half++ })
+	ratio := float64(ordered) / float64(half)
+	want := 27.0 / (2.0 * math.Pi / 3.0) // ≈ 12.89
+	if math.Abs(ratio-want) > 0.15*want {
+		t.Errorf("N_int_g/N_int = %g, want ≈ %g (paper: ~13)", ratio, want)
+	}
+}
+
+func TestOrderedPairsIncludeSelf(t *testing.T) {
+	// The hardware does not skip i == j; the kernel must kill that term.
+	g, _ := NewGrid(9, 3)
+	pos := []vec.V{vec.New(1, 1, 1)}
+	s := Sort(g, pos)
+	self := 0
+	s.ForEachOrderedPair(func(i, j int, rij vec.V) {
+		if i == j && rij == vec.Zero {
+			self++
+		}
+	})
+	if self != 1 {
+		t.Errorf("self visits = %d, want 1", self)
+	}
+}
+
+// Property: every displacement reported by ForEachHalfPair is within rcut and
+// consistent with the wrapped positions.
+func TestHalfPairDisplacementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		const l, rcut = 15.0, 3.5
+		pos := randomPositions(60, l, seed)
+		g, _ := NewGrid(l, rcut)
+		s := Sort(g, pos)
+		ok := true
+		s.ForEachHalfPair(rcut, func(i, j int, rij vec.V) {
+			if rij.Norm() >= rcut {
+				ok = false
+			}
+			// rij must equal ri - rj modulo the box.
+			d := s.Pos[i].Sub(s.Pos[j]).Sub(rij)
+			for _, comp := range []float64{d.X, d.Y, d.Z} {
+				k := comp / l
+				if math.Abs(k-math.Round(k)) > 1e-9 {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOccupancies(t *testing.T) {
+	g, _ := NewGrid(12, 3)
+	pos := randomPositions(256, 12, 5)
+	s := Sort(g, pos)
+	occ := s.Occupancies()
+	if len(occ) != g.NumCells() {
+		t.Fatalf("len(occ) = %d", len(occ))
+	}
+	sum := 0
+	for i, o := range occ {
+		sum += o
+		if i > 0 && occ[i] < occ[i-1] {
+			t.Fatal("occupancies not sorted")
+		}
+	}
+	if sum != 256 {
+		t.Errorf("occupancy sum = %d", sum)
+	}
+}
+
+func BenchmarkSort(b *testing.B) {
+	g, _ := NewGrid(40, 4)
+	pos := randomPositions(10000, 40, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sort(g, pos)
+	}
+}
+
+func BenchmarkCellVsHalfPairs(b *testing.B) {
+	const l, rcut = 24.0, 3.0
+	pos := randomPositions(4000, l, 1)
+	g, _ := NewGrid(l, rcut)
+	s := Sort(g, pos)
+	b.Run("ordered27", func(b *testing.B) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			s.ForEachOrderedPair(func(i, j int, rij vec.V) { n++ })
+		}
+		_ = n
+	})
+	b.Run("halfNewton", func(b *testing.B) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			s.ForEachHalfPair(rcut, func(i, j int, rij vec.V) { n++ })
+		}
+		_ = n
+	})
+}

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mdm/internal/cellindex"
+	"mdm/internal/ewald"
+	"mdm/internal/md"
+	"mdm/internal/mdgrape2"
+	"mdm/internal/tosifumi"
+	"mdm/internal/units"
+	"mdm/internal/vec"
+	"mdm/internal/wine2"
+)
+
+// Table names loaded into the MDGRAPE-2 function-evaluator RAM. The
+// short-range Tosi–Fumi potential decomposes into three universal kernel
+// shapes whose per-pair coefficients fit the a_ij/b_ij coefficient RAM:
+//
+//	Born–Mayer:  A b e^((σi+σj-r)/ρ) → g(x) = e^(-√x)/√x, a = 1/ρ²,
+//	             b = A_ij B e^((σi+σj)/ρ)/ρ²
+//	r⁻⁶ term:    g(x) = x⁻⁴, a = 1, b = -6 c_ij
+//	r⁻⁸ term:    g(x) = x⁻⁵, a = 1, b = -8 d_ij
+//
+// so the whole force field runs in four MDGRAPE-2 passes per step (one more
+// for the real-space Coulomb kernel of §3.5.4).
+const (
+	tableCoulomb = "coulomb-real"
+	tableBM      = "born-mayer"
+	tableDisp6   = "dispersion-r6"
+	tableDisp8   = "dispersion-r8"
+
+	// Potential-mode tables (φ rather than g = -φ'/r).
+	tableCoulombPot = "coulomb-real-pot"
+	tableBMPot      = "born-mayer-pot"
+	tableDisp6Pot   = "dispersion-r6-pot"
+	tableDisp8Pot   = "dispersion-r8-pot"
+)
+
+// EwaldRealG is the real-space Coulomb kernel of §3.5.4:
+// g(x) = 2 exp(-x)/(√π x) + erfc(√x)/x^(3/2), with x = (α r/L)².
+func EwaldRealG(x float64) float64 {
+	return 2*math.Exp(-x)/(math.SqrtPi*x) + math.Erfc(math.Sqrt(x))/(x*math.Sqrt(x))
+}
+
+// MachineConfig selects the hardware generation and the Ewald
+// discretization run on it.
+type MachineConfig struct {
+	Ewald      ewald.Params
+	Wine       wine2.Config
+	MDG        mdgrape2.Config
+	WineBoards int // boards to acquire (0 = all)
+	MDGBoards  int // boards to acquire (0 = all)
+
+	// PotentialEvery controls how often the host evaluates the potential
+	// energy (the paper computed it every 100 steps, §5). 1 evaluates it on
+	// every force call; k > 1 reuses the last value for k-1 calls.
+	PotentialEvery int
+
+	// HardwarePotential computes the real-space potential energy on the
+	// MDGRAPE-2 potential mode (four φ-table passes) instead of the host
+	// float64 path.
+	HardwarePotential bool
+}
+
+// CurrentMachineConfig returns the July-2000 MDM (45 Tflops WINE-2 +
+// 1 Tflops MDGRAPE-2) with the given Ewald discretization.
+func CurrentMachineConfig(p ewald.Params) MachineConfig {
+	return MachineConfig{
+		Ewald:          p,
+		Wine:           wine2.CurrentConfig(),
+		MDG:            mdgrape2.CurrentConfig(),
+		PotentialEvery: 1,
+	}
+}
+
+// Machine is the simulated MDM evaluating the molten-NaCl force field. It
+// implements md.ForceField.
+type Machine struct {
+	cfg   MachineConfig
+	pot   *tosifumi.Potential
+	waves []ewald.Wave
+	grid  *cellindex.Grid
+
+	mr1  *mdgrape2.MR1
+	wine *wine2.Library
+
+	coCoulomb *mdgrape2.Coeffs
+	coBM      *mdgrape2.Coeffs
+	coD6      *mdgrape2.Coeffs
+	coD8      *mdgrape2.Coeffs
+
+	// Potential-mode coefficient RAMs (HardwarePotential only).
+	coBMPot *mdgrape2.Coeffs
+	coD6Pot *mdgrape2.Coeffs
+	coD8Pot *mdgrape2.Coeffs
+
+	potCalls int
+	lastPot  float64
+}
+
+// NewMachine acquires the simulated boards, loads the kernel tables and
+// coefficient RAMs, and precomputes the wavevector set — the initialization
+// sequence of Tables 2 and 3.
+func NewMachine(cfg MachineConfig) (*Machine, error) {
+	if err := cfg.Ewald.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PotentialEvery < 1 {
+		cfg.PotentialEvery = 1
+	}
+	grid, err := cellindex.NewGrid(cfg.Ewald.L, cfg.Ewald.RCut)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:   cfg,
+		pot:   tosifumi.Default(),
+		waves: ewald.Waves(cfg.Ewald),
+		grid:  grid,
+	}
+
+	// MDGRAPE-2 session (Table 3 sequence).
+	mr1, err := mdgrape2.NewMR1(cfg.MDG)
+	if err != nil {
+		return nil, err
+	}
+	boards := cfg.MDGBoards
+	if boards == 0 {
+		boards = cfg.MDG.Boards()
+	}
+	if err := mr1.AllocateBoards(boards); err != nil {
+		return nil, err
+	}
+	if err := mr1.Init(); err != nil {
+		return nil, err
+	}
+	if err := mr1.SetTable(tableCoulomb, EwaldRealG, -20, 8); err != nil {
+		return nil, err
+	}
+	if err := mr1.SetTable(tableBM, func(x float64) float64 {
+		s := math.Sqrt(x)
+		return math.Exp(-s) / s
+	}, -8, 12); err != nil {
+		return nil, err
+	}
+	if err := mr1.SetTable(tableDisp6, func(x float64) float64 {
+		x2 := x * x
+		return 1 / (x2 * x2)
+	}, -4, 16); err != nil {
+		return nil, err
+	}
+	if err := mr1.SetTable(tableDisp8, func(x float64) float64 {
+		x2 := x * x
+		return 1 / (x2 * x2 * x)
+	}, -4, 16); err != nil {
+		return nil, err
+	}
+	if cfg.HardwarePotential {
+		if err := mr1.SetTable(tableCoulombPot, func(x float64) float64 {
+			s := math.Sqrt(x)
+			return math.Erfc(s) / s
+		}, -20, 8); err != nil {
+			return nil, err
+		}
+		if err := mr1.SetTable(tableBMPot, func(x float64) float64 {
+			return math.Exp(-math.Sqrt(x))
+		}, -8, 12); err != nil {
+			return nil, err
+		}
+		if err := mr1.SetTable(tableDisp6Pot, func(x float64) float64 {
+			return 1 / (x * x * x)
+		}, -4, 16); err != nil {
+			return nil, err
+		}
+		if err := mr1.SetTable(tableDisp8Pot, func(x float64) float64 {
+			x2 := x * x
+			return 1 / (x2 * x2)
+		}, -4, 16); err != nil {
+			return nil, err
+		}
+	}
+	m.mr1 = mr1
+
+	// WINE-2 session (Table 2 sequence).
+	lib, err := wine2.NewLibrary(cfg.Wine)
+	if err != nil {
+		return nil, err
+	}
+	wboards := cfg.WineBoards
+	if wboards == 0 {
+		wboards = cfg.Wine.Boards()
+	}
+	if err := lib.AllocateBoards(wboards); err != nil {
+		return nil, err
+	}
+	if err := lib.InitializeBoards(); err != nil {
+		return nil, err
+	}
+	m.wine = lib
+
+	if err := m.loadCoefficients(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// loadCoefficients fills the MDGRAPE-2 coefficient RAMs for the two NaCl
+// species.
+func (m *Machine) loadCoefficients() error {
+	p := m.cfg.Ewald
+	aC := p.Alpha * p.Alpha / (p.L * p.L)
+	var err error
+	m.coCoulomb, err = mdgrape2.NewCoeffs(tosifumi.NumSpecies, aC, 0)
+	if err != nil {
+		return err
+	}
+	m.coBM, _ = mdgrape2.NewCoeffs(tosifumi.NumSpecies, 0, 0)
+	m.coD6, _ = mdgrape2.NewCoeffs(tosifumi.NumSpecies, 0, 0)
+	m.coD8, _ = mdgrape2.NewCoeffs(tosifumi.NumSpecies, 0, 0)
+	m.coBMPot, _ = mdgrape2.NewCoeffs(tosifumi.NumSpecies, 0, 0)
+	m.coD6Pot, _ = mdgrape2.NewCoeffs(tosifumi.NumSpecies, 0, 0)
+	m.coD8Pot, _ = mdgrape2.NewCoeffs(tosifumi.NumSpecies, 0, 0)
+	tf := m.pot
+	rho2 := tf.Rho * tf.Rho
+	for i := 0; i < tosifumi.NumSpecies; i++ {
+		for j := i; j < tosifumi.NumSpecies; j++ {
+			si, sj := tosifumi.Species(i), tosifumi.Species(j)
+			qq := tosifumi.Charge(si) * tosifumi.Charge(sj)
+			m.coCoulomb.Set(i, j, aC, qq)
+			bm := tf.A[i][j] * tf.B * math.Exp((tf.Sigma[i]+tf.Sigma[j])/tf.Rho)
+			m.coBM.Set(i, j, 1/rho2, bm/rho2)
+			m.coD6.Set(i, j, 1, -6*tf.C[i][j])
+			m.coD8.Set(i, j, 1, -8*tf.D[i][j])
+			m.coBMPot.Set(i, j, 1/rho2, bm)
+			m.coD6Pot.Set(i, j, 1, -tf.C[i][j])
+			m.coD8Pot.Set(i, j, 1, -tf.D[i][j])
+		}
+	}
+	return nil
+}
+
+// Waves returns the wavevector set in use.
+func (m *Machine) Waves() []ewald.Wave { return m.waves }
+
+// MDGStats returns the MDGRAPE-2 work counters.
+func (m *Machine) MDGStats() mdgrape2.Stats { return m.mr1.System().Stats() }
+
+// WineStats returns the WINE-2 work counters.
+func (m *Machine) WineStats() wine2.Stats { return m.wine.System().Stats() }
+
+// Free releases both backend sessions.
+func (m *Machine) Free() error {
+	if err := m.mr1.Free(); err != nil {
+		return err
+	}
+	return m.wine.FreeBoards()
+}
+
+// Forces implements md.ForceField: the per-step flow of §3.1 — send
+// positions to both backends, real-space forces from MDGRAPE-2 (four kernel
+// passes), wavenumber-space forces from WINE-2, host combines and adds the
+// self-energy bookkeeping.
+func (m *Machine) Forces(s *md.System) ([]vec.V, float64, error) {
+	p := m.cfg.Ewald
+	if s.L != p.L {
+		return nil, 0, fmt.Errorf("core: system box %g differs from machine box %g", s.L, p.L)
+	}
+	n := s.N()
+
+	// The j-side memory image: all particles, sorted by cell.
+	js, err := mdgrape2.NewJSet(m.grid, s.Pos, s.Type)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Real-space Coulomb pass: b carries q_i·q_j, host scale k_e (α/L)³.
+	scale := make([]float64, n)
+	pref := units.Coulomb * math.Pow(p.Alpha/p.L, 3)
+	for i := range scale {
+		scale[i] = pref
+	}
+	forces, err := m.mr1.CalcVDWBlock2(tableCoulomb, m.coCoulomb, s.Pos, s.Type, scale, js)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: Coulomb real-space pass: %w", err)
+	}
+
+	// Short-range passes.
+	for _, pass := range []struct {
+		table string
+		co    *mdgrape2.Coeffs
+	}{
+		{tableBM, m.coBM},
+		{tableDisp6, m.coD6},
+		{tableDisp8, m.coD8},
+	} {
+		f, err := m.mr1.CalcVDWBlock2(pass.table, pass.co, s.Pos, s.Type, nil, js)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: %s pass: %w", pass.table, err)
+		}
+		for i := range forces {
+			forces[i] = forces[i].Add(f[i])
+		}
+	}
+
+	// Wavenumber-space part on WINE-2.
+	if err := m.wine.SetNN(n); err != nil {
+		return nil, 0, err
+	}
+	wf, wavePot, err := m.wine.CalcForceAndPotWavepart(p, m.waves, s.Pos, s.Charge)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: wavenumber pass: %w", err)
+	}
+	for i := range forces {
+		forces[i] = forces[i].Add(wf[i])
+	}
+
+	// Potential-energy bookkeeping (every PotentialEvery calls, like the
+	// paper's every-100-steps evaluation), either on the host in float64 or
+	// through the MDGRAPE-2 potential mode.
+	if m.potCalls%m.cfg.PotentialEvery == 0 {
+		var realPot float64
+		if m.cfg.HardwarePotential {
+			realPot, err = m.hardwarePotential(s, js)
+			if err != nil {
+				return nil, 0, fmt.Errorf("core: hardware potential: %w", err)
+			}
+		} else {
+			realPot = m.hostPotential(s)
+		}
+		m.lastPot = realPot + wavePot + ewald.SelfEnergy(p, s.Charge)
+	}
+	m.potCalls++
+	return forces, m.lastPot, nil
+}
+
+// hardwarePotential evaluates the real-space potential on the MDGRAPE-2
+// potential mode: four φ-table passes over the same 27-cell pair set as the
+// force passes, halved because every unordered pair is visited twice.
+func (m *Machine) hardwarePotential(s *md.System, js *mdgrape2.JSet) (float64, error) {
+	p := m.cfg.Ewald
+	n := s.N()
+	scale := make([]float64, n)
+	pref := units.Coulomb * p.Alpha / p.L
+	for i := range scale {
+		scale[i] = pref
+	}
+	total := 0.0
+	for _, pass := range []struct {
+		table string
+		co    *mdgrape2.Coeffs
+		scale []float64
+	}{
+		{tableCoulombPot, m.coCoulomb, scale},
+		{tableBMPot, m.coBMPot, nil},
+		{tableDisp6Pot, m.coD6Pot, nil},
+		{tableDisp8Pot, m.coD8Pot, nil},
+	} {
+		pots, err := m.mr1.System().ComputePotentials(pass.table, pass.co, s.Pos, s.Type, pass.scale, js)
+		if err != nil {
+			return 0, fmt.Errorf("%s pass: %w", pass.table, err)
+		}
+		for _, pe := range pots {
+			total += pe
+		}
+	}
+	return total / 2, nil
+}
+
+// hostPotential evaluates the real-space Coulomb and short-range potential
+// energy in float64 on the host. It walks the same 27-cell pair set as the
+// MDGRAPE-2 force passes (which apply no r_cut test, §2.2), so the potential
+// stays consistent with the forces — the condition for energy conservation.
+func (m *Machine) hostPotential(s *md.System) float64 {
+	return machineRealPotential(m.cfg.Ewald, m.grid, m.pot, s)
+}
+
+// machineRealPotential is the 27-cell (cutoff-free) real-space potential:
+// every ordered pair is visited twice, so the sum is halved. True self pairs
+// (r = 0) contribute nothing, as in the pipelines.
+func machineRealPotential(p ewald.Params, grid *cellindex.Grid, tf *tosifumi.Potential, s *md.System) float64 {
+	sorted := cellindex.Sort(grid, s.Pos)
+	pot := 0.0
+	sorted.ForEachOrderedPair(func(i, j int, rij vec.V) {
+		r2 := rij.Norm2()
+		if r2 == 0 {
+			return
+		}
+		oi, oj := sorted.Order[i], sorted.Order[j]
+		pot += p.RealPairEnergy(s.Charge[oi], s.Charge[oj], rij)
+		pot += tf.ShortEnergy(tosifumi.Species(s.Type[oi]), tosifumi.Species(s.Type[oj]), rij.Norm())
+	})
+	return pot / 2
+}

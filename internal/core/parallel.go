@@ -1,0 +1,447 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mdm/internal/cellindex"
+	"mdm/internal/domain"
+	"mdm/internal/ewald"
+	"mdm/internal/md"
+	"mdm/internal/mdgrape2"
+	"mdm/internal/mpi"
+	"mdm/internal/tosifumi"
+	"mdm/internal/units"
+	"mdm/internal/vec"
+	"mdm/internal/wine2"
+)
+
+// The §4 software organization: "We used 16 processes for real-space part,
+// and 8 processes for wavenumber-part. The simulation box is divided into 16
+// domains, and one process for real-space part performs all the calculation
+// in each domain... For real-space part, communication between processes
+// must be done by user." ParallelForces reproduces that organization at a
+// configurable scale on the in-process MPI substrate.
+
+// Message tags of the parallel step.
+const (
+	tagHalo   = 100
+	tagForces = 101
+)
+
+// groupComm adapts a subset of world ranks to the wine2.Communicator
+// interface, so the WINE-2 library's internal parallelization (Table 2) runs
+// unchanged on the sub-group of wavenumber processes.
+type groupComm struct {
+	c       *mpi.Comm
+	members []int // world ranks of the group, ascending
+	me      int   // index of this rank within members
+}
+
+func (g *groupComm) Rank() int { return g.me }
+func (g *groupComm) Size() int { return len(g.members) }
+
+const tagGroupReduce = 102
+
+// AllreduceSum gathers to the group root, sums, and broadcasts back, all
+// within the group's world ranks.
+func (g *groupComm) AllreduceSum(vals []float64) ([]float64, error) {
+	if len(g.members) == 1 {
+		out := make([]float64, len(vals))
+		copy(out, vals)
+		return out, nil
+	}
+	root := g.members[0]
+	if g.c.Rank() == root {
+		total := make([]float64, len(vals))
+		copy(total, vals)
+		for _, m := range g.members[1:] {
+			part, err := g.c.RecvFloat64s(m, tagGroupReduce)
+			if err != nil {
+				return nil, err
+			}
+			if len(part) != len(vals) {
+				return nil, fmt.Errorf("core: group reduce length mismatch")
+			}
+			for i := range total {
+				total[i] += part[i]
+			}
+		}
+		for _, m := range g.members[1:] {
+			if err := g.c.Send(m, tagGroupReduce, total); err != nil {
+				return nil, err
+			}
+		}
+		return total, nil
+	}
+	part := make([]float64, len(vals))
+	copy(part, vals)
+	if err := g.c.Send(root, tagGroupReduce, part); err != nil {
+		return nil, err
+	}
+	return g.c.RecvFloat64s(root, tagGroupReduce)
+}
+
+// ParallelResult is the assembled output of a parallel force step.
+type ParallelResult struct {
+	Forces    []vec.V
+	Potential float64
+	// Traffic is the MPI byte count of the step (halo exchange, structure
+	// factor reduction, force gathering).
+	Traffic mpi.Stats
+}
+
+// ParallelForces computes the full force field with the §4 process layout:
+// nReal domain processes run the MDGRAPE-2 real-space passes, nWave
+// processes run the WINE-2 wavenumber library, and world rank 0 assembles
+// the result. The world must have exactly nReal+nWave ranks.
+//
+// The halo a real-space process imports spans the full 27-cell neighborhood
+// of its domain (2√3 cell widths), so the parallel pair walk is identical to
+// the serial one up to floating-point summation order.
+func ParallelForces(world *mpi.World, cfg MachineConfig, nReal, nWave int, s *md.System) (*ParallelResult, error) {
+	if nReal < 1 || nWave < 1 {
+		return nil, fmt.Errorf("core: need at least one process of each kind (got %d real, %d wave)", nReal, nWave)
+	}
+	if world.Size() != nReal+nWave {
+		return nil, fmt.Errorf("core: world size %d != %d real + %d wave", world.Size(), nReal, nWave)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	p := cfg.Ewald
+	if s.L != p.L {
+		return nil, fmt.Errorf("core: system box %g differs from machine box %g", s.L, p.L)
+	}
+	dec, err := domain.New(p.L, nReal)
+	if err != nil {
+		return nil, err
+	}
+	before := world.Stats()
+
+	var result ParallelResult
+	runErr := world.Run(func(c *mpi.Comm) error {
+		if c.Rank() < nReal {
+			return realSpaceRank(c, cfg, dec, nReal, s, &result)
+		}
+		return waveRank(c, cfg, nReal, nWave, s, &result)
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	after := world.Stats()
+	result.Traffic = mpi.Stats{
+		Messages: after.Messages - before.Messages,
+		Bytes:    after.Bytes - before.Bytes,
+	}
+	// Self-energy bookkeeping on the host.
+	result.Potential += ewald.SelfEnergy(p, s.Charge)
+	return &result, nil
+}
+
+// packParticles serializes (x, y, z, charge, type, globalIndex) per particle.
+const packStride = 6
+
+func packParticles(s *md.System, idx []int) []float64 {
+	out := make([]float64, 0, packStride*len(idx))
+	for _, i := range idx {
+		out = append(out, s.Pos[i].X, s.Pos[i].Y, s.Pos[i].Z, s.Charge[i], float64(s.Type[i]), float64(i))
+	}
+	return out
+}
+
+// realSpaceRank is the SPMD body of one real-space (domain) process.
+func realSpaceRank(c *mpi.Comm, cfg MachineConfig, dec *domain.Decomposition, nReal int, s *md.System, result *ParallelResult) error {
+	p := cfg.Ewald
+	me := c.Rank()
+	parts := dec.Partition(s.Pos)
+	own := parts[me]
+
+	// Halo radius covering the whole 27-cell neighborhood.
+	grid, err := mdgrape2Grid(p)
+	if err != nil {
+		return err
+	}
+	haloR := 2 * math.Sqrt(3) * grid.CellSize
+	if haloR > p.L/2 {
+		haloR = p.L / 2 * 0.999999 // everything beyond half a box is an image anyway
+	}
+
+	// Exchange: send my particles that fall inside each other domain's halo.
+	for other := 0; other < nReal; other++ {
+		if other == me {
+			continue
+		}
+		var send []int
+		for _, i := range own {
+			if dec.InHalo(other, s.Pos[i], haloR) {
+				send = append(send, i)
+			}
+		}
+		if err := c.Send(other, tagHalo, packParticles(s, send)); err != nil {
+			return err
+		}
+	}
+	// Receive halos. Note: with a large halo radius relative to the domain
+	// size this degenerates to (almost) an allgather, which is also what the
+	// O(N) communication scaling of §3.1 assumes.
+	type halo struct {
+		pos  []vec.V
+		chg  []float64
+		typ  []int
+		gidx []int
+	}
+	var h halo
+	for other := 0; other < nReal; other++ {
+		if other == me {
+			continue
+		}
+		buf, err := c.RecvFloat64s(other, tagHalo)
+		if err != nil {
+			return err
+		}
+		for k := 0; k+packStride <= len(buf); k += packStride {
+			h.pos = append(h.pos, vec.New(buf[k], buf[k+1], buf[k+2]))
+			h.chg = append(h.chg, buf[k+3])
+			h.typ = append(h.typ, int(buf[k+4]))
+			h.gidx = append(h.gidx, int(buf[k+5]))
+		}
+	}
+
+	// Assemble the j-side set (own + halo) and this rank's i-side block.
+	jpos := make([]vec.V, 0, len(own)+len(h.pos))
+	jtyp := make([]int, 0, len(own)+len(h.pos))
+	for _, i := range own {
+		jpos = append(jpos, s.Pos[i])
+		jtyp = append(jtyp, s.Type[i])
+	}
+	jpos = append(jpos, h.pos...)
+	jtyp = append(jtyp, h.typ...)
+
+	// Per-rank MDGRAPE-2 session over this rank's share of the boards.
+	m, err := newRankMDG(cfg, nReal, me)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = m.Free() }()
+
+	xi := make([]vec.V, len(own))
+	ti := make([]int, len(own))
+	for k, i := range own {
+		xi[k] = s.Pos[i]
+		ti[k] = s.Type[i]
+	}
+	js, err := mdgrape2.NewJSet(grid, jpos, jtyp)
+	if err != nil {
+		return err
+	}
+	co, err := machineCoeffs(p)
+	if err != nil {
+		return err
+	}
+	scale := make([]float64, len(own))
+	pref := units.Coulomb * math.Pow(p.Alpha/p.L, 3)
+	for i := range scale {
+		scale[i] = pref
+	}
+	forces, err := m.CalcVDWBlock2(tableCoulomb, co.coulomb, xi, ti, scale, js)
+	if err != nil {
+		return err
+	}
+	for _, pass := range []struct {
+		table string
+		co    *mdgrape2.Coeffs
+	}{{tableBM, co.bm}, {tableDisp6, co.d6}, {tableDisp8, co.d8}} {
+		f, err := m.CalcVDWBlock2(pass.table, pass.co, xi, ti, nil, js)
+		if err != nil {
+			return err
+		}
+		for i := range forces {
+			forces[i] = forces[i].Add(f[i])
+		}
+	}
+
+	// Ship (globalIndex, force) triples to rank 0.
+	out := make([]float64, 0, 4*len(own))
+	for k, i := range own {
+		out = append(out, float64(i), forces[k].X, forces[k].Y, forces[k].Z)
+	}
+	if err := c.Send(0, tagForces, out); err != nil {
+		return err
+	}
+
+	if me == 0 {
+		return assembleRank0(c, cfg, s, result)
+	}
+	return nil
+}
+
+// waveRank is the SPMD body of one wavenumber process.
+func waveRank(c *mpi.Comm, cfg MachineConfig, nReal, nWave int, s *md.System, result *ParallelResult) error {
+	p := cfg.Ewald
+	w := c.Rank() - nReal
+	n := s.N()
+	lo := w * n / nWave
+	hi := (w + 1) * n / nWave
+
+	members := make([]int, nWave)
+	for i := range members {
+		members[i] = nReal + i
+	}
+	lib, err := newRankWine(cfg, nWave, w)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = lib.FreeBoards() }()
+	lib.SetMPICommunity(&groupComm{c: c, members: members, me: w})
+	if err := lib.SetNN(max(hi-lo, 1)); err != nil {
+		return err
+	}
+	waves := ewald.Waves(p)
+	forces, pot, err := lib.CalcForceAndPotWavepart(p, waves, s.Pos[lo:hi], s.Charge[lo:hi])
+	if err != nil {
+		return err
+	}
+	out := make([]float64, 0, 4*(hi-lo)+1)
+	// First slot: the wavenumber potential (only wave rank 0 reports it to
+	// avoid double counting).
+	if w == 0 {
+		out = append(out, pot)
+	} else {
+		out = append(out, math.NaN())
+	}
+	for k := lo; k < hi; k++ {
+		out = append(out, float64(k), forces[k-lo].X, forces[k-lo].Y, forces[k-lo].Z)
+	}
+	return c.Send(0, tagForces, out)
+}
+
+// assembleRank0 gathers force contributions at world rank 0. Wave-rank
+// payloads are distinguished by length: they lead with a potential slot, so
+// their length is ≡ 1 (mod 4), while real-rank payloads are ≡ 0 (mod 4).
+func assembleRank0(c *mpi.Comm, cfg MachineConfig, s *md.System, result *ParallelResult) error {
+	total := make([]vec.V, s.N())
+	for src := 0; src < c.Size(); src++ {
+		buf, err := c.RecvFloat64s(src, tagForces)
+		if err != nil {
+			return err
+		}
+		k := 0
+		if len(buf)%4 == 1 { // wave-rank payload: leading potential slot
+			if !math.IsNaN(buf[0]) {
+				result.Potential += buf[0]
+			}
+			k = 1
+		}
+		for ; k+4 <= len(buf); k += 4 {
+			i := int(buf[k])
+			total[i] = total[i].Add(vec.New(buf[k+1], buf[k+2], buf[k+3]))
+		}
+	}
+	// Host-side real-space + short-range potential in float64, consistent
+	// with the cutoff-free pair set the MDGRAPE-2 passes evaluated.
+	grid, err := mdgrape2Grid(cfg.Ewald)
+	if err != nil {
+		return err
+	}
+	result.Potential += machineRealPotential(cfg.Ewald, grid, tosifumi.Default(), s)
+	result.Forces = total
+	return nil
+}
+
+// machineCoeffsSet bundles the four coefficient RAMs.
+type machineCoeffsSet struct {
+	coulomb, bm, d6, d8 *mdgrape2.Coeffs
+}
+
+// machineCoeffs builds the NaCl coefficient RAMs (shared logic with
+// Machine.loadCoefficients).
+func machineCoeffs(p ewald.Params) (*machineCoeffsSet, error) {
+	tf := tosifumi.Default()
+	aC := p.Alpha * p.Alpha / (p.L * p.L)
+	coulomb, err := mdgrape2.NewCoeffs(tosifumi.NumSpecies, aC, 0)
+	if err != nil {
+		return nil, err
+	}
+	bm, _ := mdgrape2.NewCoeffs(tosifumi.NumSpecies, 0, 0)
+	d6, _ := mdgrape2.NewCoeffs(tosifumi.NumSpecies, 0, 0)
+	d8, _ := mdgrape2.NewCoeffs(tosifumi.NumSpecies, 0, 0)
+	rho2 := tf.Rho * tf.Rho
+	for i := 0; i < tosifumi.NumSpecies; i++ {
+		for j := i; j < tosifumi.NumSpecies; j++ {
+			si, sj := tosifumi.Species(i), tosifumi.Species(j)
+			coulomb.Set(i, j, aC, tosifumi.Charge(si)*tosifumi.Charge(sj))
+			bm.Set(i, j, 1/rho2, tf.A[i][j]*tf.B*math.Exp((tf.Sigma[i]+tf.Sigma[j])/tf.Rho)/rho2)
+			d6.Set(i, j, 1, -6*tf.C[i][j])
+			d8.Set(i, j, 1, -8*tf.D[i][j])
+		}
+	}
+	return &machineCoeffsSet{coulomb: coulomb, bm: bm, d6: d6, d8: d8}, nil
+}
+
+// mdgrape2Grid builds the global cell grid for the discretization; its
+// geometry depends only on (L, r_cut), so every rank agrees on it.
+func mdgrape2Grid(p ewald.Params) (*cellindex.Grid, error) {
+	return cellindex.NewGrid(p.L, p.RCut)
+}
+
+// newRankMDG builds an MR1 session over one rank's share of the MDGRAPE-2
+// boards, with the four kernel tables loaded.
+func newRankMDG(cfg MachineConfig, nReal, rank int) (*mdgrape2.MR1, error) {
+	m, err := mdgrape2.NewMR1(cfg.MDG)
+	if err != nil {
+		return nil, err
+	}
+	boards := cfg.MDG.Boards() / nReal
+	if boards < 1 {
+		boards = 1
+	}
+	if err := m.AllocateBoards(boards); err != nil {
+		return nil, err
+	}
+	if err := m.Init(); err != nil {
+		return nil, err
+	}
+	if err := m.SetTable(tableCoulomb, EwaldRealG, -20, 8); err != nil {
+		return nil, err
+	}
+	if err := m.SetTable(tableBM, func(x float64) float64 {
+		s := math.Sqrt(x)
+		return math.Exp(-s) / s
+	}, -8, 12); err != nil {
+		return nil, err
+	}
+	if err := m.SetTable(tableDisp6, func(x float64) float64 {
+		x2 := x * x
+		return 1 / (x2 * x2)
+	}, -4, 16); err != nil {
+		return nil, err
+	}
+	if err := m.SetTable(tableDisp8, func(x float64) float64 {
+		x2 := x * x
+		return 1 / (x2 * x2 * x)
+	}, -4, 16); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// newRankWine builds a WINE-2 library session over one rank's share of the
+// boards.
+func newRankWine(cfg MachineConfig, nWave, rank int) (*wine2.Library, error) {
+	lib, err := wine2.NewLibrary(cfg.Wine)
+	if err != nil {
+		return nil, err
+	}
+	boards := cfg.Wine.Boards() / nWave
+	if boards < 1 {
+		boards = 1
+	}
+	if err := lib.AllocateBoards(boards); err != nil {
+		return nil, err
+	}
+	if err := lib.InitializeBoards(); err != nil {
+		return nil, err
+	}
+	return lib, nil
+}

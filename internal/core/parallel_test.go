@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mdm/internal/ewald"
+	"mdm/internal/md"
+	"mdm/internal/mpi"
+	"mdm/internal/vec"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	s := meltLike(t, 2, 5.64, 1200, 11)
+	p := smallParams(s.L)
+	cfg := CurrentMachineConfig(p)
+
+	serial := newTestMachine(t, p)
+	want, wantPot, err := serial.Forces(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nReal, nWave = 4, 2
+	world, err := mpi.NewWorld(nReal + nWave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ParallelForces(world, cfg, nReal, nWave, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Forces) != s.N() {
+		t.Fatalf("parallel forces length %d", len(res.Forces))
+	}
+	// The pair walks are identical up to summation order; agreement should
+	// be at float64 rounding level relative to the force scale.
+	fscale := vec.RMS(want)
+	worst := 0.0
+	for i := range want {
+		if d := res.Forces[i].Sub(want[i]).Norm() / fscale; d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-9 {
+		t.Errorf("worst parallel-vs-serial force deviation = %g of RMS", worst)
+	}
+	if math.Abs(res.Potential-wantPot) > 1e-9*math.Abs(wantPot) {
+		t.Errorf("potential: parallel %g vs serial %g", res.Potential, wantPot)
+	}
+	if res.Traffic.Messages == 0 || res.Traffic.Bytes == 0 {
+		t.Error("parallel step reported no MPI traffic")
+	}
+	t.Logf("parallel step traffic: %d messages, %d bytes", res.Traffic.Messages, res.Traffic.Bytes)
+}
+
+func TestParallelPaperLayout(t *testing.T) {
+	// The paper's 16 real + 8 wavenumber processes, at reduced system size.
+	if testing.Short() {
+		t.Skip("24-rank layout in -short mode")
+	}
+	s := meltLike(t, 2, 5.64, 1200, 12)
+	p := smallParams(s.L)
+	cfg := CurrentMachineConfig(p)
+	world, err := mpi.NewWorld(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ParallelForces(world, cfg, 16, 8, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := newTestMachine(t, p)
+	want, _, err := serial.Forces(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fscale := vec.RMS(want)
+	for i := range want {
+		if d := res.Forces[i].Sub(want[i]).Norm() / fscale; d > 1e-9 {
+			t.Fatalf("particle %d deviates by %g of RMS", i, d)
+		}
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	s := meltLike(t, 1, 5.64, 300, 13)
+	p := smallParams(s.L)
+	cfg := CurrentMachineConfig(p)
+	world, _ := mpi.NewWorld(4)
+	if _, err := ParallelForces(world, cfg, 3, 2, s); err == nil {
+		t.Error("world-size mismatch accepted")
+	}
+	if _, err := ParallelForces(world, cfg, 0, 4, s); err == nil {
+		t.Error("zero real processes accepted")
+	}
+	if _, err := ParallelForces(world, cfg, 4, 0, s); err == nil {
+		t.Error("zero wave processes accepted")
+	}
+	bad := cfg
+	bad.Ewald.L = 2 * p.L
+	if _, err := ParallelForces(world, bad, 2, 2, s); err == nil {
+		t.Error("box mismatch accepted")
+	}
+}
+
+func TestParallelSingleRankEachKind(t *testing.T) {
+	s := meltLike(t, 1, 5.8, 300, 14)
+	p := smallParams(s.L)
+	cfg := CurrentMachineConfig(p)
+	world, _ := mpi.NewWorld(2)
+	res, err := ParallelForces(world, cfg, 1, 1, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := newTestMachine(t, p)
+	want, _, err := serial.Forces(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fscale := vec.RMS(want)
+	for i := range want {
+		if d := res.Forces[i].Sub(want[i]).Norm() / fscale; d > 1e-9 {
+			t.Fatalf("particle %d deviates by %g", i, d)
+		}
+	}
+}
+
+func TestParallelDrivesIntegrator(t *testing.T) {
+	// A parallel force field can drive the integrator through a ForceField
+	// adapter; energy behaves like the serial machine. (The box must be
+	// large enough that the Tosi-Fumi tails at the cell-crossing distances
+	// are negligible — the same resolution requirement the real machine
+	// had; see the r_cut = 26.4 Å of §5.)
+	s := meltLike(t, 2, 5.64, 300, 15)
+	p := smallParams(s.L)
+	cfg := CurrentMachineConfig(p)
+	world, _ := mpi.NewWorld(3)
+	ff := md.ForceField(parallelFF{world: world, cfg: cfg, nReal: 2, nWave: 1})
+	it, err := md.NewIntegrator(s, ff, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &md.Recorder{}
+	rec.Sample(it)
+	if err := it.Run(15, func(step int) error { rec.Sample(it); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if drift := rec.EnergyDrift(); drift > 5e-4 {
+		t.Errorf("parallel NVE drift = %g", drift)
+	}
+}
+
+// parallelFF adapts ParallelForces to md.ForceField.
+type parallelFF struct {
+	world        *mpi.World
+	cfg          MachineConfig
+	nReal, nWave int
+}
+
+func (p parallelFF) Forces(s *md.System) ([]vec.V, float64, error) {
+	res, err := ParallelForces(p.world, p.cfg, p.nReal, p.nWave, s)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Forces, res.Potential, nil
+}
+
+func BenchmarkParallelForces(b *testing.B) {
+	s, _ := md.NewRockSalt(2, 5.64)
+	s.SetMaxwellVelocities(1200, 1)
+	p := ewald.Params{L: s.L, Alpha: ewald.SReal / 0.45, RCut: 0.45 * s.L,
+		LKCut: ewald.SReal / 0.45 * ewald.SWave / math.Pi}
+	cfg := CurrentMachineConfig(p)
+	for _, layout := range []struct{ nReal, nWave int }{{1, 1}, {4, 2}, {16, 8}} {
+		name := fmt.Sprintf("real%d_wave%d", layout.nReal, layout.nWave)
+		b.Run(name, func(b *testing.B) {
+			world, err := mpi.NewWorld(layout.nReal + layout.nWave)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ParallelForces(world, cfg, layout.nReal, layout.nWave, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,177 @@
+// Package domain implements the spatial domain decomposition of the paper's
+// MD software (§4): "The simulation box is divided into 16 domains, and one
+// process for real-space part performs all the calculation in each domain."
+//
+// A Decomposition splits the cubic box into a nx×ny×nz grid of rectangular
+// domains (16 → 4×2×2). Each MPI rank owns the particles inside its domain
+// and, before calling the MDGRAPE-2 force routine, must obtain the positions
+// of neighboring particles within r_cut of its boundary — "that is what you
+// have to manage with MPI routines". HaloOf computes exactly that set under
+// periodic boundary conditions.
+package domain
+
+import (
+	"fmt"
+	"math"
+
+	"mdm/internal/vec"
+)
+
+// Decomposition is a static split of a cubic box into rectangular domains.
+type Decomposition struct {
+	L          float64 // box side
+	Nx, Ny, Nz int     // domains per dimension
+}
+
+// New splits the box into n domains, factoring n into three near-equal
+// factors (largest first along x).
+func New(l float64, n int) (*Decomposition, error) {
+	if l <= 0 {
+		return nil, fmt.Errorf("domain: box side %g must be positive", l)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("domain: %d domains must be positive", n)
+	}
+	nx, ny, nz := factor3(n)
+	return &Decomposition{L: l, Nx: nx, Ny: ny, Nz: nz}, nil
+}
+
+// factor3 factors n into three factors as close to each other as possible,
+// returned in non-increasing order.
+func factor3(n int) (int, int, int) {
+	best := [3]int{n, 1, 1}
+	bestSpread := n - 1
+	for a := 1; a*a*a <= n; a++ {
+		if n%a != 0 {
+			continue
+		}
+		m := n / a
+		for b := a; b*b <= m; b++ {
+			if m%b != 0 {
+				continue
+			}
+			c := m / b
+			spread := c - a
+			if spread < bestSpread {
+				bestSpread = spread
+				best = [3]int{c, b, a}
+			}
+		}
+	}
+	return best[0], best[1], best[2]
+}
+
+// NumDomains returns the domain count.
+func (d *Decomposition) NumDomains() int { return d.Nx * d.Ny * d.Nz }
+
+// widths returns the domain extent in each dimension.
+func (d *Decomposition) widths() (wx, wy, wz float64) {
+	return d.L / float64(d.Nx), d.L / float64(d.Ny), d.L / float64(d.Nz)
+}
+
+// Index flattens domain coordinates.
+func (d *Decomposition) Index(ix, iy, iz int) int {
+	return (iz*d.Ny+iy)*d.Nx + ix
+}
+
+// Coords inverts Index.
+func (d *Decomposition) Coords(dom int) (ix, iy, iz int) {
+	ix = dom % d.Nx
+	iy = (dom / d.Nx) % d.Ny
+	iz = dom / (d.Nx * d.Ny)
+	return ix, iy, iz
+}
+
+// DomainOf returns the domain owning position p (wrapped into the box).
+func (d *Decomposition) DomainOf(p vec.V) int {
+	w := p.Wrap(d.L)
+	wx, wy, wz := d.widths()
+	ix := clampIdx(int(w.X/wx), d.Nx)
+	iy := clampIdx(int(w.Y/wy), d.Ny)
+	iz := clampIdx(int(w.Z/wz), d.Nz)
+	return d.Index(ix, iy, iz)
+}
+
+func clampIdx(i, n int) int {
+	if i >= n {
+		return n - 1
+	}
+	if i < 0 {
+		return 0
+	}
+	return i
+}
+
+// Bounds returns the half-open box [lo, hi) of a domain.
+func (d *Decomposition) Bounds(dom int) (lo, hi vec.V) {
+	ix, iy, iz := d.Coords(dom)
+	wx, wy, wz := d.widths()
+	lo = vec.New(float64(ix)*wx, float64(iy)*wy, float64(iz)*wz)
+	hi = vec.New(float64(ix+1)*wx, float64(iy+1)*wy, float64(iz+1)*wz)
+	return lo, hi
+}
+
+// Partition returns, for each domain, the indices of the particles it owns.
+func (d *Decomposition) Partition(pos []vec.V) [][]int {
+	out := make([][]int, d.NumDomains())
+	for i, p := range pos {
+		dom := d.DomainOf(p)
+		out[dom] = append(out[dom], i)
+	}
+	return out
+}
+
+// distToBox returns the periodic distance from x to the interval [lo, hi)
+// along one axis of a box with period l.
+func distToBox(x, lo, hi, l float64) float64 {
+	// Consider x, x±l relative to the interval.
+	best := math.Inf(1)
+	for _, xx := range [3]float64{x - l, x, x + l} {
+		var d float64
+		switch {
+		case xx < lo:
+			d = lo - xx
+		case xx >= hi:
+			d = xx - hi
+		default:
+			d = 0
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// InHalo reports whether position p lies within rcut of domain dom's box
+// under periodic boundary conditions (positions inside the box count too).
+func (d *Decomposition) InHalo(dom int, p vec.V, rcut float64) bool {
+	lo, hi := d.Bounds(dom)
+	w := p.Wrap(d.L)
+	dx := distToBox(w.X, lo.X, hi.X, d.L)
+	if dx > rcut {
+		return false
+	}
+	dy := distToBox(w.Y, lo.Y, hi.Y, d.L)
+	if dy > rcut {
+		return false
+	}
+	dz := distToBox(w.Z, lo.Z, hi.Z, d.L)
+	return dx*dx+dy*dy+dz*dz <= rcut*rcut
+}
+
+// HaloOf returns the indices of positions that lie within rcut of domain
+// dom's boundary but are NOT owned by dom — the neighbor particles a process
+// must receive before the real-space force call.
+func (d *Decomposition) HaloOf(dom int, pos []vec.V, rcut float64) []int {
+	var out []int
+	for i, p := range pos {
+		if d.DomainOf(p) == dom {
+			continue
+		}
+		if d.InHalo(dom, p, rcut) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

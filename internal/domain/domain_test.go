@@ -1,0 +1,197 @@
+package domain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mdm/internal/vec"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 16); err == nil {
+		t.Error("zero box accepted")
+	}
+	if _, err := New(10, 0); err == nil {
+		t.Error("zero domains accepted")
+	}
+}
+
+func TestFactor3(t *testing.T) {
+	cases := map[int][3]int{
+		16: {4, 2, 2}, // the paper's decomposition
+		8:  {2, 2, 2},
+		1:  {1, 1, 1},
+		12: {3, 2, 2},
+		27: {3, 3, 3},
+		7:  {7, 1, 1},
+	}
+	for n, want := range cases {
+		a, b, c := factor3(n)
+		if a*b*c != n {
+			t.Errorf("factor3(%d) = %d×%d×%d ≠ %d", n, a, b, c, n)
+		}
+		if [3]int{a, b, c} != want {
+			t.Errorf("factor3(%d) = (%d,%d,%d), want %v", n, a, b, c, want)
+		}
+	}
+}
+
+func TestPaperDecomposition(t *testing.T) {
+	d, err := New(850, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumDomains() != 16 {
+		t.Errorf("domains = %d", d.NumDomains())
+	}
+	if d.Nx != 4 || d.Ny != 2 || d.Nz != 2 {
+		t.Errorf("grid = %d×%d×%d", d.Nx, d.Ny, d.Nz)
+	}
+}
+
+func TestIndexCoordsRoundTrip(t *testing.T) {
+	d, _ := New(10, 12)
+	for dom := 0; dom < d.NumDomains(); dom++ {
+		x, y, z := d.Coords(dom)
+		if got := d.Index(x, y, z); got != dom {
+			t.Fatalf("round trip %d -> %d", dom, got)
+		}
+	}
+}
+
+func TestDomainOfRespectsBounds(t *testing.T) {
+	d, _ := New(20, 16)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 1000; trial++ {
+		p := vec.New(rng.Float64()*20, rng.Float64()*20, rng.Float64()*20)
+		dom := d.DomainOf(p)
+		lo, hi := d.Bounds(dom)
+		w := p.Wrap(20)
+		if w.X < lo.X || w.X >= hi.X || w.Y < lo.Y || w.Y >= hi.Y || w.Z < lo.Z || w.Z >= hi.Z {
+			t.Fatalf("p = %v assigned to domain %d with bounds [%v, %v)", p, dom, lo, hi)
+		}
+	}
+}
+
+func TestPartitionCoversAll(t *testing.T) {
+	d, _ := New(15, 16)
+	rng := rand.New(rand.NewSource(2))
+	pos := make([]vec.V, 500)
+	for i := range pos {
+		pos[i] = vec.New(rng.Float64()*15, rng.Float64()*15, rng.Float64()*15)
+	}
+	parts := d.Partition(pos)
+	seen := make([]bool, len(pos))
+	total := 0
+	for dom, idx := range parts {
+		for _, i := range idx {
+			if seen[i] {
+				t.Fatalf("particle %d in two domains", i)
+			}
+			seen[i] = true
+			if d.DomainOf(pos[i]) != dom {
+				t.Fatalf("particle %d misfiled", i)
+			}
+			total++
+		}
+	}
+	if total != len(pos) {
+		t.Fatalf("partition covers %d of %d", total, len(pos))
+	}
+}
+
+func TestHaloMatchesBruteForce(t *testing.T) {
+	const l = 12.0
+	const rcut = 2.0
+	d, _ := New(l, 8)
+	rng := rand.New(rand.NewSource(3))
+	pos := make([]vec.V, 400)
+	for i := range pos {
+		pos[i] = vec.New(rng.Float64()*l, rng.Float64()*l, rng.Float64()*l)
+	}
+	for dom := 0; dom < d.NumDomains(); dom++ {
+		halo := map[int]bool{}
+		for _, i := range d.HaloOf(dom, pos, rcut) {
+			halo[i] = true
+		}
+		// Brute force: a non-owned particle belongs to the halo iff some
+		// owned point... approximate oracle: check the guarantee that every
+		// pair (owned, other) within rcut has the other in the halo.
+		owned := map[int]bool{}
+		for i, p := range pos {
+			if d.DomainOf(p) == dom {
+				owned[i] = true
+			}
+		}
+		for i := range owned {
+			for j := range pos {
+				if owned[j] || i == j {
+					continue
+				}
+				if vec.DistPeriodic(pos[i], pos[j], l) < rcut && !halo[j] {
+					t.Fatalf("domain %d: particle %d within rcut of owned %d but not in halo", dom, j, i)
+				}
+			}
+		}
+		// No owned particle may appear in its own halo.
+		for i := range halo {
+			if owned[i] {
+				t.Fatalf("domain %d: owned particle %d in halo", dom, i)
+			}
+		}
+	}
+}
+
+func TestInHaloInsideBox(t *testing.T) {
+	d, _ := New(10, 8)
+	lo, hi := d.Bounds(3)
+	center := lo.Add(hi).Scale(0.5)
+	if !d.InHalo(3, center, 0.1) {
+		t.Error("center of domain not in its halo region")
+	}
+}
+
+func TestDistToBoxPeriodic(t *testing.T) {
+	// Interval [0, 5) in a box of 10: x = 9.5 is 0.5 away through the wrap.
+	if got := distToBox(9.5, 0, 5, 10); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("distToBox(9.5) = %g, want 0.5", got)
+	}
+	if got := distToBox(2, 0, 5, 10); got != 0 {
+		t.Errorf("distToBox(inside) = %g", got)
+	}
+	if got := distToBox(6, 0, 5, 10); math.Abs(got-1) > 1e-12 {
+		t.Errorf("distToBox(6) = %g, want 1", got)
+	}
+}
+
+// Property: halo membership is invariant under whole-box translation.
+func TestHaloPeriodicProperty(t *testing.T) {
+	d, _ := New(10, 16)
+	f := func(x, y, z float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) || math.IsNaN(z) || math.IsInf(z, 0) {
+			return true
+		}
+		p := vec.New(math.Mod(x, 10), math.Mod(y, 10), math.Mod(z, 10))
+		shifted := p.Add(vec.New(10, -10, 20))
+		return d.InHalo(5, p, 1.5) == d.InHalo(5, shifted, 1.5)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHaloOf(b *testing.B) {
+	const l = 30.0
+	d, _ := New(l, 16)
+	rng := rand.New(rand.NewSource(1))
+	pos := make([]vec.V, 5000)
+	for i := range pos {
+		pos[i] = vec.New(rng.Float64()*l, rng.Float64()*l, rng.Float64()*l)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.HaloOf(i%16, pos, 3.0)
+	}
+}

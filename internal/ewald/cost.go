@@ -1,0 +1,83 @@
+package ewald
+
+import "math"
+
+// Floating-point operation counts per pair interaction, as assessed in §2 of
+// the paper (erfc, exp, sqrt, division, sin and cos each count as ten).
+const (
+	// OpsRealPair is the operations for one real-space Coulomb pair (eq. 2).
+	OpsRealPair = 59
+	// OpsDFT is the operations per particle-wave term of the DFT (eqs. 9, 10).
+	OpsDFT = 29
+	// OpsIDFT is the operations per particle-wave term of the IDFT (eq. 11).
+	OpsIDFT = 35
+	// OpsWavePair is the combined wavenumber-space operations per
+	// particle-wave pair: DFT + IDFT.
+	OpsWavePair = OpsDFT + OpsIDFT
+)
+
+// Geometry factors for the real-space pair count per particle and unit
+// (r_cut³ · density).
+const (
+	// GeomHalfSphere = (1/2)(4π/3): Newton's third law on a conventional
+	// computer (eq. 5).
+	GeomHalfSphere = 2 * math.Pi / 3
+	// GeomCell27 = 27: the cell-index method without Newton's third law on
+	// MDGRAPE-2 (eq. 6).
+	GeomCell27 = 27
+)
+
+// CostModel describes how expensive each half of the Ewald sum is on a given
+// machine. Speeds are sustained flop/s of the engine executing that half.
+type CostModel struct {
+	RealGeom  float64 // GeomHalfSphere or GeomCell27
+	SpeedReal float64 // flop/s for the real-space part
+	SpeedWave float64 // flop/s for the wavenumber-space part
+}
+
+// ConventionalCost is the cost model of the paper's "conventional
+// general-purpose computer" column: half-sphere pair counting, and the same
+// engine (speed) for both halves so only the ratio matters.
+func ConventionalCost() CostModel {
+	return CostModel{RealGeom: GeomHalfSphere, SpeedReal: 1, SpeedWave: 1}
+}
+
+// StepFlops returns the floating-point operations per time-step of the two
+// halves for n particles at the given number density (particles/Å³):
+// re = OpsRealPair · n · RealGeom · r_cut³ · ρ and
+// wn = OpsWavePair · n · N_wv (eqs. in §2.2–2.3 and Table 4).
+func (m CostModel) StepFlops(p Params, n int, density float64) (re, wn float64) {
+	nint := m.RealGeom * p.RCut * p.RCut * p.RCut * density
+	re = OpsRealPair * float64(n) * nint
+	wn = OpsWavePair * float64(n) * p.NWv()
+	return re, wn
+}
+
+// StepTime returns the execution time of one step under this model assuming
+// the two halves run concurrently on their respective engines (the MDM
+// schedule): max of the two times.
+func (m CostModel) StepTime(p Params, n int, density float64) float64 {
+	re, wn := m.StepFlops(p, n, density)
+	return math.Max(re/m.SpeedReal, wn/m.SpeedWave)
+}
+
+// OptimalAlpha returns the splitting parameter that minimizes
+// t(α) = F_re(α)/SpeedReal + F_wn(α)/SpeedWave at fixed accuracy (the SReal
+// and SWave truncation products held constant). Because F_re ∝ α⁻³ and
+// F_wn ∝ α³, the optimum equalizes the two weighted terms and has the closed
+// form α⁶ = (59·RealGeom·(SReal·L)³·ρ·SpeedWave) / (64·(2π/3)·(SWave/π)³·SpeedReal).
+//
+// With equal speeds and half-sphere geometry this reproduces the paper's
+// conventional-computer balance 59 N N_int = 64 N N_wv and α = 30.1; with the
+// 27-cell geometry and the MDM speed ratio it reproduces α ≈ 85 (current) and
+// α ≈ 50 (future).
+func (m CostModel) OptimalAlpha(l, density float64) float64 {
+	num := OpsRealPair * m.RealGeom * math.Pow(SReal*l, 3) * density * m.SpeedWave
+	den := OpsWavePair * GeomHalfSphere * math.Pow(SWave/math.Pi, 3) * m.SpeedReal
+	return math.Pow(num/den, 1.0/6.0)
+}
+
+// BalancedParams returns the full discretization at the optimal α.
+func (m CostModel) BalancedParams(l, density float64) Params {
+	return ParamsForAlpha(l, m.OptimalAlpha(l, density))
+}

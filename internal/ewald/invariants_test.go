@@ -1,0 +1,163 @@
+package ewald
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mdm/internal/vec"
+)
+
+// Physical invariants of the Ewald sum, checked property-style.
+
+func invariantSystem(seed int64) ([]vec.V, []float64, Params) {
+	rng := rand.New(rand.NewSource(seed))
+	const l = 11.0
+	const n = 24
+	pos := make([]vec.V, n)
+	q := make([]float64, n)
+	for i := range pos {
+		pos[i] = vec.New(rng.Float64()*l, rng.Float64()*l, rng.Float64()*l)
+		q[i] = float64(1 - 2*(i%2))
+	}
+	p := Params{L: l, Alpha: 6, RCut: l / 2, LKCut: 6 * SWave / math.Pi}
+	return pos, q, p
+}
+
+// Rigid translation of all particles (including across the periodic
+// boundary) leaves the total energy invariant and the forces unchanged.
+func TestTranslationInvariance(t *testing.T) {
+	f := func(seed int64, tx, ty, tz float64) bool {
+		if math.IsNaN(tx) || math.IsInf(tx, 0) || math.IsNaN(ty) || math.IsInf(ty, 0) || math.IsNaN(tz) || math.IsInf(tz, 0) {
+			return true
+		}
+		pos, q, p := invariantSystem(seed)
+		shift := vec.New(math.Mod(tx, 30), math.Mod(ty, 30), math.Mod(tz, 30))
+		shifted := make([]vec.V, len(pos))
+		for i := range pos {
+			shifted[i] = pos[i].Add(shift).Wrap(p.L)
+		}
+		a, err := Compute(p, pos, q)
+		if err != nil {
+			return false
+		}
+		b, err := Compute(p, shifted, q)
+		if err != nil {
+			return false
+		}
+		if math.Abs(a.TotalE-b.TotalE) > 1e-8*(1+math.Abs(a.TotalE)) {
+			return false
+		}
+		fscale := vec.RMS(a.Forces)
+		for i := range a.Forces {
+			if a.Forces[i].Sub(b.Forces[i]).Norm() > 1e-8*fscale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Relabeling particles permutes forces identically and leaves the energy
+// unchanged.
+func TestPermutationInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		pos, q, p := invariantSystem(seed)
+		a, err := Compute(p, pos, q)
+		if err != nil {
+			return false
+		}
+		// Reverse the particle order.
+		n := len(pos)
+		rpos := make([]vec.V, n)
+		rq := make([]float64, n)
+		for i := range pos {
+			rpos[n-1-i] = pos[i]
+			rq[n-1-i] = q[i]
+		}
+		b, err := Compute(p, rpos, rq)
+		if err != nil {
+			return false
+		}
+		if math.Abs(a.TotalE-b.TotalE) > 1e-9*(1+math.Abs(a.TotalE)) {
+			return false
+		}
+		for i := range a.Forces {
+			if a.Forces[i].Sub(b.Forces[n-1-i]).Norm() > 1e-9*(1+vec.RMS(a.Forces)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Charge inversion q → -q leaves energy and forces invariant (both are
+// bilinear in charge).
+func TestChargeInversionInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		pos, q, p := invariantSystem(seed)
+		neg := make([]float64, len(q))
+		for i := range q {
+			neg[i] = -q[i]
+		}
+		a, err := Compute(p, pos, q)
+		if err != nil {
+			return false
+		}
+		b, err := Compute(p, pos, neg)
+		if err != nil {
+			return false
+		}
+		if math.Abs(a.TotalE-b.TotalE) > 1e-10*(1+math.Abs(a.TotalE)) {
+			return false
+		}
+		for i := range a.Forces {
+			if a.Forces[i].Sub(b.Forces[i]).Norm() > 1e-10*(1+vec.RMS(a.Forces)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Doubling every charge quadruples the energy and doubles... quadruples the
+// forces (bilinearity).
+func TestChargeScalingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		pos, q, p := invariantSystem(seed)
+		dq := make([]float64, len(q))
+		for i := range q {
+			dq[i] = 2 * q[i]
+		}
+		a, err := Compute(p, pos, q)
+		if err != nil {
+			return false
+		}
+		b, err := Compute(p, pos, dq)
+		if err != nil {
+			return false
+		}
+		if math.Abs(b.TotalE-4*a.TotalE) > 1e-9*(1+math.Abs(a.TotalE)) {
+			return false
+		}
+		for i := range a.Forces {
+			if b.Forces[i].Sub(a.Forces[i].Scale(4)).Norm() > 1e-9*(1+vec.RMS(a.Forces)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package fft implements the radix-2 complex fast Fourier transform used by
+// the smooth particle-mesh Ewald method (package pme) — the O(N log N)
+// alternative to the direct wavenumber summation that the paper cites as
+// ref. [4] (Essmann et al.) and positions WINE-2 against.
+//
+// Only power-of-two lengths are supported; 3-D transforms operate on a flat
+// cube with x fastest (index = (z·n + y)·n + x). The forward transform uses
+// the e^{-2πi nk/N} kernel; Inverse applies the conjugate kernel and the 1/N
+// normalization, so Inverse(Forward(x)) == x.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Forward computes the in-place forward DFT of data. len(data) must be a
+// power of two.
+func Forward(data []complex128) error {
+	return transform(data, false)
+}
+
+// Inverse computes the in-place inverse DFT (with 1/N normalization).
+func Inverse(data []complex128) error {
+	if err := transform(data, true); err != nil {
+		return err
+	}
+	n := complex(float64(len(data)), 0)
+	for i := range data {
+		data[i] /= n
+	}
+	return nil
+}
+
+// transform is the iterative radix-2 Cooley–Tukey kernel.
+func transform(data []complex128, inverse bool) error {
+	n := len(data)
+	if !IsPow2(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	if n == 1 {
+		return nil
+	}
+	// Bit-reversal permutation.
+	shift := bits.UintSize - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> shift)
+		if j > i {
+			data[i], data[j] = data[j], data[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := cmplx.Exp(complex(0, sign*2*math.Pi/float64(size)))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := data[start+k]
+				b := data[start+k+half] * w
+				data[start+k] = a + b
+				data[start+k+half] = a - b
+				w *= step
+			}
+		}
+	}
+	return nil
+}
+
+// Cube is a flat n×n×n complex mesh (x fastest).
+type Cube struct {
+	N    int
+	Data []complex128
+}
+
+// NewCube allocates a zeroed n³ mesh; n must be a power of two.
+func NewCube(n int) (*Cube, error) {
+	if !IsPow2(n) {
+		return nil, fmt.Errorf("fft: cube size %d is not a power of two", n)
+	}
+	return &Cube{N: n, Data: make([]complex128, n*n*n)}, nil
+}
+
+// Index flattens (x, y, z) mesh coordinates.
+func (c *Cube) Index(x, y, z int) int { return (z*c.N+y)*c.N + x }
+
+// At returns the value at (x, y, z).
+func (c *Cube) At(x, y, z int) complex128 { return c.Data[c.Index(x, y, z)] }
+
+// Set stores v at (x, y, z).
+func (c *Cube) Set(x, y, z int, v complex128) { c.Data[c.Index(x, y, z)] = v }
+
+// Forward3 computes the in-place 3-D forward DFT.
+func (c *Cube) Forward3() error { return c.transform3(false) }
+
+// Inverse3 computes the in-place 3-D inverse DFT (normalized by 1/n³).
+func (c *Cube) Inverse3() error { return c.transform3(true) }
+
+func (c *Cube) transform3(inverse bool) error {
+	n := c.N
+	buf := make([]complex128, n)
+	apply := func(get func(k int) int) error {
+		for k := 0; k < n; k++ {
+			buf[k] = c.Data[get(k)]
+		}
+		var err error
+		if inverse {
+			err = Inverse(buf)
+		} else {
+			err = Forward(buf)
+		}
+		if err != nil {
+			return err
+		}
+		for k := 0; k < n; k++ {
+			c.Data[get(k)] = buf[k]
+		}
+		return nil
+	}
+	// X lines.
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			base := (z*n + y) * n
+			if err := apply(func(k int) int { return base + k }); err != nil {
+				return err
+			}
+		}
+	}
+	// Y lines.
+	for z := 0; z < n; z++ {
+		for x := 0; x < n; x++ {
+			base := z * n * n
+			if err := apply(func(k int) int { return base + k*n + x }); err != nil {
+				return err
+			}
+		}
+	}
+	// Z lines.
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			base := y*n + x
+			if err := apply(func(k int) int { return base + k*n*n }); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(N²) oracle.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			s += x[j] * cmplx.Exp(complex(0, -2*math.Pi*float64(k*j)/float64(n)))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func randomComplex(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return out
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -4, 3, 12, 1000} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64} {
+		x := randomComplex(n, int64(n))
+		want := naiveDFT(x)
+		got := append([]complex128(nil), x...)
+		if err := Forward(got); err != nil {
+			t.Fatal(err)
+		}
+		for k := range got {
+			if cmplx.Abs(got[k]-want[k]) > 1e-9*(1+cmplx.Abs(want[k])) {
+				t.Fatalf("n=%d: X[%d] = %v, want %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestNonPow2Rejected(t *testing.T) {
+	if err := Forward(make([]complex128, 6)); err == nil {
+		t.Error("length 6 accepted")
+	}
+	if err := Inverse(make([]complex128, 0)); err == nil {
+		t.Error("length 0 accepted")
+	}
+	if _, err := NewCube(10); err == nil {
+		t.Error("cube 10 accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		x := randomComplex(32, seed)
+		y := append([]complex128(nil), x...)
+		if err := Forward(y); err != nil {
+			return false
+		}
+		if err := Inverse(y); err != nil {
+			return false
+		}
+		for i := range x {
+			if cmplx.Abs(y[i]-x[i]) > 1e-10*(1+cmplx.Abs(x[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseval(t *testing.T) {
+	x := randomComplex(128, 3)
+	var timeE float64
+	for _, v := range x {
+		timeE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	var freqE float64
+	for _, v := range x {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE/float64(len(x))-timeE) > 1e-9*timeE {
+		t.Errorf("Parseval violated: %g vs %g", freqE/float64(len(x)), timeE)
+	}
+}
+
+func TestCubeRoundTrip(t *testing.T) {
+	c, err := NewCube(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	orig := make([]complex128, len(c.Data))
+	for i := range c.Data {
+		c.Data[i] = complex(rng.NormFloat64(), 0)
+		orig[i] = c.Data[i]
+	}
+	if err := c.Forward3(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Inverse3(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Data {
+		if cmplx.Abs(c.Data[i]-orig[i]) > 1e-10 {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+}
+
+func TestCubeSingleMode(t *testing.T) {
+	// A pure plane wave e^{2πi (x·1)/n} transforms to a single spike at
+	// mode (n-1 for forward e^{-} convention... verify against direct sum).
+	const n = 8
+	c, _ := NewCube(n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				c.Set(x, y, z, cmplx.Exp(complex(0, 2*math.Pi*float64(x)/n)))
+			}
+		}
+	}
+	if err := c.Forward3(); err != nil {
+		t.Fatal(err)
+	}
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				want := complex(0, 0)
+				if x == 1 && y == 0 && z == 0 {
+					want = complex(n*n*n, 0)
+				}
+				if cmplx.Abs(c.At(x, y, z)-want) > 1e-9*float64(n*n*n) {
+					t.Fatalf("mode (%d,%d,%d) = %v, want %v", x, y, z, c.At(x, y, z), want)
+				}
+			}
+		}
+	}
+}
+
+func TestCubeIndex(t *testing.T) {
+	c, _ := NewCube(4)
+	seen := map[int]bool{}
+	for z := 0; z < 4; z++ {
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				i := c.Index(x, y, z)
+				if i < 0 || i >= 64 || seen[i] {
+					t.Fatalf("bad index %d for (%d,%d,%d)", i, x, y, z)
+				}
+				seen[i] = true
+			}
+		}
+	}
+}
+
+func BenchmarkForward1024(b *testing.B) {
+	x := randomComplex(1024, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCube32(b *testing.B) {
+	c, _ := NewCube(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Forward3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package fixed implements the parameterized fixed-point two's-complement
+// arithmetic used by the WINE-2 pipeline simulator.
+//
+// The paper (§3.4.4) states that "fixed-point two's complement format is used
+// in all the arithmetic calculations in a pipeline" and that the resulting
+// relative accuracy of the wavenumber-space force is about 10^-4.5. This
+// package provides the building blocks for reproducing that datapath:
+//
+//   - Format describes a signed fixed-point representation (integer and
+//     fractional bit widths) and converts between float64 and raw integers
+//     with round-to-nearest quantization, with either saturating or wrapping
+//     (true two's-complement) overflow behaviour.
+//   - SinCosTable is a table-lookup sine/cosine unit with linear
+//     interpolation, the core of the WINE-2 DFT/IDFT pipelines. Phase is a
+//     fixed-point number of turns; only its fractional part matters, which a
+//     wrapping datapath gets for free.
+//
+// Raw values are carried in int64. Formats are limited to 62 total bits so
+// that sums of a few terms cannot overflow the carrier type; pipeline code is
+// responsible for keeping product widths (sum of operand bit widths) within
+// int64 as real hardware keeps them within its adder trees.
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format describes a signed fixed-point two's-complement representation with
+// Int integer bits and Frac fractional bits (plus an implicit sign bit).
+type Format struct {
+	Int  uint // integer bits, excluding sign
+	Frac uint // fractional bits
+}
+
+// F is shorthand for Format{Int: i, Frac: f}.
+func F(i, f uint) Format { return Format{Int: i, Frac: f} }
+
+// TotalBits returns the total width including the sign bit.
+func (f Format) TotalBits() uint { return f.Int + f.Frac + 1 }
+
+// Valid reports whether the format fits the int64 carrier with headroom.
+func (f Format) Valid() bool { return f.TotalBits() >= 2 && f.TotalBits() <= 62 }
+
+// Scale returns 2^Frac, the factor between real values and raw integers.
+func (f Format) Scale() float64 { return math.Ldexp(1, int(f.Frac)) }
+
+// MaxRaw returns the largest representable raw value (2^(Int+Frac) - 1).
+func (f Format) MaxRaw() int64 { return (int64(1) << (f.Int + f.Frac)) - 1 }
+
+// MinRaw returns the smallest representable raw value (-2^(Int+Frac)).
+func (f Format) MinRaw() int64 { return -(int64(1) << (f.Int + f.Frac)) }
+
+// Eps returns the representable step 2^-Frac.
+func (f Format) Eps() float64 { return math.Ldexp(1, -int(f.Frac)) }
+
+// String implements fmt.Stringer, e.g. "s1.22" for 1 integer and 22
+// fractional bits.
+func (f Format) String() string { return fmt.Sprintf("s%d.%d", f.Int, f.Frac) }
+
+// Saturate clamps raw into the representable range of f.
+func (f Format) Saturate(raw int64) int64 {
+	if raw > f.MaxRaw() {
+		return f.MaxRaw()
+	}
+	if raw < f.MinRaw() {
+		return f.MinRaw()
+	}
+	return raw
+}
+
+// Wrap reduces raw modulo 2^TotalBits into the representable range, i.e. true
+// two's-complement overflow. This is how a hardware adder with no saturation
+// logic behaves, and it conveniently implements phase arithmetic modulo one
+// turn when Int == 0.
+func (f Format) Wrap(raw int64) int64 {
+	n := f.TotalBits()
+	mask := (int64(1) << n) - 1
+	raw &= mask
+	if raw>>(n-1) != 0 { // sign bit set
+		raw -= int64(1) << n
+	}
+	return raw
+}
+
+// Quantize converts x to raw fixed point with round-to-nearest-even and
+// saturating overflow.
+func (f Format) Quantize(x float64) int64 {
+	if math.IsNaN(x) {
+		return 0
+	}
+	r := math.RoundToEven(x * f.Scale())
+	if r >= float64(f.MaxRaw()) {
+		return f.MaxRaw()
+	}
+	if r <= float64(f.MinRaw()) {
+		return f.MinRaw()
+	}
+	return int64(r)
+}
+
+// QuantizeWrap converts x to raw fixed point with round-to-nearest-even and
+// wrapping overflow.
+func (f Format) QuantizeWrap(x float64) int64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	// Reduce in floating point first so the integer conversion cannot
+	// overflow for huge x; the final Wrap makes the result exact for the
+	// surviving low bits only, which is all hardware would keep anyway.
+	period := math.Ldexp(1, int(f.Int)+1) // representable span in real units
+	x = math.Mod(x, period)
+	return f.Wrap(int64(math.RoundToEven(x * f.Scale())))
+}
+
+// Float converts a raw value in format f back to float64.
+func (f Format) Float(raw int64) float64 { return float64(raw) / f.Scale() }
+
+// Convert re-quantizes a raw value from format f to format g, rounding to
+// nearest and saturating in g. Shifting right discards fractional bits with
+// rounding; shifting left is exact.
+func Convert(raw int64, from, to Format) int64 {
+	switch {
+	case to.Frac >= from.Frac:
+		shifted := raw << (to.Frac - from.Frac)
+		return to.Saturate(shifted)
+	default:
+		shift := from.Frac - to.Frac
+		half := int64(1) << (shift - 1)
+		// Round half away from zero, matching a simple hardware rounder.
+		if raw >= 0 {
+			raw = (raw + half) >> shift
+		} else {
+			raw = -((-raw + half) >> shift)
+		}
+		return to.Saturate(raw)
+	}
+}
+
+// MulRound multiplies two raw values and rounds the product down to outFrac
+// fractional bits, given the operands' fractional bit counts. The caller must
+// ensure the operand widths sum to < 63 bits; this mirrors a hardware
+// multiplier of fixed width.
+func MulRound(a, b int64, aFrac, bFrac, outFrac uint) int64 {
+	p := a * b
+	pf := aFrac + bFrac
+	if outFrac >= pf {
+		return p << (outFrac - pf)
+	}
+	shift := pf - outFrac
+	half := int64(1) << (shift - 1)
+	if p >= 0 {
+		return (p + half) >> shift
+	}
+	return -((-p + half) >> shift)
+}
+
+// SinCosTable is a quarter-resolution sine/cosine lookup unit with linear
+// interpolation, modelling the trigonometric function generator of a WINE-2
+// pipeline. The table stores 2^LogSize samples of sin over one full turn.
+type SinCosTable struct {
+	logSize uint
+	out     Format
+	sin     []int64 // quantized sin(2π i / 2^logSize), length 2^logSize + 1
+}
+
+// NewSinCosTable builds a table with 2^logSize segments whose samples and
+// outputs are quantized to format out. logSize must be in [2, 20].
+func NewSinCosTable(logSize uint, out Format) (*SinCosTable, error) {
+	if logSize < 2 || logSize > 20 {
+		return nil, fmt.Errorf("fixed: logSize %d out of range [2,20]", logSize)
+	}
+	if !out.Valid() {
+		return nil, fmt.Errorf("fixed: invalid output format %v", out)
+	}
+	n := 1 << logSize
+	t := &SinCosTable{logSize: logSize, out: out, sin: make([]int64, n+1)}
+	for i := 0; i <= n; i++ {
+		t.sin[i] = out.Quantize(math.Sin(2 * math.Pi * float64(i) / float64(n)))
+	}
+	return t, nil
+}
+
+// Size returns the number of table segments.
+func (t *SinCosTable) Size() int { return 1 << t.logSize }
+
+// Out returns the output format of the unit.
+func (t *SinCosTable) Out() Format { return t.out }
+
+// SinCos evaluates sin and cos of a phase given in fixed-point turns with
+// phaseFrac fractional bits. Only the fractional part of the phase is used
+// (the hardware datapath wraps modulo one turn). phaseFrac must be at least
+// logSize + 1.
+func (t *SinCosTable) SinCos(phase int64, phaseFrac uint) (sin, cos int64) {
+	sin = t.lookup(phase, phaseFrac)
+	// cos(x) = sin(x + 1/4 turn)
+	quarter := int64(1) << (phaseFrac - 2)
+	cos = t.lookup(phase+quarter, phaseFrac)
+	return sin, cos
+}
+
+func (t *SinCosTable) lookup(phase int64, phaseFrac uint) int64 {
+	mask := (int64(1) << phaseFrac) - 1
+	p := phase & mask // fractional part of the phase, in [0, 1) turns
+	idxShift := phaseFrac - t.logSize
+	idx := p >> idxShift
+	rem := p & ((int64(1) << idxShift) - 1) // position within the segment
+	a := t.sin[idx]
+	b := t.sin[idx+1]
+	// Linear interpolation: a + (b-a) * rem / 2^idxShift, rounded.
+	diff := b - a
+	interp := a + roundShift(diff*rem, idxShift)
+	return t.out.Saturate(interp)
+}
+
+func roundShift(v int64, shift uint) int64 {
+	if shift == 0 {
+		return v
+	}
+	half := int64(1) << (shift - 1)
+	if v >= 0 {
+		return (v + half) >> shift
+	}
+	return -((-v + half) >> shift)
+}
+
+// MaxAbsError returns an empirically measured maximum absolute error of the
+// table over n uniformly spaced probe phases, compared against math.Sin. It
+// is used by tests and by the accuracy experiment of §3.4.4.
+func (t *SinCosTable) MaxAbsError(n int, phaseFrac uint) float64 {
+	maxErr := 0.0
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n) // turns
+		phase := int64(math.Round(x * math.Ldexp(1, int(phaseFrac))))
+		s, c := t.SinCos(phase, phaseFrac)
+		es := math.Abs(t.out.Float(s) - math.Sin(2*math.Pi*x))
+		ec := math.Abs(t.out.Float(c) - math.Cos(2*math.Pi*x))
+		if es > maxErr {
+			maxErr = es
+		}
+		if ec > maxErr {
+			maxErr = ec
+		}
+	}
+	return maxErr
+}

@@ -1,0 +1,258 @@
+// Package funceval implements the MDGRAPE-2 function evaluator: a segmented
+// polynomial interpolator for an arbitrary central force g(x).
+//
+// The paper (§3.5.4) describes the unit as "fourth-order interpolation
+// segmented by 1,024 region[s]" whose coefficients live in a RAM, so that
+// "we can use any arbitrary central force by changing the contents of the
+// RAM". Like the real hardware (and its MD-GRAPE predecessor), segments are
+// addressed from the floating-point representation of the argument: the
+// exponent selects an octave [2^e, 2^(e+1)) and the mantissa's top bits
+// select an equal subdivision of that octave, giving pseudo-logarithmic
+// spacing that matches the dynamic range of force kernels such as
+// erfc-screened Coulomb and Lennard-Jones.
+//
+// Arithmetic mirrors the chip: the argument and the stored coefficients are
+// IEEE-754 single precision, the polynomial is evaluated in single precision
+// (Horner), and only the final force accumulation (done by the caller)
+// is double precision. The resulting relative accuracy is ~1e-7, as quoted in
+// the paper.
+package funceval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Order is the interpolation order used by the MDGRAPE-2 evaluator.
+const Order = 4
+
+// DefaultSegments is the number of interpolation regions in the MDGRAPE-2
+// function-evaluator RAM.
+const DefaultSegments = 1024
+
+// Table holds the coefficient RAM for one function g(x).
+type Table struct {
+	emin, emax int // domain is [2^emin, 2^emax)
+	segPerOct  int // segments per octave
+	coeff      [][Order + 1]float32
+	highValue  float32 // returned for x >= 2^emax (hardware cutoff tail)
+}
+
+// NewTable builds a coefficient table for g over the domain [2^emin, 2^emax)
+// using nseg segments. nseg must be a positive multiple of (emax-emin).
+// Outside the domain, Eval returns g evaluated at the domain minimum for
+// 0 < x < 2^emin (clamp), and highValue — normally 0, the hardware's implicit
+// cutoff — for x >= 2^emax.
+//
+// g must be finite over the open domain; the fitter samples it only at
+// interior Chebyshev nodes, so integrable endpoint singularities at exactly
+// 2^emin are tolerated.
+func NewTable(g func(float64) float64, emin, emax, nseg int) (*Table, error) {
+	if emax <= emin {
+		return nil, fmt.Errorf("funceval: empty exponent range [%d,%d)", emin, emax)
+	}
+	oct := emax - emin
+	if nseg <= 0 || nseg%oct != 0 {
+		return nil, fmt.Errorf("funceval: nseg %d is not a positive multiple of %d octaves", nseg, oct)
+	}
+	t := &Table{
+		emin:      emin,
+		emax:      emax,
+		segPerOct: nseg / oct,
+		coeff:     make([][Order + 1]float32, nseg),
+		highValue: 0,
+	}
+	for s := 0; s < nseg; s++ {
+		lo, hi := t.segmentBounds(s)
+		c, err := fitSegment(g, lo, hi)
+		if err != nil {
+			return nil, fmt.Errorf("funceval: segment %d [%g,%g): %w", s, lo, hi, err)
+		}
+		t.coeff[s] = c
+	}
+	return t, nil
+}
+
+// MustNewTable is NewTable but panics on error; for statically valid tables.
+func MustNewTable(g func(float64) float64, emin, emax, nseg int) *Table {
+	t, err := NewTable(g, emin, emax, nseg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Segments returns the number of interpolation regions.
+func (t *Table) Segments() int { return len(t.coeff) }
+
+// Domain returns the representable argument range [lo, hi).
+func (t *Table) Domain() (lo, hi float64) {
+	return math.Ldexp(1, t.emin), math.Ldexp(1, t.emax)
+}
+
+// segmentBounds returns the argument interval covered by segment s.
+func (t *Table) segmentBounds(s int) (lo, hi float64) {
+	oct := s / t.segPerOct
+	sub := s % t.segPerOct
+	base := math.Ldexp(1, t.emin+oct)
+	w := base / float64(t.segPerOct)
+	lo = base + float64(sub)*w
+	hi = lo + w
+	return lo, hi
+}
+
+// segmentIndex maps a positive argument inside the domain to its segment and
+// the local coordinate u in [0,1).
+func (t *Table) segmentIndex(x float64) (seg int, u float64) {
+	frac, exp := math.Frexp(x) // x = frac * 2^exp, frac in [0.5, 1)
+	e := exp - 1               // octave exponent: x in [2^e, 2^(e+1))
+	m := frac*2 - 1            // mantissa position in the octave, [0, 1)
+	pos := m * float64(t.segPerOct)
+	sub := int(pos)
+	if sub >= t.segPerOct { // guard against rounding at the octave edge
+		sub = t.segPerOct - 1
+	}
+	return (e-t.emin)*t.segPerOct + sub, pos - float64(sub)
+}
+
+// fitSegment computes interpolation coefficients for g on [lo, hi) in the
+// local coordinate u = (x-lo)/(hi-lo), by exact interpolation at Order+1
+// Chebyshev nodes.
+func fitSegment(g func(float64) float64, lo, hi float64) ([Order + 1]float32, error) {
+	var nodes [Order + 1]float64
+	var vals [Order + 1]float64
+	n := Order + 1
+	for i := 0; i < n; i++ {
+		// Chebyshev nodes of the first kind mapped to (0, 1).
+		u := 0.5 - 0.5*math.Cos(math.Pi*(float64(i)+0.5)/float64(n))
+		nodes[i] = u
+		x := lo + u*(hi-lo)
+		v := g(x)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return [Order + 1]float32{}, fmt.Errorf("g(%g) is not finite", x)
+		}
+		vals[i] = v
+	}
+	c, err := solveVandermonde(nodes, vals)
+	if err != nil {
+		return [Order + 1]float32{}, err
+	}
+	var c32 [Order + 1]float32
+	for i, v := range c {
+		c32[i] = float32(v)
+	}
+	return c32, nil
+}
+
+// solveVandermonde solves sum_j c_j u_i^j = v_i by Gaussian elimination with
+// partial pivoting. The system is tiny (5x5) and well-conditioned for
+// Chebyshev nodes on [0,1].
+func solveVandermonde(u, v [Order + 1]float64) ([Order + 1]float64, error) {
+	const n = Order + 1
+	var a [n][n + 1]float64
+	for i := 0; i < n; i++ {
+		p := 1.0
+		for j := 0; j < n; j++ {
+			a[i][j] = p
+			p *= u[i]
+		}
+		a[i][n] = v[i]
+	}
+	for col := 0; col < n; col++ {
+		// pivot
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if a[piv][col] == 0 {
+			return [n]float64{}, fmt.Errorf("singular Vandermonde system")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c <= n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	var x [n]float64
+	for i := n - 1; i >= 0; i-- {
+		s := a[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= a[i][j] * x[j]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x, nil
+}
+
+// Eval evaluates the table at x using single-precision arithmetic, modelling
+// the hardware datapath. Arguments at or below zero return 0 (the hardware
+// never produces a self-force because r⃗ = 0 there; returning 0 keeps the
+// simulated pipeline free of NaNs). Arguments below the domain clamp to the
+// domain minimum; arguments at or above the domain maximum return the
+// high-side tail value (0 by default — the implicit cutoff).
+func (t *Table) Eval(x float32) float32 {
+	xf := float64(x)
+	if !(xf > 0) || math.IsNaN(xf) {
+		return 0
+	}
+	lo, hi := t.Domain()
+	if xf >= hi {
+		return t.highValue
+	}
+	if xf < lo {
+		xf = lo
+	}
+	seg, u := t.segmentIndex(xf)
+	c := &t.coeff[seg]
+	// Horner in float32.
+	uu := float32(u)
+	r := c[Order]
+	for i := Order - 1; i >= 0; i-- {
+		r = r*uu + c[i]
+	}
+	return r
+}
+
+// Eval64 is a float64 convenience wrapper around Eval. The argument is first
+// rounded to float32, as the hardware interface would.
+func (t *Table) Eval64(x float64) float64 { return float64(t.Eval(float32(x))) }
+
+// SetHighValue overrides the value returned for arguments at or beyond the
+// domain maximum. The hardware default is 0 (implicit cutoff).
+func (t *Table) SetHighValue(v float32) { t.highValue = v }
+
+// MaxRelError probes the table against the exact g at n log-uniformly spaced
+// points inside [lo, hi) ⊆ domain and returns the maximum relative error with
+// the given floor on |g| (see units.RelativeError for the convention).
+func (t *Table) MaxRelError(g func(float64) float64, lo, hi float64, n int, floor float64) float64 {
+	dlo, dhi := t.Domain()
+	if lo < dlo {
+		lo = dlo
+	}
+	if hi > dhi {
+		hi = dhi
+	}
+	maxErr := 0.0
+	llo, lhi := math.Log(lo), math.Log(hi)
+	for i := 0; i < n; i++ {
+		x := math.Exp(llo + (lhi-llo)*(float64(i)+0.5)/float64(n))
+		want := g(x)
+		got := t.Eval64(x)
+		d := math.Abs(got - want)
+		m := math.Abs(want)
+		if m < floor {
+			m = floor
+		}
+		if m == 0 {
+			continue
+		}
+		if e := d / m; e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr
+}

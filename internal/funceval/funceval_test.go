@@ -1,0 +1,220 @@
+package funceval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTableValidation(t *testing.T) {
+	g := func(x float64) float64 { return x }
+	if _, err := NewTable(g, 4, 4, 1024); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewTable(g, 0, 3, 1000); err == nil {
+		t.Error("nseg not multiple of octaves accepted")
+	}
+	if _, err := NewTable(g, 0, 3, 0); err == nil {
+		t.Error("zero segments accepted")
+	}
+	if _, err := NewTable(func(x float64) float64 { return math.Inf(1) }, 0, 1, 8); err == nil {
+		t.Error("non-finite g accepted")
+	}
+}
+
+func TestMustNewTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewTable did not panic on invalid input")
+		}
+	}()
+	MustNewTable(func(x float64) float64 { return x }, 4, 4, 1024)
+}
+
+func TestSegmentBoundsCoverDomain(t *testing.T) {
+	tbl := MustNewTable(func(x float64) float64 { return x }, -4, 4, 256)
+	lo, hi := tbl.Domain()
+	if lo != 1.0/16 || hi != 16 {
+		t.Fatalf("domain = [%g,%g)", lo, hi)
+	}
+	prevHi := lo
+	for s := 0; s < tbl.Segments(); s++ {
+		slo, shi := tbl.segmentBounds(s)
+		if slo != prevHi {
+			t.Fatalf("segment %d starts at %g, want %g (gap/overlap)", s, slo, prevHi)
+		}
+		if shi <= slo {
+			t.Fatalf("segment %d empty: [%g,%g)", s, slo, shi)
+		}
+		prevHi = shi
+	}
+	if prevHi != hi {
+		t.Fatalf("segments end at %g, want %g", prevHi, hi)
+	}
+}
+
+func TestSegmentIndexRoundTrip(t *testing.T) {
+	tbl := MustNewTable(func(x float64) float64 { return x }, -8, 8, 512)
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		lo, hi := tbl.Domain()
+		// map raw into the domain log-uniformly
+		u := math.Abs(math.Mod(raw, 1.0))
+		x := lo * math.Exp(u*math.Log(hi/lo)*0.999)
+		seg, local := tbl.segmentIndex(x)
+		if seg < 0 || seg >= tbl.Segments() || local < 0 || local >= 1 {
+			return false
+		}
+		slo, shi := tbl.segmentBounds(seg)
+		return x >= slo*(1-1e-12) && x < shi*(1+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolynomialExact(t *testing.T) {
+	// A 4th-order polynomial must be reproduced to float32 precision.
+	g := func(x float64) float64 { return 1 + x*(0.5+x*(0.25+x*(0.125+x*0.0625))) }
+	tbl := MustNewTable(g, -2, 2, 64)
+	if e := tbl.MaxRelError(g, 0.25, 4, 4096, 0); e > 5e-7 {
+		t.Errorf("poly rel error = %g, want float32-level", e)
+	}
+}
+
+func TestEwaldKernelAccuracy(t *testing.T) {
+	// The real-space Ewald kernel of §3.5.4:
+	// g(x) = 2 exp(-x)/(sqrt(pi) x) + erfc(sqrt(x)) / x^(3/2)
+	g := func(x float64) float64 {
+		return 2*math.Exp(-x)/(math.SqrtPi*x) + math.Erfc(math.Sqrt(x))/(x*math.Sqrt(x))
+	}
+	tbl := MustNewTable(g, -16, 16, DefaultSegments)
+	// Paper quotes ~1e-7 relative accuracy for the pipeline; the evaluator
+	// itself should be at that level over the physically used range.
+	if e := tbl.MaxRelError(g, 1e-4, 30, 20000, 0); e > 3e-6 {
+		t.Errorf("Ewald kernel rel error = %g", e)
+	}
+	if e := tbl.MaxRelError(g, 1e-2, 10, 20000, 0); e > 1e-6 {
+		t.Errorf("Ewald kernel rel error (core range) = %g", e)
+	}
+}
+
+func TestLJKernelAccuracy(t *testing.T) {
+	// van der Waals kernel (eq. 4 rewritten per §3.5.4): g(x) = 2x^-7 - x^-4.
+	g := func(x float64) float64 { return 2*math.Pow(x, -7) - math.Pow(x, -4) }
+	tbl := MustNewTable(g, -4, 12, DefaultSegments)
+	// Relative to local magnitude with a floor: near the zero crossing
+	// (x = 2^(1/3)) g itself vanishes while the float32 coefficients carry
+	// ~1e-7 of the O(1) repulsive scale, so the floored relative error there
+	// is bounded by (float32 eps × O(1))/floor ≈ 1e-4, not 1e-7.
+	if e := tbl.MaxRelError(g, 0.5, 8, 20000, 1e-3); e > 1e-4 {
+		t.Errorf("LJ kernel error = %g", e)
+	}
+	// Away from the crossing the evaluator is at single-precision level.
+	if e := tbl.MaxRelError(g, 0.5, 1.2, 20000, 0); e > 3e-6 {
+		t.Errorf("LJ kernel error (repulsive branch) = %g", e)
+	}
+}
+
+func TestEvalOutOfRange(t *testing.T) {
+	g := func(x float64) float64 { return 1 / x }
+	tbl := MustNewTable(g, -4, 4, 128)
+	if got := tbl.Eval(0); got != 0 {
+		t.Errorf("Eval(0) = %g, want 0", got)
+	}
+	if got := tbl.Eval(-1); got != 0 {
+		t.Errorf("Eval(-1) = %g, want 0", got)
+	}
+	if got := tbl.Eval(float32(math.NaN())); got != 0 {
+		t.Errorf("Eval(NaN) = %g, want 0", got)
+	}
+	// Beyond the high edge: implicit cutoff.
+	if got := tbl.Eval(16); got != 0 {
+		t.Errorf("Eval(16) = %g, want 0 (cutoff)", got)
+	}
+	tbl.SetHighValue(7)
+	if got := tbl.Eval(1e9); got != 7 {
+		t.Errorf("Eval(1e9) = %g, want 7 after SetHighValue", got)
+	}
+	// Below the low edge: clamp.
+	lo, _ := tbl.Domain()
+	want := tbl.Eval64(lo)
+	if got := tbl.Eval64(lo / 1024); math.Abs(got-want) > 1e-6*math.Abs(want) {
+		t.Errorf("Eval below domain = %g, want clamp to %g", got, want)
+	}
+}
+
+func TestEvalContinuityAcrossSegments(t *testing.T) {
+	g := func(x float64) float64 { return math.Exp(-x) / x }
+	tbl := MustNewTable(g, -6, 6, 384)
+	// At each segment boundary the two polynomial pieces must agree with g,
+	// so their mutual jump must be tiny.
+	for s := 0; s+1 < tbl.Segments(); s++ {
+		_, hi := tbl.segmentBounds(s)
+		x := hi
+		left := tbl.Eval64(math.Nextafter(x, 0))
+		right := tbl.Eval64(x)
+		if d := math.Abs(left - right); d > 2e-6*(math.Abs(right)+1e-30) {
+			t.Fatalf("discontinuity %g at segment %d boundary x=%g", d, s, x)
+		}
+	}
+}
+
+// Property: the evaluator is deterministic and finite over its domain.
+func TestEvalFiniteProperty(t *testing.T) {
+	g := func(x float64) float64 { return math.Erfc(math.Sqrt(x)) / (x + 1e-9) }
+	tbl := MustNewTable(g, -10, 10, 640)
+	f := func(x float32) bool {
+		v := tbl.Eval(x)
+		w := tbl.Eval(x)
+		return v == w && !math.IsNaN(float64(v)) && !math.IsInf(float64(v), 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultSegmentsIs1024(t *testing.T) {
+	// Guard the paper-specified constant (§3.5.4).
+	if DefaultSegments != 1024 {
+		t.Errorf("DefaultSegments = %d, want 1024", DefaultSegments)
+	}
+	if Order != 4 {
+		t.Errorf("Order = %d, want 4", Order)
+	}
+}
+
+func BenchmarkEval(b *testing.B) {
+	g := func(x float64) float64 {
+		return 2*math.Exp(-x)/(math.SqrtPi*x) + math.Erfc(math.Sqrt(x))/(x*math.Sqrt(x))
+	}
+	tbl := MustNewTable(g, -16, 16, DefaultSegments)
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink = tbl.Eval(float32(i%1000)*0.01 + 0.001)
+	}
+	_ = sink
+}
+
+func BenchmarkEvalVsMathExact(b *testing.B) {
+	g := func(x float64) float64 {
+		return 2*math.Exp(-x)/(math.SqrtPi*x) + math.Erfc(math.Sqrt(x))/(x*math.Sqrt(x))
+	}
+	b.Run("table", func(b *testing.B) {
+		tbl := MustNewTable(g, -16, 16, DefaultSegments)
+		var sink float32
+		for i := 0; i < b.N; i++ {
+			sink = tbl.Eval(float32(i%1000)*0.01 + 0.001)
+		}
+		_ = sink
+	})
+	b.Run("exact", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink = g(float64(i%1000)*0.01 + 0.001)
+		}
+		_ = sink
+	})
+}

@@ -1,0 +1,94 @@
+// Package lj implements the Lennard-Jones van der Waals interaction in the
+// exact form of the paper's eq. 4:
+//
+//	F⃗_i(vdW) = Σ_j ε(at_i,at_j) { 2 [σ/r]¹⁴ - [σ/r]⁸ } r⃗_ij
+//
+// which derives from the pair potential φ(r) = (ε σ²/6) [(σ/r)¹² - (σ/r)⁶]
+// (the paper's ε therefore carries units of energy/length²). On MDGRAPE-2
+// this kernel is loaded as g(x) = 2x⁻⁷ - x⁻⁴ with a_ij = σ⁻² and b_ij = ε
+// (§3.5.4).
+package lj
+
+import (
+	"fmt"
+	"math"
+
+	"mdm/internal/vec"
+)
+
+// Coeffs holds the per-type-pair parameter tables, mirroring the MDGRAPE-2
+// atom-coefficient RAM (up to 32 particle types, §3.5.3).
+type Coeffs struct {
+	Eps   [][]float64 // ε(at_i, at_j), eV/Å²
+	Sigma [][]float64 // σ(at_i, at_j), Å
+}
+
+// MaxTypes is the particle-type capacity of the MDGRAPE-2 coefficient RAM.
+const MaxTypes = 32
+
+// NewCoeffs allocates symmetric zero tables for n types.
+func NewCoeffs(n int) (*Coeffs, error) {
+	if n < 1 || n > MaxTypes {
+		return nil, fmt.Errorf("lj: %d types outside [1, %d]", n, MaxTypes)
+	}
+	c := &Coeffs{Eps: make([][]float64, n), Sigma: make([][]float64, n)}
+	for i := range c.Eps {
+		c.Eps[i] = make([]float64, n)
+		c.Sigma[i] = make([]float64, n)
+	}
+	return c, nil
+}
+
+// Set assigns the symmetric pair parameters for types i and j.
+func (c *Coeffs) Set(i, j int, eps, sigma float64) {
+	c.Eps[i][j], c.Eps[j][i] = eps, eps
+	c.Sigma[i][j], c.Sigma[j][i] = sigma, sigma
+}
+
+// NumTypes returns the number of particle types.
+func (c *Coeffs) NumTypes() int { return len(c.Eps) }
+
+// G is the MDGRAPE-2 central-force kernel for the paper's vdW form:
+// g(x) = 2x⁻⁷ - x⁻⁴, to be used with a_ij = σ⁻² and b_ij = ε.
+func G(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	x2 := x * x
+	x4 := x2 * x2
+	return 2/(x4*x2*x) - 1/x4
+}
+
+// ForceScalar returns the factor multiplying r⃗_ij in eq. 4 for types (i, j)
+// at squared separation r2: ε { 2 (σ²/r²)⁷ - (σ²/r²)⁴ }.
+func (c *Coeffs) ForceScalar(ti, tj int, r2 float64) float64 {
+	if r2 <= 0 {
+		return 0
+	}
+	sg := c.Sigma[ti][tj]
+	return c.Eps[ti][tj] * G(r2/(sg*sg))
+}
+
+// Force returns the vdW pair force on particle i given rij = ri - rj.
+func (c *Coeffs) Force(ti, tj int, rij vec.V) vec.V {
+	return rij.Scale(c.ForceScalar(ti, tj, rij.Norm2()))
+}
+
+// Energy returns the pair potential φ(r) = (ε σ²/6) [(σ/r)¹² - (σ/r)⁶]
+// consistent with eq. 4 (F = -∇φ).
+func (c *Coeffs) Energy(ti, tj int, r float64) float64 {
+	if r <= 0 {
+		return math.Inf(1)
+	}
+	sg := c.Sigma[ti][tj]
+	sr := sg / r
+	sr2 := sr * sr
+	sr6 := sr2 * sr2 * sr2
+	return c.Eps[ti][tj] * sg * sg / 6 * (sr6*sr6 - sr6)
+}
+
+// MinimumDistance returns the separation at which the pair force vanishes,
+// r = 2^(1/6) σ.
+func (c *Coeffs) MinimumDistance(ti, tj int) float64 {
+	return math.Pow(2, 1.0/6.0) * c.Sigma[ti][tj]
+}

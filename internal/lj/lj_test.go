@@ -1,0 +1,137 @@
+package lj
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mdm/internal/vec"
+)
+
+func TestNewCoeffsValidation(t *testing.T) {
+	if _, err := NewCoeffs(0); err == nil {
+		t.Error("0 types accepted")
+	}
+	if _, err := NewCoeffs(33); err == nil {
+		t.Error("33 types accepted (RAM holds 32)")
+	}
+	c, err := NewCoeffs(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumTypes() != 32 {
+		t.Errorf("NumTypes = %d", c.NumTypes())
+	}
+}
+
+func TestSetSymmetric(t *testing.T) {
+	c, _ := NewCoeffs(3)
+	c.Set(0, 2, 1.5, 3.0)
+	if c.Eps[2][0] != 1.5 || c.Sigma[2][0] != 3.0 {
+		t.Error("Set not symmetric")
+	}
+}
+
+func TestGKernel(t *testing.T) {
+	if G(0) != 0 || G(-1) != 0 {
+		t.Error("G at non-positive x should be 0")
+	}
+	if got := G(1); got != 1 {
+		t.Errorf("G(1) = %g, want 2-1 = 1", got)
+	}
+	// Zero crossing at x = 2^(1/3).
+	x0 := math.Pow(2, 1.0/3.0)
+	if math.Abs(G(x0)) > 1e-12 {
+		t.Errorf("G(2^(1/3)) = %g, want 0", G(x0))
+	}
+}
+
+func TestForceMatchesPaperForm(t *testing.T) {
+	c, _ := NewCoeffs(1)
+	const eps, sigma = 0.4, 2.5
+	c.Set(0, 0, eps, sigma)
+	for _, r := range []float64{2.0, 2.5, 2.8, 3.5, 5.0} {
+		rij := vec.New(r, 0, 0)
+		f := c.Force(0, 0, rij)
+		sr := sigma / r
+		want := eps * (2*math.Pow(sr, 14) - math.Pow(sr, 8)) * r // x component
+		if math.Abs(f.X-want) > 1e-12*(1+math.Abs(want)) {
+			t.Errorf("r=%g: F_x = %g, eq.4 gives %g", r, f.X, want)
+		}
+		if f.Y != 0 || f.Z != 0 {
+			t.Errorf("r=%g: transverse force %v", r, f)
+		}
+	}
+}
+
+func TestForceIsEnergyGradient(t *testing.T) {
+	c, _ := NewCoeffs(2)
+	c.Set(0, 1, 0.25, 3.2)
+	const h = 1e-6
+	for _, r := range []float64{2.8, 3.2, 3.6, 4.5, 6.0} {
+		grad := (c.Energy(0, 1, r+h) - c.Energy(0, 1, r-h)) / (2 * h)
+		want := -grad / r // ForceScalar is F_radial / r
+		got := c.ForceScalar(0, 1, r*r)
+		if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Errorf("r=%g: scalar = %g, -φ'/r = %g", r, got, want)
+		}
+	}
+}
+
+func TestMinimumDistance(t *testing.T) {
+	c, _ := NewCoeffs(1)
+	c.Set(0, 0, 1.0, 3.0)
+	r0 := c.MinimumDistance(0, 0)
+	if math.Abs(r0-math.Pow(2, 1.0/6.0)*3.0) > 1e-12 {
+		t.Errorf("r0 = %g", r0)
+	}
+	// Force vanishes there.
+	if f := c.ForceScalar(0, 0, r0*r0); math.Abs(f) > 1e-12 {
+		t.Errorf("force at minimum = %g", f)
+	}
+	// Energy is the well minimum: lower than neighbors.
+	e0 := c.Energy(0, 0, r0)
+	if c.Energy(0, 0, r0*0.95) <= e0 || c.Energy(0, 0, r0*1.05) <= e0 {
+		t.Error("energy not minimal at r0")
+	}
+}
+
+// Property: force is repulsive inside r0 and attractive outside.
+func TestForceSignProperty(t *testing.T) {
+	c, _ := NewCoeffs(1)
+	c.Set(0, 0, 0.7, 2.9)
+	r0 := c.MinimumDistance(0, 0)
+	f := func(u float64) bool {
+		u = math.Abs(math.Mod(u, 3)) + 0.1 // r in [0.29, 9] σ-ish
+		r := u * 2.9
+		s := c.ForceScalar(0, 0, r*r)
+		if r < r0 {
+			return s > 0
+		}
+		return s <= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyAtContact(t *testing.T) {
+	c, _ := NewCoeffs(1)
+	c.Set(0, 0, 1, 1)
+	if !math.IsInf(c.Energy(0, 0, 0), 1) {
+		t.Error("energy at r=0 should be +Inf")
+	}
+	if c.Force(0, 0, vec.Zero) != vec.Zero {
+		t.Error("force at zero displacement should be zero")
+	}
+}
+
+func BenchmarkForceScalar(b *testing.B) {
+	c, _ := NewCoeffs(2)
+	c.Set(0, 1, 0.3, 3.1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = c.ForceScalar(0, 1, 6.0+float64(i%64)*0.1)
+	}
+	_ = sink
+}

@@ -1,0 +1,68 @@
+package md
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mdm/internal/vec"
+)
+
+// Checkpointing: the host computer's file-I/O duty (§3.1) for restartable
+// runs — the paper's 36.5-hour campaign would have been unrecoverable
+// without it. The format is versioned JSON of the complete dynamical state.
+
+// checkpointVersion identifies the on-disk format.
+const checkpointVersion = 1
+
+type checkpoint struct {
+	Version int       `json:"version"`
+	L       float64   `json:"l"`
+	Step    int       `json:"step"`
+	Pos     []vec.V   `json:"pos"`
+	Vel     []vec.V   `json:"vel"`
+	Mass    []float64 `json:"mass"`
+	Charge  []float64 `json:"charge"`
+	Type    []int     `json:"type"`
+}
+
+// WriteCheckpoint serializes the full dynamical state plus a step counter.
+func WriteCheckpoint(w io.Writer, s *System, step int) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(checkpoint{
+		Version: checkpointVersion,
+		L:       s.L,
+		Step:    step,
+		Pos:     s.Pos,
+		Vel:     s.Vel,
+		Mass:    s.Mass,
+		Charge:  s.Charge,
+		Type:    s.Type,
+	})
+}
+
+// ReadCheckpoint restores a System and its step counter.
+func ReadCheckpoint(r io.Reader) (*System, int, error) {
+	var cp checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, 0, fmt.Errorf("md: reading checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, 0, fmt.Errorf("md: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	}
+	s := &System{
+		L:      cp.L,
+		Pos:    cp.Pos,
+		Vel:    cp.Vel,
+		Mass:   cp.Mass,
+		Charge: cp.Charge,
+		Type:   cp.Type,
+	}
+	if err := s.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("md: invalid checkpoint state: %w", err)
+	}
+	return s, cp.Step, nil
+}

@@ -1,0 +1,137 @@
+package md
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	s, _ := NewRockSalt(2, 5.64)
+	s.SetMaxwellVelocities(700, 5)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, s, 123); err != nil {
+		t.Fatal(err)
+	}
+	restored, step, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 123 {
+		t.Errorf("step = %d", step)
+	}
+	if restored.L != s.L || restored.N() != s.N() {
+		t.Fatalf("geometry mismatch")
+	}
+	for i := range s.Pos {
+		if restored.Pos[i] != s.Pos[i] || restored.Vel[i] != s.Vel[i] {
+			t.Fatalf("state mismatch at %d", i)
+		}
+		if restored.Type[i] != s.Type[i] || restored.Charge[i] != s.Charge[i] || restored.Mass[i] != s.Mass[i] {
+			t.Fatalf("metadata mismatch at %d", i)
+		}
+	}
+}
+
+func TestCheckpointResumesIdentically(t *testing.T) {
+	// A run split by a checkpoint must be bitwise identical to an unbroken
+	// run — the property that makes long campaigns restartable.
+	mk := func() (*System, *Integrator) {
+		s, _ := NewRockSalt(2, 8.0)
+		s.SetMaxwellVelocities(150, 6)
+		it, err := NewIntegrator(s, ljFF{eps: 0.01, sigma: 3.0}, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, it
+	}
+	sA, itA := mk()
+	if err := itA.Run(40, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	sB, itB := mk()
+	if err := itB.Run(20, nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, sB, itB.StepCount()); err != nil {
+		t.Fatal(err)
+	}
+	restored, step, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 20 {
+		t.Fatalf("step = %d", step)
+	}
+	itC, err := NewIntegrator(restored, ljFF{eps: 0.01, sigma: 3.0}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := itC.Run(20, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range sA.Pos {
+		if sA.Pos[i] != restored.Pos[i] {
+			t.Fatalf("resumed trajectory diverged at particle %d: %v vs %v",
+				i, sA.Pos[i], restored.Pos[i])
+		}
+	}
+}
+
+func TestCheckpointErrors(t *testing.T) {
+	if _, _, err := ReadCheckpoint(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, _, err := ReadCheckpoint(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, _, err := ReadCheckpoint(strings.NewReader(`{"version":1,"l":10,"pos":[{}],"vel":[],"mass":[],"charge":[],"type":[]}`)); err == nil {
+		t.Error("inconsistent state accepted")
+	}
+	bad, _ := NewRockSalt(1, 5.64)
+	bad.Mass[0] = -1
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, bad, 0); err == nil {
+		t.Error("invalid state written")
+	}
+}
+
+func FuzzReadXYZ(f *testing.F) {
+	f.Add("2\nL=10.0 frame\nNa 1 2 3\nCl 4 5 6\n")
+	f.Add("1\ncomment\nX3 0.5 0.5 0.5\n")
+	f.Add("")
+	f.Add("0\n\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		// Must never panic; frames that parse must be self-consistent.
+		frames, err := ReadXYZ(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, fr := range frames {
+			if len(fr.Pos) != len(fr.Type) {
+				t.Fatalf("inconsistent frame: %d pos vs %d types", len(fr.Pos), len(fr.Type))
+			}
+		}
+	})
+}
+
+func FuzzReadCheckpoint(f *testing.F) {
+	s, _ := NewRockSalt(1, 5.64)
+	var buf bytes.Buffer
+	_ = WriteCheckpoint(&buf, s, 7)
+	f.Add(buf.Bytes())
+	f.Add([]byte("{}"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sys, _, err := ReadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must satisfy the state invariants.
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("accepted invalid state: %v", err)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package md
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mdm/internal/vec"
+)
+
+// Velocity Verlet is time-reversible: run forward n steps, negate the
+// velocities, run n more steps, and the system returns to its starting
+// configuration (up to floating-point round-off). This is a much stronger
+// integrator invariant than energy conservation alone.
+func TestVelocityVerletTimeReversible(t *testing.T) {
+	f := func(seed int64) bool {
+		s, err := NewRockSalt(2, 8.0)
+		if err != nil {
+			return false
+		}
+		s.SetMaxwellVelocities(80, seed)
+		start := append([]vec.V(nil), s.Pos...)
+		it, err := NewIntegrator(s, ljFF{eps: 0.01, sigma: 3.0}, 1.0)
+		if err != nil {
+			return false
+		}
+		const n = 25
+		if err := it.Run(n, nil); err != nil {
+			return false
+		}
+		for i := range s.Vel {
+			s.Vel[i] = s.Vel[i].Neg()
+		}
+		// Re-kick: the integrator caches forces at the current positions, so
+		// reversal is exact for velocity Verlet.
+		if err := it.Run(n, nil); err != nil {
+			return false
+		}
+		worst := 0.0
+		for i := range s.Pos {
+			if d := s.Pos[i].Sub(start[i]).MinImage(s.L).Norm(); d > worst {
+				worst = d
+			}
+		}
+		return worst < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Momentum is exactly conserved by pair forces under NVE for any seed.
+func TestMomentumConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		s, err := NewRockSalt(2, 8.0)
+		if err != nil {
+			return false
+		}
+		s.SetMaxwellVelocities(120, seed)
+		it, err := NewIntegrator(s, ljFF{eps: 0.01, sigma: 3.0}, 1.0)
+		if err != nil {
+			return false
+		}
+		if err := it.Run(20, nil); err != nil {
+			return false
+		}
+		var p vec.V
+		for i := range s.Vel {
+			p = p.Add(s.Vel[i].Scale(s.Mass[i]))
+		}
+		return p.Norm() < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The thermostat hits the target exactly for any positive target.
+func TestNVTTargetProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		target := 50 + math.Abs(math.Mod(raw, 2000))
+		s, err := NewRockSalt(2, 8.0)
+		if err != nil {
+			return false
+		}
+		s.SetMaxwellVelocities(300, 9)
+		it, err := NewIntegrator(s, ljFF{eps: 0.01, sigma: 3.0}, 1.0)
+		if err != nil {
+			return false
+		}
+		it.Mode = NVT
+		it.Target = target
+		if err := it.Run(3, nil); err != nil {
+			return false
+		}
+		return math.Abs(s.Temperature()-target) < 1e-6*target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,117 @@
+package md
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mdm/internal/tosifumi"
+	"mdm/internal/vec"
+)
+
+// Trajectory I/O in the XYZ format — the "file I/O" duty of the host
+// computer in the paper's step schedule (§3.1). Frames are standard XYZ:
+// particle count, a comment line (we store the box side as "L=<Å>"), then
+// one "<symbol> <x> <y> <z>" line per particle.
+
+// WriteXYZ appends one frame of the system to w. The species symbol comes
+// from the particle type (Na/Cl for the two NaCl species, X<i> otherwise).
+func WriteXYZ(w io.Writer, s *System, comment string) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d\nL=%.8f %s\n", s.N(), s.L, comment); err != nil {
+		return err
+	}
+	for i := range s.Pos {
+		sym := symbolFor(s.Type[i])
+		p := s.Pos[i]
+		if _, err := fmt.Fprintf(bw, "%s %.8f %.8f %.8f\n", sym, p.X, p.Y, p.Z); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func symbolFor(t int) string {
+	switch tosifumi.Species(t) {
+	case tosifumi.Na:
+		return "Na"
+	case tosifumi.Cl:
+		return "Cl"
+	}
+	return fmt.Sprintf("X%d", t)
+}
+
+func typeFor(sym string) int {
+	switch sym {
+	case "Na":
+		return int(tosifumi.Na)
+	case "Cl":
+		return int(tosifumi.Cl)
+	}
+	var t int
+	if _, err := fmt.Sscanf(sym, "X%d", &t); err == nil {
+		return t
+	}
+	return 0
+}
+
+// Frame is one parsed XYZ frame.
+type Frame struct {
+	L       float64
+	Comment string
+	Pos     []vec.V
+	Type    []int
+}
+
+// ReadXYZ parses consecutive XYZ frames from r until EOF.
+func ReadXYZ(r io.Reader) ([]Frame, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var frames []Frame
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		n, err := strconv.Atoi(line)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("md: bad particle count %q in frame %d", line, len(frames))
+		}
+		if !sc.Scan() {
+			return nil, fmt.Errorf("md: missing comment line in frame %d", len(frames))
+		}
+		f := Frame{Comment: sc.Text()}
+		// Parse "L=<value>" from the comment if present.
+		for _, tok := range strings.Fields(f.Comment) {
+			if v, ok := strings.CutPrefix(tok, "L="); ok {
+				if l, err := strconv.ParseFloat(v, 64); err == nil {
+					f.L = l
+				}
+			}
+		}
+		for k := 0; k < n; k++ {
+			if !sc.Scan() {
+				return nil, fmt.Errorf("md: frame %d truncated at particle %d", len(frames), k)
+			}
+			fields := strings.Fields(sc.Text())
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("md: frame %d particle %d: bad line %q", len(frames), k, sc.Text())
+			}
+			x, err1 := strconv.ParseFloat(fields[1], 64)
+			y, err2 := strconv.ParseFloat(fields[2], 64)
+			z, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("md: frame %d particle %d: bad coordinates %q", len(frames), k, sc.Text())
+			}
+			f.Pos = append(f.Pos, vec.New(x, y, z))
+			f.Type = append(f.Type, typeFor(fields[0]))
+		}
+		frames = append(frames, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return frames, nil
+}

@@ -1,0 +1,74 @@
+package md
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mdm/internal/vec"
+)
+
+func TestXYZRoundTrip(t *testing.T) {
+	s, _ := NewRockSalt(2, 5.64)
+	var buf bytes.Buffer
+	if err := WriteXYZ(&buf, s, "step=0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteXYZ(&buf, s, "step=1"); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := ReadXYZ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	f := frames[0]
+	if f.L != s.L {
+		t.Errorf("L = %g, want %g", f.L, s.L)
+	}
+	if !strings.Contains(f.Comment, "step=0") {
+		t.Errorf("comment = %q", f.Comment)
+	}
+	if len(f.Pos) != s.N() {
+		t.Fatalf("particles = %d", len(f.Pos))
+	}
+	for i := range f.Pos {
+		if vec.Dist(f.Pos[i], s.Pos[i]) > 1e-7 {
+			t.Fatalf("position %d mismatch", i)
+		}
+		if f.Type[i] != s.Type[i] {
+			t.Fatalf("type %d mismatch", i)
+		}
+	}
+}
+
+func TestXYZSymbols(t *testing.T) {
+	if symbolFor(0) != "Na" || symbolFor(1) != "Cl" || symbolFor(5) != "X5" {
+		t.Error("symbols wrong")
+	}
+	if typeFor("Na") != 0 || typeFor("Cl") != 1 || typeFor("X5") != 5 {
+		t.Error("type parsing wrong")
+	}
+}
+
+func TestReadXYZErrors(t *testing.T) {
+	cases := []string{
+		"abc\ncomment\n",
+		"2\ncomment\nNa 1 2 3\n",   // truncated
+		"1\ncomment\nNa 1 2\n",     // short line
+		"1\ncomment\nNa one 2 3\n", // bad coordinate
+		"1\n",                      // missing comment
+	}
+	for i, c := range cases {
+		if _, err := ReadXYZ(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+	// Empty input is zero frames, not an error.
+	frames, err := ReadXYZ(strings.NewReader(""))
+	if err != nil || len(frames) != 0 {
+		t.Errorf("empty input: %v, %d frames", err, len(frames))
+	}
+}

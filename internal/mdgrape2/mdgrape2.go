@@ -1,0 +1,367 @@
+// Package mdgrape2 simulates the MDGRAPE-2 special-purpose computer: the
+// real-space force engine of the MDM (§3.5 of the paper).
+//
+// The simulated hierarchy mirrors the hardware exactly:
+//
+//	System (16 clusters) → Cluster (2 boards, shared PCI bus)
+//	  → Board (2 chips + FPGA: interface logic, cell-index counter,
+//	           cell memory, particle-index counter, 8 MB particle memory)
+//	    → Chip (4 pipelines + atom-coefficient RAM for 32 types
+//	            + neighbor-list RAM)
+//	      → Pipeline (f⃗_ij = b_ij · g(a_ij r²) · r⃗_ij, eq. 14)
+//
+// Numerics follow §3.5.4: "most of the arithmetic units in the pipeline use
+// IEEE754 single floating point format" — the displacement, squared distance,
+// argument scaling, function evaluation (a 1,024-segment fourth-order
+// interpolator, package funceval) and the b_ij multiply are all done in
+// float32 — while "the double floating point format is used for accumulating
+// the force", so per-particle accumulation is float64. The resulting pairwise
+// relative accuracy is ~1e-7.
+//
+// The board walks particles through the cell-index method (eqs. 7, 8): no
+// distance test and no Newton's third law, so the operation count is
+// N·N_int_g ≈ 13 N·N_int. Self-pairs (r⃗ = 0) pass through the pipeline and
+// contribute exactly zero, as in the hardware.
+//
+// The user-visible entry points reproduce the library of Table 3 (MR1…).
+package mdgrape2
+
+import (
+	"fmt"
+
+	"mdm/internal/cellindex"
+	"mdm/internal/funceval"
+	"mdm/internal/vec"
+)
+
+// Config describes one MDGRAPE-2 installation.
+type Config struct {
+	Clusters         int     // clusters in the system
+	BoardsPerCluster int     // boards on each cluster's PCI bus
+	ChipsPerBoard    int     // MDGRAPE-2 chips per board
+	PipelinesPerChip int     // pipelines per chip
+	ClockHz          float64 // pipeline clock
+	ParticleMemBytes int     // per-board particle memory (SSRAM)
+	BytesPerParticle int     // storage per j-particle (position, charge, type)
+	FlopsPerPair     float64 // flop equivalence of one pipeline cycle
+	NeighborRAMBytes int     // per-board neighbor-list RAM (§3.5.3)
+}
+
+// CurrentConfig is the machine of §3.5 / Table 5 "current": 64 chips,
+// 1 Tflops peak (16 Gflops per chip at 100 MHz).
+func CurrentConfig() Config {
+	return Config{
+		Clusters:         16,
+		BoardsPerCluster: 2,
+		ChipsPerBoard:    2,
+		PipelinesPerChip: 4,
+		ClockHz:          100e6,
+		ParticleMemBytes: 8 << 20,
+		BytesPerParticle: 16,
+		FlopsPerPair:     40, // 4 pipes × 100 MHz × 40 = 16 Gflops/chip
+		NeighborRAMBytes: 4 << 20,
+	}
+}
+
+// FutureConfig is the Table 5 "future" machine: 1,536 chips, 25 Tflops peak.
+func FutureConfig() Config {
+	c := CurrentConfig()
+	c.Clusters = 384 // 1,536 chips at 2 boards × 2 chips per cluster
+	return c
+}
+
+// Chips returns the total chip count.
+func (c Config) Chips() int { return c.Clusters * c.BoardsPerCluster * c.ChipsPerBoard }
+
+// Boards returns the total board count.
+func (c Config) Boards() int { return c.Clusters * c.BoardsPerCluster }
+
+// Pipelines returns the total pipeline count.
+func (c Config) Pipelines() int { return c.Chips() * c.PipelinesPerChip }
+
+// PeakFlops returns the nominal peak speed: pipelines × clock × FlopsPerPair.
+func (c Config) PeakFlops() float64 {
+	return float64(c.Pipelines()) * c.ClockHz * c.FlopsPerPair
+}
+
+// ParticleCapacity returns how many j-particles fit in one board's memory.
+func (c Config) ParticleCapacity() int { return c.ParticleMemBytes / c.BytesPerParticle }
+
+// NeighborRAMEntries returns how many neighbor-list entries (index + image
+// code, 8 bytes each) fit in one board's neighbor-list RAM.
+func (c Config) NeighborRAMEntries() int { return c.NeighborRAMBytes / 8 }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Clusters < 1 || c.BoardsPerCluster < 1 || c.ChipsPerBoard < 1 || c.PipelinesPerChip < 1 {
+		return fmt.Errorf("mdgrape2: non-positive hierarchy in %+v", c)
+	}
+	if c.ClockHz <= 0 || c.ParticleMemBytes <= 0 || c.BytesPerParticle <= 0 || c.FlopsPerPair <= 0 {
+		return fmt.Errorf("mdgrape2: non-positive rates in %+v", c)
+	}
+	if c.NeighborRAMBytes < 0 {
+		return fmt.Errorf("mdgrape2: negative neighbor RAM")
+	}
+	return nil
+}
+
+// MaxTypes is the capacity of the atom-coefficient RAM (§3.5.3).
+const MaxTypes = 32
+
+// Stats accumulates the work counters a timing model needs.
+type Stats struct {
+	PairsEvaluated int64 // pipeline cycles consumed (one pair each)
+	IParticles     int64 // i-particles processed
+	JLoads         int64 // j-particles written to particle memories
+	Calls          int64 // force-calculation calls
+}
+
+// System is a simulated MDGRAPE-2 installation.
+type System struct {
+	cfg    Config
+	tables map[string]*funceval.Table
+	stats  Stats
+}
+
+// NewSystem builds a simulated system.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, tables: make(map[string]*funceval.Table)}, nil
+}
+
+// Config returns the hardware configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Stats returns a copy of the accumulated work counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// ResetStats clears the work counters.
+func (s *System) ResetStats() { s.stats = Stats{} }
+
+// LoadTable fits g(x) into a 1,024-segment function-evaluator table covering
+// at least [2^emin, 2^emax) and stores it in every chip's RAM under the given
+// name (the MR1SetTable operation of Table 3). Because segment addressing is
+// derived from the float32 bit pattern, the number of octaves must divide the
+// segment count; the range is widened upward to the next power-of-two span.
+func (s *System) LoadTable(name string, g func(float64) float64, emin, emax int) error {
+	span := 1
+	for span < emax-emin {
+		span <<= 1
+	}
+	if span > funceval.DefaultSegments {
+		return fmt.Errorf("mdgrape2: table %q: exponent span %d too wide", name, emax-emin)
+	}
+	emax = emin + span
+	t, err := funceval.NewTable(g, emin, emax, funceval.DefaultSegments)
+	if err != nil {
+		return fmt.Errorf("mdgrape2: table %q: %w", name, err)
+	}
+	s.tables[name] = t
+	return nil
+}
+
+// Table returns a loaded table by name.
+func (s *System) Table(name string) (*funceval.Table, error) {
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("mdgrape2: no table %q loaded", name)
+	}
+	return t, nil
+}
+
+// Coeffs is the per-type-pair coefficient RAM content: a_ij scales the
+// squared distance, b_ij scales the evaluated kernel (eq. 14).
+type Coeffs struct {
+	A [][]float64
+	B [][]float64
+}
+
+// NewCoeffs builds uniform coefficient tables (a, b identical for all type
+// pairs) for n types.
+func NewCoeffs(n int, a, b float64) (*Coeffs, error) {
+	if n < 1 || n > MaxTypes {
+		return nil, fmt.Errorf("mdgrape2: %d types outside [1, %d]", n, MaxTypes)
+	}
+	c := &Coeffs{A: make([][]float64, n), B: make([][]float64, n)}
+	for i := range c.A {
+		c.A[i] = make([]float64, n)
+		c.B[i] = make([]float64, n)
+		for j := range c.A[i] {
+			c.A[i][j] = a
+			c.B[i][j] = b
+		}
+	}
+	return c, nil
+}
+
+// Set assigns the symmetric coefficients for the type pair (i, j).
+func (c *Coeffs) Set(i, j int, a, b float64) {
+	c.A[i][j], c.A[j][i] = a, a
+	c.B[i][j], c.B[j][i] = b, b
+}
+
+// JSet is the j-side particle data in the board memory layout: sorted by
+// cell with contiguous ranges (the cell memory + particle memory of Fig. 9).
+// Weights is the per-particle "charge" field of the particle memory ("The
+// position, charge, and particle type of a particle j are supplied to both
+// of the MDGRAPE-2 chips", §3.5.2): it multiplies the evaluated kernel for
+// every pair involving that j particle. A nil Weights means 1 everywhere.
+type JSet struct {
+	Sorted  *cellindex.Sorted
+	Types   []int     // particle type of each *sorted* j particle
+	Weights []float64 // per-sorted-j kernel weight (hardware charge field)
+}
+
+// NewJSet sorts raw j-side particles into the board layout. types are given
+// in the original (unsorted) order; the charge field defaults to 1.
+func NewJSet(grid *cellindex.Grid, pos []vec.V, types []int) (*JSet, error) {
+	return NewJSetWeighted(grid, pos, types, nil)
+}
+
+// NewJSetWeighted additionally loads the per-particle charge field (weights
+// in original order; nil for all-ones).
+func NewJSetWeighted(grid *cellindex.Grid, pos []vec.V, types []int, weights []float64) (*JSet, error) {
+	if len(pos) != len(types) {
+		return nil, fmt.Errorf("mdgrape2: %d positions vs %d types", len(pos), len(types))
+	}
+	if weights != nil && len(weights) != len(pos) {
+		return nil, fmt.Errorf("mdgrape2: %d positions vs %d weights", len(pos), len(weights))
+	}
+	sorted := cellindex.Sort(grid, pos)
+	st := make([]int, len(types))
+	for k, orig := range sorted.Order {
+		st[k] = types[orig]
+	}
+	js := &JSet{Sorted: sorted, Types: st}
+	if weights != nil {
+		sw := make([]float64, len(weights))
+		for k, orig := range sorted.Order {
+			sw[k] = weights[orig]
+		}
+		js.Weights = sw
+	}
+	return js, nil
+}
+
+// weight32 returns the float32 charge field of sorted particle j.
+func (js *JSet) weight32(j int) float32 {
+	if js.Weights == nil {
+		return 1
+	}
+	return float32(js.Weights[j])
+}
+
+// pipeline evaluates one pair in hardware precision: float32 datapath,
+// float64 accumulation done by the caller.
+func pairForce(t *funceval.Table, aij, bij float32, dx, dy, dz float32) (fx, fy, fz float32) {
+	r2 := dx*dx + dy*dy + dz*dz
+	x := aij * r2
+	g := t.Eval(x)
+	bg := bij * g
+	return bg * dx, bg * dy, bg * dz
+}
+
+// ComputeForces runs the cell-index force calculation of eqs. 7/8 for the
+// given i-particles against the j-set: for every i, every j in the 27
+// neighbor cells of i's cell is streamed through a pipeline with no distance
+// test. scale multiplies the final accumulated force (the host-side
+// prefactor, e.g. k_e·q_i·α³/L³ for the Coulomb real-space part when b_ij
+// carries q_j only).
+//
+// The i-particles are distributed round-robin over all pipelines, mirroring
+// the block distribution of MR1calcvdw_block2; the result is deterministic.
+func (s *System) ComputeForces(table string, co *Coeffs, xi []vec.V, ti []int, scaleI []float64, js *JSet) ([]vec.V, error) {
+	tbl, err := s.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	if len(xi) != len(ti) {
+		return nil, fmt.Errorf("mdgrape2: %d i-positions vs %d i-types", len(xi), len(ti))
+	}
+	if scaleI != nil && len(scaleI) != len(xi) {
+		return nil, fmt.Errorf("mdgrape2: %d i-positions vs %d scales", len(xi), len(scaleI))
+	}
+	if js.Sorted.Len() > s.cfg.ParticleCapacity() {
+		return nil, fmt.Errorf("mdgrape2: %d j-particles exceed board particle memory capacity %d",
+			js.Sorted.Len(), s.cfg.ParticleCapacity())
+	}
+	for _, t := range ti {
+		if t < 0 || t >= len(co.A) {
+			return nil, fmt.Errorf("mdgrape2: i-type %d outside coefficient RAM (%d types)", t, len(co.A))
+		}
+	}
+	for _, t := range js.Types {
+		if t < 0 || t >= len(co.A) {
+			return nil, fmt.Errorf("mdgrape2: j-type %d outside coefficient RAM (%d types)", t, len(co.A))
+		}
+	}
+
+	grid := js.Sorted.Grid
+	forces := make([]vec.V, len(xi))
+	var pairs int64
+
+	// Quantize coefficient RAM to float32 once (the RAM stores singles).
+	n := len(co.A)
+	a32 := make([][]float32, n)
+	b32 := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		a32[i] = make([]float32, n)
+		b32[i] = make([]float32, n)
+		for j := 0; j < n; j++ {
+			a32[i][j] = float32(co.A[i][j])
+			b32[i][j] = float32(co.B[i][j])
+		}
+	}
+
+	for i := range xi {
+		// The interface quantizes coordinates to single precision.
+		pix := float32(xi[i].X)
+		piy := float32(xi[i].Y)
+		piz := float32(xi[i].Z)
+		ci := grid.CellOf(xi[i])
+		var ax, ay, az float64 // double-precision accumulators (§3.5.4)
+		ta := a32[ti[i]]
+		tb := b32[ti[i]]
+		for _, nb := range grid.Neighbors(ci) {
+			jstart, jend := js.Sorted.CellRange(nb.Cell)
+			sx := float32(nb.Shift.X)
+			sy := float32(nb.Shift.Y)
+			sz := float32(nb.Shift.Z)
+			for j := jstart; j < jend; j++ {
+				pj := js.Sorted.Pos[j]
+				dx := pix - (float32(pj.X) + sx)
+				dy := piy - (float32(pj.Y) + sy)
+				dz := piz - (float32(pj.Z) + sz)
+				tj := js.Types[j]
+				b := tb[tj]
+				if js.Weights != nil {
+					b *= float32(js.Weights[j]) // particle-memory charge field
+				}
+				fx, fy, fz := pairForce(tbl, ta[tj], b, dx, dy, dz)
+				ax += float64(fx)
+				ay += float64(fy)
+				az += float64(fz)
+				pairs++
+			}
+		}
+		f := vec.New(ax, ay, az)
+		if scaleI != nil {
+			f = f.Scale(scaleI[i])
+		}
+		forces[i] = f
+	}
+
+	s.stats.PairsEvaluated += pairs
+	s.stats.IParticles += int64(len(xi))
+	s.stats.JLoads += int64(js.Sorted.Len() * s.cfg.Boards())
+	s.stats.Calls++
+	return forces, nil
+}
+
+// ComputeTime returns the pipeline wall-clock time for evaluating the given
+// number of pairs with perfect pipelining: pairs / (pipelines × clock).
+func (s *System) ComputeTime(pairs int64) float64 {
+	return float64(pairs) / (float64(s.cfg.Pipelines()) * s.cfg.ClockHz)
+}

@@ -1,0 +1,234 @@
+package mdgrape2
+
+import (
+	"fmt"
+
+	"mdm/internal/vec"
+)
+
+// Neighbor-list mode. §3.5.3: "Neighbor list RAM, which was not used in our
+// simulation, can be used to search neighboring particles." The hardware can
+// flag, during a cell-index pass, the j particles that actually fall within
+// the cutoff of each i particle and store their indices; subsequent passes
+// (e.g. the three short-range kernels of a Tosi–Fumi step) then iterate only
+// over the stored lists, skipping the ~12/13 of the 27-cell candidates that
+// contribute nothing.
+
+// NeighborEntry identifies one stored neighbor: a sorted-j index plus the
+// periodic image shift under which it was within the cutoff.
+type NeighborEntry struct {
+	J     int
+	Shift vec.V
+}
+
+// NeighborList is the content of the neighbor-list RAMs for one i-particle
+// block against one j-set.
+type NeighborList struct {
+	RCut  float64
+	Lists [][]NeighborEntry // one list per i particle
+	js    *JSet             // the j-set the indices refer to
+}
+
+// Entries returns the total stored entry count (RAM occupancy).
+func (nl *NeighborList) Entries() int {
+	n := 0
+	for _, l := range nl.Lists {
+		n += len(l)
+	}
+	return n
+}
+
+// BuildNeighborLists runs a distance-flagging cell-index pass and fills the
+// neighbor-list RAM: for every i, the j entries (with image shift) whose
+// pair distance is below rcut. Self pairs (distance zero) are never stored.
+// The pass costs one full 27-cell walk (counted in the system statistics,
+// as it occupies the pipelines on real hardware) and the stored entries must
+// fit the per-board neighbor RAM.
+func (s *System) BuildNeighborLists(xi []vec.V, js *JSet, rcut float64) (*NeighborList, error) {
+	if rcut <= 0 {
+		return nil, fmt.Errorf("mdgrape2: non-positive neighbor cutoff %g", rcut)
+	}
+	if js.Sorted.Len() > s.cfg.ParticleCapacity() {
+		return nil, fmt.Errorf("mdgrape2: %d j-particles exceed board particle memory capacity %d",
+			js.Sorted.Len(), s.cfg.ParticleCapacity())
+	}
+	grid := js.Sorted.Grid
+	nl := &NeighborList{RCut: rcut, Lists: make([][]NeighborEntry, len(xi)), js: js}
+	r2cut := rcut * rcut
+	var pairs int64
+	for i := range xi {
+		ci := grid.CellOf(xi[i])
+		pix, piy, piz := float32(xi[i].X), float32(xi[i].Y), float32(xi[i].Z)
+		for _, nb := range grid.Neighbors(ci) {
+			jstart, jend := js.Sorted.CellRange(nb.Cell)
+			sx, sy, sz := float32(nb.Shift.X), float32(nb.Shift.Y), float32(nb.Shift.Z)
+			for j := jstart; j < jend; j++ {
+				pj := js.Sorted.Pos[j]
+				dx := pix - (float32(pj.X) + sx)
+				dy := piy - (float32(pj.Y) + sy)
+				dz := piz - (float32(pj.Z) + sz)
+				r2 := float64(dx*dx + dy*dy + dz*dz)
+				pairs++
+				if r2 == 0 || r2 >= r2cut {
+					continue
+				}
+				nl.Lists[i] = append(nl.Lists[i], NeighborEntry{J: j, Shift: nb.Shift})
+			}
+		}
+	}
+	s.stats.PairsEvaluated += pairs
+	s.stats.IParticles += int64(len(xi))
+	s.stats.Calls++
+	// Capacity: entries are spread across boards with the i particles.
+	perBoard := (nl.Entries() + s.cfg.Boards() - 1) / s.cfg.Boards()
+	if capacity := s.cfg.NeighborRAMEntries(); perBoard > capacity {
+		return nil, fmt.Errorf("mdgrape2: %d neighbor entries per board exceed RAM capacity %d",
+			perBoard, capacity)
+	}
+	return nl, nil
+}
+
+// ComputeForcesNL evaluates the same kernel as ComputeForces but iterates
+// the stored neighbor lists instead of the 27-cell candidates. The semantic
+// difference from the cell-index pass is exactly the cutoff: pairs beyond
+// the list cutoff contribute nothing at all (the cell-index pass still
+// evaluates their — tiny — kernel tails).
+func (s *System) ComputeForcesNL(table string, co *Coeffs, xi []vec.V, ti []int, scaleI []float64, nl *NeighborList) ([]vec.V, error) {
+	tbl, err := s.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	if len(xi) != len(ti) || len(xi) != len(nl.Lists) {
+		return nil, fmt.Errorf("mdgrape2: %d i-positions vs %d types vs %d lists", len(xi), len(ti), len(nl.Lists))
+	}
+	if scaleI != nil && len(scaleI) != len(xi) {
+		return nil, fmt.Errorf("mdgrape2: %d i-positions vs %d scales", len(xi), len(scaleI))
+	}
+	js := nl.js
+	n := len(co.A)
+	for _, t := range ti {
+		if t < 0 || t >= n {
+			return nil, fmt.Errorf("mdgrape2: i-type %d outside coefficient RAM", t)
+		}
+	}
+	a32 := make([][]float32, n)
+	b32 := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		a32[i] = make([]float32, n)
+		b32[i] = make([]float32, n)
+		for j := 0; j < n; j++ {
+			a32[i][j] = float32(co.A[i][j])
+			b32[i][j] = float32(co.B[i][j])
+		}
+	}
+	forces := make([]vec.V, len(xi))
+	var pairs int64
+	for i := range xi {
+		pix, piy, piz := float32(xi[i].X), float32(xi[i].Y), float32(xi[i].Z)
+		ta, tb := a32[ti[i]], b32[ti[i]]
+		var ax, ay, az float64
+		for _, e := range nl.Lists[i] {
+			pj := js.Sorted.Pos[e.J]
+			dx := pix - (float32(pj.X) + float32(e.Shift.X))
+			dy := piy - (float32(pj.Y) + float32(e.Shift.Y))
+			dz := piz - (float32(pj.Z) + float32(e.Shift.Z))
+			tj := js.Types[e.J]
+			if tj < 0 || tj >= n {
+				return nil, fmt.Errorf("mdgrape2: j-type %d outside coefficient RAM", tj)
+			}
+			b := tb[tj]
+			if js.Weights != nil {
+				b *= float32(js.Weights[e.J])
+			}
+			fx, fy, fz := pairForce(tbl, ta[tj], b, dx, dy, dz)
+			ax += float64(fx)
+			ay += float64(fy)
+			az += float64(fz)
+			pairs++
+		}
+		f := vec.New(ax, ay, az)
+		if scaleI != nil {
+			f = f.Scale(scaleI[i])
+		}
+		forces[i] = f
+	}
+	s.stats.PairsEvaluated += pairs
+	s.stats.IParticles += int64(len(xi))
+	s.stats.Calls++
+	return forces, nil
+}
+
+// ComputePotentials evaluates the scalar pair sum p_i = scale_i · Σ_j b_ij ·
+// φ(a_ij r²) through the pipelines, with φ loaded as a function table — the
+// hardware's potential-energy mode (the paper evaluated the potential every
+// 100 steps, §5). The walk and numerics match ComputeForces: 27-cell
+// candidates, no distance test, float32 datapath, float64 accumulation.
+// Each unordered pair is visited from both sides, so Σ p_i double counts:
+// the total potential is Σ p_i / 2.
+func (s *System) ComputePotentials(table string, co *Coeffs, xi []vec.V, ti []int, scaleI []float64, js *JSet) ([]float64, error) {
+	tbl, err := s.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	if len(xi) != len(ti) {
+		return nil, fmt.Errorf("mdgrape2: %d i-positions vs %d i-types", len(xi), len(ti))
+	}
+	if scaleI != nil && len(scaleI) != len(xi) {
+		return nil, fmt.Errorf("mdgrape2: %d i-positions vs %d scales", len(xi), len(scaleI))
+	}
+	if js.Sorted.Len() > s.cfg.ParticleCapacity() {
+		return nil, fmt.Errorf("mdgrape2: %d j-particles exceed board particle memory capacity %d",
+			js.Sorted.Len(), s.cfg.ParticleCapacity())
+	}
+	n := len(co.A)
+	a32 := make([][]float32, n)
+	b32 := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		a32[i] = make([]float32, n)
+		b32[i] = make([]float32, n)
+		for j := 0; j < n; j++ {
+			a32[i][j] = float32(co.A[i][j])
+			b32[i][j] = float32(co.B[i][j])
+		}
+	}
+	grid := js.Sorted.Grid
+	pots := make([]float64, len(xi))
+	var pairs int64
+	for i := range xi {
+		if ti[i] < 0 || ti[i] >= n {
+			return nil, fmt.Errorf("mdgrape2: i-type %d outside coefficient RAM", ti[i])
+		}
+		pix, piy, piz := float32(xi[i].X), float32(xi[i].Y), float32(xi[i].Z)
+		ta, tb := a32[ti[i]], b32[ti[i]]
+		ci := grid.CellOf(xi[i])
+		var acc float64
+		for _, nb := range grid.Neighbors(ci) {
+			jstart, jend := js.Sorted.CellRange(nb.Cell)
+			sx, sy, sz := float32(nb.Shift.X), float32(nb.Shift.Y), float32(nb.Shift.Z)
+			for j := jstart; j < jend; j++ {
+				pj := js.Sorted.Pos[j]
+				dx := pix - (float32(pj.X) + sx)
+				dy := piy - (float32(pj.Y) + sy)
+				dz := piz - (float32(pj.Z) + sz)
+				tj := js.Types[j]
+				r2 := dx*dx + dy*dy + dz*dz
+				phi := tbl.Eval(ta[tj] * r2)
+				b := tb[tj]
+				if js.Weights != nil {
+					b *= float32(js.Weights[j])
+				}
+				acc += float64(b * phi)
+				pairs++
+			}
+		}
+		if scaleI != nil {
+			pots[i] = acc * scaleI[i]
+		} else {
+			pots[i] = acc
+		}
+	}
+	s.stats.PairsEvaluated += pairs
+	s.stats.IParticles += int64(len(xi))
+	s.stats.Calls++
+	return pots, nil
+}

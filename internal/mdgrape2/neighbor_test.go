@@ -1,0 +1,268 @@
+package mdgrape2
+
+import (
+	"math"
+	"testing"
+
+	"mdm/internal/cellindex"
+	"mdm/internal/ewald"
+	"mdm/internal/units"
+	"mdm/internal/vec"
+)
+
+func TestBuildNeighborListsMatchesBruteForce(t *testing.T) {
+	const l, rcut = 14.0, 4.0
+	pos, types, _ := naclSystem(200, l, 21)
+	sys, _ := NewSystem(CurrentConfig())
+	grid, _ := cellindex.NewGrid(l, rcut)
+	js, _ := NewJSet(grid, pos, types)
+	nl, err := sys.BuildNeighborLists(pos, js, rcut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: count minimum-image pairs within rcut. Each unordered pair
+	// appears in both particles' lists, so entries = 2 × pair count (for
+	// rcut < L/2 where only one image can be inside).
+	pairCount := 0
+	for i := 0; i < len(pos); i++ {
+		for j := i + 1; j < len(pos); j++ {
+			if vec.DistPeriodic(pos[i], pos[j], l) < rcut {
+				pairCount++
+			}
+		}
+	}
+	// The hardware flags with float32 distances, so pairs exactly at the
+	// cutoff may differ; allow a handful of boundary disagreements.
+	if d := nl.Entries() - 2*pairCount; d < -4 || d > 4 {
+		t.Errorf("neighbor entries = %d, brute force 2×%d", nl.Entries(), pairCount)
+	}
+}
+
+func TestNeighborListForcesMatchCutoffOracle(t *testing.T) {
+	const l, rcut = 14.0, 4.0
+	pos, types, q := naclSystem(160, l, 22)
+	p := ewald.Params{L: l, Alpha: 2.633 * l / rcut, RCut: rcut, LKCut: 3}
+	sys, _ := NewSystem(CurrentConfig())
+	if err := sys.LoadTable("ewald", ewaldG, -20, 8); err != nil {
+		t.Fatal(err)
+	}
+	grid, _ := cellindex.NewGrid(l, rcut)
+	js, _ := NewJSet(grid, pos, types)
+	nl, err := sys.BuildNeighborLists(pos, js, rcut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pref := units.Coulomb * math.Pow(p.Alpha/p.L, 3)
+	scale := make([]float64, len(pos))
+	for i := range scale {
+		scale[i] = pref
+	}
+	got, err := sys.ComputeForcesNL("ewald", coulombCoeffs(p), pos, types, scale, nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: float64 sum over the same stored pairs.
+	aC := p.Alpha * p.Alpha / (p.L * p.L)
+	want := make([]vec.V, len(pos))
+	for i := range pos {
+		var acc vec.V
+		for _, e := range nl.Lists[i] {
+			rij := pos[i].Sub(js.Sorted.Pos[e.J].Add(e.Shift))
+			qj := q[js.Sorted.Order[e.J]]
+			acc = acc.Add(rij.Scale(q[i] * qj * ewaldG(aC*rij.Norm2())))
+		}
+		want[i] = acc.Scale(pref)
+	}
+	fscale := vec.RMS(want)
+	for i := range got {
+		if d := got[i].Sub(want[i]).Norm(); d > 2e-5*fscale {
+			t.Errorf("particle %d: NL force %v vs oracle %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNeighborListSavesWork(t *testing.T) {
+	// The point of the RAM: follow-up passes cost ~N_int×2 pair evaluations
+	// instead of N_int_g.
+	const l, rcut = 18.0, 3.0
+	pos, types, _ := naclSystem(1500, l, 23)
+	sys, _ := NewSystem(CurrentConfig())
+	if err := sys.LoadTable("g", func(x float64) float64 { return math.Exp(-x) }, -8, 8); err != nil {
+		t.Fatal(err)
+	}
+	grid, _ := cellindex.NewGrid(l, rcut)
+	js, _ := NewJSet(grid, pos, types)
+	nl, err := sys.BuildNeighborLists(pos, js, rcut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.ResetStats()
+	co, _ := NewCoeffs(2, 1, 1)
+	if _, err := sys.ComputeForcesNL("g", co, pos, types, nil, nl); err != nil {
+		t.Fatal(err)
+	}
+	nlPairs := sys.Stats().PairsEvaluated
+	sys.ResetStats()
+	if _, err := sys.ComputeForces("g", co, pos, types, nil, js); err != nil {
+		t.Fatal(err)
+	}
+	cellPairs := sys.Stats().PairsEvaluated
+	ratio := float64(cellPairs) / float64(nlPairs)
+	// 27-cell vs in-cutoff: 27/(4π/3) ≈ 6.4 at cell = rcut (both directed).
+	if ratio < 4 || ratio > 10 {
+		t.Errorf("cell/NL pair ratio = %.1f, expected ≈ 6.4", ratio)
+	}
+	t.Logf("cell-index pass: %d pairs; neighbor-list pass: %d pairs (×%.1f saving)", cellPairs, nlPairs, ratio)
+}
+
+func TestNeighborRAMCapacity(t *testing.T) {
+	cfg := CurrentConfig()
+	cfg.NeighborRAMBytes = 64 // 8 entries per board
+	sys, _ := NewSystem(cfg)
+	pos, types, _ := naclSystem(300, 10, 24)
+	grid, _ := cellindex.NewGrid(10, 3)
+	js, _ := NewJSet(grid, pos, types)
+	if _, err := sys.BuildNeighborLists(pos, js, 3); err == nil {
+		t.Error("neighbor RAM overflow accepted")
+	}
+	bad := CurrentConfig()
+	bad.NeighborRAMBytes = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative neighbor RAM accepted")
+	}
+}
+
+func TestNeighborListValidation(t *testing.T) {
+	sys, _ := NewSystem(CurrentConfig())
+	pos, types, _ := naclSystem(20, 10, 25)
+	grid, _ := cellindex.NewGrid(10, 3)
+	js, _ := NewJSet(grid, pos, types)
+	if _, err := sys.BuildNeighborLists(pos, js, 0); err == nil {
+		t.Error("zero cutoff accepted")
+	}
+	nl, err := sys.BuildNeighborLists(pos, js, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, _ := NewCoeffs(2, 1, 1)
+	if _, err := sys.ComputeForcesNL("missing", co, pos, types, nil, nl); err == nil {
+		t.Error("missing table accepted")
+	}
+	if err := sys.LoadTable("g", func(x float64) float64 { return 1 / x }, -4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ComputeForcesNL("g", co, pos[:10], types[:9], nil, nl); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := sys.ComputeForcesNL("g", co, pos, types, make([]float64, 2), nl); err == nil {
+		t.Error("scale mismatch accepted")
+	}
+}
+
+func TestComputePotentialsCoulomb(t *testing.T) {
+	// Potential mode vs float64 oracle over the same 27-cell pair walk:
+	// φ(x) = erfc(√x)/√x with a = α²/L², b = q_i q_j, scale = k_e α/L gives
+	// the real-space Ewald energy per particle.
+	const l, rcut = 12.0, 4.0
+	pos, types, q := naclSystem(100, l, 26)
+	p := ewald.Params{L: l, Alpha: 2.633 * l / rcut, RCut: rcut, LKCut: 3}
+	sys, _ := NewSystem(CurrentConfig())
+	phi := func(x float64) float64 { return math.Erfc(math.Sqrt(x)) / math.Sqrt(x) }
+	if err := sys.LoadTable("ewaldpot", phi, -20, 8); err != nil {
+		t.Fatal(err)
+	}
+	grid, _ := cellindex.NewGrid(l, rcut)
+	js, _ := NewJSet(grid, pos, types)
+	scale := make([]float64, len(pos))
+	pref := units.Coulomb * p.Alpha / p.L
+	for i := range scale {
+		scale[i] = pref
+	}
+	got, err := sys.ComputePotentials("ewaldpot", coulombCoeffs(p), pos, types, scale, js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aC := p.Alpha * p.Alpha / (p.L * p.L)
+	var total, wantTotal float64
+	for i := range pos {
+		total += got[i]
+		ci := grid.CellOf(pos[i])
+		for _, nb := range grid.Neighbors(ci) {
+			jstart, jend := js.Sorted.CellRange(nb.Cell)
+			for j := jstart; j < jend; j++ {
+				rij := pos[i].Sub(js.Sorted.Pos[j].Add(nb.Shift))
+				r2 := rij.Norm2()
+				if r2 == 0 {
+					continue
+				}
+				qj := q[js.Sorted.Order[j]]
+				wantTotal += pref * q[i] * qj * phi(aC*r2)
+			}
+		}
+	}
+	if math.Abs(total-wantTotal) > 1e-4*(1+math.Abs(wantTotal)) {
+		t.Errorf("hardware potential sum %g vs oracle %g", total, wantTotal)
+	}
+	// Each pair is counted twice; E = Σ/2. Cross-check against the
+	// reference half-pair energy (agrees to the beyond-cutoff tail level).
+	var ref float64
+	for i := 0; i < len(pos); i++ {
+		for j := i + 1; j < len(pos); j++ {
+			rij := pos[i].Sub(pos[j]).MinImage(l)
+			if rij.Norm() < rcut {
+				ref += p.RealPairEnergy(q[i], q[j], rij)
+			}
+		}
+	}
+	if math.Abs(total/2-ref) > 2e-2*(1+math.Abs(ref)) {
+		t.Errorf("E = Σp/2 = %g vs reference cutoff sum %g", total/2, ref)
+	}
+}
+
+func TestComputePotentialsValidation(t *testing.T) {
+	sys, _ := NewSystem(CurrentConfig())
+	pos, types, _ := naclSystem(10, 10, 27)
+	grid, _ := cellindex.NewGrid(10, 3)
+	js, _ := NewJSet(grid, pos, types)
+	co, _ := NewCoeffs(2, 1, 1)
+	if _, err := sys.ComputePotentials("missing", co, pos, types, nil, js); err == nil {
+		t.Error("missing table accepted")
+	}
+	if err := sys.LoadTable("g", func(x float64) float64 { return 1 / x }, -4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ComputePotentials("g", co, pos, types[:5], nil, js); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func BenchmarkNeighborListVsCellIndex(b *testing.B) {
+	const l, rcut = 18.0, 3.0
+	pos, types, _ := naclSystem(2000, l, 1)
+	sys, _ := NewSystem(CurrentConfig())
+	if err := sys.LoadTable("g", func(x float64) float64 { return math.Exp(-x) }, -8, 8); err != nil {
+		b.Fatal(err)
+	}
+	grid, _ := cellindex.NewGrid(l, rcut)
+	js, _ := NewJSet(grid, pos, types)
+	co, _ := NewCoeffs(2, 1, 1)
+	b.Run("cellIndex27", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.ComputeForces("g", co, pos, types, nil, js); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("neighborList", func(b *testing.B) {
+		nl, err := sys.BuildNeighborLists(pos, js, rcut)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.ComputeForcesNL("g", co, pos, types, nil, nl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,399 @@
+// Package mpi provides the in-process message-passing substrate that stands
+// in for the MPI library of the paper's host software (§4: "We developed MD
+// program written in C for MDM, which is parallelized with Message Passing
+// Interface").
+//
+// A World is a fixed set of ranks; each rank runs in its own goroutine and
+// communicates through buffered channels (one FIFO per directed rank pair),
+// in the spirit of "share memory by communicating". Point-to-point Send/Recv
+// use integer tags with strict FIFO matching — the deterministic SPMD style
+// of the paper's MD code. Collectives (Barrier, Bcast, AllreduceSum, Gather,
+// Allgather) are built on the point-to-point layer so that the byte counters
+// used by the host performance model see all traffic.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RecvTimeout bounds how long a blocking receive waits before reporting a
+// deadlock-like error. It is generous for tests yet keeps hangs debuggable.
+const RecvTimeout = 30 * time.Second
+
+// AnyTag matches any message tag in Recv.
+const AnyTag = -1
+
+type message struct {
+	tag  int
+	data any
+}
+
+// Stats counts traffic through a World.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// World is a communicator universe of a fixed number of ranks.
+type World struct {
+	size     int
+	inbox    [][]chan message // inbox[dst][src]
+	messages atomic.Int64
+	bytes    atomic.Int64
+}
+
+// NewWorld creates a world with the given number of ranks. Channel buffers
+// are sized so that common SPMD exchange patterns cannot deadlock.
+func NewWorld(size int) (*World, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("mpi: world size %d must be positive", size)
+	}
+	w := &World{size: size, inbox: make([][]chan message, size)}
+	for d := 0; d < size; d++ {
+		w.inbox[d] = make([]chan message, size)
+		for s := 0; s < size; s++ {
+			w.inbox[d][s] = make(chan message, 1024)
+		}
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Stats returns the accumulated traffic counters.
+func (w *World) Stats() Stats {
+	return Stats{Messages: w.messages.Load(), Bytes: w.bytes.Load()}
+}
+
+// Comm is one rank's endpoint in a World.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Comm returns the endpoint for a rank.
+func (w *World) Comm(rank int) (*Comm, error) {
+	if rank < 0 || rank >= w.size {
+		return nil, fmt.Errorf("mpi: rank %d outside world of size %d", rank, w.size)
+	}
+	return &Comm{w: w, rank: rank}, nil
+}
+
+// Run starts one goroutine per rank executing f and waits for all of them.
+// The first non-nil error (by rank order) is returned.
+func (w *World) Run(f func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, err := w.Comm(rank)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			errs[rank] = f(c)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.size }
+
+// payloadBytes estimates the wire size of a payload for the traffic model.
+func payloadBytes(data any) int64 {
+	switch v := data.(type) {
+	case []float64:
+		return int64(8 * len(v))
+	case []int:
+		return int64(8 * len(v))
+	case []byte:
+		return int64(len(v))
+	case float64, int, int64:
+		return 8
+	case nil:
+		return 0
+	default:
+		if s, ok := data.(interface{ WireBytes() int64 }); ok {
+			return s.WireBytes()
+		}
+		return 8 // envelope-only estimate
+	}
+}
+
+// Send delivers data to dst with the given tag. It blocks only if the
+// destination's buffer for this source is full.
+func (c *Comm) Send(dst, tag int, data any) error {
+	if dst < 0 || dst >= c.w.size {
+		return fmt.Errorf("mpi: send to rank %d outside world of size %d", dst, c.w.size)
+	}
+	select {
+	case c.w.inbox[dst][c.rank] <- message{tag: tag, data: data}:
+		c.w.messages.Add(1)
+		c.w.bytes.Add(payloadBytes(data))
+		return nil
+	case <-time.After(RecvTimeout):
+		return fmt.Errorf("mpi: send %d→%d tag %d timed out (receiver buffer full)", c.rank, dst, tag)
+	}
+}
+
+// Recv blocks until the next message from src arrives and returns its
+// payload. The message's tag must equal tag (unless AnyTag), otherwise an
+// error is returned — SPMD programs here are deterministic, so a mismatch is
+// a program bug, not a race.
+func (c *Comm) Recv(src, tag int) (any, error) {
+	if src < 0 || src >= c.w.size {
+		return nil, fmt.Errorf("mpi: recv from rank %d outside world of size %d", src, c.w.size)
+	}
+	select {
+	case m := <-c.w.inbox[c.rank][src]:
+		if tag != AnyTag && m.tag != tag {
+			return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag)
+		}
+		return m.data, nil
+	case <-time.After(RecvTimeout):
+		return nil, fmt.Errorf("mpi: recv %d←%d tag %d timed out", c.rank, src, tag)
+	}
+}
+
+// RecvFloat64s receives and type-asserts a []float64 payload.
+func (c *Comm) RecvFloat64s(src, tag int) ([]float64, error) {
+	data, err := c.Recv(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := data.([]float64)
+	if !ok {
+		return nil, fmt.Errorf("mpi: rank %d expected []float64 from %d, got %T", c.rank, src, data)
+	}
+	return v, nil
+}
+
+// Internal tags for collectives, kept far from user tag space.
+const (
+	tagBarrier = -1000 - iota
+	tagBcast
+	tagReduce
+	tagGather
+)
+
+// Barrier blocks until every rank has entered it. Implemented as a gather to
+// rank 0 followed by a broadcast.
+func (c *Comm) Barrier() error {
+	if c.w.size == 1 {
+		return nil
+	}
+	if c.rank == 0 {
+		for src := 1; src < c.w.size; src++ {
+			if _, err := c.Recv(src, tagBarrier); err != nil {
+				return err
+			}
+		}
+		for dst := 1; dst < c.w.size; dst++ {
+			if err := c.Send(dst, tagBarrier, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Send(0, tagBarrier, nil); err != nil {
+		return err
+	}
+	_, err := c.Recv(0, tagBarrier)
+	return err
+}
+
+// Bcast broadcasts root's data to all ranks and returns the received value
+// (root returns its own data unchanged).
+func (c *Comm) Bcast(root int, data any) (any, error) {
+	if root < 0 || root >= c.w.size {
+		return nil, fmt.Errorf("mpi: bcast root %d outside world", root)
+	}
+	if c.w.size == 1 {
+		return data, nil
+	}
+	if c.rank == root {
+		for dst := 0; dst < c.w.size; dst++ {
+			if dst == root {
+				continue
+			}
+			if err := c.Send(dst, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	return c.Recv(root, tagBcast)
+}
+
+// AllreduceSum element-wise sums vals across all ranks; every rank receives
+// the total. The input slice is not modified; a new slice is returned.
+// Implements the wine2.Communicator interface.
+func (c *Comm) AllreduceSum(vals []float64) ([]float64, error) {
+	if c.w.size == 1 {
+		out := make([]float64, len(vals))
+		copy(out, vals)
+		return out, nil
+	}
+	if c.rank == 0 {
+		total := make([]float64, len(vals))
+		copy(total, vals)
+		for src := 1; src < c.w.size; src++ {
+			part, err := c.RecvFloat64s(src, tagReduce)
+			if err != nil {
+				return nil, err
+			}
+			if len(part) != len(vals) {
+				return nil, fmt.Errorf("mpi: allreduce length mismatch: %d vs %d", len(part), len(vals))
+			}
+			for i := range total {
+				total[i] += part[i]
+			}
+		}
+		for dst := 1; dst < c.w.size; dst++ {
+			if err := c.Send(dst, tagReduce, total); err != nil {
+				return nil, err
+			}
+		}
+		return total, nil
+	}
+	// Copy before sending: the sender keeps using vals.
+	part := make([]float64, len(vals))
+	copy(part, vals)
+	if err := c.Send(0, tagReduce, part); err != nil {
+		return nil, err
+	}
+	return c.RecvFloat64s(0, tagReduce)
+}
+
+// Gather collects each rank's slice at root (in rank order). Non-root ranks
+// receive nil.
+func (c *Comm) Gather(root int, vals []float64) ([][]float64, error) {
+	if root < 0 || root >= c.w.size {
+		return nil, fmt.Errorf("mpi: gather root %d outside world", root)
+	}
+	if c.rank != root {
+		part := make([]float64, len(vals))
+		copy(part, vals)
+		return nil, c.Send(root, tagGather, part)
+	}
+	out := make([][]float64, c.w.size)
+	own := make([]float64, len(vals))
+	copy(own, vals)
+	out[c.rank] = own
+	for src := 0; src < c.w.size; src++ {
+		if src == root {
+			continue
+		}
+		part, err := c.RecvFloat64s(src, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = part
+	}
+	return out, nil
+}
+
+// Allgather collects each rank's slice on every rank (in rank order).
+func (c *Comm) Allgather(vals []float64) ([][]float64, error) {
+	parts, err := c.Gather(0, vals)
+	if err != nil {
+		return nil, err
+	}
+	// Root flattens and broadcasts with lengths.
+	if c.rank == 0 {
+		lens := make([]float64, c.w.size)
+		var flat []float64
+		for r, p := range parts {
+			lens[r] = float64(len(p))
+			flat = append(flat, p...)
+		}
+		if _, err := c.Bcast(0, lens); err != nil {
+			return nil, err
+		}
+		if _, err := c.Bcast(0, flat); err != nil {
+			return nil, err
+		}
+		return parts, nil
+	}
+	lensAny, err := c.Bcast(0, nil)
+	if err != nil {
+		return nil, err
+	}
+	lens, ok := lensAny.([]float64)
+	if !ok {
+		return nil, fmt.Errorf("mpi: allgather expected lengths, got %T", lensAny)
+	}
+	flatAny, err := c.Bcast(0, nil)
+	if err != nil {
+		return nil, err
+	}
+	flat, ok := flatAny.([]float64)
+	if !ok {
+		return nil, fmt.Errorf("mpi: allgather expected data, got %T", flatAny)
+	}
+	out := make([][]float64, c.w.size)
+	off := 0
+	for r := range out {
+		n := int(lens[r])
+		if off+n > len(flat) {
+			return nil, fmt.Errorf("mpi: allgather length overflow")
+		}
+		out[r] = flat[off : off+n]
+		off += n
+	}
+	return out, nil
+}
+
+const tagAlltoall = -1010
+
+// Alltoall delivers sendTo[d] to rank d and returns what every rank sent to
+// this one, indexed by source. sendTo must have one (possibly empty) slice
+// per rank; the self-slot is copied locally. This is the primitive behind
+// the §4 halo exchange, where every real-space process ships boundary
+// particles to every other.
+func (c *Comm) Alltoall(sendTo [][]float64) ([][]float64, error) {
+	if len(sendTo) != c.w.size {
+		return nil, fmt.Errorf("mpi: alltoall needs %d send slots, got %d", c.w.size, len(sendTo))
+	}
+	out := make([][]float64, c.w.size)
+	own := make([]float64, len(sendTo[c.rank]))
+	copy(own, sendTo[c.rank])
+	out[c.rank] = own
+	for dst := 0; dst < c.w.size; dst++ {
+		if dst == c.rank {
+			continue
+		}
+		part := make([]float64, len(sendTo[dst]))
+		copy(part, sendTo[dst])
+		if err := c.Send(dst, tagAlltoall, part); err != nil {
+			return nil, err
+		}
+	}
+	for src := 0; src < c.w.size; src++ {
+		if src == c.rank {
+			continue
+		}
+		part, err := c.RecvFloat64s(src, tagAlltoall)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = part
+	}
+	return out, nil
+}

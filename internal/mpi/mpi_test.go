@@ -1,0 +1,348 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0); err == nil {
+		t.Error("size 0 accepted")
+	}
+	w, err := NewWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 4 {
+		t.Errorf("Size = %d", w.Size())
+	}
+	if _, err := w.Comm(4); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if _, err := w.Comm(-1); err == nil {
+		t.Error("negative rank accepted")
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 7, []float64{1, 2, 3})
+		}
+		got, err := c.RecvFloat64s(0, 7)
+		if err != nil {
+			return err
+		}
+		if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+			return fmt.Errorf("got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTagMismatch(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 7, nil)
+		}
+		_, err := c.Recv(0, 8)
+		if err == nil {
+			return fmt.Errorf("tag mismatch not detected")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvAnyTag(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 42, []float64{9})
+		}
+		got, err := c.Recv(0, AnyTag)
+		if err != nil {
+			return err
+		}
+		if got.([]float64)[0] != 9 {
+			return fmt.Errorf("got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	w, _ := NewWorld(2)
+	c, _ := w.Comm(0)
+	if err := c.Send(5, 0, nil); err == nil {
+		t.Error("send to invalid rank accepted")
+	}
+	if _, err := c.Recv(5, 0); err == nil {
+		t.Error("recv from invalid rank accepted")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const p = 8
+	w, _ := NewWorld(p)
+	var mu sync.Mutex
+	phase := make(map[int]int)
+	err := w.Run(func(c *Comm) error {
+		for step := 0; step < 5; step++ {
+			mu.Lock()
+			phase[c.Rank()] = step
+			// No rank may be more than one phase apart when inside a step.
+			for r, s := range phase {
+				if s < step-1 || s > step+1 {
+					mu.Unlock()
+					return fmt.Errorf("rank %d at phase %d while rank %d at %d", c.Rank(), step, r, s)
+				}
+			}
+			mu.Unlock()
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	const p = 5
+	w, _ := NewWorld(p)
+	err := w.Run(func(c *Comm) error {
+		var in any
+		if c.Rank() == 2 {
+			in = []float64{3.14, 2.72}
+		}
+		out, err := c.Bcast(2, in)
+		if err != nil {
+			return err
+		}
+		v, ok := out.([]float64)
+		if !ok || len(v) != 2 || v[0] != 3.14 {
+			return fmt.Errorf("rank %d got %v", c.Rank(), out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := func() (any, error) { c, _ := w.Comm(0); return c.Bcast(9, nil) }(); err == nil {
+		t.Error("bcast with invalid root accepted")
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	const p = 6
+	w, _ := NewWorld(p)
+	err := w.Run(func(c *Comm) error {
+		vals := []float64{float64(c.Rank()), 1, -float64(c.Rank())}
+		out, err := c.AllreduceSum(vals)
+		if err != nil {
+			return err
+		}
+		wantMid := float64(p)
+		want0 := float64(p * (p - 1) / 2)
+		if math.Abs(out[0]-want0) > 1e-12 || math.Abs(out[1]-wantMid) > 1e-12 || math.Abs(out[2]+want0) > 1e-12 {
+			return fmt.Errorf("rank %d: out = %v", c.Rank(), out)
+		}
+		// Input must be untouched.
+		if vals[0] != float64(c.Rank()) {
+			return fmt.Errorf("input modified: %v", vals)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSingleRank(t *testing.T) {
+	w, _ := NewWorld(1)
+	c, _ := w.Comm(0)
+	out, err := c.AllreduceSum([]float64{5})
+	if err != nil || out[0] != 5 {
+		t.Fatalf("out = %v, err = %v", out, err)
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherAllgather(t *testing.T) {
+	const p = 4
+	w, _ := NewWorld(p)
+	err := w.Run(func(c *Comm) error {
+		mine := make([]float64, c.Rank()+1) // rank r contributes r+1 values
+		for i := range mine {
+			mine[i] = float64(c.Rank()*10 + i)
+		}
+		g, err := c.Gather(1, mine)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			for r := 0; r < p; r++ {
+				if len(g[r]) != r+1 || g[r][0] != float64(r*10) {
+					return fmt.Errorf("gather root: g[%d] = %v", r, g[r])
+				}
+			}
+		} else if g != nil {
+			return fmt.Errorf("non-root got %v", g)
+		}
+		all, err := c.Allgather(mine)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < p; r++ {
+			if len(all[r]) != r+1 || all[r][r] != float64(r*10+r) {
+				return fmt.Errorf("rank %d: all[%d] = %v", c.Rank(), r, all[r])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrafficStats(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 1, make([]float64, 100))
+		}
+		_, err := c.Recv(0, 1)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Messages != 1 {
+		t.Errorf("messages = %d", st.Messages)
+	}
+	if st.Bytes != 800 {
+		t.Errorf("bytes = %d, want 800", st.Bytes)
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	w, _ := NewWorld(3)
+	sentinel := fmt.Errorf("boom")
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+}
+
+// The halo-exchange pattern used by the domain decomposition: every rank
+// exchanges with both neighbors in a ring simultaneously.
+func TestRingExchangeNoDeadlock(t *testing.T) {
+	const p = 8
+	w, _ := NewWorld(p)
+	err := w.Run(func(c *Comm) error {
+		right := (c.Rank() + 1) % p
+		left := (c.Rank() + p - 1) % p
+		if err := c.Send(right, 5, []float64{float64(c.Rank())}); err != nil {
+			return err
+		}
+		if err := c.Send(left, 6, []float64{float64(c.Rank())}); err != nil {
+			return err
+		}
+		fromLeft, err := c.RecvFloat64s(left, 5)
+		if err != nil {
+			return err
+		}
+		fromRight, err := c.RecvFloat64s(right, 6)
+		if err != nil {
+			return err
+		}
+		if int(fromLeft[0]) != left || int(fromRight[0]) != right {
+			return fmt.Errorf("rank %d: got %v %v", c.Rank(), fromLeft, fromRight)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAllreduce(b *testing.B) {
+	const p = 4
+	w, _ := NewWorld(p)
+	vals := make([]float64, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Run(func(c *Comm) error {
+			_, err := c.AllreduceSum(vals)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const p = 5
+	w, _ := NewWorld(p)
+	err := w.Run(func(c *Comm) error {
+		send := make([][]float64, p)
+		for d := 0; d < p; d++ {
+			// rank r sends {100r + d} to rank d, with r+d+1 elements.
+			send[d] = make([]float64, c.Rank()+d+1)
+			for k := range send[d] {
+				send[d][k] = float64(100*c.Rank() + d)
+			}
+		}
+		got, err := c.Alltoall(send)
+		if err != nil {
+			return err
+		}
+		for src := 0; src < p; src++ {
+			wantLen := src + c.Rank() + 1
+			if len(got[src]) != wantLen {
+				return fmt.Errorf("rank %d: from %d got %d values, want %d", c.Rank(), src, len(got[src]), wantLen)
+			}
+			want := float64(100*src + c.Rank())
+			for _, v := range got[src] {
+				if v != want {
+					return fmt.Errorf("rank %d: from %d got %v, want %v", c.Rank(), src, v, want)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallValidation(t *testing.T) {
+	w, _ := NewWorld(3)
+	c, _ := w.Comm(0)
+	if _, err := c.Alltoall(make([][]float64, 2)); err == nil {
+		t.Error("wrong slot count accepted")
+	}
+}

@@ -1,0 +1,265 @@
+package perf
+
+import (
+	"math"
+	"testing"
+)
+
+func relClose(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*math.Abs(want)
+}
+
+func TestTable4Validation(t *testing.T) {
+	if _, err := Table4(0, 850); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Table4(100, 0); err == nil {
+		t.Error("l=0 accepted")
+	}
+}
+
+func TestTable4ReproducesPaper(t *testing.T) {
+	cols, err := Table4(PaperN, PaperL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 3 {
+		t.Fatalf("columns = %d", len(cols))
+	}
+	for _, col := range cols {
+		paper, ok := PaperTable4[col.Name]
+		if !ok {
+			t.Fatalf("unknown column %q", col.Name)
+		}
+		// α, r_cut, Lk_cut within a few percent (the paper rounds).
+		if !relClose(col.Alpha, paper.Alpha, 0.05) {
+			t.Errorf("%s: α = %.1f, paper %.1f", col.Name, col.Alpha, paper.Alpha)
+		}
+		if !relClose(col.RCut, paper.RCut, 0.06) {
+			t.Errorf("%s: r_cut = %.1f, paper %.1f", col.Name, col.RCut, paper.RCut)
+		}
+		if !relClose(col.LKCut, paper.LKCut, 0.06) {
+			t.Errorf("%s: Lk_cut = %.1f, paper %.1f", col.Name, col.LKCut, paper.LKCut)
+		}
+		// Interaction counts.
+		if paper.NInt > 0 && !relClose(col.NInt, paper.NInt, 0.1) {
+			t.Errorf("%s: N_int = %.3g, paper %.3g", col.Name, col.NInt, paper.NInt)
+		}
+		if paper.NIntG > 0 && !relClose(col.NIntG, paper.NIntG, 0.15) {
+			t.Errorf("%s: N_int_g = %.3g, paper %.3g", col.Name, col.NIntG, paper.NIntG)
+		}
+		if !relClose(col.NWv, paper.NWv, 0.15) {
+			t.Errorf("%s: N_wv = %.3g, paper %.3g", col.Name, col.NWv, paper.NWv)
+		}
+		// Operation counts.
+		if !relClose(col.FlopsReal, paper.FlopsReal, 0.15) {
+			t.Errorf("%s: F_re = %.3g, paper %.3g", col.Name, col.FlopsReal, paper.FlopsReal)
+		}
+		if !relClose(col.FlopsWave, paper.FlopsWave, 0.15) {
+			t.Errorf("%s: F_wn = %.3g, paper %.3g", col.Name, col.FlopsWave, paper.FlopsWave)
+		}
+	}
+}
+
+func TestTable4HeadlineNumbers(t *testing.T) {
+	cols, err := Table4(PaperN, PaperL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, conv, fut := cols[0], cols[1], cols[2]
+
+	// The calibrated model must land on the measured 43.8 s/step within 10%.
+	if !relClose(cur.SecPerStep, 43.8, 0.10) {
+		t.Errorf("current sec/step = %.1f, paper 43.8", cur.SecPerStep)
+	}
+	// Calculation speed ≈ 15.4 Tflops, effective ≈ 1.34 Tflops — the title.
+	if !relClose(cur.CalcTflops, 15.4, 0.20) {
+		t.Errorf("current calc speed = %.1f, paper 15.4", cur.CalcTflops)
+	}
+	if !relClose(cur.EffTflops, 1.34, 0.20) {
+		t.Errorf("current effective speed = %.2f, paper 1.34 (the title)", cur.EffTflops)
+	}
+	t.Logf("current: %.1f s/step, %.1f Tflops calc, %.2f Tflops effective (paper: 43.8 / 15.4 / 1.34)",
+		cur.SecPerStep, cur.CalcTflops, cur.EffTflops)
+
+	// Conventional column: same wall clock, calc == effective.
+	if conv.SecPerStep != cur.SecPerStep {
+		t.Errorf("conventional sec/step = %g, must equal current %g by construction", conv.SecPerStep, cur.SecPerStep)
+	}
+	if !relClose(conv.CalcTflops, conv.EffTflops, 1e-9) {
+		t.Errorf("conventional calc %.3f != effective %.3f", conv.CalcTflops, conv.EffTflops)
+	}
+
+	// Future column: the shape claim — roughly an order of magnitude faster,
+	// effective speed around 10 Tflops (paper: 4.48 s, 13.1 Tflops; our model
+	// predicts close but not identical values, see EXPERIMENTS.md).
+	if ratio := cur.SecPerStep / fut.SecPerStep; ratio < 5 || ratio > 15 {
+		t.Errorf("future speedup ×%.1f, paper ×9.8", ratio)
+	}
+	if fut.EffTflops < 6 || fut.EffTflops > 16 {
+		t.Errorf("future effective = %.1f Tflops, paper 13.1", fut.EffTflops)
+	}
+	t.Logf("future: %.2f s/step, %.1f Tflops calc, %.1f Tflops effective (paper: 4.48 / 48.7 / 13.1)",
+		fut.SecPerStep, fut.CalcTflops, fut.EffTflops)
+
+	// The miss-balance statement of §6.1: the current machine wastes ~10× on
+	// the wavenumber side; the future machine is balanced within ~2×.
+	if imb := cur.FlopsWave / cur.FlopsReal; imb < 20 {
+		t.Errorf("current F_wn/F_re = %.1f, expect severe imbalance (paper: 39)", imb)
+	}
+	if imb := fut.FlopsWave / fut.FlopsReal; imb > 4 {
+		t.Errorf("future F_wn/F_re = %.1f, expect near balance (paper: 1.7)", imb)
+	}
+}
+
+func TestEffectiveSpeedDefinition(t *testing.T) {
+	// Effective speed = conventional-minimum flops / step time, for every
+	// column (§5: "the effective performance of the MDM is 1.34 Tflops
+	// instead of 15.4 Tflops").
+	cols, _ := Table4(PaperN, PaperL)
+	convTotal := cols[1].FlopsTotal
+	for _, col := range cols {
+		want := convTotal / col.SecPerStep / 1e12
+		if !relClose(col.EffTflops, want, 1e-9) {
+			t.Errorf("%s: effective = %g, want %g", col.Name, col.EffTflops, want)
+		}
+	}
+}
+
+func TestStepTimeBreakdown(t *testing.T) {
+	m := CurrentMDM()
+	p := m.OptimalParams(PaperN, PaperL)
+	density := float64(PaperN) / (PaperL * PaperL * PaperL)
+	b := m.StepTime(p, PaperN, density)
+	if b.Total <= 0 {
+		t.Fatal("non-positive step time")
+	}
+	// Components must assemble per the documented formula.
+	want := math.Max(b.TWineCompute+b.TWineComm, b.TMDGCompute+b.TMDGComm) + b.THost
+	if math.Abs(b.Total-want) > 1e-12*want {
+		t.Errorf("total %g != assembly %g", b.Total, want)
+	}
+	// The current machine is WINE-limited (the §6.1 miss-balance).
+	if b.TWineCompute < b.TMDGCompute {
+		t.Error("current machine should be wavenumber-limited")
+	}
+	// Communication is a visible but not dominant part of the current step.
+	if b.TWineComm <= 0 || b.TMDGComm <= 0 {
+		t.Error("board communication should cost something")
+	}
+}
+
+func TestConventionalModel(t *testing.T) {
+	m := Conventional(1e9)
+	const n, l = 1000, 30.0
+	density := float64(n) / (l * l * l)
+	p := m.CostModel().BalancedParams(l, density)
+	b := m.StepTime(p, n, density)
+	if b.TWineComm != 0 || b.TMDGComm != 0 {
+		t.Error("conventional machine has no board links")
+	}
+	// The balanced α makes both compute halves take equal time.
+	if !relClose(b.TWineCompute, b.TMDGCompute, 1e-6) {
+		t.Errorf("conventional halves unbalanced: %g vs %g", b.TWineCompute, b.TMDGCompute)
+	}
+}
+
+func TestTable5(t *testing.T) {
+	rows := Table5()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, Table 5 has 6", len(rows))
+	}
+	byName := map[string]Table5Row{}
+	for _, r := range rows {
+		byName[r.Quantity] = r
+	}
+	if r := byName["Number of MDGRAPE-2 chips"]; r.Current != 64 || r.Future != 1536 {
+		t.Errorf("MDGRAPE-2 chips = %+v", r)
+	}
+	if r := byName["Number of WINE-2 chips"]; r.Current != 2240 || r.Future != 2688 {
+		t.Errorf("WINE-2 chips = %+v", r)
+	}
+	if r := byName["Peak performance of MDGRAPE-2 (Tflops)"]; !relClose(r.Current, 1, 0.1) || !relClose(r.Future, 25, 0.1) {
+		t.Errorf("MDGRAPE-2 peaks = %+v", r)
+	}
+	if r := byName["Peak performance of WINE-2 (Tflops)"]; !relClose(r.Current, 45, 0.1) || !relClose(r.Future, 54, 0.1) {
+		t.Errorf("WINE-2 peaks = %+v", r)
+	}
+	if r := byName["Efficiency of WINE-2 (%)"]; r.Future != 50 {
+		t.Errorf("future WINE-2 efficiency = %+v, paper estimates 50%%", r)
+	}
+}
+
+func TestOptimalAlphaPerMachine(t *testing.T) {
+	if a := CurrentMDM().OptimalParams(PaperN, PaperL).Alpha; !relClose(a, 85.0, 0.05) {
+		t.Errorf("current α = %.1f, paper 85.0", a)
+	}
+	if a := FutureMDM().OptimalParams(PaperN, PaperL).Alpha; !relClose(a, 50.3, 0.06) {
+		t.Errorf("future α = %.1f, paper 50.3", a)
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Table4(PaperN, PaperL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestScalingExponents(t *testing.T) {
+	// §3.1: "The calculation cost on two special-purpose computers scales as
+	// O(N^(3/2)), while that on the host computer and the communication
+	// between them scale as O(N). Therefore ... the host computer and the
+	// communication do not cause the bottleneck of the system."
+	m := CurrentMDM()
+	density := float64(PaperN) / (PaperL * PaperL * PaperL)
+	timesAt := func(n int) Breakdown {
+		l := math.Cbrt(float64(n) / density)
+		p := m.OptimalParams(n, l)
+		return m.StepTime(p, n, density)
+	}
+	n1, n2 := 1_000_000, 8_000_000
+	b1, b2 := timesAt(n1), timesAt(n2)
+	// Pipeline compute must scale ~N^1.5 (ratio 8^1.5 ≈ 22.6).
+	computeRatio := (b2.TWineCompute + b2.TMDGCompute) / (b1.TWineCompute + b1.TMDGCompute)
+	if computeRatio < 18 || computeRatio > 28 {
+		t.Errorf("compute scaled ×%.1f for 8× particles, want ≈ 22.6 (N^1.5)", computeRatio)
+	}
+	// Host + communication scale at most linearly (positions/forces ∝ N,
+	// structure factors ∝ N_wv ∝ √N, latency constant), so their share of
+	// the step shrinks as N grows — the paper's no-bottleneck argument.
+	overheadRatio := (b2.THost + b2.TWineComm + b2.TMDGComm) / (b1.THost + b1.TWineComm + b1.TMDGComm)
+	if overheadRatio > 9 {
+		t.Errorf("host+comm scaled ×%.1f for 8× particles, want at most ≈ 8 (N)", overheadRatio)
+	}
+	frac1 := (b1.THost + b1.TWineComm + b1.TMDGComm) / b1.Total
+	frac2 := (b2.THost + b2.TWineComm + b2.TMDGComm) / b2.Total
+	if frac2 >= frac1 {
+		t.Errorf("overhead share grew with N: %.0f%% → %.0f%%", frac1*100, frac2*100)
+	}
+	t.Logf("compute ×%.1f (N^1.5 → 22.6); host+comm ×%.1f, share %.0f%% → %.0f%%",
+		computeRatio, overheadRatio, frac1*100, frac2*100)
+}
+
+func TestMillionParticleProjection(t *testing.T) {
+	// §6.2: "MDM should take 0.19 seconds per time-step for MD simulations
+	// with a million particles using the Ewald method."
+	density := float64(PaperN) / (PaperL * PaperL * PaperL)
+	const n = 1_000_000
+	l := math.Cbrt(float64(n) / density)
+	m := FutureMDM()
+	p := m.OptimalParams(n, l)
+	b := m.StepTime(p, n, density)
+	t.Logf("future MDM at N=1e6: %.3f s/step (paper §6.2: 0.19 s)", b.Total)
+	if b.Total < 0.08 || b.Total > 0.5 {
+		t.Errorf("N=1e6 step time = %.3f s, paper projects 0.19 s", b.Total)
+	}
+	// And the week-long 1.6 ns campaign (3.2e6 steps) stays within ~2 weeks
+	// in our model (paper: ~1 week).
+	campaign := b.Total * 3.2e6 / 86400
+	t.Logf("1.6 ns campaign: %.1f days (paper: ~7)", campaign)
+	if campaign > 20 {
+		t.Errorf("campaign projection %.1f days, paper: ~7", campaign)
+	}
+}

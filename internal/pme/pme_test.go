@@ -1,0 +1,228 @@
+package pme
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mdm/internal/ewald"
+	"mdm/internal/vec"
+)
+
+func testSystem(n int, l float64, seed int64) ([]vec.V, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	pos := make([]vec.V, n)
+	q := make([]float64, n)
+	for i := range pos {
+		pos[i] = vec.New(rng.Float64()*l, rng.Float64()*l, rng.Float64()*l)
+		q[i] = float64(1 - 2*(i%2))
+	}
+	return pos, q
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 6, 32, 4); err == nil {
+		t.Error("zero box accepted")
+	}
+	if _, err := New(10, 0, 32, 4); err == nil {
+		t.Error("zero alpha accepted")
+	}
+	if _, err := New(10, 6, 30, 4); err == nil {
+		t.Error("non-pow2 mesh accepted")
+	}
+	if _, err := New(10, 6, 32, 2); err == nil {
+		t.Error("order 2 accepted")
+	}
+	if _, err := New(10, 6, 4, 8); err == nil {
+		t.Error("order > K accepted")
+	}
+}
+
+func TestBsplinePartitionOfUnity(t *testing.T) {
+	// Σ_t M_p(frac + t) = 1 for any frac — the defining property that makes
+	// charge spreading conservative.
+	for _, p := range []int{3, 4, 5, 6} {
+		for frac := 0.0; frac < 1.0; frac += 0.01 {
+			sum := 0.0
+			for tt := 0; tt < p; tt++ {
+				sum += bspline(p, frac+float64(tt))
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Fatalf("order %d: Σ M(frac=%g + t) = %g", p, frac, sum)
+			}
+		}
+	}
+}
+
+func TestBsplineDerivative(t *testing.T) {
+	const h = 1e-7
+	for _, p := range []int{3, 4, 5} {
+		for _, u := range []float64{0.5, 1.0, 1.7, 2.3, float64(p) - 0.4} {
+			want := (bspline(p, u+h) - bspline(p, u-h)) / (2 * h)
+			got := bsplineDeriv(p, u)
+			if math.Abs(got-want) > 1e-5*(1+math.Abs(want)) {
+				t.Errorf("order %d: M'(%g) = %g, finite diff %g", p, u, got, want)
+			}
+		}
+	}
+}
+
+func TestEnergyMatchesReference(t *testing.T) {
+	const l = 12.0
+	const alpha = 6.0
+	pos, q := testSystem(48, l, 1)
+	// Reference with generous cutoff (fully converged at this α).
+	p := ewald.Params{L: l, Alpha: alpha, RCut: 5, LKCut: 8}
+	waves := ewald.Waves(p)
+	sn, cn := ewald.StructureFactors(waves, pos, q)
+	wantE := ewald.WavenumberEnergy(p, waves, sn, cn)
+
+	m, err := New(l, alpha, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Compute(pos, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Energy-wantE) > 2e-3*math.Abs(wantE) {
+		t.Errorf("PME energy = %g, reference %g", res.Energy, wantE)
+	}
+	t.Logf("PME energy error = %.2e relative", math.Abs(res.Energy-wantE)/math.Abs(wantE))
+}
+
+func TestForcesMatchReference(t *testing.T) {
+	const l = 12.0
+	const alpha = 6.0
+	pos, q := testSystem(48, l, 2)
+	p := ewald.Params{L: l, Alpha: alpha, RCut: 5, LKCut: 8}
+	waves := ewald.Waves(p)
+	sn, cn := ewald.StructureFactors(waves, pos, q)
+	want := ewald.WavenumberForces(p, waves, sn, cn, pos, q)
+
+	m, _ := New(l, alpha, 32, 4)
+	res, err := m.Compute(pos, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fscale := vec.RMS(want)
+	worst := 0.0
+	for i := range want {
+		if d := res.Forces[i].Sub(want[i]).Norm() / fscale; d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-2 {
+		t.Errorf("worst PME force error = %g of RMS", worst)
+	}
+	t.Logf("worst PME force error = %.2e of RMS (K=32, order 4)", worst)
+}
+
+func TestAccuracyImprovesWithMeshAndOrder(t *testing.T) {
+	const l = 10.0
+	const alpha = 5.0
+	pos, q := testSystem(32, l, 3)
+	p := ewald.Params{L: l, Alpha: alpha, RCut: 4, LKCut: 7}
+	waves := ewald.Waves(p)
+	sn, cn := ewald.StructureFactors(waves, pos, q)
+	want := ewald.WavenumberForces(p, waves, sn, cn, pos, q)
+	fscale := vec.RMS(want)
+
+	errAt := func(k, order int) float64 {
+		m, err := New(l, alpha, k, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Compute(pos, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rms := 0.0
+		for i := range want {
+			rms += res.Forces[i].Sub(want[i]).Norm2()
+		}
+		return math.Sqrt(rms/float64(len(want))) / fscale
+	}
+	coarse := errAt(16, 4)
+	fine := errAt(32, 4)
+	if fine >= coarse {
+		t.Errorf("finer mesh did not help: %g -> %g", coarse, fine)
+	}
+	low := errAt(32, 3)
+	high := errAt(32, 6)
+	if high >= low {
+		t.Errorf("higher order did not help: %g -> %g", low, high)
+	}
+	t.Logf("rms error: K16/p4 %.1e, K32/p4 %.1e, K32/p3 %.1e, K32/p6 %.1e", coarse, fine, low, high)
+}
+
+func TestNetForceSmall(t *testing.T) {
+	// SPME with analytic B-spline derivatives does not conserve momentum
+	// exactly (a well-known property of the method, Essmann et al. §4); the
+	// net force is bounded by the interpolation error, i.e. far below the
+	// per-particle force scale but not zero.
+	const l = 14.0
+	pos, q := testSystem(64, l, 4)
+	m, _ := New(l, 6, 32, 4)
+	res, err := m.Compute(pos, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := vec.Sum(res.Forces).Norm() / float64(len(pos))
+	rms := vec.RMS(res.Forces)
+	if net > 1e-3*rms {
+		t.Errorf("net PME force per particle = %g, rms = %g", net, rms)
+	}
+	if net == 0 {
+		t.Error("exactly zero net force is implausible for analytic-derivative SPME")
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	m, _ := New(10, 5, 16, 4)
+	if _, err := m.Compute(make([]vec.V, 3), make([]float64, 2)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestParamsFor(t *testing.T) {
+	p := ewald.Params{L: 20, Alpha: 9, RCut: 6, LKCut: 6.8}
+	m, err := ParamsFor(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K < int(2*p.LKCut) {
+		t.Errorf("K = %d under-resolves Lk_cut %g", m.K, p.LKCut)
+	}
+	if !isPow2(m.K) {
+		t.Errorf("K = %d not a power of two", m.K)
+	}
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func BenchmarkPMECompute(b *testing.B) {
+	const l = 15.0
+	pos, q := testSystem(500, l, 1)
+	m, _ := New(l, 7, 32, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Compute(pos, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDirectWavenumber(b *testing.B) {
+	// The WINE-2-style direct sum at the same accuracy point, for the
+	// O(N·N_wv) vs O(N log N) comparison of §6.3.
+	const l = 15.0
+	pos, q := testSystem(500, l, 1)
+	p := ewald.Params{L: l, Alpha: 7, RCut: 5, LKCut: 7 * ewald.SWave / math.Pi}
+	waves := ewald.Waves(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sn, cn := ewald.StructureFactors(waves, pos, q)
+		ewald.WavenumberForces(p, waves, sn, cn, pos, q)
+	}
+}

@@ -1,0 +1,109 @@
+package wine2
+
+import (
+	"math"
+	"testing"
+
+	"mdm/internal/ewald"
+	"mdm/internal/fixed"
+	"mdm/internal/vec"
+)
+
+// Ablation: how the WINE-2 datapath parameters determine the 10^-4.5 force
+// accuracy of §3.4.4. Varying one knob at a time isolates each error source:
+// the position quantization (PosFrac), the sine-table resolution
+// (SinLogSize) and the trig output width (TrigFormat).
+
+// wineError measures the worst relative F(wn) error of a config against the
+// float64 reference on a fixed system.
+func wineError(t *testing.T, cfg Config) float64 {
+	t.Helper()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const l = 12.0
+	pos, q := testSystem(64, l, 77)
+	p := ewald.Params{L: l, Alpha: 7, RCut: 5, LKCut: 6}
+	waves := ewald.Waves(p)
+	sn, cn, err := sys.DFT(l, waves, pos, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.IDFT(l, waves, sn, cn, pos, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantS, wantC := ewald.StructureFactors(waves, pos, q)
+	want := ewald.WavenumberForces(p, waves, wantS, wantC, pos, q)
+	fscale := vec.RMS(want)
+	worst := 0.0
+	for i := range got {
+		if e := got[i].Sub(want[i]).Norm() / fscale; e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+func TestAblationPositionBits(t *testing.T) {
+	// Coarser position quantization must degrade accuracy monotonically-ish;
+	// going from 24 to 12 bits should cost orders of magnitude.
+	prev := 0.0
+	for _, bits := range []uint{24, 16, 12} {
+		cfg := CurrentConfig()
+		cfg.PosFrac = bits
+		e := wineError(t, cfg)
+		t.Logf("PosFrac=%2d: worst error %.2e", bits, e)
+		if e < prev {
+			t.Errorf("accuracy improved with fewer position bits (%d: %g < %g)", bits, e, prev)
+		}
+		prev = e
+	}
+	if prev < 1e-3 {
+		t.Errorf("12-bit positions still accurate (%g); ablation not sensitive", prev)
+	}
+}
+
+func TestAblationSinTable(t *testing.T) {
+	// Smaller sine tables mean coarser linear interpolation.
+	coarse := func(logSize uint) float64 {
+		cfg := CurrentConfig()
+		cfg.SinLogSize = logSize
+		return wineError(t, cfg)
+	}
+	e10 := coarse(10)
+	e6 := coarse(6)
+	e4 := coarse(4)
+	t.Logf("sin table 2^10: %.2e, 2^6: %.2e, 2^4: %.2e", e10, e6, e4)
+	if e6 < e10 || e4 < e6 {
+		t.Errorf("accuracy did not degrade with table size: %g, %g, %g", e10, e6, e4)
+	}
+	// Linear-interpolation error scales ~ (2π/size)²/8: 2^4 should be
+	// dramatically worse than 2^10.
+	if e4 < 50*e10 {
+		t.Errorf("2^4 table only %gx worse than 2^10", e4/e10)
+	}
+}
+
+func TestAblationTrigWidth(t *testing.T) {
+	narrow := CurrentConfig()
+	narrow.TrigFormat = fixed.F(1, 10) // 12-bit trig outputs
+	eNarrow := wineError(t, narrow)
+	eFull := wineError(t, CurrentConfig())
+	t.Logf("trig s1.22: %.2e, s1.10: %.2e", eFull, eNarrow)
+	if eNarrow < 10*eFull {
+		t.Errorf("narrow trig output barely hurts (%g vs %g)", eNarrow, eFull)
+	}
+}
+
+func TestProductionConfigHitsPaperAccuracy(t *testing.T) {
+	// The shipped CurrentConfig must land in the 10^-4.5 decade the paper
+	// quotes (between 10^-5.5 and 10^-3.5 over random systems).
+	e := wineError(t, CurrentConfig())
+	lg := math.Log10(e)
+	if lg < -5.5 || lg > -3.5 {
+		t.Errorf("production accuracy 10^%.2f outside the paper's ~10^-4.5 decade", lg)
+	}
+	t.Logf("production datapath worst error = 10^%.2f (paper: ~10^-4.5)", lg)
+}

@@ -1,0 +1,85 @@
+package wine2
+
+import (
+	"fmt"
+
+	"mdm/internal/ewald"
+	"mdm/internal/vec"
+)
+
+// Board-partitioned operation. The §5 run had N = 1.88×10⁷ particles but a
+// board's particle memory holds only ParticleCapacity (1M) of them, so the
+// production dataflow blocks the particle set across boards: each board
+// computes partial structure factors for its resident block (DFT mode), the
+// host sums the partials, and in IDFT mode each board produces the full
+// wavenumber force for its own block from the global structure factors.
+// These entry points reproduce that dataflow and verify it is numerically
+// identical to the monolithic path (the fixed-point accumulators make the
+// partial sums exact).
+
+// blocks splits n particles into board-sized contiguous blocks.
+func (s *System) blocks(n int) ([][2]int, error) {
+	capPerBoard := s.cfg.ParticleCapacity()
+	if capPerBoard < 1 {
+		return nil, fmt.Errorf("wine2: zero board capacity")
+	}
+	need := (n + capPerBoard - 1) / capPerBoard
+	if need > s.cfg.Boards() {
+		return nil, fmt.Errorf("wine2: %d particles need %d boards, machine has %d",
+			n, need, s.cfg.Boards())
+	}
+	var out [][2]int
+	for lo := 0; lo < n; lo += capPerBoard {
+		hi := min(lo+capPerBoard, n)
+		out = append(out, [2]int{lo, hi})
+	}
+	return out, nil
+}
+
+// DFTPartitioned computes the structure factors with the board-blocked
+// dataflow: per-board partial S±C accumulators reduced on the host. It
+// returns the totals plus the number of boards used.
+func (s *System) DFTPartitioned(l float64, waves []ewald.Wave, pos []vec.V, q []float64) (sn, cn []float64, boards int, err error) {
+	if len(pos) != len(q) {
+		return nil, nil, 0, fmt.Errorf("wine2: %d positions vs %d charges", len(pos), len(q))
+	}
+	blks, err := s.blocks(len(pos))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	sn = make([]float64, len(waves))
+	cn = make([]float64, len(waves))
+	for _, b := range blks {
+		ps, pc, err := s.DFT(l, waves, pos[b[0]:b[1]], q[b[0]:b[1]])
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		for w := range waves {
+			sn[w] += ps[w]
+			cn[w] += pc[w]
+		}
+	}
+	return sn, cn, len(blks), nil
+}
+
+// IDFTPartitioned computes the wavenumber forces with the board-blocked
+// dataflow: each board evaluates its own particle block against the global
+// structure factors.
+func (s *System) IDFTPartitioned(l float64, waves []ewald.Wave, sn, cn []float64, pos []vec.V, q []float64) ([]vec.V, int, error) {
+	if len(pos) != len(q) {
+		return nil, 0, fmt.Errorf("wine2: %d positions vs %d charges", len(pos), len(q))
+	}
+	blks, err := s.blocks(len(pos))
+	if err != nil {
+		return nil, 0, err
+	}
+	forces := make([]vec.V, len(pos))
+	for _, b := range blks {
+		f, err := s.IDFT(l, waves, sn, cn, pos[b[0]:b[1]], q[b[0]:b[1]])
+		if err != nil {
+			return nil, 0, err
+		}
+		copy(forces[b[0]:b[1]], f)
+	}
+	return forces, len(blks), nil
+}

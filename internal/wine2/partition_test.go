@@ -1,0 +1,93 @@
+package wine2
+
+import (
+	"testing"
+
+	"mdm/internal/ewald"
+)
+
+func TestDFTPartitionedBitwiseEqual(t *testing.T) {
+	// Partial fixed-point accumulators summed on the host are exactly the
+	// monolithic accumulators: the blocked dataflow loses nothing.
+	cfg := CurrentConfig()
+	cfg.ParticleMemBytes = 20 * cfg.BytesPerParticle // force 4 blocks for 66 particles
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const l = 12.0
+	pos, q := testSystem(66, l, 31)
+	p := ewald.Params{L: l, Alpha: 7, RCut: 5, LKCut: 5}
+	waves := ewald.Waves(p)
+
+	mono, err := NewSystem(CurrentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantS, wantC, err := mono.DFT(l, waves, pos, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotS, gotC, boards, err := sys.DFTPartitioned(l, waves, pos, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boards != 4 {
+		t.Errorf("boards = %d, want 4", boards)
+	}
+	for w := range waves {
+		if gotS[w] != wantS[w] || gotC[w] != wantC[w] {
+			t.Fatalf("wave %d: partitioned (%g,%g) != monolithic (%g,%g)",
+				w, gotS[w], gotC[w], wantS[w], wantC[w])
+		}
+	}
+}
+
+func TestIDFTPartitionedEqual(t *testing.T) {
+	cfg := CurrentConfig()
+	cfg.ParticleMemBytes = 16 * cfg.BytesPerParticle
+	sys, _ := NewSystem(cfg)
+	const l = 12.0
+	pos, q := testSystem(48, l, 32)
+	p := ewald.Params{L: l, Alpha: 7, RCut: 5, LKCut: 5}
+	waves := ewald.Waves(p)
+	sn, cn := ewald.StructureFactors(waves, pos, q)
+
+	mono, _ := NewSystem(CurrentConfig())
+	want, err := mono.IDFT(l, waves, sn, cn, pos, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, boards, err := sys.IDFTPartitioned(l, waves, sn, cn, pos, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boards != 3 {
+		t.Errorf("boards = %d, want 3", boards)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("particle %d: partitioned %v != monolithic %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPartitionedCapacityExceeded(t *testing.T) {
+	cfg := CurrentConfig()
+	cfg.Clusters = 1
+	cfg.BoardsPerCluster = 2
+	cfg.ParticleMemBytes = 4 * cfg.BytesPerParticle // 2 boards × 4 = 8 max
+	sys, _ := NewSystem(cfg)
+	pos, q := testSystem(9, 10, 33)
+	p := ewald.Params{L: 10, Alpha: 6, RCut: 4, LKCut: 4}
+	waves := ewald.Waves(p)
+	if _, _, _, err := sys.DFTPartitioned(10, waves, pos, q); err == nil {
+		t.Error("over-capacity system accepted")
+	}
+	if _, _, err := sys.IDFTPartitioned(10, waves, make([]float64, len(waves)), make([]float64, len(waves)), pos, q); err == nil {
+		t.Error("over-capacity IDFT accepted")
+	}
+	if _, _, _, err := sys.DFTPartitioned(10, waves, pos, q[:5]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

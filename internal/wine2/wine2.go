@@ -1,0 +1,308 @@
+// Package wine2 simulates WINE-2, the wavenumber-space force engine of the
+// MDM (§3.4 of the paper).
+//
+// The simulated hierarchy mirrors the hardware:
+//
+//	System (20 clusters) → Cluster (7 boards, CompactPCI bus)
+//	  → Board (16 chips + FPGA interface logic, particle-index counter,
+//	           16 MB SDRAM particle memory)
+//	    → Chip (8 pipelines) → Pipeline (DFT or IDFT mode)
+//
+// Numerics follow §3.4.4: "Fixed-point two's complement format is used in all
+// the arithmetic calculations in a pipeline." The simulated datapath is:
+//
+//   - positions enter as box fractions u⃗ = r⃗/L quantized to PosFrac
+//     fractional bits; the phase k⃗_n·r⃗ = n⃗·u⃗ is then an exact integer ×
+//     fixed-point product whose wrap-around implements "mod one turn" for
+//     free (two's-complement overflow);
+//   - sine and cosine come from a 2^SinLogSize-entry lookup table with linear
+//     interpolation, quantized to TrigFormat (package fixed);
+//   - in DFT mode the pipeline accumulates q_j·sin + q_j·cos and
+//     q_j·sin − q_j·cos — the hardware outputs S_n+C_n and S_n−C_n and "the
+//     host computer calculates S_n and C_n" from them (§3.4.4);
+//   - in IDFT mode the per-wave coefficients a_n·S_n and a_n·C_n are
+//     block-normalized by the host (a global scale factor) and quantized, and
+//     the pipeline accumulates Σ a_n (C_n sin θ - S_n cos θ) n⃗ in wide
+//     fixed-point accumulators.
+//
+// The resulting relative accuracy of F⃗(wn) is ~1e-4.5, matching the paper's
+// claim, and is measured by the package tests.
+package wine2
+
+import (
+	"fmt"
+	"math"
+
+	"mdm/internal/ewald"
+	"mdm/internal/fixed"
+	"mdm/internal/units"
+	"mdm/internal/vec"
+)
+
+// Config describes one WINE-2 installation, including the fixed-point
+// datapath geometry.
+type Config struct {
+	Clusters         int     // clusters in the system
+	BoardsPerCluster int     // boards per CompactPCI crate
+	ChipsPerBoard    int     // WINE-2 chips per board
+	PipelinesPerChip int     // pipelines per chip
+	ClockHz          float64 // pipeline clock
+	ParticleMemBytes int     // per-board particle memory (SDRAM)
+	BytesPerParticle int
+	FlopsPerCycle    float64 // flop equivalence of one pipeline cycle
+
+	PosFrac    uint         // fractional bits of box-fraction coordinates
+	SinLogSize uint         // log2 of the sine table size
+	TrigFormat fixed.Format // format of sine/cosine outputs
+	QFrac      uint         // fractional bits of quantized charges
+	AccFrac    uint         // fractional bits of DFT accumulators
+	CoefFrac   uint         // fractional bits of normalized a_n·S_n, a_n·C_n
+	IAccFrac   uint         // fractional bits of IDFT accumulators
+}
+
+// CurrentConfig is the machine of §3.4 / Table 5 "current": 2,240 chips,
+// 45 Tflops peak ("about 20 Gflops" per chip at 66.6 MHz).
+func CurrentConfig() Config {
+	return Config{
+		Clusters:         20,
+		BoardsPerCluster: 7,
+		ChipsPerBoard:    16,
+		PipelinesPerChip: 8,
+		ClockHz:          66.6e6,
+		ParticleMemBytes: 16 << 20,
+		BytesPerParticle: 16,
+		FlopsPerCycle:    37.5, // 8 × 66.6 MHz × 37.5 ≈ 20 Gflops/chip
+		PosFrac:          24,
+		SinLogSize:       10,
+		TrigFormat:       fixed.F(1, 22),
+		QFrac:            20,
+		AccFrac:          30,
+		CoefFrac:         30,
+		IAccFrac:         26,
+	}
+}
+
+// FutureConfig is the Table 5 "future" machine: 2,688 chips, 54 Tflops peak.
+func FutureConfig() Config {
+	c := CurrentConfig()
+	c.Clusters = 24 // 24 × 7 × 16 = 2,688 chips
+	return c
+}
+
+// Chips returns the total chip count.
+func (c Config) Chips() int { return c.Clusters * c.BoardsPerCluster * c.ChipsPerBoard }
+
+// Boards returns the total board count.
+func (c Config) Boards() int { return c.Clusters * c.BoardsPerCluster }
+
+// Pipelines returns the total pipeline count.
+func (c Config) Pipelines() int { return c.Chips() * c.PipelinesPerChip }
+
+// PeakFlops returns the nominal peak speed.
+func (c Config) PeakFlops() float64 {
+	return float64(c.Pipelines()) * c.ClockHz * c.FlopsPerCycle
+}
+
+// ParticleCapacity returns how many particles fit in one board's memory.
+func (c Config) ParticleCapacity() int { return c.ParticleMemBytes / c.BytesPerParticle }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Clusters < 1 || c.BoardsPerCluster < 1 || c.ChipsPerBoard < 1 || c.PipelinesPerChip < 1 {
+		return fmt.Errorf("wine2: non-positive hierarchy in %+v", c)
+	}
+	if c.ClockHz <= 0 || c.ParticleMemBytes <= 0 || c.BytesPerParticle <= 0 || c.FlopsPerCycle <= 0 {
+		return fmt.Errorf("wine2: non-positive rates")
+	}
+	if c.PosFrac < 8 || c.PosFrac > 40 {
+		return fmt.Errorf("wine2: PosFrac %d outside [8, 40]", c.PosFrac)
+	}
+	if c.SinLogSize < 2 || c.SinLogSize > 20 || !c.TrigFormat.Valid() {
+		return fmt.Errorf("wine2: bad trig unit (logSize %d, format %v)", c.SinLogSize, c.TrigFormat)
+	}
+	if c.QFrac < 4 || c.AccFrac < 8 || c.CoefFrac < 8 || c.IAccFrac < 8 {
+		return fmt.Errorf("wine2: accumulator formats too narrow")
+	}
+	return nil
+}
+
+// Stats accumulates work counters for the timing model.
+type Stats struct {
+	DFTOps  int64 // particle-wave DFT evaluations
+	IDFTOps int64 // particle-wave IDFT evaluations
+	Calls   int64
+}
+
+// System is a simulated WINE-2 installation.
+type System struct {
+	cfg   Config
+	trig  *fixed.SinCosTable
+	stats Stats
+}
+
+// NewSystem builds a simulated system.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	trig, err := fixed.NewSinCosTable(cfg.SinLogSize, cfg.TrigFormat)
+	if err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, trig: trig}, nil
+}
+
+// Config returns the hardware configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Stats returns the accumulated work counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// ResetStats clears the work counters.
+func (s *System) ResetStats() { s.stats = Stats{} }
+
+// quantizePositions converts positions to fixed-point box fractions.
+func (s *System) quantizePositions(pos []vec.V, l float64) [][3]int64 {
+	pf := fixed.F(0, s.cfg.PosFrac)
+	out := make([][3]int64, len(pos))
+	for i, p := range pos {
+		w := p.Wrap(l)
+		out[i][0] = pf.QuantizeWrap(w.X / l)
+		out[i][1] = pf.QuantizeWrap(w.Y / l)
+		out[i][2] = pf.QuantizeWrap(w.Z / l)
+	}
+	return out
+}
+
+// phase computes n⃗·u⃗ in fixed-point turns (PosFrac fractional bits). The
+// int64 product of small integers with PosFrac-bit fractions cannot
+// overflow for |n| below 2^20.
+func phase(n [3]int, u [3]int64) int64 {
+	return int64(n[0])*u[0] + int64(n[1])*u[1] + int64(n[2])*u[2]
+}
+
+// DFT runs the pipelines in DFT mode (eqs. 9, 10): it returns the structure
+// factors S_n and C_n for every wave, computed through the fixed-point
+// datapath. Internally the accumulators hold S+C and S-C, and the host-side
+// reconstruction S = ((S+C)+(S-C))/2 is applied before returning, exactly as
+// in §3.4.4. len(pos) must equal len(q) and fit the board particle memory.
+func (s *System) DFT(l float64, waves []ewald.Wave, pos []vec.V, q []float64) (sn, cn []float64, err error) {
+	if len(pos) != len(q) {
+		return nil, nil, fmt.Errorf("wine2: %d positions vs %d charges", len(pos), len(q))
+	}
+	if len(pos) > s.cfg.ParticleCapacity() {
+		return nil, nil, fmt.Errorf("wine2: %d particles exceed board particle memory capacity %d",
+			len(pos), s.cfg.ParticleCapacity())
+	}
+	u := s.quantizePositions(pos, l)
+	qf := fixed.F(5, s.cfg.QFrac)
+	qraw := make([]int64, len(q))
+	for i, qi := range q {
+		qraw[i] = qf.Quantize(qi)
+	}
+	trigFrac := s.cfg.TrigFormat.Frac
+	prodFrac := s.cfg.QFrac + trigFrac
+
+	sn = make([]float64, len(waves))
+	cn = make([]float64, len(waves))
+	accF := fixed.F(0, s.cfg.AccFrac) // conversion scale for readout
+	for w := range waves {
+		var accPlus, accMinus int64 // S+C and S-C, AccFrac fractional bits
+		for j := range pos {
+			ph := phase(waves[w].N, u[j])
+			sj, cj := s.trig.SinCos(ph, s.cfg.PosFrac)
+			qs := fixed.MulRound(qraw[j], sj, s.cfg.QFrac, trigFrac, prodFrac)
+			qc := fixed.MulRound(qraw[j], cj, s.cfg.QFrac, trigFrac, prodFrac)
+			// Reduce to the accumulator precision before summing, as a
+			// fixed-width adder tree would.
+			qs = fixed.Convert(qs, fixed.F(30, prodFrac), fixed.F(30, s.cfg.AccFrac))
+			qc = fixed.Convert(qc, fixed.F(30, prodFrac), fixed.F(30, s.cfg.AccFrac))
+			accPlus += qs + qc
+			accMinus += qs - qc
+		}
+		plus := accF.Float(accPlus)
+		minus := accF.Float(accMinus)
+		sn[w] = (plus + minus) / 2
+		cn[w] = (plus - minus) / 2
+	}
+	s.stats.DFTOps += int64(len(waves)) * int64(len(pos))
+	s.stats.Calls++
+	return sn, cn, nil
+}
+
+// IDFT runs the pipelines in IDFT mode (eq. 11): given the structure factors,
+// it returns the wavenumber-space Coulomb force on every particle, including
+// the full physical prefactor q_i/(π ε0 L³) (expressed through the package
+// unit system). The per-wave coefficients a_n·S_n and a_n·C_n are
+// block-normalized by the host and quantized to CoefFrac bits before entering
+// the pipelines.
+func (s *System) IDFT(l float64, waves []ewald.Wave, sn, cn []float64, pos []vec.V, q []float64) ([]vec.V, error) {
+	if len(sn) != len(waves) || len(cn) != len(waves) {
+		return nil, fmt.Errorf("wine2: %d waves vs %d/%d structure factors", len(waves), len(sn), len(cn))
+	}
+	if len(pos) != len(q) {
+		return nil, fmt.Errorf("wine2: %d positions vs %d charges", len(pos), len(q))
+	}
+	if len(pos) > s.cfg.ParticleCapacity() {
+		return nil, fmt.Errorf("wine2: %d particles exceed board particle memory capacity %d",
+			len(pos), s.cfg.ParticleCapacity())
+	}
+	u := s.quantizePositions(pos, l)
+
+	// Host-side block normalization of a_n S_n and a_n C_n.
+	scale := 0.0
+	for w := range waves {
+		as := math.Abs(waves[w].A * sn[w])
+		ac := math.Abs(waves[w].A * cn[w])
+		if as > scale {
+			scale = as
+		}
+		if ac > scale {
+			scale = ac
+		}
+	}
+	forces := make([]vec.V, len(pos))
+	if scale == 0 {
+		s.stats.Calls++
+		return forces, nil // all structure factors vanish
+	}
+	cf := fixed.F(1, s.cfg.CoefFrac)
+	aS := make([]int64, len(waves))
+	aC := make([]int64, len(waves))
+	for w := range waves {
+		aS[w] = cf.Quantize(waves[w].A * sn[w] / scale)
+		aC[w] = cf.Quantize(waves[w].A * cn[w] / scale)
+	}
+
+	trigFrac := s.cfg.TrigFormat.Frac
+	prodFrac := s.cfg.CoefFrac + trigFrac
+	tF := fixed.F(2, s.cfg.IAccFrac)
+	iaccF := fixed.F(0, s.cfg.IAccFrac)
+	// Physical prefactor: F = (q_i/(π ε0 L³)) Σ a_n [C sinθ - S cosθ] k⃗ with
+	// k⃗ = n⃗/L and the block scale restored.
+	pref := 4 * units.Coulomb / (l * l * l * l) * scale
+
+	for i := range pos {
+		var ax, ay, az int64 // IAccFrac fractional bits
+		for w := range waves {
+			ph := phase(waves[w].N, u[i])
+			si, ci := s.trig.SinCos(ph, s.cfg.PosFrac)
+			t1 := fixed.MulRound(aC[w], si, s.cfg.CoefFrac, trigFrac, prodFrac)
+			t2 := fixed.MulRound(aS[w], ci, s.cfg.CoefFrac, trigFrac, prodFrac)
+			t := fixed.Convert(t1-t2, fixed.F(30, prodFrac), tF)
+			ax += t * int64(waves[w].N[0])
+			ay += t * int64(waves[w].N[1])
+			az += t * int64(waves[w].N[2])
+		}
+		forces[i] = vec.New(iaccF.Float(ax), iaccF.Float(ay), iaccF.Float(az)).Scale(pref * q[i])
+	}
+	s.stats.IDFTOps += int64(len(waves)) * int64(len(pos))
+	s.stats.Calls++
+	return forces, nil
+}
+
+// ComputeTime returns the pipeline wall-clock time for the given number of
+// particle-wave operations with perfect pipelining.
+func (s *System) ComputeTime(ops int64) float64 {
+	return float64(ops) / (float64(s.cfg.Pipelines()) * s.cfg.ClockHz)
+}

@@ -1,0 +1,267 @@
+// Package mdm is a software reproduction of the Molecular Dynamics Machine
+// (MDM) of Narumi et al., "1.34 Tflops Molecular Dynamics Simulation for
+// NaCl with a Special-Purpose Computer: MDM" (SC 2000).
+//
+// The MDM couples two special-purpose processors to a general-purpose host:
+// WINE-2 evaluates the wavenumber-space part of the Ewald Coulomb sum on
+// fixed-point DFT/IDFT pipelines, and MDGRAPE-2 evaluates the real-space
+// Coulomb and van der Waals forces on single-precision pipelines with a
+// table-driven arbitrary central-force unit. This package provides:
+//
+//   - bit-level simulators of both processors and their host libraries
+//     (internal/wine2, internal/mdgrape2), coupled into an md.ForceField by
+//     internal/core;
+//   - a float64 "conventional computer" reference implementing the identical
+//     physics (Ewald + Tosi–Fumi molten NaCl);
+//   - the performance-accounting model that reproduces the paper's Table 4
+//     and Table 5, including the 1.34 Tflops effective-speed headline;
+//   - the Figure 2 temperature-fluctuation experiment and the comparison
+//     methods of §6.3 (Barnes–Hut tree code, smooth particle-mesh Ewald).
+//
+// The exported surface wraps those pieces into a small simulation API: build
+// a NaCl system with Config, run NVT/NVE segments, and read observables.
+package mdm
+
+import (
+	"fmt"
+	"math"
+
+	"mdm/internal/core"
+	"mdm/internal/ewald"
+	"mdm/internal/md"
+	"mdm/internal/perf"
+	"mdm/internal/units"
+)
+
+// Backend selects which engine evaluates forces.
+type Backend int
+
+// The two engines of the reproduction.
+const (
+	// BackendMDM runs the simulated special-purpose machine: WINE-2
+	// fixed-point pipelines + MDGRAPE-2 single-precision pipelines.
+	BackendMDM Backend = iota
+	// BackendReference runs the float64 conventional-computer path.
+	BackendReference
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case BackendMDM:
+		return "MDM"
+	case BackendReference:
+		return "Reference"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// Config describes one NaCl simulation. Zero values select the defaults
+// noted on each field.
+type Config struct {
+	Cells       int     // rock-salt unit cells per side (default 2 → 64 ions)
+	Lattice     float64 // lattice constant in Å (default 5.64, NaCl)
+	Temperature float64 // initial/target temperature in K (default 1200, the paper's melt)
+	Dt          float64 // time step in fs (default 2, as in §5)
+	Alpha       float64 // Ewald splitting parameter (default: balanced for the box)
+	Seed        int64   // velocity RNG seed (default 1)
+	Backend     Backend // force engine (default BackendMDM)
+
+	// PotentialEvery sets how often the host evaluates the potential
+	// energy on the MDM backend (default 1; the paper used 100).
+	PotentialEvery int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Cells == 0 {
+		c.Cells = 2
+	}
+	if c.Lattice == 0 {
+		c.Lattice = 5.64
+	}
+	if c.Temperature == 0 {
+		c.Temperature = 1200
+	}
+	if c.Dt == 0 {
+		c.Dt = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.PotentialEvery == 0 {
+		c.PotentialEvery = 1
+	}
+}
+
+// EwaldParams returns the discretization a Config resolves to.
+func (c Config) EwaldParams() (ewald.Params, error) {
+	c.fillDefaults()
+	l := float64(c.Cells) * c.Lattice
+	alpha := c.Alpha
+	if alpha == 0 {
+		// Balanced discretization bounded by the minimum-image constraint
+		// of the reference oracle: r_cut <= 0.45 L.
+		alpha = math.Max(ewald.SReal/0.45, ewald.ConventionalCost().OptimalAlpha(l, density(c)))
+	}
+	p := ewald.ParamsForAlpha(l, alpha)
+	if p.RCut > l/2 {
+		p.RCut = 0.45 * l
+	}
+	return p, p.Validate()
+}
+
+func density(c Config) float64 {
+	l := float64(c.Cells) * c.Lattice
+	n := float64(8 * c.Cells * c.Cells * c.Cells)
+	return n / (l * l * l)
+}
+
+// Record is one observable sample (step, time in ps, temperature, energies).
+type Record = md.Record
+
+// Simulation is a configured NaCl run.
+type Simulation struct {
+	cfg Config
+	p   ewald.Params
+
+	System     *md.System
+	Integrator *md.Integrator
+	Recorder   *md.Recorder
+
+	machine  *core.Machine   // nil for the reference backend
+	obs      *core.Reference // host-side observable evaluation (pressure)
+	nveStart int             // record index where the latest NVE segment began
+}
+
+// NewSimulation builds the crystal, assigns Maxwell–Boltzmann velocities and
+// initializes the selected force engine.
+func NewSimulation(cfg Config) (*Simulation, error) {
+	cfg.fillDefaults()
+	p, err := cfg.EwaldParams()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := md.NewRockSalt(cfg.Cells, cfg.Lattice)
+	if err != nil {
+		return nil, err
+	}
+	sys.SetMaxwellVelocities(cfg.Temperature, cfg.Seed)
+
+	var ff md.ForceField
+	var machine *core.Machine
+	switch cfg.Backend {
+	case BackendMDM:
+		mcfg := core.CurrentMachineConfig(p)
+		mcfg.PotentialEvery = cfg.PotentialEvery
+		machine, err = core.NewMachine(mcfg)
+		if err != nil {
+			return nil, err
+		}
+		ff = machine
+	case BackendReference:
+		ff, err = core.NewReference(p)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("mdm: unknown backend %v", cfg.Backend)
+	}
+
+	it, err := md.NewIntegrator(sys, ff, cfg.Dt)
+	if err != nil {
+		return nil, err
+	}
+	obs, err := core.NewReference(p)
+	if err != nil {
+		return nil, err
+	}
+	sim := &Simulation{
+		cfg:        cfg,
+		p:          p,
+		System:     sys,
+		Integrator: it,
+		Recorder:   &md.Recorder{},
+		machine:    machine,
+		obs:        obs,
+	}
+	sim.Recorder.Sample(it)
+	return sim, nil
+}
+
+// Params returns the Ewald discretization in use.
+func (s *Simulation) Params() ewald.Params { return s.p }
+
+// N returns the particle count.
+func (s *Simulation) N() int { return s.System.N() }
+
+// RunNVT advances n steps with the velocity-scaling thermostat at the
+// configured temperature (the first segment of the paper's §5 protocol),
+// sampling observables after every step.
+func (s *Simulation) RunNVT(n int) error {
+	s.Integrator.Mode = md.NVT
+	s.Integrator.Target = s.cfg.Temperature
+	return s.Integrator.Run(n, func(int) error {
+		s.Recorder.Sample(s.Integrator)
+		return nil
+	})
+}
+
+// RunNVE advances n steps at constant energy (the second segment of §5).
+// The first NVE call after a thermostatted segment marks the start of the
+// conservation measurement window used by EnergyDrift.
+func (s *Simulation) RunNVE(n int) error {
+	if s.Integrator.Mode != md.NVE {
+		s.nveStart = len(s.Recorder.Records)
+		// Sample the segment's starting energy before the first NVE step.
+		s.Recorder.Sample(s.Integrator)
+	}
+	s.Integrator.Mode = md.NVE
+	return s.Integrator.Run(n, func(int) error {
+		s.Recorder.Sample(s.Integrator)
+		return nil
+	})
+}
+
+// Records returns all sampled observables.
+func (s *Simulation) Records() []Record { return s.Recorder.Records }
+
+// TemperatureStats returns the mean and standard deviation of the sampled
+// temperature (the Figure 2 quantity).
+func (s *Simulation) TemperatureStats() (mean, std float64) {
+	return s.Recorder.TemperatureStats()
+}
+
+// EnergyDrift returns the maximum relative total-energy deviation over the
+// latest NVE segment (the §5 conservation figure of merit; the thermostatted
+// NVT segment changes the energy by design and is excluded).
+func (s *Simulation) EnergyDrift() float64 {
+	sub := md.Recorder{Records: s.Recorder.Records[s.nveStart:]}
+	return sub.EnergyDrift()
+}
+
+// Pressure returns the instantaneous virial pressure in GPa, evaluated on
+// the host in float64 (the machine backend likewise left observables to the
+// host computer, §3.1).
+func (s *Simulation) Pressure() (float64, error) {
+	p, err := s.obs.Pressure(s.System)
+	return p * units.EVPerA3ToGPa, err
+}
+
+// Free releases the simulated boards of the MDM backend (no-op for the
+// reference backend).
+func (s *Simulation) Free() error {
+	if s.machine == nil {
+		return nil
+	}
+	return s.machine.Free()
+}
+
+// Table4 regenerates the paper's Table 4 at the paper's system size.
+// See internal/perf for the model.
+func Table4() ([]perf.Column, error) { return perf.Table4(perf.PaperN, perf.PaperL) }
+
+// Table4At regenerates Table 4 for an arbitrary system.
+func Table4At(n int, l float64) ([]perf.Column, error) { return perf.Table4(n, l) }
+
+// Table5 regenerates the paper's Table 5.
+func Table5() []perf.Table5Row { return perf.Table5() }

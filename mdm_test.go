@@ -1,0 +1,222 @@
+package mdm
+
+import (
+	"math"
+	"testing"
+
+	"mdm/internal/analysis"
+)
+
+func TestBackendString(t *testing.T) {
+	if BackendMDM.String() != "MDM" || BackendReference.String() != "Reference" {
+		t.Error("backend names wrong")
+	}
+	if Backend(9).String() == "" {
+		t.Error("unknown backend should print")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	p, err := c.EwaldParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.L != 2*5.64 {
+		t.Errorf("default box = %g", p.L)
+	}
+	if p.RCut > p.L/2 {
+		t.Errorf("default r_cut %g violates the minimum-image constraint", p.RCut)
+	}
+}
+
+func TestNewSimulationValidation(t *testing.T) {
+	if _, err := NewSimulation(Config{Backend: Backend(42)}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	if _, err := NewSimulation(Config{Cells: -1}); err == nil {
+		t.Error("negative cells accepted")
+	}
+}
+
+func TestReferenceSimulationProtocol(t *testing.T) {
+	sim, err := NewSimulation(Config{
+		Cells:       2,
+		Temperature: 300,
+		Dt:          1,
+		Backend:     BackendReference,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.N() != 64 {
+		t.Errorf("N = %d", sim.N())
+	}
+	if err := sim.RunNVT(10); err != nil {
+		t.Fatal(err)
+	}
+	// NVT pins the temperature.
+	if got := sim.System.Temperature(); math.Abs(got-300) > 1 {
+		t.Errorf("T after NVT = %g", got)
+	}
+	if err := sim.RunNVE(30); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sim.Records()); got != 42 {
+		t.Errorf("records = %d, want 42 (initial + 10 NVT + segment marker + 30 NVE)", got)
+	}
+	if drift := sim.EnergyDrift(); drift > 1e-2 {
+		t.Errorf("drift = %g", drift)
+	}
+	mean, std := sim.TemperatureStats()
+	if mean <= 0 || std < 0 {
+		t.Errorf("stats = %g ± %g", mean, std)
+	}
+	if err := sim.Free(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMDMSimulationRuns(t *testing.T) {
+	sim, err := NewSimulation(Config{
+		Cells:       2,
+		Temperature: 300,
+		Dt:          1,
+		Backend:     BackendMDM,
+		Seed:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunNVE(20); err != nil {
+		t.Fatal(err)
+	}
+	if drift := sim.EnergyDrift(); drift > 1e-3 {
+		t.Errorf("MDM NVE drift = %g", drift)
+	}
+	if err := sim.Free(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable4Headline(t *testing.T) {
+	cols, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 3 {
+		t.Fatalf("columns = %d", len(cols))
+	}
+	if eff := cols[0].EffTflops; math.Abs(eff-1.34) > 0.2 {
+		t.Errorf("effective speed = %.2f Tflops, paper 1.34", eff)
+	}
+	if len(Table5()) != 6 {
+		t.Error("Table 5 rows wrong")
+	}
+	if _, err := Table4At(0, 1); err == nil {
+		t.Error("invalid Table4At accepted")
+	}
+}
+
+func TestRunFigure2ScalingReference(t *testing.T) {
+	// Short runs at two sizes: the relative fluctuation must shrink with N
+	// and the fitted exponent must be near -1/2.
+	series, pts, err := RunFigure2(Figure2Config{
+		CellsList:   []int{2, 3},
+		NVTSteps:    40,
+		NVESteps:    60,
+		Temperature: 1200,
+		Backend:     BackendReference,
+		Seed:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || len(pts) != 2 {
+		t.Fatalf("series = %d, points = %d", len(series), len(pts))
+	}
+	if series[0].N != 64 || series[1].N != 216 {
+		t.Errorf("N = %d, %d", series[0].N, series[1].N)
+	}
+	if pts[1].RelFluc >= pts[0].RelFluc {
+		t.Errorf("fluctuation did not shrink: %g (N=64) vs %g (N=216)",
+			pts[0].RelFluc, pts[1].RelFluc)
+	}
+	c, p, err := analysis.FitInverseSqrt(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("σ_T/T = %.3f · N^%.2f (canonical expectation: N^-0.5)", c, p)
+	if p > -0.2 || p < -1.0 {
+		t.Errorf("fitted exponent %.2f implausibly far from -0.5", p)
+	}
+}
+
+func TestMeasureAccuracy(t *testing.T) {
+	acc, err := MeasureAccuracy(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.N != 64 {
+		t.Errorf("N = %d", acc.N)
+	}
+	// WINE-2: the paper quotes ~1e-4.5 relative; our datapath lands between
+	// 1e-6 and 1e-4 depending on the wave set.
+	if acc.WineWorst <= 0 || acc.WineWorst > 1e-3 {
+		t.Errorf("WINE-2 worst error = %g", acc.WineWorst)
+	}
+	// MDGRAPE-2: ~1e-7 pairwise; whole-force errors stay below 1e-5.
+	if acc.MDGWorst <= 0 || acc.MDGWorst > 1e-4 {
+		t.Errorf("MDGRAPE-2 worst error = %g", acc.MDGWorst)
+	}
+	if acc.WineRMS > acc.WineWorst || acc.MDGRMS > acc.MDGWorst {
+		t.Error("rms exceeds worst")
+	}
+	t.Logf("WINE-2: worst %.2e rms %.2e (paper ~1e-4.5); MDGRAPE-2: worst %.2e rms %.2e (paper ~1e-7 pairwise)",
+		acc.WineWorst, acc.WineRMS, acc.MDGWorst, acc.MDGRMS)
+	if _, err := MeasureAccuracy(0, 1); err == nil {
+		t.Error("cells=0 accepted")
+	}
+}
+
+func TestFigure2aTemperatureDecline(t *testing.T) {
+	// §5 on Figure 2a: "The gradual decrease of the temperature ... is
+	// probably caused by the shortage of the time-steps for NVT ensemble. In
+	// the initial condition the particles are in the crystal state whose
+	// potential energy is lower than that of liquid state" — with too little
+	// thermostatted equilibration, melting continues into the NVE segment
+	// and converts kinetic into potential energy. Reproduce it: a short NVT
+	// stage from the crystal, then NVE, and the temperature trend is down.
+	sim, err := NewSimulation(Config{
+		Cells:       2,
+		Temperature: 1200,
+		Dt:          2,
+		Backend:     BackendReference,
+		Seed:        6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunNVT(15); err != nil { // deliberately too short
+		t.Fatal(err)
+	}
+	if err := sim.RunNVE(120); err != nil {
+		t.Fatal(err)
+	}
+	recs := sim.Records()
+	nve := recs[len(recs)-120:]
+	mean := 0.0
+	for _, r := range nve {
+		mean += r.T
+	}
+	mean /= float64(len(nve))
+	// At 64 ions the decline is not monotone (the small system sloshes
+	// energy between KE and PE), but the paper's mechanism shows cleanly as
+	// the NVE segment running well below the 1,200 K thermostat target:
+	// continued disordering keeps converting kinetic into potential energy.
+	t.Logf("mean NVE temperature = %.0f K after under-equilibrated NVT at 1200 K (paper: gradual decrease in Fig. 2a)", mean)
+	if mean > 1140 {
+		t.Errorf("NVE mean T = %.0f K, expected well below the 1200 K target", mean)
+	}
+}
