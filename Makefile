@@ -1,0 +1,31 @@
+# Standard entry points; `make check` is the gate CI runs.
+
+GO ?= go
+
+.PHONY: all build test bench vet mdmvet race check fmt
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+vet:
+	$(GO) vet ./...
+
+mdmvet:
+	$(GO) run ./cmd/mdmvet ./...
+
+race:
+	$(GO) test -race ./internal/mpi/... ./internal/core/...
+
+fmt:
+	gofmt -w .
+
+check:
+	sh scripts/check.sh

@@ -71,7 +71,9 @@ func main() {
 	}
 	if len(pts) >= 2 {
 		c, p, err := analysis.FitInverseSqrt(pts)
-		if err == nil {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fit failed: %v\n", err)
+		} else {
 			fmt.Printf("\nfit: sigma_T/<T> = %.3f * N^%.3f  (canonical expectation: exponent -0.5)\n", c, p)
 		}
 	}

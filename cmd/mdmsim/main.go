@@ -66,7 +66,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer traj.Close()
+		defer func() {
+			// The trajectory is the program's output: a failed close (full
+			// disk, NFS flush) must not pass silently.
+			if err := traj.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
 	}
 	writeFrame := func(stage string) {
 		if traj == nil {

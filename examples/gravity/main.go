@@ -69,7 +69,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	energy := func(forces []vec.V) (ke, pe float64) {
+	energy := func() (ke, pe float64) {
 		for i := range vel {
 			ke += 0.5 * vel[i].Norm2()
 		}
@@ -95,7 +95,7 @@ func main() {
 	}
 
 	f := forcesAt()
-	ke0, pe0 := energy(f)
+	ke0, pe0 := energy()
 	fmt.Printf("GRAPE-style N-body on the MDGRAPE-2 simulator: %d bodies\n", nBodies)
 	fmt.Printf("initial: KE %.3f  PE %.3f  E %.3f  virial -2KE/PE %.2f\n", ke0, pe0, ke0+pe0, -2*ke0/pe0)
 
@@ -110,7 +110,7 @@ func main() {
 			vel[i] = vel[i].Add(f[i].Scale(dt / 2))
 		}
 	}
-	ke1, pe1 := energy(f)
+	ke1, pe1 := energy()
 	fmt.Printf("after %d steps: KE %.3f  PE %.3f  E %.3f\n", steps, ke1, pe1, ke1+pe1)
 	fmt.Printf("energy drift: %.2e relative\n", math.Abs((ke1+pe1)-(ke0+pe0))/math.Abs(ke0+pe0))
 	st := sys.Stats()

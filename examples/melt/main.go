@@ -79,7 +79,9 @@ func main() {
 	for _, p := range pts {
 		fmt.Printf("N = %4d: sigma_T/<T> = %.4f\n", p.N, p.RelFluc)
 	}
-	if c, p, err := analysis.FitInverseSqrt(pts); err == nil {
+	if c, p, err := analysis.FitInverseSqrt(pts); err != nil {
+		log.Printf("fit failed: %v", err)
+	} else {
 		fmt.Printf("fit: sigma_T/<T> = %.3f * N^%.2f (expect exponent ≈ -0.5)\n", c, p)
 	}
 }

@@ -39,7 +39,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer traj.Close()
+	defer func() {
+		if err := traj.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	stage := func(name string, tK float64, steps int) {
 		sim.Integrator.Target = tK

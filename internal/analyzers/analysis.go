@@ -1,0 +1,299 @@
+// Package analyzers implements mdmvet, a static-analysis suite for the MDM
+// reproduction's numerics and concurrency contracts.
+//
+// The paper's argument rests on controlled precision: WINE-2 is a fixed-point
+// two's-complement datapath carried in int64 words (§3.4.4), MDGRAPE-2 is
+// strictly IEEE-754 single precision with double-precision accumulation only
+// (§3.5.4), and the goroutine-based MPI substrate relies on deterministic
+// tag-matched message pairs. None of those contracts fail a unit test when
+// silently violated, so this package encodes them as machine-checked rules:
+//
+//	fixedformat — fixed.Format widths must fit the 62-bit int64 carrier,
+//	              including product widths at MulRound call sites
+//	singleprec  — float32 pipeline functions in internal/mdgrape2 and
+//	              internal/funceval must not compute in float64
+//	mpitags     — mpi Send/Recv tags must be named constants, matched
+//	              between senders and receivers
+//	unitsmix    — values from different internal/units helpers must not be
+//	              mixed additively, and unit constants must not be
+//	              re-hardcoded as literals
+//
+// Each analyzer's diagnostics can be suppressed for a reviewed line with a
+// comment of the form "//mdm:<key> <justification>" (for example
+// //mdm:float64ok) placed on the offending line, the line above it, or in
+// the doc comment of the enclosing function.
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Reportf) so the suite can migrate to the upstream framework
+// mechanically; the upstream module is not vendored because this tree builds
+// offline against the standard library only.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"mdm/internal/analyzers/load"
+)
+
+// An Analyzer describes one analysis pass.
+type Analyzer struct {
+	Name     string
+	Doc      string
+	Suppress string // //mdm:<key> comment key that silences this analyzer
+	Run      func(*Pass)
+}
+
+// A Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Path     string // package import path
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags      []Diagnostic
+	suppressed *suppressions
+}
+
+// Reportf records a diagnostic at pos unless a suppression comment covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed.covers(p.Analyzer.Suppress, position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressions indexes //mdm:<key> comments by file, line and function range.
+type suppressions struct {
+	lines  map[string]map[int][]string // file → line → keys on that line
+	ranges []suppressedRange           // functions whose doc carries a key
+	fset   *token.FileSet
+}
+
+type suppressedRange struct {
+	file     string
+	from, to int // line range, inclusive
+	keys     []string
+}
+
+const suppressPrefix = "//mdm:"
+
+func commentKeys(c *ast.Comment) []string {
+	var keys []string
+	for _, line := range strings.Split(c.Text, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, suppressPrefix); ok {
+			key, _, _ := strings.Cut(rest, " ")
+			if key != "" {
+				keys = append(keys, key)
+			}
+		}
+	}
+	return keys
+}
+
+func buildSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{lines: make(map[string]map[int][]string), fset: fset}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				keys := commentKeys(c)
+				if len(keys) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := s.lines[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					s.lines[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], keys...)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				return true
+			}
+			var keys []string
+			for _, c := range fd.Doc.List {
+				keys = append(keys, commentKeys(c)...)
+			}
+			if len(keys) > 0 {
+				from := fset.Position(fd.Pos())
+				to := fset.Position(fd.End())
+				s.ranges = append(s.ranges, suppressedRange{
+					file: from.Filename, from: from.Line, to: to.Line, keys: keys,
+				})
+			}
+			return true
+		})
+	}
+	return s
+}
+
+// covers reports whether a diagnostic with the given suppression key at
+// position pos is silenced: a matching key on the same line, the line above,
+// or in the doc comment of the enclosing function.
+func (s *suppressions) covers(key string, pos token.Position) bool {
+	if key == "" {
+		return false
+	}
+	if m := s.lines[pos.Filename]; m != nil {
+		for _, l := range [2]int{pos.Line, pos.Line - 1} {
+			for _, k := range m[l] {
+				if k == key {
+					return true
+				}
+			}
+		}
+	}
+	for _, r := range s.ranges {
+		if r.file == pos.Filename && r.from <= pos.Line && pos.Line <= r.to {
+			for _, k := range r.keys {
+				if k == key {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// RunPackage runs the analyzers over one loaded package and returns the
+// surviving (non-suppressed) diagnostics sorted by position.
+func RunPackage(pkg *load.Package, analyzers []*Analyzer) []Diagnostic {
+	sup := buildSuppressions(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Path:       pkg.ImportPath,
+			Pkg:        pkg.Pkg,
+			Info:       pkg.TypesInfo,
+			suppressed: sup,
+		}
+		a.Run(pass)
+		diags = append(diags, pass.diags...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags
+}
+
+// All returns the full mdmvet suite.
+func All() []*Analyzer {
+	return []*Analyzer{FixedFormat, SinglePrec, MPITags, UnitsMix}
+}
+
+//
+// Shared AST/type helpers.
+//
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, or nil
+// for builtins, conversions and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the named function (or method, via its
+// receiver-stripped name) of the package with the given import path.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// constUint evaluates expr as a non-negative integer constant.
+func constUint(info *types.Info, expr ast.Expr) (uint64, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	u, ok := constant.Uint64Val(v)
+	return u, ok
+}
+
+// localDef returns the defining RHS expression of ident if it is a local
+// variable introduced by a short variable declaration in the enclosing
+// function, resolving one level only (x := <expr>).
+func localDef(info *types.Info, file *ast.File, ident *ast.Ident) ast.Expr {
+	obj := info.Uses[ident]
+	if obj == nil {
+		return nil
+	}
+	var rhs ast.Expr
+	ast.Inspect(file, func(n ast.Node) bool {
+		if rhs != nil {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if ok && info.Defs[id] == obj {
+				rhs = as.Rhs[i]
+				return false
+			}
+		}
+		return true
+	})
+	return rhs
+}
+
+// enclosingFile finds the *ast.File containing pos.
+func enclosingFile(files []*ast.File, pos token.Pos) *ast.File {
+	for _, f := range files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

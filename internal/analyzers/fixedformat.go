@@ -1,0 +1,169 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// carrierBits is the fixed-point carrier budget: package fixed carries raw
+// values in int64 and caps Format.TotalBits at 62 so short sums cannot
+// overflow (see fixed.Format.Valid).
+const carrierBits = 62
+
+const fixedPkg = "mdm/internal/fixed"
+
+// FixedFormat flags fixed-point formats that cannot fit the int64 carrier:
+//
+//   - fixed.F(i, f) calls and fixed.Format{...} literals whose constant
+//     total width i+f+1 is outside [2, 62];
+//   - fixed.F calls with a constant Int and a Frac derived as a sum of two
+//     widths (a product width, Frac_a+Frac_b): the sum is not statically
+//     bounded, so a non-zero Int on top of it risks exceeding the carrier —
+//     use fixed.WideFor(frac) for product-width intermediates instead;
+//   - fixed.MulRound call sites whose constant fractional widths alone
+//     (aFrac+bFrac) exceed 61 bits, or whose constant outFrac exceeds 61
+//     bits, either of which overflows the int64 product.
+var FixedFormat = &Analyzer{
+	Name:     "fixedformat",
+	Doc:      "check fixed.Format widths against the 62-bit int64 carrier limit",
+	Suppress: "fixedok",
+	Run:      runFixedFormat,
+}
+
+func runFixedFormat(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				checkFixedCall(pass, file, node)
+			case *ast.CompositeLit:
+				checkFormatLit(pass, node)
+			}
+			return true
+		})
+	}
+}
+
+func checkFixedCall(pass *Pass, file *ast.File, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != fixedPkg {
+		return
+	}
+	switch fn.Name() {
+	case "F":
+		if len(call.Args) != 2 {
+			return
+		}
+		i, iConst := constUint(pass.Info, call.Args[0])
+		f, fConst := constUint(pass.Info, call.Args[1])
+		switch {
+		case iConst && fConst:
+			checkTotalWidth(pass, call.Pos(), i, f)
+		case iConst && i >= carrierBits:
+			pass.Reportf(call.Pos(),
+				"fixed.F: Int width %d alone exceeds the %d-bit carrier", i, carrierBits)
+		case fConst && f >= carrierBits:
+			pass.Reportf(call.Pos(),
+				"fixed.F: Frac width %d alone exceeds the %d-bit carrier", f, carrierBits)
+		case iConst && i > 0 && isWidthSum(pass, file, call.Args[1]):
+			pass.Reportf(call.Pos(),
+				"fixed.F: Int %d on top of a product-width Frac (sum of operand widths) can exceed the %d-bit carrier; use fixed.WideFor for product intermediates", i, carrierBits)
+		}
+	case "MulRound":
+		if len(call.Args) != 5 {
+			return
+		}
+		aFrac, aOK := constUint(pass.Info, call.Args[2])
+		bFrac, bOK := constUint(pass.Info, call.Args[3])
+		outFrac, oOK := constUint(pass.Info, call.Args[4])
+		if aOK && bOK && aFrac+bFrac > carrierBits-1 {
+			pass.Reportf(call.Pos(),
+				"fixed.MulRound: product fractional width %d+%d exceeds %d bits and overflows int64", aFrac, bFrac, carrierBits-1)
+		}
+		if oOK && outFrac > carrierBits-1 {
+			pass.Reportf(call.Pos(),
+				"fixed.MulRound: output fractional width %d exceeds %d bits", outFrac, carrierBits-1)
+		}
+	}
+}
+
+// checkFormatLit checks fixed.Format{Int: ..., Frac: ...} composite literals
+// with constant fields.
+func checkFormatLit(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil ||
+		named.Obj().Pkg().Path() != fixedPkg || named.Obj().Name() != "Format" {
+		return
+	}
+	var intW, fracW uint64
+	var intOK, fracOK bool
+	for idx, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, _ := kv.Key.(*ast.Ident)
+			if key == nil {
+				continue
+			}
+			switch key.Name {
+			case "Int":
+				intW, intOK = constUint(pass.Info, kv.Value)
+			case "Frac":
+				fracW, fracOK = constUint(pass.Info, kv.Value)
+			}
+		} else {
+			switch idx {
+			case 0:
+				intW, intOK = constUint(pass.Info, elt)
+			case 1:
+				fracW, fracOK = constUint(pass.Info, elt)
+			}
+		}
+	}
+	// Omitted fields are zero-valued constants.
+	if !intOK && len(lit.Elts) < 2 {
+		intW, intOK = 0, allKeyed(lit)
+	}
+	if !fracOK && len(lit.Elts) < 2 {
+		fracW, fracOK = 0, allKeyed(lit)
+	}
+	if intOK && fracOK {
+		checkTotalWidth(pass, lit.Pos(), intW, fracW)
+	}
+}
+
+func allKeyed(lit *ast.CompositeLit) bool {
+	for _, elt := range lit.Elts {
+		if _, ok := elt.(*ast.KeyValueExpr); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func checkTotalWidth(pass *Pass, pos token.Pos, i, f uint64) {
+	total := i + f + 1
+	if total > carrierBits {
+		pass.Reportf(pos,
+			"fixed-point format s%d.%d is %d bits wide, exceeding the %d-bit carrier limit", i, f, total, carrierBits)
+	} else if total < 2 {
+		pass.Reportf(pos,
+			"fixed-point format s%d.%d has no value bits", i, f)
+	}
+}
+
+// isWidthSum reports whether expr is, or one local definition away from, a
+// binary sum a+b — the shape of a product width (Frac_a + Frac_b).
+func isWidthSum(pass *Pass, file *ast.File, expr ast.Expr) bool {
+	expr = ast.Unparen(expr)
+	if ident, ok := expr.(*ast.Ident); ok {
+		if def := localDef(pass.Info, file, ident); def != nil {
+			expr = ast.Unparen(def)
+		}
+	}
+	bin, ok := expr.(*ast.BinaryExpr)
+	return ok && bin.Op.String() == "+"
+}

@@ -1,0 +1,161 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// singlePrecPkgs are the packages whose pipeline functions model the
+// MDGRAPE-2 single-precision datapath ("most of the arithmetic units in the
+// pipeline use IEEE754 single floating point format", §3.5.4).
+var singlePrecPkgs = map[string]bool{
+	"mdm/internal/mdgrape2": true,
+	"mdm/internal/funceval": true,
+}
+
+// float64OKMathFuncs are math package predicates and bit-casts that do not
+// perform double-precision arithmetic.
+var float64OKMathFuncs = map[string]bool{
+	"IsNaN":           true,
+	"IsInf":           true,
+	"Signbit":         true,
+	"Float32bits":     true,
+	"Float32frombits": true,
+	"Float64bits":     true,
+	"Float64frombits": true,
+}
+
+// SinglePrec flags double-precision computation inside pipeline functions of
+// the MDGRAPE-2 packages. A pipeline function is one whose signature carries
+// float32 values (and no float64): within it, float64 arithmetic, calls to
+// float64 math.* functions, and float64(...) widenings are reported. The
+// hardware's documented exception — double-precision force *accumulation* —
+// lives in functions whose signatures carry float64 and is therefore out of
+// scope by construction. Reviewed boundary crossings are suppressed with
+// //mdm:float64ok comments.
+var SinglePrec = &Analyzer{
+	Name:     "singleprec",
+	Doc:      "flag float64 computation inside float32 pipeline functions",
+	Suppress: "float64ok",
+	Run:      runSinglePrec,
+}
+
+func runSinglePrec(pass *Pass) {
+	if !singlePrecPkgs[pass.Path] {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !isPipelineFunc(pass.Info, fd) {
+				continue
+			}
+			checkPipelineBody(pass, fd)
+		}
+	}
+}
+
+// isPipelineFunc reports whether the function's parameter and result types
+// mention float32 but not float64 (the shape of a simulated pipeline stage).
+func isPipelineFunc(info *types.Info, fd *ast.FuncDecl) bool {
+	obj, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	var has32, has64 bool
+	scan := func(tuple *types.Tuple) {
+		for i := 0; i < tuple.Len(); i++ {
+			k32, k64 := mentionsFloats(tuple.At(i).Type(), 0)
+			has32 = has32 || k32
+			has64 = has64 || k64
+		}
+	}
+	scan(sig.Params())
+	scan(sig.Results())
+	return has32 && !has64
+}
+
+// mentionsFloats walks a type structurally looking for float32/float64.
+func mentionsFloats(t types.Type, depth int) (f32, f64 bool) {
+	if depth > 8 {
+		return false, false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Float32:
+			return true, false
+		case types.Float64:
+			return false, true
+		}
+	case *types.Pointer:
+		return mentionsFloats(u.Elem(), depth+1)
+	case *types.Slice:
+		return mentionsFloats(u.Elem(), depth+1)
+	case *types.Array:
+		return mentionsFloats(u.Elem(), depth+1)
+	case *types.Map:
+		k32, k64 := mentionsFloats(u.Key(), depth+1)
+		e32, e64 := mentionsFloats(u.Elem(), depth+1)
+		return k32 || e32, k64 || e64
+	case *types.Signature:
+		var has32, has64 bool
+		for _, tuple := range []*types.Tuple{u.Params(), u.Results()} {
+			for i := 0; i < tuple.Len(); i++ {
+				k32, k64 := mentionsFloats(tuple.At(i).Type(), depth+1)
+				has32 = has32 || k32
+				has64 = has64 || k64
+			}
+		}
+		return has32, has64
+	}
+	return false, false
+}
+
+func isFloat64(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
+func checkPipelineBody(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.BinaryExpr:
+			switch node.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				if isFloat64(pass.Info, node.X) || isFloat64(pass.Info, node.Y) {
+					pass.Reportf(node.OpPos,
+						"float64 arithmetic in pipeline function %s; the MDGRAPE-2 datapath is float32 (§3.5.4)", fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			// float64(...) widening out of the pipeline.
+			if tv, ok := pass.Info.Types[node.Fun]; ok && tv.IsType() {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.Float64 {
+					pass.Reportf(node.Pos(),
+						"float64 conversion in pipeline function %s; keep the datapath in float32 or justify with //mdm:float64ok", fd.Name.Name)
+				}
+				return true
+			}
+			if fn := calleeFunc(pass.Info, node); fn != nil &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "math" &&
+				!float64OKMathFuncs[fn.Name()] {
+				pass.Reportf(node.Pos(),
+					"float64 math.%s call in pipeline function %s; the MDGRAPE-2 datapath is float32 (§3.5.4)", fn.Name(), fd.Name.Name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,43 @@
+// Fixtures for the fixedformat analyzer: positive findings carry want
+// comments, everything else must stay silent.
+package fixture
+
+import "mdm/internal/fixed"
+
+func constantFormats() {
+	_ = fixed.F(1, 22)  // ok: the WINE-2 trig format, 24 bits
+	_ = fixed.F(30, 30) // ok: 61 bits
+	_ = fixed.F(31, 30) // ok: exactly the 62-bit boundary
+	_ = fixed.F(31, 31) // want `format s31\.31 is 63 bits wide, exceeding the 62-bit carrier limit`
+	_ = fixed.F(0, 0)   // want `format s0\.0 has no value bits`
+	_ = fixed.F(70, 0)  // want `format s70\.0 is 71 bits wide`
+
+	_ = fixed.Format{Int: 40, Frac: 30} // want `format s40\.30 is 71 bits wide`
+	_ = fixed.Format{Int: 10, Frac: 20} // ok: 31 bits
+	_ = fixed.Format{Frac: 22}          // ok: 23 bits, omitted Int
+	_ = fixed.Format{Frac: 65}          // want `format s0\.65 is 66 bits wide`
+}
+
+func halfConstantFormats(w uint) {
+	_ = fixed.F(62, w) // want `Int width 62 alone exceeds the 62-bit carrier`
+	_ = fixed.F(w, 62) // want `Frac width 62 alone exceeds the 62-bit carrier`
+	_ = fixed.F(20, w) // ok: w is unconstrained but not a product width
+}
+
+func productWidths(aFrac, bFrac uint) {
+	prod := aFrac + bFrac
+	_ = fixed.F(30, prod)       // want `Int 30 on top of a product-width Frac`
+	_ = fixed.F(0, prod)        // ok: no integer bits on top of the product
+	_ = fixed.WideFor(prod)     // ok: the checked constructor for product widths
+	_ = fixed.F(2, aFrac)       // ok: single width, not a sum
+	_ = fixed.F(4, aFrac+bFrac) // want `Int 4 on top of a product-width Frac`
+
+	_ = fixed.MulRound(1, 1, 40, 30, 50)       // want `product fractional width 40\+30 exceeds 61 bits`
+	_ = fixed.MulRound(1, 1, 20, 22, 42)       // ok: the WINE-2 DFT product
+	_ = fixed.MulRound(1, 1, 10, 10, 70)       // want `output fractional width 70 exceeds 61 bits`
+	_ = fixed.MulRound(1, 1, aFrac, bFrac, 20) // ok: widths not statically known
+}
+
+func suppressed() {
+	_ = fixed.F(40, 40) //mdm:fixedok fixture: reviewed, never materialized
+}

@@ -1,0 +1,44 @@
+// Fixtures for the singleprec analyzer. This package is type-checked under
+// the import path mdm/internal/mdgrape2, so its float32-signature functions
+// are treated as MDGRAPE-2 pipeline stages.
+package fixture
+
+import "math"
+
+// pipeOK is a clean float32 pipeline stage.
+func pipeOK(a, b float32) float32 { return a*b + 1 }
+
+// pipeBad computes in double precision inside the pipeline.
+func pipeBad(x float32) float32 {
+	y := float64(x) * 2 // want `float64 conversion in pipeline function pipeBad` `float64 arithmetic in pipeline function pipeBad`
+	s := math.Sqrt(y)   // want `float64 math\.Sqrt call in pipeline function pipeBad`
+	return float32(s)
+}
+
+// hostSide carries float64 in its signature, so it is host code by
+// construction: double-precision math is its job.
+func hostSide(x float64) float64 { return math.Sqrt(x) * 0.5 }
+
+// accumulate matches the documented hardware exception: float64 appears in
+// the signature (the double-precision force accumulator), so it is exempt.
+func accumulate(acc *float64, fs []float32) {
+	for _, f := range fs {
+		*acc += float64(f)
+	}
+}
+
+// pipeSuppressed widens at a reviewed boundary.
+func pipeSuppressed(x float32) float32 {
+	xf := float64(x)                         //mdm:float64ok fixture: exact widening, no double rounding
+	if math.IsNaN(xf) || math.IsInf(xf, 0) { // predicates never compute
+		return 0
+	}
+	return x
+}
+
+// pipeDocSuppressed is suppressed for its whole body via the doc comment.
+//
+//mdm:float64ok fixture: reviewed host readout helper
+func pipeDocSuppressed(x float32) float32 {
+	return float32(float64(x) * math.Pi / math.Pi)
+}

@@ -1,0 +1,29 @@
+// Fixtures for the unitsmix analyzer.
+package fixture
+
+import "mdm/internal/units"
+
+func mixing(n int) {
+	t := units.KineticToKelvin(1.5, n)
+	e := units.KelvinToKinetic(300, n)
+
+	_ = t + e // want `adding units\.KineticToKelvin \[K\] with units\.KelvinToKinetic \[eV\]`
+	_ = e - t // want `subtracting units\.KelvinToKinetic \[eV\] with units\.KineticToKelvin \[K\]`
+	_ = t > e // want `comparing units\.KineticToKelvin \[K\] with units\.KelvinToKinetic \[eV\]`
+
+	_ = units.Coulomb + units.Boltzmann // want `adding units\.Coulomb \[eV·Å/e²\] with units\.Boltzmann \[eV/K\]`
+	_ = units.MassNa + units.MassCl     // ok: both amu
+	_ = t + t                           // ok: same dimension
+	_ = units.Boltzmann * t             // ok: multiplication is the conversion idiom
+	_ = e / units.Boltzmann             // ok
+	_ = t + units.KineticToKelvin(2, n) // ok: both kelvin
+}
+
+func hardcoded() {
+	_ = 14.399645478   // want `literal 14\.399645478 duplicates units\.Coulomb`
+	_ = 8.617333262e-5 // want `literal 8\.617333262e-5 duplicates units\.Boltzmann`
+	_ = 14.399645478   //mdm:unitsok fixture: doc mirror of the constant
+	_ = 14.4           // ok: too few significant digits to be a copy
+	_ = 160.21766208   // want `literal 160\.21766208 duplicates units\.EVPerA3ToGPa`
+	_ = 2.718281828    // ok: matches no units constant
+}

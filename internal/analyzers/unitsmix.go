@@ -1,0 +1,194 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+	"strings"
+)
+
+const unitsPkg = "mdm/internal/units"
+
+// unitsTags assigns a dimension tag to each internal/units helper and
+// constant. Additive mixing of two differently-tagged values is a unit error;
+// multiplication and division build derived units and are the explicit
+// conversion idiom, so they are not tracked.
+var unitsTags = map[string]string{
+	// constants
+	"Coulomb":      "eV·Å/e²",
+	"Boltzmann":    "eV/K",
+	"ForceToAccel": "(Å/fs²)·amu/(eV/Å)",
+	"JToEV":        "eV/J",
+	"M6ToA6":       "Å⁶/m⁶",
+	"M8ToA8":       "Å⁸/m⁸",
+	"EVPerA3ToGPa": "GPa/(eV/Å³)",
+	"MassNa":       "amu",
+	"MassCl":       "amu",
+	// conversion helpers, tagged by what they return
+	"KineticToKelvin": "K",
+	"KelvinToKinetic": "eV",
+	"ThermalSpeed":    "Å/fs",
+	"RelativeError":   "1",
+}
+
+// unitsConstValues mirrors the numeric values of internal/units constants so
+// that re-hardcoded copies can be spotted even in packages that do not import
+// internal/units. A test cross-checks this table against the real package.
+var unitsConstValues = map[string]float64{
+	"Coulomb":      14.399645478425668,
+	"Boltzmann":    8.617333262e-5,
+	"ForceToAccel": 9.648533212331e-3,
+	"EVPerA3ToGPa": 160.21766208,
+	"MassNa":       22.98976928,
+	"MassCl":       35.453,
+}
+
+// unitsExemptPkgs never report literal duplicates: units defines the
+// constants and this package mirrors them as the checker's specification.
+var unitsExemptPkgs = map[string]bool{
+	unitsPkg:                 true,
+	"mdm/internal/analyzers": true,
+}
+
+// UnitsMix enforces unit discipline around internal/units:
+//
+//   - values produced by differently-tagged units helpers or constants must
+//     not be combined with +, -, or comparisons without an explicit
+//     conversion (multiplication/division is the conversion idiom and is
+//     allowed);
+//   - floating-point literals with at least 6 significant digits that
+//     reproduce an internal/units constant are flagged — use the named
+//     constant so the unit system stays in one place.
+var UnitsMix = &Analyzer{
+	Name:     "unitsmix",
+	Doc:      "check internal/units values are not mixed across dimensions or re-hardcoded",
+	Suppress: "unitsok",
+	Run:      runUnitsMix,
+}
+
+func runUnitsMix(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.BinaryExpr:
+				checkUnitMixing(pass, file, node)
+			case *ast.BasicLit:
+				checkUnitLiteral(pass, node)
+			}
+			return true
+		})
+	}
+}
+
+func checkUnitMixing(pass *Pass, file *ast.File, bin *ast.BinaryExpr) {
+	switch bin.Op {
+	case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return
+	}
+	left, lok := unitTagOf(pass, file, bin.X)
+	right, rok := unitTagOf(pass, file, bin.Y)
+	if lok && rok && left.tag != right.tag {
+		pass.Reportf(bin.OpPos,
+			"%s units.%s [%s] with units.%s [%s]: different dimensions need an explicit conversion",
+			describeOp(bin.Op), left.name, left.tag, right.name, right.tag)
+	}
+}
+
+func describeOp(op token.Token) string {
+	switch op {
+	case token.ADD:
+		return "adding"
+	case token.SUB:
+		return "subtracting"
+	default:
+		return "comparing"
+	}
+}
+
+type unitValue struct {
+	name string // units identifier the value came from
+	tag  string // dimension tag
+}
+
+// unitTagOf resolves an expression to the internal/units helper or constant
+// that produced it: a direct units.X reference, a call to a units helper, or
+// a local variable one short-declaration away from either.
+func unitTagOf(pass *Pass, file *ast.File, expr ast.Expr) (unitValue, bool) {
+	expr = ast.Unparen(expr)
+	switch e := expr.(type) {
+	case *ast.CallExpr:
+		if fn := calleeFunc(pass.Info, e); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == unitsPkg {
+			if tag, ok := unitsTags[fn.Name()]; ok {
+				return unitValue{name: fn.Name(), tag: tag}, true
+			}
+		}
+	case *ast.Ident, *ast.SelectorExpr:
+		var id *ast.Ident
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		} else {
+			id = e.(*ast.Ident)
+		}
+		if c, ok := pass.Info.Uses[id].(*types.Const); ok &&
+			c.Pkg() != nil && c.Pkg().Path() == unitsPkg {
+			if tag, ok := unitsTags[c.Name()]; ok {
+				return unitValue{name: c.Name(), tag: tag}, true
+			}
+		}
+		if v, ok := pass.Info.Uses[id].(*types.Var); ok && v.Pkg() != nil && v.Pkg().Path() == pass.Pkg.Path() {
+			if def := localDef(pass.Info, file, id); def != nil {
+				// One level only: don't chase chains of locals.
+				if _, isIdent := ast.Unparen(def).(*ast.Ident); !isIdent {
+					return unitTagOf(pass, file, def)
+				}
+			}
+		}
+	}
+	return unitValue{}, false
+}
+
+// checkUnitLiteral flags float literals that duplicate a units constant.
+func checkUnitLiteral(pass *Pass, lit *ast.BasicLit) {
+	if lit.Kind != token.FLOAT || unitsExemptPkgs[pass.Pkg.Path()] {
+		return
+	}
+	if sigDigits(lit.Value) < 6 {
+		return
+	}
+	tv, ok := pass.Info.Types[lit]
+	if !ok || tv.Value == nil {
+		return
+	}
+	// Float64Val's bool reports exact representability, not success; the
+	// rounded value is what source code would compute, so use it regardless.
+	v, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+	if v == 0 || math.IsInf(v, 0) {
+		return
+	}
+	for name, want := range unitsConstValues {
+		if math.Abs(v-want) <= 1e-6*math.Abs(want) {
+			pass.Reportf(lit.Pos(),
+				"literal %s duplicates units.%s (%v); use the named constant", lit.Value, name, want)
+			return
+		}
+	}
+}
+
+// sigDigits counts significant digits in a floating-point literal's text:
+// mantissa digits excluding leading zeros.
+func sigDigits(text string) int {
+	mantissa := text
+	for _, sep := range []string{"e", "E", "p", "P"} {
+		if i := strings.Index(mantissa, sep); i >= 0 {
+			mantissa = mantissa[:i]
+			break
+		}
+	}
+	mantissa = strings.ReplaceAll(mantissa, "_", "")
+	mantissa = strings.ReplaceAll(mantissa, ".", "")
+	mantissa = strings.TrimLeft(mantissa, "+-0")
+	return len(mantissa)
+}

@@ -1,0 +1,60 @@
+package analyzers
+
+import (
+	"math"
+	"testing"
+
+	"mdm/internal/units"
+)
+
+// TestUnitsConstValuesMirrorPackage pins the analyzer's duplicate-literal
+// table to the real internal/units constants, so the two cannot drift.
+func TestUnitsConstValuesMirrorPackage(t *testing.T) {
+	want := map[string]float64{
+		"Coulomb":      units.Coulomb,
+		"Boltzmann":    units.Boltzmann,
+		"ForceToAccel": units.ForceToAccel,
+		"EVPerA3ToGPa": units.EVPerA3ToGPa,
+		"MassNa":       units.MassNa,
+		"MassCl":       units.MassCl,
+	}
+	if len(want) != len(unitsConstValues) {
+		t.Errorf("table has %d entries, expected %d", len(unitsConstValues), len(want))
+	}
+	for name, w := range want {
+		got, ok := unitsConstValues[name]
+		if !ok {
+			t.Errorf("missing table entry %s", name)
+			continue
+		}
+		if math.Abs(got-w) > 1e-12*math.Abs(w) {
+			t.Errorf("%s: table %v, units package %v", name, got, w)
+		}
+	}
+	// Every tagged constant that is plausible to hardcode should also have a
+	// dimension tag.
+	for name := range unitsConstValues {
+		if _, ok := unitsTags[name]; !ok {
+			t.Errorf("%s has a value entry but no dimension tag", name)
+		}
+	}
+}
+
+func TestSigDigits(t *testing.T) {
+	cases := []struct {
+		text string
+		want int
+	}{
+		{"14.399645478", 11},
+		{"8.617333262e-5", 10},
+		{"14.4", 3},
+		{"1.0", 2},
+		{"0.00125", 3},
+		{"1_4.39", 4},
+	}
+	for _, c := range cases {
+		if got := sigDigits(c.text); got != c.want {
+			t.Errorf("sigDigits(%q) = %d, want %d", c.text, got, c.want)
+		}
+	}
+}

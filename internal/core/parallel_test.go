@@ -189,3 +189,57 @@ func BenchmarkParallelForces(b *testing.B) {
 		})
 	}
 }
+
+// TestParallelForcesRace is a race-detector stress test: several complete
+// ParallelForces runs execute concurrently, each on its own mpi.World but all
+// reading the same *md.System. The parallel machinery must treat the input
+// system as read-only and confine all mutable state (halo buffers, force
+// accumulators, traffic counters) to its own world, so `go test -race`
+// passing here means the 6-goroutine force step has no hidden shared writes.
+func TestParallelForcesRace(t *testing.T) {
+	s := meltLike(t, 2, 5.64, 1200, 17)
+	p := smallParams(s.L)
+	cfg := CurrentMachineConfig(p)
+
+	serial := newTestMachine(t, p)
+	want, wantPot, err := serial.Forces(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fscale := vec.RMS(want)
+
+	const concurrent = 4
+	errs := make(chan error, concurrent)
+	for run := 0; run < concurrent; run++ {
+		go func() {
+			world, err := mpi.NewWorld(4 + 2)
+			if err != nil {
+				errs <- err
+				return
+			}
+			res, err := ParallelForces(world, cfg, 4, 2, s)
+			if err != nil {
+				errs <- err
+				return
+			}
+			// Cross-check against the serial answer so a racy overlap that
+			// corrupts data without tripping the detector still fails.
+			for i := range want {
+				if d := res.Forces[i].Sub(want[i]).Norm() / fscale; d > 1e-9 {
+					errs <- fmt.Errorf("force %d deviates by %g of RMS", i, d)
+					return
+				}
+			}
+			if math.Abs(res.Potential-wantPot) > 1e-9*math.Abs(wantPot) {
+				errs <- fmt.Errorf("potential %g, want %g", res.Potential, wantPot)
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for run := 0; run < concurrent; run++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+}

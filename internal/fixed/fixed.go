@@ -36,6 +36,18 @@ type Format struct {
 // F is shorthand for Format{Int: i, Frac: f}.
 func F(i, f uint) Format { return Format{Int: i, Frac: f} }
 
+// WideFor returns the widest valid Format with the given fractional width:
+// all remaining carrier bits become integer bits. It is the checked
+// constructor for product-width intermediates (frac = Frac_a + Frac_b after a
+// multiply), where a fixed Int width on top of a variable product width could
+// silently exceed the 62-bit carrier. frac must leave at least one value bit.
+func WideFor(frac uint) Format {
+	if frac > 60 {
+		frac = 60
+	}
+	return Format{Int: 61 - frac, Frac: frac}
+}
+
 // TotalBits returns the total width including the sign bit.
 func (f Format) TotalBits() uint { return f.Int + f.Frac + 1 }
 

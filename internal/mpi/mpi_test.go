@@ -7,6 +7,17 @@ import (
 	"testing"
 )
 
+// Named message tags, as the mpitags analyzer requires of all Comm traffic.
+const (
+	tagData    = 7   // generic paired payload
+	tagWrong   = 8   // deliberately never sent: exercises mismatch detection
+	tagProbe   = 42  // sent once, received via AnyTag only
+	tagInvalid = 100 // used only against invalid ranks in validation tests
+	tagTraffic = 11  // traffic-stats exchange
+	tagRingCW  = 5   // ring exchange, clockwise
+	tagRingCCW = 6   // ring exchange, counterclockwise
+)
+
 func TestNewWorldValidation(t *testing.T) {
 	if _, err := NewWorld(0); err == nil {
 		t.Error("size 0 accepted")
@@ -30,9 +41,9 @@ func TestSendRecv(t *testing.T) {
 	w, _ := NewWorld(2)
 	err := w.Run(func(c *Comm) error {
 		if c.Rank() == 0 {
-			return c.Send(1, 7, []float64{1, 2, 3})
+			return c.Send(1, tagData, []float64{1, 2, 3})
 		}
-		got, err := c.RecvFloat64s(0, 7)
+		got, err := c.RecvFloat64s(0, tagData)
 		if err != nil {
 			return err
 		}
@@ -50,9 +61,9 @@ func TestRecvTagMismatch(t *testing.T) {
 	w, _ := NewWorld(2)
 	err := w.Run(func(c *Comm) error {
 		if c.Rank() == 0 {
-			return c.Send(1, 7, nil)
+			return c.Send(1, tagData, nil)
 		}
-		_, err := c.Recv(0, 8)
+		_, err := c.Recv(0, tagWrong) //mdm:tagok tagWrong is one-sided on purpose: the test wants the mismatch
 		if err == nil {
 			return fmt.Errorf("tag mismatch not detected")
 		}
@@ -67,7 +78,7 @@ func TestRecvAnyTag(t *testing.T) {
 	w, _ := NewWorld(2)
 	err := w.Run(func(c *Comm) error {
 		if c.Rank() == 0 {
-			return c.Send(1, 42, []float64{9})
+			return c.Send(1, tagProbe, []float64{9}) //mdm:tagok tagProbe is received via AnyTag below
 		}
 		got, err := c.Recv(0, AnyTag)
 		if err != nil {
@@ -86,10 +97,10 @@ func TestRecvAnyTag(t *testing.T) {
 func TestSendValidation(t *testing.T) {
 	w, _ := NewWorld(2)
 	c, _ := w.Comm(0)
-	if err := c.Send(5, 0, nil); err == nil {
+	if err := c.Send(5, tagInvalid, nil); err == nil {
 		t.Error("send to invalid rank accepted")
 	}
-	if _, err := c.Recv(5, 0); err == nil {
+	if _, err := c.Recv(5, tagInvalid); err == nil {
 		t.Error("recv from invalid rank accepted")
 	}
 }
@@ -226,9 +237,9 @@ func TestTrafficStats(t *testing.T) {
 	w, _ := NewWorld(2)
 	err := w.Run(func(c *Comm) error {
 		if c.Rank() == 0 {
-			return c.Send(1, 1, make([]float64, 100))
+			return c.Send(1, tagTraffic, make([]float64, 100))
 		}
-		_, err := c.Recv(0, 1)
+		_, err := c.Recv(0, tagTraffic)
 		return err
 	})
 	if err != nil {
@@ -265,17 +276,17 @@ func TestRingExchangeNoDeadlock(t *testing.T) {
 	err := w.Run(func(c *Comm) error {
 		right := (c.Rank() + 1) % p
 		left := (c.Rank() + p - 1) % p
-		if err := c.Send(right, 5, []float64{float64(c.Rank())}); err != nil {
+		if err := c.Send(right, tagRingCW, []float64{float64(c.Rank())}); err != nil {
 			return err
 		}
-		if err := c.Send(left, 6, []float64{float64(c.Rank())}); err != nil {
+		if err := c.Send(left, tagRingCCW, []float64{float64(c.Rank())}); err != nil {
 			return err
 		}
-		fromLeft, err := c.RecvFloat64s(left, 5)
+		fromLeft, err := c.RecvFloat64s(left, tagRingCW)
 		if err != nil {
 			return err
 		}
-		fromRight, err := c.RecvFloat64s(right, 6)
+		fromRight, err := c.RecvFloat64s(right, tagRingCCW)
 		if err != nil {
 			return err
 		}

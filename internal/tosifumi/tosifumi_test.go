@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"mdm/internal/units"
 	"mdm/internal/vec"
 )
 
@@ -137,7 +138,7 @@ func TestNaClPotentialWellDepth(t *testing.T) {
 	// spacing should be a deep well of several eV.
 	p := Default()
 	const d = 2.82
-	e := -14.399645/d + p.ShortEnergy(Na, Cl, d)
+	e := -units.Coulomb/d + p.ShortEnergy(Na, Cl, d)
 	if e > -4 || e < -6.5 {
 		t.Errorf("NaCl pair energy at %g Å = %g eV, want ≈ -5", d, e)
 	}

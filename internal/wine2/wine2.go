@@ -215,8 +215,8 @@ func (s *System) DFT(l float64, waves []ewald.Wave, pos []vec.V, q []float64) (s
 			qc := fixed.MulRound(qraw[j], cj, s.cfg.QFrac, trigFrac, prodFrac)
 			// Reduce to the accumulator precision before summing, as a
 			// fixed-width adder tree would.
-			qs = fixed.Convert(qs, fixed.F(30, prodFrac), fixed.F(30, s.cfg.AccFrac))
-			qc = fixed.Convert(qc, fixed.F(30, prodFrac), fixed.F(30, s.cfg.AccFrac))
+			qs = fixed.Convert(qs, fixed.WideFor(prodFrac), fixed.F(30, s.cfg.AccFrac))
+			qc = fixed.Convert(qc, fixed.WideFor(prodFrac), fixed.F(30, s.cfg.AccFrac))
 			accPlus += qs + qc
 			accMinus += qs - qc
 		}
@@ -289,7 +289,7 @@ func (s *System) IDFT(l float64, waves []ewald.Wave, sn, cn []float64, pos []vec
 			si, ci := s.trig.SinCos(ph, s.cfg.PosFrac)
 			t1 := fixed.MulRound(aC[w], si, s.cfg.CoefFrac, trigFrac, prodFrac)
 			t2 := fixed.MulRound(aS[w], ci, s.cfg.CoefFrac, trigFrac, prodFrac)
-			t := fixed.Convert(t1-t2, fixed.F(30, prodFrac), tF)
+			t := fixed.Convert(t1-t2, fixed.WideFor(prodFrac), tF)
 			ax += t * int64(waves[w].N[0])
 			ay += t * int64(waves[w].N[1])
 			az += t * int64(waves[w].N[2])

@@ -1,0 +1,31 @@
+#!/bin/sh
+# check.sh — the repository's full verification gate, as run by `make check`
+# and CI. Every step must pass; the script stops at the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> gofmt"
+unformatted=$(gofmt -l . | grep -v '^\.git/' || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> mdmvet (fixedformat singleprec mpitags unitsmix)"
+go run ./cmd/mdmvet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race (concurrency-bearing packages)"
+go test -race ./internal/mpi/... ./internal/core/...
+
+echo "==> all checks passed"
