@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet mdmvet race check fmt
+.PHONY: all build test bench vet mdmvet race chaos check fmt
 
 all: build
 
@@ -22,7 +22,12 @@ mdmvet:
 	$(GO) run ./cmd/mdmvet ./...
 
 race:
-	$(GO) test -race ./internal/mpi/... ./internal/core/...
+	$(GO) test -race ./internal/fault/... ./internal/mpi/... ./internal/core/...
+
+chaos:
+	$(GO) test -run 'Chaos|Resilient|FaultHook|RunProtocol|CheckpointFile|CheckpointTyped' \
+		./internal/core/... ./internal/wine2/... ./internal/mdgrape2/... \
+		./internal/md/... ./cmd/mdmsim/...
 
 fmt:
 	gofmt -w .

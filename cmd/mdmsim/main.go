@@ -4,17 +4,110 @@
 // temperature trace, energy conservation and step timing statistics.
 //
 //	mdmsim -cells 3 -t 1200 -nvt 200 -nve 100 -backend mdm
+//
+// The -faults flag injects a deterministic fault scenario into the machine
+// backend; with -checkpoint the run writes crash-safe periodic checkpoints
+// and automatically restarts from the last one after a fatal host fault:
+//
+//	mdmsim -faults "wine2:board-drop@step=60,board=2; run:fatal@step=90" \
+//	       -checkpoint run.ckpt -checkpoint-every 25
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"mdm"
+	"mdm/internal/fault"
 	"mdm/internal/md"
 )
+
+// runOpts is the protocol schedule and resilience policy of one invocation.
+type runOpts struct {
+	nvt, nve    int
+	ckptPath    string // "" disables checkpointing (and restarts)
+	ckptEvery   int
+	maxRestarts int
+	frame       func(sim *mdm.Simulation, stage string) error
+	logf        func(format string, args ...any)
+}
+
+// checkpoint writes the crash-safe checkpoint if one is configured.
+func (o *runOpts) checkpoint(sim *mdm.Simulation) error {
+	if o.ckptPath == "" {
+		return nil
+	}
+	return md.WriteCheckpointFile(o.ckptPath, sim.System, sim.Integrator.StepCount())
+}
+
+// runSegments advances sim from wherever its step counter stands through the
+// rest of the NVT+NVE protocol, checkpointing every ckptEvery steps.
+func runSegments(sim *mdm.Simulation, o *runOpts) error {
+	chunked := func(run func(int) error, until int) error {
+		for {
+			done := sim.Integrator.StepCount()
+			if done >= until {
+				return nil
+			}
+			n := until - done
+			if o.ckptPath != "" && o.ckptEvery > 0 && n > o.ckptEvery {
+				n = o.ckptEvery
+			}
+			if err := run(n); err != nil {
+				return err
+			}
+			if err := o.checkpoint(sim); err != nil {
+				return err
+			}
+		}
+	}
+	if err := chunked(sim.RunNVT, o.nvt); err != nil {
+		return err
+	}
+	if err := o.frame(sim, "after-nvt"); err != nil {
+		return err
+	}
+	return chunked(sim.RunNVE, o.nvt+o.nve)
+}
+
+// runProtocol drives the whole protocol with self-healing: a fatal injected
+// host fault triggers a restart from the last checkpoint (up to maxRestarts
+// times), reusing the simulation's fault schedule so the fatal does not
+// refire. It returns the final simulation, which differs from the argument
+// after a restart.
+func runProtocol(sim *mdm.Simulation, o *runOpts) (*mdm.Simulation, int, error) {
+	// Seed the checkpoint before the first step so a fault in the first
+	// chunk still has a restart point.
+	if err := o.checkpoint(sim); err != nil {
+		return sim, 0, err
+	}
+	restarts := 0
+	for {
+		err := runSegments(sim, o)
+		if err == nil {
+			return sim, restarts, nil
+		}
+		var fe *fault.FatalError
+		if o.ckptPath == "" || restarts >= o.maxRestarts || !errors.As(err, &fe) {
+			return sim, restarts, err
+		}
+		restarts++
+		sys, step, rerr := md.ReadCheckpointFile(o.ckptPath)
+		if rerr != nil {
+			return sim, restarts, fmt.Errorf("restarting after %v: %w", err, rerr)
+		}
+		o.logf("fatal fault (%v): restart %d/%d from checkpoint at step %d",
+			err, restarts, o.maxRestarts, step)
+		resumed, rerr := mdm.ResumeSimulation(sim, sys, step)
+		if rerr != nil {
+			return sim, restarts, rerr
+		}
+		sim = resumed
+	}
+}
 
 func main() {
 	cells := flag.Int("cells", 2, "rock-salt cells per side (N = 8·cells³)")
@@ -26,6 +119,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "velocity seed")
 	every := flag.Int("every", 10, "print a sample every k steps")
 	xyz := flag.String("xyz", "", "write an XYZ trajectory frame every k steps to this file")
+	faults := flag.String("faults", "", `fault scenario, e.g. "wine2:board-drop@step=60,board=2; run:fatal@step=90"`)
+	ckpt := flag.String("checkpoint", "", "crash-safe checkpoint file (enables restart after fatal faults)")
+	ckptEvery := flag.Int("checkpoint-every", 25, "steps between checkpoints")
+	maxRestarts := flag.Int("max-restarts", 3, "restarts from checkpoint after fatal faults")
 	flag.Parse()
 
 	var be mdm.Backend
@@ -38,6 +135,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown backend %q\n", *backend)
 		os.Exit(2)
 	}
+	if *faults != "" && be != mdm.BackendMDM {
+		fmt.Fprintln(os.Stderr, "-faults requires the mdm backend")
+		os.Exit(2)
+	}
 
 	sim, err := mdm.NewSimulation(mdm.Config{
 		Cells:          *cells,
@@ -46,6 +147,7 @@ func main() {
 		Backend:        be,
 		Seed:           *seed,
 		PotentialEvery: 1,
+		Faults:         *faults,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -57,7 +159,11 @@ func main() {
 	fmt.Printf("system: %d NaCl ions in a %.2f Å box, backend %s\n", sim.N(), p.L, be)
 	fmt.Printf("ewald:  alpha=%.2f r_cut=%.2f Å Lk_cut=%.2f (N_wv ≈ %.0f)\n",
 		p.Alpha, p.RCut, p.LKCut, p.NWv())
-	fmt.Printf("run:    %d NVT + %d NVE steps of %.1f fs at %.0f K\n\n", *nvt, *nve, *dt, *temp)
+	fmt.Printf("run:    %d NVT + %d NVE steps of %.1f fs at %.0f K\n", *nvt, *nve, *dt, *temp)
+	if *faults != "" {
+		fmt.Printf("faults: %s\n", *faults)
+	}
+	fmt.Println()
 
 	var traj *os.File
 	if *xyz != "" {
@@ -75,28 +181,37 @@ func main() {
 			}
 		}()
 	}
-	writeFrame := func(stage string) {
-		if traj == nil {
-			return
-		}
-		if err := md.WriteXYZ(traj, sim.System, stage); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	o := &runOpts{
+		nvt:         *nvt,
+		nve:         *nve,
+		ckptPath:    *ckpt,
+		ckptEvery:   *ckptEvery,
+		maxRestarts: *maxRestarts,
+		frame: func(sim *mdm.Simulation, stage string) error {
+			if traj == nil {
+				return nil
+			}
+			return md.WriteXYZ(traj, sim.System, stage)
+		},
+		logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
 	}
 
 	start := time.Now()
-	writeFrame("initial")
-	if err := sim.RunNVT(*nvt); err != nil {
+	if err := o.frame(sim, "initial"); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	writeFrame("after-nvt")
-	if err := sim.RunNVE(*nve); err != nil {
+	sim, restarts, err := runProtocol(sim, o)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	writeFrame("final")
+	if err := o.frame(sim, "final"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	elapsed := time.Since(start)
 
 	fmt.Printf("%8s %10s %12s %12s %14s %9s\n", "step", "t (ps)", "T (K)", "KE (eV)", "PE (eV)", "E (eV)")
@@ -111,6 +226,13 @@ func main() {
 	mean, std := sim.TemperatureStats()
 	fmt.Printf("\ntemperature: %.1f ± %.1f K (sigma/mean = %.4f)\n", mean, std, std/mean)
 	fmt.Printf("NVE energy drift: %.3g relative (paper: < 5e-7 over 2 ps at N = 1.88e7)\n", sim.EnergyDrift())
+	if rep, ok := sim.FaultReport(); ok {
+		fmt.Printf("fault recovery: %d retries, %d re-stripes, %d suspect steps, %d fallback steps, %d restarts\n",
+			rep.Retries, rep.Restripes, rep.SuspectSteps, rep.FallbackSteps, restarts)
+		for _, e := range rep.Events {
+			fmt.Printf("  %s\n", e)
+		}
+	}
 	steps := *nvt + *nve
 	fmt.Printf("wall clock: %.2f s total, %.1f ms/step for N=%d\n",
 		elapsed.Seconds(), elapsed.Seconds()*1000/float64(steps), sim.N())

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mdm"
+	"mdm/internal/md"
+)
+
+// A fatal host fault mid-run must be healed by restarting from the last
+// periodic checkpoint, and the restarted run must finish the full protocol.
+func TestRunProtocolRestartsAfterFatalFault(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	sim, err := mdm.NewSimulation(mdm.Config{
+		Cells:  2,
+		Faults: "run:fatal@step=35",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs []string
+	o := &runOpts{
+		nvt:         20,
+		nve:         40,
+		ckptPath:    ckpt,
+		ckptEvery:   10,
+		maxRestarts: 2,
+		frame:       func(*mdm.Simulation, string) error { return nil },
+		logf:        func(f string, a ...any) { logs = append(logs, f) },
+	}
+	final, restarts, err := runProtocol(sim, o)
+	defer func() { _ = final.Free() }()
+	if err != nil {
+		t.Fatalf("protocol did not heal: %v", err)
+	}
+	if restarts != 1 {
+		t.Errorf("restarts = %d, want 1", restarts)
+	}
+	if len(logs) != 1 || !strings.Contains(logs[0], "restart") {
+		t.Errorf("restart not logged: %v", logs)
+	}
+	if got := final.Integrator.StepCount(); got != 60 {
+		t.Errorf("final step = %d, want 60", got)
+	}
+	if final == sim {
+		t.Error("restart did not rebuild the simulation")
+	}
+	// The last checkpoint records the completed run.
+	_, step, err := md.ReadCheckpointFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 60 {
+		t.Errorf("checkpoint step = %d, want 60", step)
+	}
+	rep, ok := final.FaultReport()
+	if !ok || rep.Fallback {
+		t.Errorf("fault report after restart: ok=%v rep=%+v", ok, rep)
+	}
+	// The pre-restart history (including the fatal) survives the restart.
+	if len(rep.Events) == 0 || !strings.Contains(strings.Join(rep.Events, "\n"), "fatal") {
+		t.Errorf("restart lost the recovery history: %v", rep.Events)
+	}
+}
+
+// Without a checkpoint there is no restart point: the fatal fault must
+// surface instead of looping.
+func TestRunProtocolFatalWithoutCheckpointFails(t *testing.T) {
+	sim, err := mdm.NewSimulation(mdm.Config{
+		Cells:  2,
+		Faults: "run:fatal@step=5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sim.Free() }()
+	o := &runOpts{
+		nvt: 10, nve: 10, maxRestarts: 2,
+		frame: func(*mdm.Simulation, string) error { return nil },
+		logf:  func(string, ...any) {},
+	}
+	if _, _, err := runProtocol(sim, o); err == nil {
+		t.Fatal("fatal fault vanished without a checkpoint to restart from")
+	}
+}

@@ -12,9 +12,11 @@ const mpiPkg = "mdm/internal/mpi"
 // tagArgIndex maps the point-to-point methods of mpi.Comm to the position of
 // their tag argument.
 var tagArgIndex = map[string]int{
-	"Send":         1,
-	"Recv":         1,
-	"RecvFloat64s": 1,
+	"Send":               1,
+	"Recv":               1,
+	"RecvFloat64s":       1,
+	"RecvWithin":         1,
+	"RecvFloat64sWithin": 1,
 }
 
 // sendMethods marks which of those methods are the sending side.

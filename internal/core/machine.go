@@ -6,6 +6,7 @@ import (
 
 	"mdm/internal/cellindex"
 	"mdm/internal/ewald"
+	"mdm/internal/fault"
 	"mdm/internal/md"
 	"mdm/internal/mdgrape2"
 	"mdm/internal/tosifumi"
@@ -62,6 +63,11 @@ type MachineConfig struct {
 	// MDGRAPE-2 potential mode (four φ-table passes) instead of the host
 	// float64 path.
 	HardwarePotential bool
+
+	// FaultHook, when non-nil, is installed on both simulated backends (and
+	// on every per-rank session of the parallel path) so a fault.Injector can
+	// fail or corrupt hardware calls. Nil disables injection.
+	FaultHook fault.HardwareHook
 }
 
 // CurrentMachineConfig returns the July-2000 MDM (45 Tflops WINE-2 +
@@ -126,6 +132,7 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	mr1.SetFaultHook(cfg.FaultHook)
 	boards := cfg.MDGBoards
 	if boards == 0 {
 		boards = cfg.MDG.Boards()
@@ -188,6 +195,7 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	lib.SetFaultHook(cfg.FaultHook)
 	wboards := cfg.WineBoards
 	if wboards == 0 {
 		wboards = cfg.Wine.Boards()

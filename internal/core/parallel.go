@@ -386,13 +386,19 @@ func mdgrape2Grid(p ewald.Params) (*cellindex.Grid, error) {
 }
 
 // newRankMDG builds an MR1 session over one rank's share of the MDGRAPE-2
-// boards, with the four kernel tables loaded.
+// boards (cfg.MDGBoards when set, so a re-stripe after a dropout shrinks
+// every rank's share), with the four kernel tables loaded.
 func newRankMDG(cfg MachineConfig, nReal, rank int) (*mdgrape2.MR1, error) {
 	m, err := mdgrape2.NewMR1(cfg.MDG)
 	if err != nil {
 		return nil, err
 	}
-	boards := cfg.MDG.Boards() / nReal
+	m.SetFaultHook(cfg.FaultHook)
+	total := cfg.MDGBoards
+	if total == 0 {
+		total = cfg.MDG.Boards()
+	}
+	boards := total / nReal
 	if boards < 1 {
 		boards = 1
 	}
@@ -427,13 +433,19 @@ func newRankMDG(cfg MachineConfig, nReal, rank int) (*mdgrape2.MR1, error) {
 }
 
 // newRankWine builds a WINE-2 library session over one rank's share of the
-// boards.
+// boards (cfg.WineBoards when set, so a re-stripe after a dropout shrinks
+// every rank's share).
 func newRankWine(cfg MachineConfig, nWave, rank int) (*wine2.Library, error) {
 	lib, err := wine2.NewLibrary(cfg.Wine)
 	if err != nil {
 		return nil, err
 	}
-	boards := cfg.Wine.Boards() / nWave
+	lib.SetFaultHook(cfg.FaultHook)
+	total := cfg.WineBoards
+	if total == 0 {
+		total = cfg.Wine.Boards()
+	}
+	boards := total / nWave
 	if boards < 1 {
 		boards = 1
 	}

@@ -1,0 +1,412 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"mdm/internal/ewald"
+	"mdm/internal/fault"
+	"mdm/internal/md"
+	"mdm/internal/mpi"
+	"mdm/internal/vec"
+)
+
+// Guards are the force-sanity thresholds that classify a completed step as
+// suspect. Non-finite forces or potentials are always rejected; the numeric
+// thresholds are opt-in (zero disables).
+type Guards struct {
+	// MaxForce rejects a step whose largest force component magnitude
+	// exceeds it — the signature of a bit flip in a high exponent bit.
+	MaxForce float64
+	// MaxPotJump rejects a step whose potential moved more than this from
+	// the last accepted step — the energy-drift watchdog.
+	MaxPotJump float64
+}
+
+// RecoveryConfig tunes the Resilient recovery policy.
+type RecoveryConfig struct {
+	// MaxRetries bounds per-step hardware retries. Zero means the default
+	// (3); negative disables retries.
+	MaxRetries int
+	// Backoff is the base delay before a retry; it doubles per attempt and
+	// is capped at one second. Zero retries immediately.
+	Backoff time.Duration
+	Guards  Guards
+	// Injector, when set, drives the fault schedule: Resilient advances its
+	// step clock and installs it as the hardware hook. It is also how the
+	// recovery loop is chaos-tested.
+	Injector *fault.Injector
+}
+
+const defaultMaxRetries = 3
+
+// RunReport is the recovery audit trail of a run. Under a deterministic
+// fault schedule the whole report — counts and event log — is reproducible.
+type RunReport struct {
+	Steps          int      // force evaluations served
+	Retries        int      // hardware retries performed
+	Restripes      int      // board dropouts survived by re-striping
+	SuspectSteps   int      // steps rejected by the sanity guards
+	FallbackSteps  int      // steps served by the host reference path
+	WineBoardsLost int      // WINE-2 boards marked dead
+	MDGBoardsLost  int      // MDGRAPE-2 boards marked dead
+	Fallback       bool     // permanently degraded to the host path
+	Events         []string // recovery log, one line per transition
+}
+
+// errSuspect marks a guard rejection so the retry logic can classify it.
+var errSuspect = errors.New("core: suspect step")
+
+// hwEngine is the hardware path under the recovery policy: the serial
+// Machine or the §4 parallel layout.
+type hwEngine interface {
+	forces(s *md.System) ([]vec.V, float64, error)
+	// restripe drops one board at the given site and re-partitions the work
+	// across the survivors; it reports false when no capacity remains.
+	restripe(site fault.Site) (bool, error)
+	free() error
+}
+
+// serialEngine runs the single-process Machine and rebuilds it with one
+// fewer board after a dropout (the paper's striping makes the re-partition a
+// pure re-initialization).
+type serialEngine struct {
+	cfg MachineConfig
+	m   *Machine
+}
+
+func newSerialEngine(cfg MachineConfig) (*serialEngine, error) {
+	if cfg.WineBoards == 0 {
+		cfg.WineBoards = cfg.Wine.Boards()
+	}
+	if cfg.MDGBoards == 0 {
+		cfg.MDGBoards = cfg.MDG.Boards()
+	}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &serialEngine{cfg: cfg, m: m}, nil
+}
+
+func (e *serialEngine) forces(s *md.System) ([]vec.V, float64, error) { return e.m.Forces(s) }
+
+func (e *serialEngine) restripe(site fault.Site) (bool, error) {
+	switch site {
+	case fault.WINE2:
+		if e.cfg.WineBoards <= 1 {
+			return false, nil
+		}
+		e.cfg.WineBoards--
+	case fault.MDG2:
+		if e.cfg.MDGBoards <= 1 {
+			return false, nil
+		}
+		e.cfg.MDGBoards--
+	default:
+		return false, nil
+	}
+	_ = e.m.Free()
+	m, err := NewMachine(e.cfg)
+	if err != nil {
+		return false, err
+	}
+	e.m = m
+	return true, nil
+}
+
+func (e *serialEngine) free() error { return e.m.Free() }
+
+// parallelEngine runs the §4 process layout. Rank sessions are rebuilt on
+// every step, so a re-stripe only shrinks the board counts; the world's
+// inboxes are drained before each attempt so an aborted step's stragglers
+// cannot pollute the retry.
+type parallelEngine struct {
+	cfg          MachineConfig
+	world        *mpi.World
+	nReal, nWave int
+}
+
+func (e *parallelEngine) forces(s *md.System) ([]vec.V, float64, error) {
+	e.world.Reset()
+	res, err := ParallelForces(e.world, e.cfg, e.nReal, e.nWave, s)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Forces, res.Potential, nil
+}
+
+func (e *parallelEngine) restripe(site fault.Site) (bool, error) {
+	switch site {
+	case fault.WINE2:
+		if e.cfg.WineBoards == 0 {
+			e.cfg.WineBoards = e.cfg.Wine.Boards()
+		}
+		if e.cfg.WineBoards-1 < e.nWave {
+			return false, nil // fewer boards than wave processes
+		}
+		e.cfg.WineBoards--
+	case fault.MDG2:
+		if e.cfg.MDGBoards == 0 {
+			e.cfg.MDGBoards = e.cfg.MDG.Boards()
+		}
+		if e.cfg.MDGBoards-1 < e.nReal {
+			return false, nil
+		}
+		e.cfg.MDGBoards--
+	default:
+		return false, nil
+	}
+	return true, nil
+}
+
+func (e *parallelEngine) free() error { return nil }
+
+// Resilient wraps a hardware force path in the recovery policy of the
+// ISSUE's degradation ladder: sanity guards classify a completed step as
+// suspect; suspect or transiently-failed steps are retried with bounded
+// backoff; a board dropout marks the board dead and re-stripes the work
+// across the survivors; when no hardware capacity remains (or a step's
+// retry budget is spent) the calculation degrades to the host float64
+// reference path. Every transition is recorded in the RunReport.
+//
+// Resilient implements md.ForceField, so it drops into the integrator in
+// place of Machine. The host fallback applies the Reference r_cut pair sum,
+// so forces differ from the cutoff-free machine path by the (tiny)
+// beyond-cutoff tail — acceptable for a degraded mode.
+type Resilient struct {
+	rc      RecoveryConfig
+	eng     hwEngine
+	p       ewald.Params
+	ref     *Reference
+	step    int
+	lastPot float64
+	havePot bool
+	report  RunReport
+}
+
+// NewResilient builds the recovery layer over the single-process Machine.
+func NewResilient(cfg MachineConfig, rc RecoveryConfig) (*Resilient, error) {
+	if rc.Injector != nil {
+		cfg.FaultHook = rc.Injector
+	}
+	eng, err := newSerialEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Resilient{rc: rc, eng: eng, p: cfg.Ewald}, nil
+}
+
+// NewResilientParallel builds the recovery layer over the §4 parallel
+// layout (nReal real-space + nWave wavenumber processes on world). The
+// injector, when present, is installed as both the hardware hook of every
+// rank session and the world's message-layer fault hook.
+func NewResilientParallel(cfg MachineConfig, rc RecoveryConfig, world *mpi.World, nReal, nWave int) (*Resilient, error) {
+	if world.Size() != nReal+nWave {
+		return nil, fmt.Errorf("core: world size %d != %d real + %d wave", world.Size(), nReal, nWave)
+	}
+	if rc.Injector != nil {
+		cfg.FaultHook = rc.Injector
+		world.SetFaultHook(rc.Injector)
+	}
+	eng := &parallelEngine{cfg: cfg, world: world, nReal: nReal, nWave: nWave}
+	return &Resilient{rc: rc, eng: eng, p: cfg.Ewald}, nil
+}
+
+// SetStep positions the step clock (e.g. when resuming from a checkpoint),
+// so step-keyed fault events line up with the simulation step.
+func (r *Resilient) SetStep(n int) { r.step = n }
+
+// Step returns the current force-evaluation index (1-based).
+func (r *Resilient) Step() int { return r.step }
+
+// Report returns a copy of the recovery audit trail.
+func (r *Resilient) Report() RunReport {
+	rep := r.report
+	rep.Events = append([]string(nil), r.report.Events...)
+	return rep
+}
+
+// AdoptReport seeds the audit trail from a previous incarnation — the
+// checkpoint-restart path — so recovery history survives a restart. Steps
+// keeps counting force evaluations actually served, including any replayed
+// between the checkpoint and the fatal fault.
+func (r *Resilient) AdoptReport(rep RunReport) {
+	rep.Events = append([]string(nil), rep.Events...)
+	r.report = rep
+}
+
+// Free releases the underlying hardware sessions.
+func (r *Resilient) Free() error { return r.eng.free() }
+
+func (r *Resilient) maxRetries() int {
+	if r.rc.MaxRetries == 0 {
+		return defaultMaxRetries
+	}
+	if r.rc.MaxRetries < 0 {
+		return 0
+	}
+	return r.rc.MaxRetries
+}
+
+func (r *Resilient) logf(format string, args ...any) {
+	r.report.Events = append(r.report.Events, fmt.Sprintf(format, args...))
+}
+
+// backoff sleeps before the n-th retry (n ≥ 1): Backoff·2^(n-1), capped at
+// one second.
+func (r *Resilient) backoff(n int) {
+	if r.rc.Backoff <= 0 {
+		return
+	}
+	d := r.rc.Backoff << (n - 1)
+	if d > time.Second {
+		d = time.Second
+	}
+	time.Sleep(d)
+}
+
+// retryable reports whether an error is worth retrying on the same
+// hardware: transient chip errors, link errors, message-layer timeouts,
+// desyncs and cancellation echoes, and guard rejections (the flipped bit is
+// gone on the next pass).
+func retryable(err error) bool {
+	var te *fault.TransientError
+	var le *fault.LinkError
+	return errors.As(err, &te) || errors.As(err, &le) ||
+		errors.Is(err, mpi.ErrTimeout) || errors.Is(err, mpi.ErrCanceled) ||
+		errors.Is(err, mpi.ErrTagMismatch) || errors.Is(err, errSuspect)
+}
+
+// classify renders an error for the event log in a form that is stable
+// across goroutine interleavings: a dropped message surfaces on the parallel
+// path as a timeout, a cancellation echo, or a tag desync depending on
+// timing, so those collapse to one label.
+func classify(err error) string {
+	var te *fault.TransientError
+	if errors.As(err, &te) {
+		return fmt.Sprintf("%s transient error", te.Site)
+	}
+	var le *fault.LinkError
+	if errors.As(err, &le) {
+		return fmt.Sprintf("link error %d→%d", le.Src, le.Dst)
+	}
+	if errors.Is(err, errSuspect) {
+		return err.Error()
+	}
+	if errors.Is(err, mpi.ErrTimeout) || errors.Is(err, mpi.ErrCanceled) || errors.Is(err, mpi.ErrTagMismatch) {
+		return "message-layer fault"
+	}
+	return "hardware fault"
+}
+
+// suspectReason applies the sanity guards to a completed step; it returns a
+// non-empty reason when the step must be rejected.
+func (r *Resilient) suspectReason(f []vec.V, pot float64) string {
+	maxAbs := 0.0
+	for i := range f {
+		for _, v := range [3]float64{f[i].X, f[i].Y, f[i].Z} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return "non-finite force"
+			}
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	if math.IsNaN(pot) || math.IsInf(pot, 0) {
+		return "non-finite potential"
+	}
+	if g := r.rc.Guards.MaxForce; g > 0 && maxAbs > g {
+		return fmt.Sprintf("force spike %.3g > %.3g", maxAbs, g)
+	}
+	if g := r.rc.Guards.MaxPotJump; g > 0 && r.havePot && math.Abs(pot-r.lastPot) > g {
+		return fmt.Sprintf("potential jump %.3g > %.3g", math.Abs(pot-r.lastPot), g)
+	}
+	return ""
+}
+
+// hostForces serves a step from the float64 reference path.
+func (r *Resilient) hostForces(s *md.System) ([]vec.V, float64, error) {
+	if r.ref == nil {
+		ref, err := NewReference(r.p)
+		if err != nil {
+			return nil, 0, err
+		}
+		r.ref = ref
+	}
+	f, pot, err := r.ref.Forces(s)
+	if err == nil {
+		r.havePot = true
+		r.lastPot = pot
+	}
+	return f, pot, err
+}
+
+// Forces implements md.ForceField with the full recovery ladder.
+func (r *Resilient) Forces(s *md.System) ([]vec.V, float64, error) {
+	r.step++
+	r.report.Steps++
+	if in := r.rc.Injector; in != nil {
+		in.BeginStep(r.step)
+		if err := in.StepFault(); err != nil {
+			r.logf("step %d: fatal host fault: %v", r.step, err)
+			return nil, 0, err
+		}
+	}
+	if r.report.Fallback {
+		r.report.FallbackSteps++
+		return r.hostForces(s)
+	}
+	retries := 0
+	for {
+		f, pot, err := r.eng.forces(s)
+		if err == nil {
+			if reason := r.suspectReason(f, pot); reason != "" {
+				r.report.SuspectSteps++
+				err = fmt.Errorf("%w: %s", errSuspect, reason)
+			} else {
+				r.havePot = true
+				r.lastPot = pot
+				return f, pot, nil
+			}
+		}
+		var be *fault.BoardError
+		if errors.As(err, &be) {
+			switch be.Site {
+			case fault.WINE2:
+				r.report.WineBoardsLost++
+			case fault.MDG2:
+				r.report.MDGBoardsLost++
+			}
+			ok, rerr := r.eng.restripe(be.Site)
+			if rerr != nil {
+				return nil, 0, rerr
+			}
+			if ok {
+				r.report.Restripes++
+				r.logf("step %d: %s board %d dead, re-striped across survivors", r.step, be.Site, be.Board)
+				continue
+			}
+			r.report.Fallback = true
+			r.report.FallbackSteps++
+			r.logf("step %d: %s capacity exhausted, degrading to host reference path", r.step, be.Site)
+			return r.hostForces(s)
+		}
+		if !retryable(err) {
+			return nil, 0, err // config/validation error: not the hardware's fault
+		}
+		if retries < r.maxRetries() {
+			retries++
+			r.report.Retries++
+			r.logf("step %d: retry %d after %s", r.step, retries, classify(err))
+			r.backoff(retries)
+			continue
+		}
+		r.report.FallbackSteps++
+		r.logf("step %d: retry budget spent (%s), host fallback for this step", r.step, classify(err))
+		return r.hostForces(s)
+	}
+}

@@ -1,0 +1,448 @@
+// Package fault is the deterministic fault-injection layer of the MDM
+// reproduction. The paper's headline run held 2,304 ASIC chips busy for 36.5
+// hours (§5); at that scale the machine's real enemy is not flops but a flaky
+// board, a hung Myrinet link, or a bit flip mid-stream — the GRAPE lineage
+// papers treat chip-count-versus-reliability as an explicit design axis. This
+// package provides the *schedule* of such faults: a scriptable, seeded
+// Injector whose hooks are threaded into the simulated hardware
+// (internal/wine2, internal/mdgrape2) and the message-passing substrate
+// (internal/mpi), so the recovery policy in internal/core can be exercised
+// end-to-end and reproducibly.
+//
+// Determinism contract: every event fires exactly once, at a position fixed
+// by the scenario (a per-site hardware call count, a simulation step, or a
+// per-(src,dst) message count). Scheduling events in distinct steps
+// guarantees bit-identical recovery reports across runs even on the parallel
+// path, where goroutine interleaving decides which *rank* observes a fault
+// but never *whether* or *when* (in steps) it fires.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Site identifies an injection point in the machine stack.
+type Site string
+
+// The injectable subsystems.
+const (
+	WINE2 Site = "wine2" // wavenumber-space engine (internal/wine2)
+	MDG2  Site = "mdg"   // real-space engine (internal/mdgrape2)
+	MPI   Site = "mpi"   // message-passing substrate (internal/mpi)
+	Run   Site = "run"   // the run itself (fatal host faults)
+)
+
+// Kind enumerates the fault classes the injector can schedule.
+type Kind int
+
+// The fault classes.
+const (
+	// BoardDrop permanently kills one hardware board: every calculation call
+	// on the site fails with *BoardError until the host re-stripes the work
+	// across the surviving boards.
+	BoardDrop Kind = iota
+	// Transient fails exactly one hardware call with *TransientError; a
+	// retry succeeds.
+	Transient
+	// BitFlip corrupts one bit of one pipeline-memory word during one
+	// hardware call (a WINE-2 DFT accumulator or an MDGRAPE-2 force word).
+	BitFlip
+	// MsgDrop silently discards one MPI message on the wire.
+	MsgDrop
+	// MsgDelay stalls one MPI message in the link for DelayMS milliseconds.
+	MsgDelay
+	// MsgCorrupt flips one bit of one MPI message payload.
+	MsgCorrupt
+	// SendErr fails one MPI send with a transient link error.
+	SendErr
+	// RecvErr fails one MPI receive with a transient link error.
+	RecvErr
+	// Fatal kills the whole run at a step (host crash); only a
+	// restart-from-checkpoint recovers.
+	Fatal
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case BoardDrop:
+		return "board-drop"
+	case Transient:
+		return "transient"
+	case BitFlip:
+		return "bitflip"
+	case MsgDrop:
+		return "drop"
+	case MsgDelay:
+		return "delay"
+	case MsgCorrupt:
+		return "corrupt"
+	case SendErr:
+		return "senderr"
+	case RecvErr:
+		return "recverr"
+	case Fatal:
+		return "fatal"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	Site Site
+	Kind Kind
+
+	// Hardware scheduling (BoardDrop, Transient, BitFlip, Fatal): fire on
+	// the site's Call-th hardware call (Call > 0), or on the first call of
+	// simulation step Step (Step > 0, counted by Injector.BeginStep).
+	Call int64
+	Step int
+
+	// Board names the board killed by BoardDrop.
+	Board int
+	// Word and Bit locate a BitFlip / MsgCorrupt: Word indexes the corrupted
+	// memory word (wave index on WINE-2, flattened force component on
+	// MDGRAPE-2, float64 element of an MPI payload), Bit the bit within it.
+	Word int
+	Bit  int
+
+	// Message scheduling (MsgDrop, MsgDelay, MsgCorrupt, SendErr, RecvErr):
+	// fire on the Nth message of the (Src → Dst) pair. Per-pair counts are
+	// deterministic because each rank's sends are program-ordered.
+	Src, Dst int
+	Nth      int64
+
+	// DelayMS is the MsgDelay stall in milliseconds (bounded by MaxDelay).
+	DelayMS int
+}
+
+// String renders the event in the scenario DSL syntax (see Parse).
+func (e Event) String() string {
+	switch e.Kind {
+	case BoardDrop:
+		return fmt.Sprintf("%s:%s@%s,board=%d", e.Site, e.Kind, e.when(), e.Board)
+	case Transient, Fatal:
+		return fmt.Sprintf("%s:%s@%s", e.Site, e.Kind, e.when())
+	case BitFlip:
+		return fmt.Sprintf("%s:%s@%s,word=%d,bit=%d", e.Site, e.Kind, e.when(), e.Word, e.Bit)
+	case MsgDrop, SendErr, RecvErr:
+		return fmt.Sprintf("%s:%s@src=%d,dst=%d,n=%d", e.Site, e.Kind, e.Src, e.Dst, e.Nth)
+	case MsgDelay:
+		return fmt.Sprintf("%s:%s@src=%d,dst=%d,n=%d,ms=%d", e.Site, e.Kind, e.Src, e.Dst, e.Nth, e.DelayMS)
+	case MsgCorrupt:
+		return fmt.Sprintf("%s:%s@src=%d,dst=%d,n=%d,word=%d,bit=%d", e.Site, e.Kind, e.Src, e.Dst, e.Nth, e.Word, e.Bit)
+	}
+	return fmt.Sprintf("%s:%s", e.Site, e.Kind)
+}
+
+func (e Event) when() string {
+	if e.Call > 0 {
+		return fmt.Sprintf("call=%d", e.Call)
+	}
+	return fmt.Sprintf("step=%d", e.Step)
+}
+
+// validate reports scheduling errors in an event.
+func (e Event) validate() error {
+	switch e.Kind {
+	case BoardDrop, Transient, BitFlip:
+		if e.Site != WINE2 && e.Site != MDG2 {
+			return fmt.Errorf("fault: %s event on non-hardware site %q", e.Kind, e.Site)
+		}
+		if (e.Call > 0) == (e.Step > 0) {
+			return fmt.Errorf("fault: %s event needs exactly one of call= or step=", e.Kind)
+		}
+	case Fatal:
+		if e.Site != Run {
+			return fmt.Errorf("fault: fatal event must use site %q", Run)
+		}
+		if e.Step <= 0 {
+			return fmt.Errorf("fault: fatal event needs step=")
+		}
+	case MsgDrop, MsgDelay, MsgCorrupt, SendErr, RecvErr:
+		if e.Site != MPI {
+			return fmt.Errorf("fault: %s event on non-mpi site %q", e.Kind, e.Site)
+		}
+		if e.Src < 0 || e.Dst < 0 || e.Src == e.Dst {
+			return fmt.Errorf("fault: %s event needs distinct src= and dst=", e.Kind)
+		}
+		if e.Nth <= 0 {
+			return fmt.Errorf("fault: %s event needs n= (per-pair message count)", e.Kind)
+		}
+	default:
+		return fmt.Errorf("fault: unknown event kind %d", int(e.Kind))
+	}
+	return nil
+}
+
+// BoardError reports a permanently failed board. The recovery layer reacts
+// by re-striping work across the surviving boards.
+type BoardError struct {
+	Site  Site
+	Board int
+}
+
+// Error implements error.
+func (e *BoardError) Error() string {
+	return fmt.Sprintf("fault: %s board %d down", e.Site, e.Board)
+}
+
+// TransientError reports a one-shot hardware hiccup; a retry succeeds.
+type TransientError struct {
+	Site Site
+}
+
+// Error implements error.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("fault: transient %s error", e.Site)
+}
+
+// LinkError reports a transient message-passing failure (SendErr/RecvErr).
+type LinkError struct {
+	Src, Dst int
+}
+
+// Error implements error.
+func (e *LinkError) Error() string {
+	return fmt.Sprintf("fault: link %d→%d transient error", e.Src, e.Dst)
+}
+
+// FatalError reports an unrecoverable host fault; only a restart from the
+// last checkpoint continues the run.
+type FatalError struct {
+	Step int
+}
+
+// Error implements error.
+func (e *FatalError) Error() string {
+	return fmt.Sprintf("fault: fatal host fault at step %d", e.Step)
+}
+
+// Fate is the injector's verdict on one MPI message, consulted by the
+// substrate on every send when a hook is installed.
+type Fate struct {
+	Drop    bool          // discard the message on the wire
+	Delay   time.Duration // stall the link before delivery
+	Corrupt bool          // flip one payload bit
+	Word    int           // corrupted payload element (Corrupt only)
+	Bit     int           // corrupted bit within the element (Corrupt only)
+	Err     error         // fail the operation instead (nil = proceed)
+}
+
+// MaxDelay bounds injected message delays so a mis-scripted scenario cannot
+// stall a run longer than a deadline-equipped receiver would wait anyway.
+const MaxDelay = 5 * time.Second
+
+// HardwareHook is the injection surface the simulated hardware consults.
+// *Injector implements it; the hardware packages hold it as an interface so
+// they stay testable with local fakes.
+type HardwareHook interface {
+	// HardwareCall fires at the entry of every calculation call on a site.
+	// A non-nil return (typed *BoardError or *TransientError) makes the
+	// call fail.
+	HardwareCall(site Site) error
+	// PendingFlip reports a bit flip scheduled for the current call at the
+	// site and consumes it: the word index and bit to corrupt.
+	PendingFlip(site Site) (word, bit int, ok bool)
+}
+
+// Injector holds a fault schedule and the live counters it fires against.
+// All methods are safe for concurrent use by the SPMD rank goroutines.
+type Injector struct {
+	mu     sync.Mutex
+	events []*scheduled
+	step   int
+	calls  map[Site]int64
+	flips  map[Site]*scheduled // registered for the current call, unconsumed
+	sends  map[[2]int]int64
+	recvs  map[[2]int]int64
+	fired  []string
+}
+
+type scheduled struct {
+	Event
+	fired bool
+}
+
+// NewInjector builds an injector over a validated fault schedule.
+func NewInjector(events ...Event) (*Injector, error) {
+	in := &Injector{
+		calls: make(map[Site]int64),
+		flips: make(map[Site]*scheduled),
+		sends: make(map[[2]int]int64),
+		recvs: make(map[[2]int]int64),
+	}
+	for i, e := range events {
+		if err := e.validate(); err != nil {
+			return nil, fmt.Errorf("%w (event %d)", err, i)
+		}
+		in.events = append(in.events, &scheduled{Event: e})
+	}
+	return in, nil
+}
+
+// BeginStep advances the injector's step clock; step-keyed events arm for
+// the hardware calls that follow. The recovery layer calls it once per force
+// step.
+func (in *Injector) BeginStep(step int) {
+	in.mu.Lock()
+	in.step = step
+	in.mu.Unlock()
+}
+
+// StepFault reports a Fatal event scheduled for the current step, firing it.
+func (in *Injector) StepFault() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, e := range in.events {
+		if e.fired || e.Kind != Fatal || e.Step != in.step {
+			continue
+		}
+		in.fire(e)
+		return &FatalError{Step: in.step}
+	}
+	return nil
+}
+
+// HardwareCall implements HardwareHook.
+func (in *Injector) HardwareCall(site Site) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.calls[site]++
+	n := in.calls[site]
+	var failure *scheduled
+	for _, e := range in.events {
+		if e.fired || e.Site != site {
+			continue
+		}
+		switch e.Kind {
+		case BoardDrop, Transient, BitFlip:
+		default:
+			continue
+		}
+		if !(e.Call == n || (e.Call == 0 && e.Step > 0 && e.Step == in.step)) {
+			continue
+		}
+		if e.Kind == BitFlip {
+			// Arm the flip for this call; the pipeline consumes it via
+			// PendingFlip at its memory-readout point.
+			in.fire(e)
+			in.flips[site] = e
+			continue
+		}
+		if failure == nil {
+			failure = e
+		}
+	}
+	if failure == nil {
+		return nil
+	}
+	in.fire(failure)
+	switch failure.Kind {
+	case BoardDrop:
+		return &BoardError{Site: site, Board: failure.Board}
+	default:
+		return &TransientError{Site: site}
+	}
+}
+
+// PendingFlip implements HardwareHook.
+func (in *Injector) PendingFlip(site Site) (word, bit int, ok bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	e := in.flips[site]
+	if e == nil {
+		return 0, 0, false
+	}
+	delete(in.flips, site)
+	return e.Word, e.Bit, true
+}
+
+// SendFate decides the fate of the next (src → dst) message. It implements
+// the send half of the mpi fault-hook interface.
+func (in *Injector) SendFate(src, dst int) Fate {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	key := [2]int{src, dst}
+	in.sends[key]++
+	n := in.sends[key]
+	for _, e := range in.events {
+		if e.fired || e.Site != MPI || e.Src != src || e.Dst != dst || e.Nth != n {
+			continue
+		}
+		switch e.Kind {
+		case MsgDrop:
+			in.fire(e)
+			return Fate{Drop: true}
+		case MsgDelay:
+			d := time.Duration(e.DelayMS) * time.Millisecond
+			if d > MaxDelay {
+				d = MaxDelay
+			}
+			in.fire(e)
+			return Fate{Delay: d}
+		case MsgCorrupt:
+			in.fire(e)
+			return Fate{Corrupt: true, Word: e.Word, Bit: e.Bit}
+		case SendErr:
+			in.fire(e)
+			return Fate{Err: &LinkError{Src: src, Dst: dst}}
+		}
+	}
+	return Fate{}
+}
+
+// RecvError decides whether the next (src → dst) receive fails. It
+// implements the receive half of the mpi fault-hook interface.
+func (in *Injector) RecvError(src, dst int) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	key := [2]int{src, dst}
+	in.recvs[key]++
+	n := in.recvs[key]
+	for _, e := range in.events {
+		if e.fired || e.Site != MPI || e.Kind != RecvErr || e.Src != src || e.Dst != dst || e.Nth != n {
+			continue
+		}
+		in.fire(e)
+		return &LinkError{Src: src, Dst: dst}
+	}
+	return nil
+}
+
+// fire marks an event consumed and logs it. Callers hold in.mu.
+func (in *Injector) fire(e *scheduled) {
+	e.fired = true
+	in.fired = append(in.fired, fmt.Sprintf("step %d: %s", in.step, e.Event))
+}
+
+// Fired returns the log of fired events, in firing order.
+func (in *Injector) Fired() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]string, len(in.fired))
+	copy(out, in.fired)
+	return out
+}
+
+// Remaining returns how many scheduled events have not fired yet.
+func (in *Injector) Remaining() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, e := range in.events {
+		if !e.fired {
+			n++
+		}
+	}
+	return n
+}
+
+// FlipFloat64 flips one bit of a float64 — the corruption primitive shared
+// by the pipeline-memory and message-payload injection points.
+func FlipFloat64(v float64, bit int) float64 {
+	return math.Float64frombits(math.Float64bits(v) ^ 1<<uint(bit&63))
+}

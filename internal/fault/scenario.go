@@ -1,0 +1,169 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// The scenario DSL: semicolon-separated clauses, each
+//
+//	site:kind@key=value,key=value,...
+//
+// Sites: wine2, mdg, mpi, run. Kinds and their keys:
+//
+//	wine2:board-drop@step=3,board=2      kill WINE-2 board 2 in step 3
+//	mdg:transient@call=7                 fail the 7th MDGRAPE-2 call once
+//	wine2:bitflip@step=5,word=12,bit=40  flip bit 40 of DFT accumulator 12
+//	mpi:drop@src=1,dst=0,n=2             drop the 2nd message rank 1 → 0
+//	mpi:delay@src=0,dst=1,n=3,ms=50      stall that message 50 ms
+//	mpi:corrupt@src=0,dst=2,n=1,word=0,bit=7
+//	mpi:senderr@src=1,dst=0,n=4          transient link error on send
+//	mpi:recverr@src=1,dst=0,n=4          transient link error on receive
+//	run:fatal@step=100                   host crash: restart from checkpoint
+//
+// Hardware clauses take exactly one of call= (per-site hardware call count)
+// or step= (simulation step); message clauses address the n-th message of a
+// (src, dst) pair, which is deterministic because each rank's sends are
+// program-ordered.
+
+// kindNames maps DSL kind tokens to Kind values.
+var kindNames = map[string]Kind{
+	"board-drop": BoardDrop,
+	"transient":  Transient,
+	"bitflip":    BitFlip,
+	"drop":       MsgDrop,
+	"delay":      MsgDelay,
+	"corrupt":    MsgCorrupt,
+	"senderr":    SendErr,
+	"recverr":    RecvErr,
+	"fatal":      Fatal,
+}
+
+// siteNames maps DSL site tokens to Site values.
+var siteNames = map[string]Site{
+	string(WINE2): WINE2,
+	string(MDG2):  MDG2,
+	string(MPI):   MPI,
+	string(Run):   Run,
+}
+
+// Parse parses a scenario string into its fault schedule.
+func Parse(scenario string) ([]Event, error) {
+	var events []Event
+	for _, clause := range strings.Split(scenario, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		e, err := parseClause(clause)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.validate(); err != nil {
+			return nil, fmt.Errorf("%w in %q", err, clause)
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}
+
+// ParseInjector parses a scenario and builds its injector.
+func ParseInjector(scenario string) (*Injector, error) {
+	events, err := Parse(scenario)
+	if err != nil {
+		return nil, err
+	}
+	return NewInjector(events...)
+}
+
+func parseClause(clause string) (Event, error) {
+	head, args, hasArgs := strings.Cut(clause, "@")
+	siteTok, kindTok, ok := strings.Cut(head, ":")
+	if !ok {
+		return Event{}, fmt.Errorf("fault: clause %q: want site:kind@key=value,...", clause)
+	}
+	site, ok := siteNames[strings.TrimSpace(siteTok)]
+	if !ok {
+		return Event{}, fmt.Errorf("fault: clause %q: unknown site %q", clause, siteTok)
+	}
+	kind, ok := kindNames[strings.TrimSpace(kindTok)]
+	if !ok {
+		return Event{}, fmt.Errorf("fault: clause %q: unknown kind %q", clause, kindTok)
+	}
+	e := Event{Site: site, Kind: kind, Src: -1, Dst: -1}
+	if !hasArgs {
+		return e, nil
+	}
+	for _, kv := range strings.Split(args, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Event{}, fmt.Errorf("fault: clause %q: malformed key=value %q", clause, kv)
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("fault: clause %q: %s=%q is not an integer", clause, key, val)
+		}
+		switch strings.TrimSpace(key) {
+		case "call":
+			e.Call = n
+		case "step":
+			e.Step = int(n)
+		case "board":
+			e.Board = int(n)
+		case "word":
+			e.Word = int(n)
+		case "bit":
+			e.Bit = int(n)
+		case "src":
+			e.Src = int(n)
+		case "dst":
+			e.Dst = int(n)
+		case "n":
+			e.Nth = n
+		case "ms":
+			e.DelayMS = int(n)
+		default:
+			return Event{}, fmt.Errorf("fault: clause %q: unknown key %q", clause, key)
+		}
+	}
+	return e, nil
+}
+
+// RandomEvents draws a reproducible fault schedule: n events spread over
+// [1, steps], covering the hardware fault classes on both engines. The same
+// seed always yields the identical schedule (the determinism the acceptance
+// tests assert). Events land in distinct steps so recovery reports stay
+// bit-identical even on the parallel path.
+func RandomEvents(seed int64, steps, n int) []Event {
+	rng := rand.New(rand.NewSource(seed))
+	if n > steps {
+		n = steps
+	}
+	used := make(map[int]bool)
+	var events []Event
+	for len(events) < n {
+		step := 1 + rng.Intn(steps)
+		if used[step] {
+			continue
+		}
+		used[step] = true
+		site := WINE2
+		if rng.Intn(2) == 1 {
+			site = MDG2
+		}
+		var e Event
+		switch rng.Intn(3) {
+		case 0:
+			e = Event{Site: site, Kind: Transient, Step: step}
+		case 1:
+			e = Event{Site: site, Kind: BitFlip, Step: step,
+				Word: rng.Intn(64), Bit: 62 - rng.Intn(8)}
+		default:
+			e = Event{Site: site, Kind: BoardDrop, Step: step, Board: rng.Intn(8)}
+		}
+		events = append(events, e)
+	}
+	return events
+}

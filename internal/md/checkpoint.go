@@ -2,18 +2,44 @@ package md
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 
 	"mdm/internal/vec"
 )
 
 // Checkpointing: the host computer's file-I/O duty (§3.1) for restartable
 // runs — the paper's 36.5-hour campaign would have been unrecoverable
-// without it. The format is versioned JSON of the complete dynamical state.
+// without it. The format is versioned JSON of the complete dynamical state,
+// protected since version 2 by a CRC-32 so that a torn or bit-rotted file is
+// rejected instead of silently restarting a corrupted trajectory.
 
-// checkpointVersion identifies the on-disk format.
-const checkpointVersion = 1
+const (
+	// checkpointVersion is the format written today: version 1 plus a
+	// CRC-32C checksum over the payload.
+	checkpointVersion = 2
+	// oldCheckpointVersion is the checksum-less seed format, still accepted
+	// on read.
+	oldCheckpointVersion = 1
+)
+
+// Typed checkpoint failures, matched with errors.Is so callers (the mdmsim
+// restart loop in particular) can tell a useless file from a wrong-format
+// one.
+var (
+	// ErrCheckpointTruncated marks a file that ends mid-record — the
+	// signature of a crash during a non-atomic write.
+	ErrCheckpointTruncated = errors.New("md: checkpoint truncated")
+	// ErrCheckpointCorrupt marks a record whose checksum does not match its
+	// payload, or that does not parse at all.
+	ErrCheckpointCorrupt = errors.New("md: checkpoint corrupt")
+	// ErrCheckpointVersion marks a record from an unknown format version.
+	ErrCheckpointVersion = errors.New("md: unsupported checkpoint version")
+)
 
 type checkpoint struct {
 	Version int       `json:"version"`
@@ -24,6 +50,22 @@ type checkpoint struct {
 	Mass    []float64 `json:"mass"`
 	Charge  []float64 `json:"charge"`
 	Type    []int     `json:"type"`
+	// Checksum is the IEEE CRC-32 of the record serialized with this field
+	// zeroed. Version 1 files predate it.
+	Checksum uint32 `json:"crc32,omitempty"`
+}
+
+// payloadCRC computes the checksum of a record: the CRC-32 of its JSON
+// serialization with the Checksum field zeroed. encoding/json renders
+// float64 in shortest round-tripping form, so decode→re-encode is
+// byte-stable and the read side can recompute the same bytes.
+func payloadCRC(cp checkpoint) (uint32, error) {
+	cp.Checksum = 0
+	b, err := json.Marshal(cp)
+	if err != nil {
+		return 0, err
+	}
+	return crc32.ChecksumIEEE(b), nil
 }
 
 // WriteCheckpoint serializes the full dynamical state plus a step counter.
@@ -31,8 +73,7 @@ func WriteCheckpoint(w io.Writer, s *System, step int) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(checkpoint{
+	cp := checkpoint{
 		Version: checkpointVersion,
 		L:       s.L,
 		Step:    step,
@@ -41,17 +82,47 @@ func WriteCheckpoint(w io.Writer, s *System, step int) error {
 		Mass:    s.Mass,
 		Charge:  s.Charge,
 		Type:    s.Type,
-	})
+	}
+	sum, err := payloadCRC(cp)
+	if err != nil {
+		return err
+	}
+	cp.Checksum = sum
+	b, err := json.Marshal(cp)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
 }
 
-// ReadCheckpoint restores a System and its step counter.
+// ReadCheckpoint restores a System and its step counter. It accepts the
+// current checksummed format and the checksum-less version-1 files written
+// by earlier builds; failures carry ErrCheckpointTruncated,
+// ErrCheckpointCorrupt, or ErrCheckpointVersion.
 func ReadCheckpoint(r io.Reader) (*System, int, error) {
 	var cp checkpoint
 	if err := json.NewDecoder(r).Decode(&cp); err != nil {
-		return nil, 0, fmt.Errorf("md: reading checkpoint: %w", err)
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, 0, fmt.Errorf("%w: %v", ErrCheckpointTruncated, err)
+		}
+		return nil, 0, fmt.Errorf("%w: %v", ErrCheckpointCorrupt, err)
 	}
-	if cp.Version != checkpointVersion {
-		return nil, 0, fmt.Errorf("md: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	switch cp.Version {
+	case oldCheckpointVersion:
+		// Seed format: no checksum to verify.
+	case checkpointVersion:
+		sum, err := payloadCRC(cp)
+		if err != nil {
+			return nil, 0, err
+		}
+		if sum != cp.Checksum {
+			return nil, 0, fmt.Errorf("%w: crc32 %08x, recorded %08x", ErrCheckpointCorrupt, sum, cp.Checksum)
+		}
+	default:
+		return nil, 0, fmt.Errorf("%w: version %d, want %d (or legacy %d)",
+			ErrCheckpointVersion, cp.Version, checkpointVersion, oldCheckpointVersion)
 	}
 	s := &System{
 		L:      cp.L,
@@ -65,4 +136,51 @@ func ReadCheckpoint(r io.Reader) (*System, int, error) {
 		return nil, 0, fmt.Errorf("md: invalid checkpoint state: %w", err)
 	}
 	return s, cp.Step, nil
+}
+
+// WriteCheckpointFile writes a checkpoint crash-safely: the record goes to a
+// temporary file in the same directory, is fsynced, and is renamed over the
+// destination, so a crash at any instant leaves either the old complete file
+// or the new complete file — never a torn one. The directory is fsynced too
+// so the rename itself is durable.
+func WriteCheckpointFile(path string, s *System, step int) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			_ = f.Close()
+			_ = os.Remove(tmp)
+		}
+	}()
+	if err = WriteCheckpoint(f, s, step); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync() // best-effort: some filesystems reject directory fsync
+		_ = d.Close()
+	}
+	return nil
+}
+
+// ReadCheckpointFile restores a checkpoint written by WriteCheckpointFile.
+func ReadCheckpointFile(path string) (*System, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
 }

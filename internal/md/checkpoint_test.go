@@ -2,6 +2,10 @@ package md
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -95,6 +99,96 @@ func TestCheckpointErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteCheckpoint(&buf, bad, 0); err == nil {
 		t.Error("invalid state written")
+	}
+}
+
+func TestCheckpointTypedErrors(t *testing.T) {
+	s, _ := NewRockSalt(2, 5.64)
+	s.SetMaxwellVelocities(700, 5)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, s, 123); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// A write torn mid-record (the crash WriteCheckpointFile guards against).
+	_, _, err := ReadCheckpoint(bytes.NewReader(good[:len(good)/2]))
+	if !errors.Is(err, ErrCheckpointTruncated) {
+		t.Errorf("half a record: err = %v, want ErrCheckpointTruncated", err)
+	}
+	if _, _, err := ReadCheckpoint(strings.NewReader("")); !errors.Is(err, ErrCheckpointTruncated) {
+		t.Errorf("empty file: err = %v, want ErrCheckpointTruncated", err)
+	}
+
+	// Bit rot: still valid JSON, but the payload no longer matches the CRC.
+	rotted := bytes.Replace(good, []byte(`"step":123`), []byte(`"step":321`), 1)
+	if bytes.Equal(rotted, good) {
+		t.Fatal("corruption not applied")
+	}
+	if _, _, err := ReadCheckpoint(bytes.NewReader(rotted)); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("rotted record: err = %v, want ErrCheckpointCorrupt", err)
+	}
+	if _, _, err := ReadCheckpoint(strings.NewReader("not json")); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("garbage: err = %v, want ErrCheckpointCorrupt", err)
+	}
+
+	if _, _, err := ReadCheckpoint(strings.NewReader(`{"version":99}`)); !errors.Is(err, ErrCheckpointVersion) {
+		t.Errorf("future version: err = %v, want ErrCheckpointVersion", err)
+	}
+}
+
+func TestCheckpointLegacyV1Accepted(t *testing.T) {
+	// Files from the checksum-less seed format must keep loading.
+	s, _ := NewRockSalt(2, 5.64)
+	s.SetMaxwellVelocities(700, 5)
+	legacy, err := json.Marshal(checkpoint{
+		Version: oldCheckpointVersion,
+		L:       s.L, Step: 42,
+		Pos: s.Pos, Vel: s.Vel, Mass: s.Mass, Charge: s.Charge, Type: s.Type,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, step, err := ReadCheckpoint(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("v1 file rejected: %v", err)
+	}
+	if step != 42 || restored.N() != s.N() {
+		t.Errorf("v1 restore: step %d, N %d", step, restored.N())
+	}
+}
+
+func TestCheckpointFileAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	s, _ := NewRockSalt(2, 5.64)
+	s.SetMaxwellVelocities(700, 5)
+	if err := WriteCheckpointFile(path, s, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a later step: the rename must replace in place.
+	s.Pos[0].X += 0.25
+	if err := WriteCheckpointFile(path, s, 20); err != nil {
+		t.Fatal(err)
+	}
+	restored, step, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 20 || restored.Pos[0] != s.Pos[0] {
+		t.Errorf("got step %d, pos %v", step, restored.Pos[0])
+	}
+	// No temp litter: a crash-free write leaves exactly the checkpoint.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "run.ckpt" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("directory contents = %v, want [run.ckpt]", names)
 	}
 }
 

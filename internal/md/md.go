@@ -259,6 +259,10 @@ func (it *Integrator) Run(n int, observe func(step int) error) error {
 // StepCount returns the number of completed steps.
 func (it *Integrator) StepCount() int { return it.step }
 
+// SetStepCount positions the step counter, so a run resumed from a
+// checkpoint keeps the original step numbering and time axis.
+func (it *Integrator) SetStepCount(n int) { it.step = n }
+
 // Potential returns the potential energy at the current positions (eV).
 func (it *Integrator) Potential() float64 { return it.pot }
 

@@ -1,0 +1,116 @@
+package mdgrape2
+
+import (
+	"errors"
+	"testing"
+
+	"mdm/internal/cellindex"
+	"mdm/internal/fault"
+)
+
+func TestFaultHookTransientAbortsCall(t *testing.T) {
+	sys, _ := NewSystem(CurrentConfig())
+	if err := sys.LoadTable("ewald", ewaldG, -16, 8); err != nil {
+		t.Fatal(err)
+	}
+	in, err := fault.ParseInjector("mdg:transient@call=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetFaultHook(in)
+	pos, types, _ := naclSystem(8, 10, 1)
+	grid, _ := cellindex.NewGrid(10, 3)
+	js, _ := NewJSet(grid, pos, types)
+	co, _ := NewCoeffs(2, 0.25, 1)
+
+	_, err = sys.ComputeForces("ewald", co, pos, types, nil, js)
+	var te *fault.TransientError
+	if !errors.As(err, &te) || te.Site != fault.MDG2 {
+		t.Fatalf("call 1 = %v, want TransientError on mdg", err)
+	}
+	if _, err := sys.ComputeForces("ewald", co, pos, types, nil, js); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+}
+
+func TestFaultHookBitFlipPerturbsOneComponent(t *testing.T) {
+	pos, types, _ := naclSystem(8, 10, 1)
+	grid, _ := cellindex.NewGrid(10, 3)
+	js, _ := NewJSet(grid, pos, types)
+	co, _ := NewCoeffs(2, 0.25, 1)
+
+	clean, _ := NewSystem(CurrentConfig())
+	if err := clean.LoadTable("ewald", ewaldG, -16, 8); err != nil {
+		t.Fatal(err)
+	}
+	want, err := clean.ComputeForces("ewald", co, pos, types, nil, js)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys, _ := NewSystem(CurrentConfig())
+	if err := sys.LoadTable("ewald", ewaldG, -16, 8); err != nil {
+		t.Fatal(err)
+	}
+	// word=7 → particle 2, Y component (7 = 2*3 + 1).
+	in, err := fault.ParseInjector("mdg:bitflip@call=1,word=7,bit=51")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetFaultHook(in)
+	got, err := sys.ComputeForces("ewald", co, pos, types, nil, js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if i == 2 {
+			if got[i].X != want[i].X || got[i].Y == want[i].Y || got[i].Z != want[i].Z {
+				t.Errorf("particle 2: got %v want Y-only flip of %v", got[i], want[i])
+			}
+			continue
+		}
+		if got[i] != want[i] {
+			t.Errorf("particle %d perturbed: %v != %v", i, got[i], want[i])
+		}
+	}
+	// Consumed: next call is clean.
+	got, err = sys.ComputeForces("ewald", co, pos, types, nil, js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("particle %d still perturbed on second call", i)
+		}
+	}
+}
+
+func TestMR1FaultHookSurvivesReinit(t *testing.T) {
+	m, err := NewMR1(CurrentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := fault.ParseInjector("mdg:transient@call=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetFaultHook(in) // before Init
+	if err := m.AllocateBoards(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetTable("ewald", ewaldG, -16, 8); err != nil {
+		t.Fatal(err)
+	}
+	pos, types, _ := naclSystem(8, 10, 1)
+	grid, _ := cellindex.NewGrid(10, 3)
+	js, _ := NewJSet(grid, pos, types)
+	co, _ := NewCoeffs(2, 0.25, 1)
+	_, err = m.CalcVDWBlock2("ewald", co, pos, types, nil, js)
+	var te *fault.TransientError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want TransientError through MR1", err)
+	}
+}

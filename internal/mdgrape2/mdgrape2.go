@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"mdm/internal/cellindex"
+	"mdm/internal/fault"
 	"mdm/internal/funceval"
 	"mdm/internal/vec"
 )
@@ -121,6 +122,7 @@ type System struct {
 	cfg    Config
 	tables map[string]*funceval.Table
 	stats  Stats
+	hook   fault.HardwareHook
 }
 
 // NewSystem builds a simulated system.
@@ -139,6 +141,12 @@ func (s *System) Stats() Stats { return s.stats }
 
 // ResetStats clears the work counters.
 func (s *System) ResetStats() { s.stats = Stats{} }
+
+// SetFaultHook installs a fault injector on the simulated hardware. Every
+// ComputeForces call reports to the hook (site fault.MDG2) and may be failed
+// with a board or transient error; an armed bit flip lands in one returned
+// force component. A nil hook (the default) disables injection.
+func (s *System) SetFaultHook(h fault.HardwareHook) { s.hook = h }
 
 // LoadTable fits g(x) into a 1,024-segment function-evaluator table covering
 // at least [2^emin, 2^emax) and stores it in every chip's RAM under the given
@@ -297,6 +305,14 @@ func (s *System) ComputeForces(table string, co *Coeffs, xi []vec.V, ti []int, s
 			return nil, fmt.Errorf("mdgrape2: j-type %d outside coefficient RAM (%d types)", t, len(co.A))
 		}
 	}
+	// Fault injection: a scheduled board/transient error aborts the call; an
+	// armed bit flip corrupts one force component after the pipeline loop,
+	// where a flipped particle-memory or accumulator bit would surface.
+	if s.hook != nil {
+		if err := s.hook.HardwareCall(fault.MDG2); err != nil {
+			return nil, err
+		}
+	}
 
 	grid := js.Sorted.Grid
 	forces := make([]vec.V, len(xi))
@@ -351,6 +367,24 @@ func (s *System) ComputeForces(table string, co *Coeffs, xi []vec.V, ti []int, s
 			f = f.Scale(scaleI[i])
 		}
 		forces[i] = f
+	}
+
+	if s.hook != nil && len(forces) > 0 {
+		if word, bit, ok := s.hook.PendingFlip(fault.MDG2); ok {
+			i := word % (3 * len(forces))
+			if i < 0 {
+				i += 3 * len(forces)
+			}
+			f := &forces[i/3]
+			switch i % 3 {
+			case 0:
+				f.X = fault.FlipFloat64(f.X, bit&63)
+			case 1:
+				f.Y = fault.FlipFloat64(f.Y, bit&63)
+			default:
+				f.Z = fault.FlipFloat64(f.Z, bit&63)
+			}
+		}
 	}
 
 	s.stats.PairsEvaluated += pairs

@@ -3,6 +3,7 @@ package mdgrape2
 import (
 	"fmt"
 
+	"mdm/internal/fault"
 	"mdm/internal/vec"
 )
 
@@ -22,6 +23,7 @@ type MR1 struct {
 	cfg       Config
 	requested int
 	sys       *System
+	hook      fault.HardwareHook
 }
 
 // NewMR1 creates a library session against a machine of the given
@@ -70,8 +72,18 @@ func (m *MR1) Init() error {
 	if err != nil {
 		return err
 	}
+	sys.SetFaultHook(m.hook)
 	m.sys = sys
 	return nil
+}
+
+// SetFaultHook installs a fault injector on the session's hardware; it
+// survives Init/Free cycles.
+func (m *MR1) SetFaultHook(h fault.HardwareHook) {
+	m.hook = h
+	if m.sys != nil {
+		m.sys.SetFaultHook(h)
+	}
 }
 
 // SetTable generates and loads the g(x) function table (MR1SetTable). The

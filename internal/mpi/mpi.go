@@ -10,21 +10,59 @@
 // of the paper's MD code. Collectives (Barrier, Bcast, AllreduceSum, Gather,
 // Allgather) are built on the point-to-point layer so that the byte counters
 // used by the host performance model see all traffic.
+//
+// Every blocking primitive is bounded: receives (and the collectives built on
+// them) observe the world deadline (SetTimeout) or a per-call deadline
+// (RecvWithin, BarrierWithin) and fail with a typed ErrTimeout instead of
+// deadlocking. Ranks carry health state (MarkDead) so peers of a crashed rank
+// fail fast with ErrRankDead, and World.Run cancels the whole group when any
+// rank errors so no survivor blocks on a peer that already unwound. A
+// FaultHook (implemented by fault.Injector) can drop, delay, corrupt, or fail
+// messages for chaos testing.
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mdm/internal/fault"
 )
 
-// RecvTimeout bounds how long a blocking receive waits before reporting a
-// deadlock-like error. It is generous for tests yet keeps hangs debuggable.
+// RecvTimeout is the default bound on blocking sends and receives. It is
+// generous for tests yet keeps hangs debuggable; SetTimeout tightens it.
 const RecvTimeout = 30 * time.Second
 
 // AnyTag matches any message tag in Recv.
 const AnyTag = -1
+
+// Typed failure modes. Errors returned by Send/Recv/collectives wrap one of
+// these, so callers classify with errors.Is.
+var (
+	// ErrTimeout reports that a bounded primitive hit its deadline.
+	ErrTimeout = errors.New("mpi: deadline exceeded")
+	// ErrCanceled reports that the run group was canceled because a peer
+	// rank failed; the operation was abandoned, not timed out.
+	ErrCanceled = errors.New("mpi: run group canceled")
+	// ErrRankDead reports communication with a rank marked dead.
+	ErrRankDead = errors.New("mpi: rank marked dead")
+	// ErrTagMismatch reports a message arriving under an unexpected tag. In
+	// this strict-FIFO SPMD substrate that is either a program bug or the
+	// wake of a dropped message desynchronizing a pair's stream — recovery
+	// layers treat it like a lost message and retry the step.
+	ErrTagMismatch = errors.New("mpi: tag mismatch")
+)
+
+// FaultHook intercepts the message layer for fault injection. *fault.Injector
+// implements it; a nil hook costs one atomic load per operation.
+type FaultHook interface {
+	// SendFate decides what happens to the next src→dst message.
+	SendFate(src, dst int) fault.Fate
+	// RecvError may fail a receive before it consumes a message.
+	RecvError(src, dst int) error
+}
 
 type message struct {
 	tag  int
@@ -37,12 +75,26 @@ type Stats struct {
 	Bytes    int64
 }
 
+// runGroup is the cancellation scope of one World.Run invocation.
+type runGroup struct {
+	once sync.Once
+	done chan struct{}
+}
+
+func (g *runGroup) cancel() { g.once.Do(func() { close(g.done) }) }
+
+type hookBox struct{ h FaultHook }
+
 // World is a communicator universe of a fixed number of ranks.
 type World struct {
 	size     int
 	inbox    [][]chan message // inbox[dst][src]
 	messages atomic.Int64
 	bytes    atomic.Int64
+	timeout  atomic.Int64 // nanoseconds
+	dead     []atomic.Bool
+	group    atomic.Pointer[runGroup]
+	hook     atomic.Pointer[hookBox]
 }
 
 // NewWorld creates a world with the given number of ranks. Channel buffers
@@ -51,7 +103,12 @@ func NewWorld(size int) (*World, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("mpi: world size %d must be positive", size)
 	}
-	w := &World{size: size, inbox: make([][]chan message, size)}
+	w := &World{
+		size:  size,
+		inbox: make([][]chan message, size),
+		dead:  make([]atomic.Bool, size),
+	}
+	w.timeout.Store(int64(RecvTimeout))
 	for d := 0; d < size; d++ {
 		w.inbox[d] = make([]chan message, size)
 		for s := 0; s < size; s++ {
@@ -69,6 +126,83 @@ func (w *World) Stats() Stats {
 	return Stats{Messages: w.messages.Load(), Bytes: w.bytes.Load()}
 }
 
+// SetTimeout bounds every blocking Send/Recv (and the collectives built on
+// them). Non-positive durations are ignored.
+func (w *World) SetTimeout(d time.Duration) {
+	if d > 0 {
+		w.timeout.Store(int64(d))
+	}
+}
+
+// Timeout returns the current world deadline.
+func (w *World) Timeout() time.Duration { return time.Duration(w.timeout.Load()) }
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook.
+func (w *World) SetFaultHook(h FaultHook) {
+	if h == nil {
+		w.hook.Store(nil)
+		return
+	}
+	w.hook.Store(&hookBox{h: h})
+}
+
+func (w *World) faultHook() FaultHook {
+	if b := w.hook.Load(); b != nil {
+		return b.h
+	}
+	return nil
+}
+
+// MarkDead records that a rank has failed. Subsequent sends to it fail fast
+// with ErrRankDead; receives from it still drain queued messages, then fail.
+func (w *World) MarkDead(rank int) {
+	if rank >= 0 && rank < w.size {
+		w.dead[rank].Store(true)
+	}
+}
+
+// MarkAlive clears a rank's dead flag (e.g. after a restart).
+func (w *World) MarkAlive(rank int) {
+	if rank >= 0 && rank < w.size {
+		w.dead[rank].Store(false)
+	}
+}
+
+// Dead reports whether a rank is marked dead.
+func (w *World) Dead(rank int) bool {
+	return rank >= 0 && rank < w.size && w.dead[rank].Load()
+}
+
+// AliveCount returns the number of ranks not marked dead.
+func (w *World) AliveCount() int {
+	n := 0
+	for r := 0; r < w.size; r++ {
+		if !w.dead[r].Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset drains every in-flight message so an aborted step's stragglers cannot
+// be mistaken for the retry's traffic. Call only while no rank goroutines are
+// running (Run has returned).
+func (w *World) Reset() {
+	w.group.Store(nil)
+	for d := range w.inbox {
+		for s := range w.inbox[d] {
+			for {
+				select {
+				case <-w.inbox[d][s]:
+				default:
+					goto next
+				}
+			}
+		next:
+		}
+	}
+}
+
 // Comm is one rank's endpoint in a World.
 type Comm struct {
 	w    *World
@@ -84,8 +218,14 @@ func (w *World) Comm(rank int) (*Comm, error) {
 }
 
 // Run starts one goroutine per rank executing f and waits for all of them.
-// The first non-nil error (by rank order) is returned.
+// When a rank returns a non-nil error the whole group is canceled, so peers
+// blocked in Send/Recv unwind with ErrCanceled instead of waiting out their
+// deadline on a rank that is already gone. The first real error (by rank
+// order, preferring errors that are not cancellation echoes) is returned.
 func (w *World) Run(f func(c *Comm) error) error {
+	g := &runGroup{done: make(chan struct{})}
+	w.group.Store(g)
+	defer w.group.Store(nil)
 	errs := make([]error, w.size)
 	var wg sync.WaitGroup
 	for r := 0; r < w.size; r++ {
@@ -93,18 +233,34 @@ func (w *World) Run(f func(c *Comm) error) error {
 		go func(rank int) {
 			defer wg.Done()
 			c, err := w.Comm(rank)
+			if err == nil {
+				err = f(c)
+			}
 			if err != nil {
 				errs[rank] = err
-				return
+				g.cancel()
 			}
-			errs[rank] = f(c)
 		}(r)
 	}
 	wg.Wait()
 	for _, err := range errs {
+		if err != nil && !errors.Is(err, ErrCanceled) {
+			return err
+		}
+	}
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// groupDone returns the active run group's cancellation channel, or nil (a
+// channel that never fires) outside Run.
+func (w *World) groupDone() <-chan struct{} {
+	if g := w.group.Load(); g != nil {
+		return g.done
 	}
 	return nil
 }
@@ -136,44 +292,131 @@ func payloadBytes(data any) int64 {
 	}
 }
 
+// corruptPayload flips one bit of a float payload (a copy; the sender's slice
+// is never modified). Non-float payloads pass through untouched.
+func corruptPayload(data any, word, bit int) any {
+	switch v := data.(type) {
+	case []float64:
+		if len(v) == 0 {
+			return v
+		}
+		out := make([]float64, len(v))
+		copy(out, v)
+		i := word % len(out)
+		if i < 0 {
+			i += len(out)
+		}
+		out[i] = fault.FlipFloat64(out[i], bit)
+		return out
+	case float64:
+		return fault.FlipFloat64(v, bit)
+	}
+	return data
+}
+
 // Send delivers data to dst with the given tag. It blocks only if the
-// destination's buffer for this source is full.
+// destination's buffer for this source is full, and then no longer than the
+// world deadline (ErrTimeout) or the life of the run group (ErrCanceled).
+// Sends to a dead rank fail fast with ErrRankDead.
 func (c *Comm) Send(dst, tag int, data any) error {
 	if dst < 0 || dst >= c.w.size {
 		return fmt.Errorf("mpi: send to rank %d outside world of size %d", dst, c.w.size)
+	}
+	if c.w.Dead(dst) {
+		return fmt.Errorf("mpi: send %d→%d tag %d: %w", c.rank, dst, tag, ErrRankDead)
+	}
+	if h := c.w.faultHook(); h != nil {
+		f := h.SendFate(c.rank, dst)
+		if f.Err != nil {
+			return fmt.Errorf("mpi: send %d→%d tag %d: %w", c.rank, dst, tag, f.Err)
+		}
+		if f.Drop {
+			return nil // lost on the wire; the receiver's deadline notices
+		}
+		if f.Delay > 0 {
+			time.Sleep(f.Delay)
+		}
+		if f.Corrupt {
+			data = corruptPayload(data, f.Word, f.Bit)
+		}
 	}
 	select {
 	case c.w.inbox[dst][c.rank] <- message{tag: tag, data: data}:
 		c.w.messages.Add(1)
 		c.w.bytes.Add(payloadBytes(data))
 		return nil
-	case <-time.After(RecvTimeout):
-		return fmt.Errorf("mpi: send %d→%d tag %d timed out (receiver buffer full)", c.rank, dst, tag)
+	default:
+	}
+	timer := time.NewTimer(c.w.Timeout())
+	defer timer.Stop()
+	select {
+	case c.w.inbox[dst][c.rank] <- message{tag: tag, data: data}:
+		c.w.messages.Add(1)
+		c.w.bytes.Add(payloadBytes(data))
+		return nil
+	case <-timer.C:
+		return fmt.Errorf("mpi: send %d→%d tag %d (receiver buffer full): %w", c.rank, dst, tag, ErrTimeout)
+	case <-c.w.groupDone():
+		return fmt.Errorf("mpi: send %d→%d tag %d: %w", c.rank, dst, tag, ErrCanceled)
 	}
 }
 
-// Recv blocks until the next message from src arrives and returns its
-// payload. The message's tag must equal tag (unless AnyTag), otherwise an
-// error is returned — SPMD programs here are deterministic, so a mismatch is
-// a program bug, not a race.
+// Recv blocks until the next message from src arrives, bounded by the world
+// deadline, and returns its payload. The message's tag must equal tag (unless
+// AnyTag), otherwise an error is returned — SPMD programs here are
+// deterministic, so a mismatch is a program bug, not a race.
 func (c *Comm) Recv(src, tag int) (any, error) {
+	return c.RecvWithin(src, tag, c.w.Timeout())
+}
+
+// RecvWithin is Recv with an explicit per-call deadline. It returns a typed
+// ErrTimeout when the deadline passes, ErrCanceled when the run group is torn
+// down, and ErrRankDead when src is dead and its queue is empty.
+func (c *Comm) RecvWithin(src, tag int, d time.Duration) (any, error) {
 	if src < 0 || src >= c.w.size {
 		return nil, fmt.Errorf("mpi: recv from rank %d outside world of size %d", src, c.w.size)
 	}
+	if h := c.w.faultHook(); h != nil {
+		if err := h.RecvError(src, c.rank); err != nil {
+			return nil, fmt.Errorf("mpi: recv %d←%d tag %d: %w", c.rank, src, tag, err)
+		}
+	}
+	// Fast path: already queued (also drains mail from a since-dead rank).
 	select {
 	case m := <-c.w.inbox[c.rank][src]:
-		if tag != AnyTag && m.tag != tag {
-			return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag)
-		}
-		return m.data, nil
-	case <-time.After(RecvTimeout):
-		return nil, fmt.Errorf("mpi: recv %d←%d tag %d timed out", c.rank, src, tag)
+		return c.matchTag(m, src, tag)
+	default:
 	}
+	if c.w.Dead(src) {
+		return nil, fmt.Errorf("mpi: recv %d←%d tag %d: %w", c.rank, src, tag, ErrRankDead)
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case m := <-c.w.inbox[c.rank][src]:
+		return c.matchTag(m, src, tag)
+	case <-timer.C:
+		return nil, fmt.Errorf("mpi: recv %d←%d tag %d after %v: %w", c.rank, src, tag, d, ErrTimeout)
+	case <-c.w.groupDone():
+		return nil, fmt.Errorf("mpi: recv %d←%d tag %d: %w", c.rank, src, tag, ErrCanceled)
+	}
+}
+
+func (c *Comm) matchTag(m message, src, tag int) (any, error) {
+	if tag != AnyTag && m.tag != tag {
+		return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d: %w", c.rank, tag, src, m.tag, ErrTagMismatch)
+	}
+	return m.data, nil
 }
 
 // RecvFloat64s receives and type-asserts a []float64 payload.
 func (c *Comm) RecvFloat64s(src, tag int) ([]float64, error) {
-	data, err := c.Recv(src, tag)
+	return c.RecvFloat64sWithin(src, tag, c.w.Timeout())
+}
+
+// RecvFloat64sWithin is RecvFloat64s with an explicit per-call deadline.
+func (c *Comm) RecvFloat64sWithin(src, tag int, d time.Duration) ([]float64, error) {
+	data, err := c.RecvWithin(src, tag, d)
 	if err != nil {
 		return nil, err
 	}
@@ -192,15 +435,23 @@ const (
 	tagGather
 )
 
-// Barrier blocks until every rank has entered it. Implemented as a gather to
-// rank 0 followed by a broadcast.
+// Barrier blocks until every rank has entered it, bounded by the world
+// deadline. Implemented as a gather to rank 0 followed by a broadcast.
 func (c *Comm) Barrier() error {
+	return c.BarrierWithin(c.w.Timeout())
+}
+
+// BarrierWithin is Barrier with an explicit per-call deadline: if some rank
+// never arrives (dead, hung, or unwound), every survivor returns an error
+// wrapping ErrTimeout (or ErrRankDead) within the deadline instead of
+// blocking forever.
+func (c *Comm) BarrierWithin(d time.Duration) error {
 	if c.w.size == 1 {
 		return nil
 	}
 	if c.rank == 0 {
 		for src := 1; src < c.w.size; src++ {
-			if _, err := c.Recv(src, tagBarrier); err != nil {
+			if _, err := c.RecvWithin(src, tagBarrier, d); err != nil {
 				return err
 			}
 		}
@@ -214,7 +465,7 @@ func (c *Comm) Barrier() error {
 	if err := c.Send(0, tagBarrier, nil); err != nil {
 		return err
 	}
-	_, err := c.Recv(0, tagBarrier)
+	_, err := c.RecvWithin(0, tagBarrier, d)
 	return err
 }
 

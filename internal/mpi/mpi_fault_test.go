@@ -1,0 +1,238 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"mdm/internal/fault"
+)
+
+// Tags for the failure-mode tests, named per the mpitags analyzer.
+const (
+	tagDeadline = 20 // deadline-variant receives
+	tagFaulty   = 21 // traffic routed through a fault hook
+	tagStale    = 22 // stale messages drained by Reset
+)
+
+func TestRecvWithinTimeoutTyped(t *testing.T) {
+	w, _ := NewWorld(2)
+	c, _ := w.Comm(0)
+	start := time.Now()
+	_, err := c.RecvWithin(1, tagDeadline, 30*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("timeout took %v, deadline was 30ms", el)
+	}
+}
+
+func TestWorldTimeoutBoundsRecv(t *testing.T) {
+	w, _ := NewWorld(2)
+	w.SetTimeout(20 * time.Millisecond)
+	c, _ := w.Comm(0)
+	if _, err := c.Recv(1, tagDeadline); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Recv err = %v, want ErrTimeout", err)
+	}
+	if _, err := c.RecvFloat64s(1, tagDeadline); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("RecvFloat64s err = %v, want ErrTimeout", err)
+	}
+}
+
+// A rank that never enters the barrier must not hang the survivors: each one
+// unwinds with ErrTimeout within its deadline. Comms run directly (not via
+// Run) so group cancellation cannot mask the timeout path.
+func TestBarrierDeadRankTimesOutSurvivors(t *testing.T) {
+	w, _ := NewWorld(4)
+	const deadline = 50 * time.Millisecond
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < 3; r++ { // rank 3 never shows up
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, _ := w.Comm(rank)
+			errs[rank] = c.BarrierWithin(deadline)
+		}(r)
+	}
+	wg.Wait()
+	if el := time.Since(start); el > 10*deadline {
+		t.Errorf("survivors took %v to unwind, deadline %v", el, deadline)
+	}
+	for r, err := range errs {
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("rank %d: err = %v, want ErrTimeout", r, err)
+		}
+	}
+}
+
+// A rank failing inside Run cancels the group: peers blocked in a collective
+// unwind with ErrCanceled immediately rather than burning their full
+// deadline, no goroutine outlives Run, and the original error is returned.
+func TestRunCancelsGroupOnError(t *testing.T) {
+	before := runtime.NumGoroutine()
+	w, _ := NewWorld(4)
+	w.SetTimeout(10 * time.Second) // cancel must beat this by a wide margin
+	sentinel := fmt.Errorf("rank exploded")
+	peerErrs := make([]error, 4)
+	start := time.Now()
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 2 {
+			return sentinel
+		}
+		peerErrs[c.Rank()] = c.Barrier()
+		return peerErrs[c.Rank()]
+	})
+	if err != sentinel {
+		t.Errorf("Run err = %v, want the sentinel unchanged", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("group unwound in %v; cancellation should not wait out the deadline", el)
+	}
+	for r, perr := range peerErrs {
+		if r == 2 {
+			continue
+		}
+		if !errors.Is(perr, ErrCanceled) {
+			t.Errorf("rank %d: err = %v, want ErrCanceled", r, perr)
+		}
+	}
+	// Give the runtime a moment, then check Run leaked nothing.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked: %d before Run, %d after", before, after)
+	}
+}
+
+func TestMarkDeadFastFail(t *testing.T) {
+	w, _ := NewWorld(3)
+	c0, _ := w.Comm(0)
+	c1, _ := w.Comm(1)
+	// Mail queued before the rank died is still delivered...
+	if err := c1.Send(0, tagDeadline, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	w.MarkDead(1)
+	if _, err := c0.RecvFloat64s(1, tagDeadline); err != nil {
+		t.Fatalf("queued mail from dead rank: %v", err)
+	}
+	// ...then both directions fail fast, well inside the world deadline.
+	start := time.Now()
+	if err := c0.Send(1, tagDeadline, nil); !errors.Is(err, ErrRankDead) {
+		t.Errorf("send to dead rank: %v, want ErrRankDead", err)
+	}
+	if _, err := c0.RecvWithin(1, tagDeadline, 10*time.Second); !errors.Is(err, ErrRankDead) {
+		t.Errorf("recv from dead rank: %v, want ErrRankDead", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Errorf("dead-rank ops took %v, want fast fail", el)
+	}
+	if n := w.AliveCount(); n != 2 {
+		t.Errorf("AliveCount = %d, want 2", n)
+	}
+	w.MarkAlive(1)
+	if w.Dead(1) || w.AliveCount() != 3 {
+		t.Error("MarkAlive did not revive the rank")
+	}
+}
+
+func TestFaultHookDropDelayCorrupt(t *testing.T) {
+	w, _ := NewWorld(2)
+	w.SetTimeout(50 * time.Millisecond)
+	in, err := fault.ParseInjector(
+		"mpi:drop@src=1,dst=0,n=1; mpi:corrupt@src=1,dst=0,n=2,word=1,bit=3;" +
+			"mpi:delay@src=1,dst=0,n=3,ms=30; mpi:senderr@src=1,dst=0,n=4;" +
+			"mpi:recverr@src=0,dst=1,n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetFaultHook(in)
+	defer w.SetFaultHook(nil)
+	c0, _ := w.Comm(0)
+	c1, _ := w.Comm(1)
+
+	// Message 1 is dropped: send succeeds, receive times out.
+	if err := c1.Send(0, tagFaulty, []float64{1, 2}); err != nil {
+		t.Fatalf("dropped send errored: %v", err)
+	}
+	if _, err := c0.RecvWithin(1, tagFaulty, 20*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("dropped message: recv err = %v, want ErrTimeout", err)
+	}
+
+	// Message 2 arrives with word 1 bit-flipped; the sender's slice is intact.
+	orig := []float64{1, 2}
+	if err := c1.Send(0, tagFaulty, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c0.RecvFloat64s(1, tagFaulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] == 2 {
+		t.Errorf("corrupt fate delivered %v, want word 1 flipped only", got)
+	}
+	if got[1] != fault.FlipFloat64(2, 3) {
+		t.Errorf("flipped word = %g, want %g", got[1], fault.FlipFloat64(2, 3))
+	}
+	if orig[1] != 2 {
+		t.Error("sender's slice was modified")
+	}
+
+	// Message 3 is delayed ~30ms but still delivered.
+	start := time.Now()
+	if err := c1.Send(0, tagFaulty, []float64{9}); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Errorf("delayed send returned in %v, want ≥30ms stall", el)
+	}
+	if _, err := c0.RecvFloat64s(1, tagFaulty); err != nil {
+		t.Fatalf("delayed message lost: %v", err)
+	}
+
+	// Message 4 fails at the sender with a typed link error.
+	err = c1.Send(0, tagFaulty, nil)
+	var le *fault.LinkError
+	if !errors.As(err, &le) {
+		t.Errorf("senderr fate: %v, want LinkError", err)
+	}
+
+	// First receive 1←... on rank 1 fails at the receiver.
+	if _, err := c1.RecvWithin(0, tagFaulty, 20*time.Millisecond); !errors.As(err, &le) {
+		t.Errorf("recverr fate: %v, want LinkError", err)
+	}
+	if in.Remaining() != 0 {
+		t.Errorf("%d events never fired", in.Remaining())
+	}
+}
+
+func TestResetDrainsInboxes(t *testing.T) {
+	w, _ := NewWorld(2)
+	c0, _ := w.Comm(0)
+	c1, _ := w.Comm(1)
+	for i := 0; i < 5; i++ {
+		if err := c1.Send(0, tagStale, []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Reset()
+	if _, err := c0.RecvWithin(1, tagStale, 20*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("stale message survived Reset: err = %v", err)
+	}
+	// The world is fully usable after a Reset.
+	if err := c1.Send(0, tagStale, []float64{42}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c0.RecvFloat64s(1, tagStale)
+	if err != nil || got[0] != 42 {
+		t.Fatalf("post-Reset traffic: %v %v", got, err)
+	}
+}

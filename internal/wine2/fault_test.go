@@ -1,0 +1,117 @@
+package wine2
+
+import (
+	"errors"
+	"testing"
+
+	"mdm/internal/ewald"
+	"mdm/internal/fault"
+)
+
+func TestFaultHookTransientAbortsCall(t *testing.T) {
+	sys, err := NewSystem(CurrentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := fault.ParseInjector("wine2:transient@call=1; wine2:board-drop@call=3,board=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetFaultHook(in)
+	const l = 12.0
+	pos, q := testSystem(16, l, 7)
+	p := ewald.Params{L: l, Alpha: 7, RCut: 5, LKCut: 5}
+	waves := ewald.Waves(p)
+
+	_, _, err = sys.DFT(l, waves, pos, q)
+	var te *fault.TransientError
+	if !errors.As(err, &te) {
+		t.Fatalf("call 1 = %v, want TransientError", err)
+	}
+	sn, cn, err := sys.DFT(l, waves, pos, q)
+	if err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	_, err = sys.IDFT(l, waves, sn, cn, pos, q)
+	var be *fault.BoardError
+	if !errors.As(err, &be) || be.Board != 2 {
+		t.Fatalf("call 3 = %v, want BoardError board 2", err)
+	}
+}
+
+func TestFaultHookBitFlipPerturbsDFT(t *testing.T) {
+	const l = 12.0
+	pos, q := testSystem(16, l, 7)
+	p := ewald.Params{L: l, Alpha: 7, RCut: 5, LKCut: 5}
+	waves := ewald.Waves(p)
+
+	clean, _ := NewSystem(CurrentConfig())
+	wantS, wantC, err := clean.DFT(l, waves, pos, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys, _ := NewSystem(CurrentConfig())
+	in, err := fault.ParseInjector("wine2:bitflip@call=1,word=3,bit=52")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetFaultHook(in)
+	gotS, gotC, err := sys.DFT(l, waves, pos, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flip lands in wave 3's S+C accumulator: S and C of that wave move,
+	// every other wave is bit-identical.
+	diff := 0
+	for w := range waves {
+		if gotS[w] != wantS[w] || gotC[w] != wantC[w] {
+			diff++
+			if w != 3 {
+				t.Errorf("wave %d perturbed, flip targeted wave 3", w)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d waves perturbed, want exactly 1", diff)
+	}
+	// The flip is consumed: the next call is clean again.
+	gotS, gotC, err = sys.DFT(l, waves, pos, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range waves {
+		if gotS[w] != wantS[w] || gotC[w] != wantC[w] {
+			t.Fatalf("wave %d still perturbed on second call", w)
+		}
+	}
+}
+
+func TestLibraryFaultHookSurvivesReinit(t *testing.T) {
+	lib, err := NewLibrary(CurrentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := fault.ParseInjector("wine2:transient@call=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib.SetFaultHook(in) // before the system exists
+	if err := lib.AllocateBoards(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.InitializeBoards(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.SetNN(16); err != nil {
+		t.Fatal(err)
+	}
+	const l = 12.0
+	pos, q := testSystem(16, l, 7)
+	p := ewald.Params{L: l, Alpha: 7, RCut: 5, LKCut: 5}
+	_, _, err = lib.CalcForceAndPotWavepart(p, ewald.Waves(p), pos, q)
+	var te *fault.TransientError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want TransientError through the library", err)
+	}
+}

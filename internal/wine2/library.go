@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mdm/internal/ewald"
+	"mdm/internal/fault"
 	"mdm/internal/vec"
 )
 
@@ -37,6 +38,7 @@ type Library struct {
 	requested int
 	nn        int
 	sys       *System
+	hook      fault.HardwareHook
 }
 
 // NewLibrary creates a session against a machine configuration.
@@ -51,6 +53,15 @@ func NewLibrary(cfg Config) (*Library, error) {
 // part (wine2_set_MPI_community). A nil communicator means single-process
 // operation.
 func (l *Library) SetMPICommunity(comm Communicator) { l.comm = comm }
+
+// SetFaultHook installs a fault injector on the session's hardware; it
+// survives InitializeBoards/FreeBoards cycles.
+func (l *Library) SetFaultHook(h fault.HardwareHook) {
+	l.hook = h
+	if l.sys != nil {
+		l.sys.SetFaultHook(h)
+	}
+}
 
 // AllocateBoards records the number of boards to acquire
 // (wine2_allocate_board).
@@ -84,6 +95,7 @@ func (l *Library) InitializeBoards() error {
 	if err != nil {
 		return err
 	}
+	sys.SetFaultHook(l.hook)
 	l.sys = sys
 	return nil
 }

@@ -34,6 +34,7 @@ import (
 	"math"
 
 	"mdm/internal/ewald"
+	"mdm/internal/fault"
 	"mdm/internal/fixed"
 	"mdm/internal/units"
 	"mdm/internal/vec"
@@ -138,6 +139,7 @@ type System struct {
 	cfg   Config
 	trig  *fixed.SinCosTable
 	stats Stats
+	hook  fault.HardwareHook
 }
 
 // NewSystem builds a simulated system.
@@ -160,6 +162,12 @@ func (s *System) Stats() Stats { return s.stats }
 
 // ResetStats clears the work counters.
 func (s *System) ResetStats() { s.stats = Stats{} }
+
+// SetFaultHook installs a fault injector on the simulated hardware. Every
+// DFT/IDFT call reports to the hook (site fault.WINE2) and may be failed with
+// a board or transient error; an armed bit flip lands in a DFT accumulator.
+// A nil hook (the default) disables injection.
+func (s *System) SetFaultHook(h fault.HardwareHook) { s.hook = h }
 
 // quantizePositions converts positions to fixed-point box fractions.
 func (s *System) quantizePositions(pos []vec.V, l float64) [][3]int64 {
@@ -194,6 +202,22 @@ func (s *System) DFT(l float64, waves []ewald.Wave, pos []vec.V, q []float64) (s
 		return nil, nil, fmt.Errorf("wine2: %d particles exceed board particle memory capacity %d",
 			len(pos), s.cfg.ParticleCapacity())
 	}
+	// Fault injection: a scheduled board/transient error aborts the call; an
+	// armed bit flip lands in one wave's S+C accumulator at readout, the spot
+	// where a flipped SDRAM or pipeline-register bit would surface.
+	flipWave, flipBit := -1, 0
+	if s.hook != nil {
+		if err := s.hook.HardwareCall(fault.WINE2); err != nil {
+			return nil, nil, err
+		}
+		if word, bit, ok := s.hook.PendingFlip(fault.WINE2); ok && len(waves) > 0 {
+			flipWave = word % len(waves)
+			if flipWave < 0 {
+				flipWave += len(waves)
+			}
+			flipBit = bit & 63
+		}
+	}
 	u := s.quantizePositions(pos, l)
 	qf := fixed.F(5, s.cfg.QFrac)
 	qraw := make([]int64, len(q))
@@ -219,6 +243,9 @@ func (s *System) DFT(l float64, waves []ewald.Wave, pos []vec.V, q []float64) (s
 			qc = fixed.Convert(qc, fixed.WideFor(prodFrac), fixed.F(30, s.cfg.AccFrac))
 			accPlus += qs + qc
 			accMinus += qs - qc
+		}
+		if w == flipWave {
+			accPlus ^= 1 << flipBit
 		}
 		plus := accF.Float(accPlus)
 		minus := accF.Float(accMinus)
@@ -246,6 +273,11 @@ func (s *System) IDFT(l float64, waves []ewald.Wave, sn, cn []float64, pos []vec
 	if len(pos) > s.cfg.ParticleCapacity() {
 		return nil, fmt.Errorf("wine2: %d particles exceed board particle memory capacity %d",
 			len(pos), s.cfg.ParticleCapacity())
+	}
+	if s.hook != nil {
+		if err := s.hook.HardwareCall(fault.WINE2); err != nil {
+			return nil, err
+		}
 	}
 	u := s.quantizePositions(pos, l)
 

@@ -28,6 +28,7 @@ import (
 
 	"mdm/internal/core"
 	"mdm/internal/ewald"
+	"mdm/internal/fault"
 	"mdm/internal/md"
 	"mdm/internal/perf"
 	"mdm/internal/units"
@@ -70,6 +71,19 @@ type Config struct {
 	// PotentialEvery sets how often the host evaluates the potential
 	// energy on the MDM backend (default 1; the paper used 100).
 	PotentialEvery int
+
+	// Faults is a fault-injection scenario in the internal/fault DSL, e.g.
+	// "wine2:board-drop@step=100,board=2; mpi:drop@src=1,dst=0,n=3". When
+	// non-empty (MDM backend only) the force path runs under the recovery
+	// policy: transient faults are retried, dead boards re-striped, and the
+	// run degrades to the reference path when hardware capacity is gone.
+	// The schedule is deterministic: the same scenario yields the same
+	// faults and the same FaultReport.
+	Faults string
+
+	// MaxRetries bounds per-step hardware retries under a fault scenario
+	// (default 3; negative disables retries).
+	MaxRetries int
 }
 
 func (c *Config) fillDefaults() {
@@ -119,6 +133,11 @@ func density(c Config) float64 {
 // Record is one observable sample (step, time in ps, temperature, energies).
 type Record = md.Record
 
+// FaultReport is the recovery audit trail of a run under fault injection:
+// retry, re-stripe and fallback counts plus the event log. Deterministic for
+// a given Config.Faults scenario.
+type FaultReport = core.RunReport
+
 // Simulation is a configured NaCl run.
 type Simulation struct {
 	cfg Config
@@ -128,49 +147,73 @@ type Simulation struct {
 	Integrator *md.Integrator
 	Recorder   *md.Recorder
 
-	machine  *core.Machine   // nil for the reference backend
-	obs      *core.Reference // host-side observable evaluation (pressure)
-	nveStart int             // record index where the latest NVE segment began
+	machine   *core.Machine   // nil for the reference backend
+	resilient *core.Resilient // non-nil when running under a fault scenario
+	injector  *fault.Injector // the scenario's schedule; survives restarts
+	obs       *core.Reference // host-side observable evaluation (pressure)
+	nveStart  int             // record index where the latest NVE segment began
 }
 
-// NewSimulation builds the crystal, assigns Maxwell–Boltzmann velocities and
-// initializes the selected force engine.
-func NewSimulation(cfg Config) (*Simulation, error) {
-	cfg.fillDefaults()
-	p, err := cfg.EwaldParams()
-	if err != nil {
-		return nil, err
-	}
-	sys, err := md.NewRockSalt(cfg.Cells, cfg.Lattice)
-	if err != nil {
-		return nil, err
-	}
-	sys.SetMaxwellVelocities(cfg.Temperature, cfg.Seed)
-
-	var ff md.ForceField
-	var machine *core.Machine
+// newForceField builds the configured engine. A non-nil injector (the
+// restart path) takes precedence over parsing cfg.Faults again, so events
+// that already fired before a restart stay consumed.
+func newForceField(cfg Config, p ewald.Params, in *fault.Injector) (md.ForceField, *core.Machine, *core.Resilient, *fault.Injector, error) {
 	switch cfg.Backend {
 	case BackendMDM:
 		mcfg := core.CurrentMachineConfig(p)
 		mcfg.PotentialEvery = cfg.PotentialEvery
-		machine, err = core.NewMachine(mcfg)
-		if err != nil {
-			return nil, err
+		if in == nil && cfg.Faults != "" {
+			var err error
+			in, err = fault.ParseInjector(cfg.Faults)
+			if err != nil {
+				return nil, nil, nil, nil, fmt.Errorf("mdm: fault scenario: %w", err)
+			}
 		}
-		ff = machine
+		if in != nil {
+			res, err := core.NewResilient(mcfg, core.RecoveryConfig{
+				MaxRetries: cfg.MaxRetries,
+				Injector:   in,
+			})
+			if err != nil {
+				return nil, nil, nil, nil, err
+			}
+			return res, nil, res, in, nil
+		}
+		machine, err := core.NewMachine(mcfg)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		return machine, machine, nil, nil, nil
 	case BackendReference:
-		ff, err = core.NewReference(p)
+		ff, err := core.NewReference(p)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, nil, err
 		}
+		return ff, nil, nil, nil, nil
 	default:
-		return nil, fmt.Errorf("mdm: unknown backend %v", cfg.Backend)
+		return nil, nil, nil, nil, fmt.Errorf("mdm: unknown backend %v", cfg.Backend)
 	}
+}
 
+func newSimulation(cfg Config, sys *md.System, step int, in *fault.Injector) (*Simulation, error) {
+	p, err := cfg.EwaldParams()
+	if err != nil {
+		return nil, err
+	}
+	ff, machine, resilient, injector, err := newForceField(cfg, p, in)
+	if err != nil {
+		return nil, err
+	}
+	if resilient != nil {
+		// Align the recovery layer's step clock with the simulation step so
+		// step-keyed fault events land where the scenario says.
+		resilient.SetStep(step)
+	}
 	it, err := md.NewIntegrator(sys, ff, cfg.Dt)
 	if err != nil {
 		return nil, err
 	}
+	it.SetStepCount(step)
 	obs, err := core.NewReference(p)
 	if err != nil {
 		return nil, err
@@ -182,9 +225,45 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		Integrator: it,
 		Recorder:   &md.Recorder{},
 		machine:    machine,
+		resilient:  resilient,
+		injector:   injector,
 		obs:        obs,
 	}
 	sim.Recorder.Sample(it)
+	return sim, nil
+}
+
+// NewSimulation builds the crystal, assigns Maxwell–Boltzmann velocities and
+// initializes the selected force engine.
+func NewSimulation(cfg Config) (*Simulation, error) {
+	cfg.fillDefaults()
+	sys, err := md.NewRockSalt(cfg.Cells, cfg.Lattice)
+	if err != nil {
+		return nil, err
+	}
+	sys.SetMaxwellVelocities(cfg.Temperature, cfg.Seed)
+	return newSimulation(cfg, sys, 0, nil)
+}
+
+// ResumeSimulation rebuilds a run from checkpointed state — the mdmsim
+// restart path after a fatal fault. prev is freed; its fault injector (with
+// already-fired events consumed, so a one-shot fatal does not refire) carries
+// over to the resumed run, and step clocks are positioned at the checkpoint
+// step so step-keyed events and the time axis line up.
+func ResumeSimulation(prev *Simulation, sys *md.System, step int) (*Simulation, error) {
+	in := prev.injector
+	prevRep, hadRep := prev.FaultReport()
+	if err := prev.Free(); err != nil {
+		return nil, err
+	}
+	sim, err := newSimulation(prev.cfg, sys, step, in)
+	if err != nil {
+		return nil, err
+	}
+	if sim.resilient != nil && hadRep {
+		// Recovery history survives the restart.
+		sim.resilient.AdoptReport(prevRep)
+	}
 	return sim, nil
 }
 
@@ -247,9 +326,21 @@ func (s *Simulation) Pressure() (float64, error) {
 	return p * units.EVPerA3ToGPa, err
 }
 
+// FaultReport returns the recovery audit trail when the run is under a
+// fault scenario; ok is false otherwise.
+func (s *Simulation) FaultReport() (rep FaultReport, ok bool) {
+	if s.resilient == nil {
+		return FaultReport{}, false
+	}
+	return s.resilient.Report(), true
+}
+
 // Free releases the simulated boards of the MDM backend (no-op for the
 // reference backend).
 func (s *Simulation) Free() error {
+	if s.resilient != nil {
+		return s.resilient.Free()
+	}
 	if s.machine == nil {
 		return nil
 	}

@@ -26,6 +26,11 @@ echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race (concurrency-bearing packages)"
-go test -race ./internal/mpi/... ./internal/core/...
+go test -race ./internal/fault/... ./internal/mpi/... ./internal/core/...
+
+echo "==> chaos suite (fault injection, recovery, checkpoint restart)"
+go test -run 'Chaos|Resilient|FaultHook|RunProtocol|CheckpointFile|CheckpointTyped' \
+    ./internal/core/... ./internal/wine2/... ./internal/mdgrape2/... \
+    ./internal/md/... ./cmd/mdmsim/...
 
 echo "==> all checks passed"
