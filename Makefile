@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet mdmvet race chaos check fmt
+.PHONY: all build test bench bench-json bench-smoke vet mdmvet race chaos check fmt
 
 all: build
 
@@ -15,6 +15,12 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+bench-json:
+	sh scripts/bench.sh
+
+bench-smoke:
+	$(GO) run ./cmd/mdmbench -smoke -iters 3 -reps 2
+
 vet:
 	$(GO) vet ./...
 
@@ -22,7 +28,9 @@ mdmvet:
 	$(GO) run ./cmd/mdmvet ./...
 
 race:
-	$(GO) test -race ./internal/fault/... ./internal/mpi/... ./internal/core/...
+	$(GO) test -race ./internal/fault/... ./internal/mpi/... ./internal/core/... \
+		./internal/parallelize/... ./internal/wine2/... ./internal/mdgrape2/... \
+		./internal/cellindex/...
 
 chaos:
 	$(GO) test -run 'Chaos|Resilient|FaultHook|RunProtocol|CheckpointFile|CheckpointTyped' \

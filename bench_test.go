@@ -18,6 +18,7 @@ import (
 	"mdm/internal/ewald"
 	"mdm/internal/host"
 	"mdm/internal/md"
+	"mdm/internal/parallelize"
 	"mdm/internal/perf"
 	"mdm/internal/pme"
 	"mdm/internal/treecode"
@@ -27,6 +28,7 @@ import (
 
 // BenchmarkTable1Inventory regenerates the Table 1 component list.
 func BenchmarkTable1Inventory(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if len(host.Inventory()) != 8 {
 			b.Fatal("inventory broken")
@@ -38,6 +40,7 @@ func BenchmarkTable1Inventory(b *testing.B) {
 // paper's N = 1.88e7, including the per-machine α optimization and the
 // component timing model.
 func BenchmarkTable4Model(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cols, err := mdm.Table4()
 		if err != nil {
@@ -51,6 +54,7 @@ func BenchmarkTable4Model(b *testing.B) {
 
 // BenchmarkTable5Model regenerates Table 5.
 func BenchmarkTable5Model(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if len(mdm.Table5()) != 6 {
 			b.Fatal("table 5 broken")
@@ -74,6 +78,7 @@ func BenchmarkFigure2Step(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer func() { _ = sim.Free() }()
+			b.ReportAllocs()
 			b.ResetTimer()
 			if err := sim.RunNVE(b.N); err != nil {
 				b.Fatal(err)
@@ -117,6 +122,7 @@ func BenchmarkStepMDMvsReference(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer func() { _ = sim.Free() }()
+			b.ReportAllocs()
 			b.ResetTimer()
 			if err := sim.RunNVE(b.N); err != nil {
 				b.Fatal(err)
@@ -150,6 +156,7 @@ func BenchmarkWavenumberEngines(b *testing.B) {
 	waves := ewald.Waves(p)
 
 	b.Run("directFloat64", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			sn, cn := ewald.StructureFactors(waves, sys.Pos, sys.Charge)
 			ewald.WavenumberForces(p, waves, sn, cn, sys.Pos, sys.Charge)
@@ -160,6 +167,7 @@ func BenchmarkWavenumberEngines(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			sn, cn, err := w.DFT(sys.L, waves, sys.Pos, sys.Charge)
@@ -176,6 +184,7 @@ func BenchmarkWavenumberEngines(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := m.Compute(sys.Pos, sys.Charge); err != nil {
@@ -198,6 +207,7 @@ func BenchmarkRealSpaceGeometries(b *testing.B) {
 	sorted := cellindex.Sort(grid, sys.Pos)
 
 	b.Run("cell27NoThirdLaw", func(b *testing.B) {
+		b.ReportAllocs()
 		count := 0
 		for i := 0; i < b.N; i++ {
 			sorted.ForEachOrderedPair(func(i, j int, rij vec.V) { count++ })
@@ -205,6 +215,7 @@ func BenchmarkRealSpaceGeometries(b *testing.B) {
 		b.ReportMetric(float64(count)/float64(b.N)/float64(sys.N()), "pairs/particle")
 	})
 	b.Run("halfSphereThirdLaw", func(b *testing.B) {
+		b.ReportAllocs()
 		count := 0
 		for i := 0; i < b.N; i++ {
 			sorted.ForEachHalfPair(p.RCut, func(i, j int, rij vec.V) { count++ })
@@ -218,6 +229,7 @@ func BenchmarkRealSpaceGeometries(b *testing.B) {
 func BenchmarkTreeVsDirect(b *testing.B) {
 	sys, _ := benchSystem(b)
 	b.Run("barnesHut0.5", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			tr, err := treecode.Build(sys.Pos, sys.Charge, 0.5)
 			if err != nil {
@@ -227,6 +239,7 @@ func BenchmarkTreeVsDirect(b *testing.B) {
 		}
 	})
 	b.Run("directN2", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			treecode.Direct(sys.Pos, sys.Charge)
 		}
@@ -242,6 +255,7 @@ func BenchmarkMachineForces(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := m.Forces(sys); err != nil {
@@ -254,6 +268,7 @@ func BenchmarkMachineForces(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := ref.Forces(sys); err != nil {
@@ -263,9 +278,57 @@ func BenchmarkMachineForces(b *testing.B) {
 	})
 }
 
+// BenchmarkParallelScaling is the intra-board parallelism table: the full
+// machine force evaluation and the WINE-2 DFT/IDFT pair at pool widths 1, 2,
+// 4, 8. Every width computes bit-identical results (see parallel_test.go);
+// wall-clock scaling beyond width 1 needs GOMAXPROCS > 1 — on a single-core
+// host all widths collapse to the serial path plus negligible pool overhead.
+func BenchmarkParallelScaling(b *testing.B) {
+	sys, p := benchSystem(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("machineForces/workers="+itoa(workers), func(b *testing.B) {
+			cfg := core.CurrentMachineConfig(p)
+			cfg.Workers = workers
+			m, err := core.NewMachine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := m.Forces(sys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	waves := ewald.Waves(p)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("wine2DFTIDFT/workers="+itoa(workers), func(b *testing.B) {
+			w, err := wine2.NewSystem(wine2.CurrentConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			w.SetPool(parallelize.New(workers))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sn, cn, err := w.DFT(sys.L, waves, sys.Pos, sys.Charge)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := w.IDFT(sys.L, waves, sn, cn, sys.Pos, sys.Charge); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAlphaOptimizer times the Table 4 α optimization (the closed-form
 // balance of §2 / §5).
 func BenchmarkAlphaOptimizer(b *testing.B) {
+	b.ReportAllocs()
 	density := float64(perf.PaperN) / (perf.PaperL * perf.PaperL * perf.PaperL)
 	m := perf.CurrentMDM().CostModel()
 	var sink float64

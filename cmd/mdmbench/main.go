@@ -1,0 +1,267 @@
+// Command mdmbench measures the intra-board parallelism of the simulated
+// MDM: the hot paths that package parallelize stripes across host cores are
+// timed at pool widths 1, 2, 4 and 8 and reported as JSON with per-width
+// speedups over the serial path.
+//
+//	mdmbench -o BENCH_0.json            # record a benchmark artifact
+//	mdmbench -smoke                     # CI gate: parallel must not lose to serial
+//
+// Every width computes bit-identical physics (the parallel_test.go contract),
+// so the JSON is purely a wall-clock document. Speedups beyond 1× require
+// GOMAXPROCS > 1; the artifact records gomaxprocs so a single-core record is
+// recognizable as a serial baseline rather than a failed optimization.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mdm/internal/cellindex"
+	"mdm/internal/core"
+	"mdm/internal/ewald"
+	"mdm/internal/md"
+	"mdm/internal/mdgrape2"
+	"mdm/internal/parallelize"
+	"mdm/internal/vec"
+	"mdm/internal/wine2"
+)
+
+// Result is one timed configuration.
+type Result struct {
+	Name    string  `json:"name"`
+	Workers int     `json:"workers"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Speedup float64 `json:"speedup"` // vs workers=1 of the same name
+}
+
+// Report is the whole artifact (a BENCH_<n>.json file).
+type Report struct {
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	N          int      `json:"n_particles"`
+	Iters      int      `json:"iters_per_sample"`
+	Results    []Result `json:"results"`
+}
+
+// benchSystem is the 216-ion perturbed crystal of the bench_test.go
+// micro-benchmarks.
+func benchSystem() (*md.System, ewald.Params, error) {
+	sys, err := md.NewRockSalt(3, 5.64)
+	if err != nil {
+		return nil, ewald.Params{}, err
+	}
+	for i := range sys.Pos {
+		h := float64((i*2654435761)%1000)/1000.0 - 0.5
+		sys.Pos[i] = sys.Pos[i].Add(vec.New(h, -h, h*0.5).Scale(0.4)).Wrap(sys.L)
+	}
+	p := ewald.ParamsForAlpha(sys.L, ewald.SReal/0.45)
+	return sys, p, nil
+}
+
+// timeOp times iters calls of op and returns the best-of-reps ns/op (the
+// usual defense against scheduler noise).
+func timeOp(iters, reps int, op func() error) (float64, error) {
+	if err := op(); err != nil { // warm-up: tables, caches, first allocations
+		return 0, err
+	}
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := op(); err != nil {
+				return 0, err
+			}
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+// family times one benchmark family across the worker widths and appends the
+// results (with speedups vs the width-1 sample) to the report.
+func (rep *Report) family(name string, widths []int, iters, reps int, mk func(workers int) (func() error, error)) error {
+	var base float64
+	for _, w := range widths {
+		op, err := mk(w)
+		if err != nil {
+			return fmt.Errorf("%s workers=%d: %w", name, w, err)
+		}
+		ns, err := timeOp(iters, reps, op)
+		if err != nil {
+			return fmt.Errorf("%s workers=%d: %w", name, w, err)
+		}
+		if w == 1 {
+			base = ns
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = base / ns
+		}
+		rep.Results = append(rep.Results, Result{Name: name, Workers: w, NsPerOp: ns, Speedup: speedup})
+	}
+	return nil
+}
+
+func run(widths []int, iters, reps int) (*Report, error) {
+	sys, p, err := benchSystem()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		N:          sys.N(),
+		Iters:      iters,
+	}
+	waves := ewald.Waves(p)
+
+	if err := rep.family("machineForces", widths, iters, reps, func(workers int) (func() error, error) {
+		cfg := core.CurrentMachineConfig(p)
+		cfg.Workers = workers
+		m, err := core.NewMachine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return func() error {
+			_, _, err := m.Forces(sys)
+			return err
+		}, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := rep.family("wine2DFTIDFT", widths, iters, reps, func(workers int) (func() error, error) {
+		w, err := wine2.NewSystem(wine2.CurrentConfig())
+		if err != nil {
+			return nil, err
+		}
+		w.SetPool(parallelize.New(workers))
+		return func() error {
+			sn, cn, err := w.DFT(sys.L, waves, sys.Pos, sys.Charge)
+			if err != nil {
+				return err
+			}
+			_, err = w.IDFT(sys.L, waves, sn, cn, sys.Pos, sys.Charge)
+			return err
+		}, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := rep.family("jsetBuild", widths, iters, reps, func(workers int) (func() error, error) {
+		grid, err := cellindex.NewGrid(sys.L, p.RCut)
+		if err != nil {
+			return nil, err
+		}
+		pool := parallelize.New(workers)
+		return func() error {
+			_, err := mdgrape2.NewJSetPool(grid, sys.Pos, sys.Type, nil, pool)
+			return err
+		}, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := rep.family("figure2Step", widths, iters, reps, func(workers int) (func() error, error) {
+		cfg := core.CurrentMachineConfig(p)
+		cfg.Workers = workers
+		cfg.PotentialEvery = 100
+		m, err := core.NewMachine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Each width integrates its own system so the trajectories start
+		// identically (they also stay bit-identical — the contract under test
+		// elsewhere; here only the clock matters).
+		run, err := md.NewRockSalt(3, 5.64)
+		if err != nil {
+			return nil, err
+		}
+		run.SetMaxwellVelocities(1200, 1)
+		it, err := md.NewIntegrator(run, m, 2.0)
+		if err != nil {
+			return nil, err
+		}
+		return func() error { return it.Run(1, nil) }, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	return rep, nil
+}
+
+// smoke gates CI: at workers=GOMAXPROCS the Figure-2 step must not run
+// meaningfully slower than serial. On a single-core host the pool collapses
+// to the inline path, so the check degenerates to "pool overhead is noise";
+// on multicore it additionally catches a parallelization regression. The
+// margin absorbs scheduler jitter on loaded CI machines.
+func smoke(iters, reps int) error {
+	widths := []int{1, runtime.GOMAXPROCS(0)}
+	if widths[1] == 1 {
+		widths = widths[:1]
+	}
+	rep, err := run(widths, iters, reps)
+	if err != nil {
+		return err
+	}
+	const margin = 1.30
+	for _, r := range rep.Results {
+		if r.Name != "figure2Step" || r.Workers == 1 {
+			continue
+		}
+		if r.Speedup < 1/margin {
+			return fmt.Errorf("figure2Step at workers=%d is %.2fx serial speed (allowed ≥ %.2fx)",
+				r.Workers, r.Speedup, 1/margin)
+		}
+		fmt.Printf("smoke: figure2Step workers=%d speedup %.2fx (gomaxprocs=%d)\n",
+			r.Workers, r.Speedup, rep.GOMAXPROCS)
+	}
+	if len(rep.Results) > 0 && rep.GOMAXPROCS == 1 {
+		fmt.Println("smoke: gomaxprocs=1, parallel widths collapse to the serial path; overhead check only")
+	}
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	iters := flag.Int("iters", 10, "operations per timing sample")
+	reps := flag.Int("reps", 3, "timing samples per configuration (best is kept)")
+	smokeMode := flag.Bool("smoke", false, "CI gate: check parallel is not slower than serial on the Figure-2 step")
+	flag.Parse()
+
+	if *smokeMode {
+		if err := smoke(*iters, *reps); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep, err := run([]int{1, 2, 4, 8}, *iters, *reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (gomaxprocs=%d)\n", *out, rep.GOMAXPROCS)
+}

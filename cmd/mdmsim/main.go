@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mdm"
@@ -123,7 +125,37 @@ func main() {
 	ckpt := flag.String("checkpoint", "", "crash-safe checkpoint file (enables restart after fatal faults)")
 	ckptEvery := flag.Int("checkpoint-every", 25, "steps between checkpoints")
 	maxRestarts := flag.Int("max-restarts", 3, "restarts from checkpoint after fatal faults")
+	workers := flag.Int("workers", 0, "worker-pool width striping the simulated pipelines across cores (0 = GOMAXPROCS, 1 = serial); bit-identical at any width")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	var be mdm.Backend
 	switch *backend {
@@ -148,6 +180,7 @@ func main() {
 		Seed:           *seed,
 		PotentialEvery: 1,
 		Faults:         *faults,
+		Workers:        *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -216,7 +216,7 @@ func RunPackage(pkg *load.Package, analyzers []*Analyzer) []Diagnostic {
 
 // All returns the full mdmvet suite.
 func All() []*Analyzer {
-	return []*Analyzer{FixedFormat, SinglePrec, MPITags, UnitsMix}
+	return []*Analyzer{FixedFormat, SinglePrec, MPITags, UnitsMix, GoroutineLoop}
 }
 
 //

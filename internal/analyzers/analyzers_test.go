@@ -40,6 +40,22 @@ func TestUnitsMixFixtures(t *testing.T) {
 	atest.Run(t, analyzers.UnitsMix, "unitsmix", "mdm/fixture/unitsmix")
 }
 
+func TestGoroutineLoopFixtures(t *testing.T) {
+	atest.Run(t, analyzers.GoroutineLoop, "goroutineloop", "mdm/fixture/goroutineloop")
+}
+
+func TestGoroutineLoopExemptsPool(t *testing.T) {
+	// The pool package is the sanctioned fan-out implementation: the same
+	// fixture under its import path must produce nothing.
+	pkg, err := atest.Loader(t).Check("mdm/internal/parallelize", atest.FixtureDir(t, "goroutineloop"), atest.FixtureFiles(t, "goroutineloop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := analyzers.RunPackage(pkg, []*analyzers.Analyzer{analyzers.GoroutineLoop}); len(diags) != 0 {
+		t.Errorf("goroutineloop fired inside the pool package: %v", diags)
+	}
+}
+
 // TestSuiteCleanOnRepo runs the whole suite over the whole module — the
 // in-process equivalent of `go run ./cmd/mdmvet ./...` — and requires it to
 // be green. Real findings must be fixed or carry a reviewed //mdm:* comment.

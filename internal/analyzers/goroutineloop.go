@@ -1,0 +1,103 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// goroutineLoopExemptPkgs are the packages allowed to hand-roll goroutine
+// fan-out: the worker-pool layer itself is the sanctioned implementation.
+var goroutineLoopExemptPkgs = map[string]bool{
+	"mdm/internal/parallelize": true,
+}
+
+// GoroutineLoop flags `go func() {...}()` launched inside a for/range loop
+// when the function literal captures the loop variable instead of receiving
+// it as an argument or going through the parallelize pool. The repo's
+// determinism contract routes data-parallel loops through parallelize.Pool,
+// whose fixed sharding keeps outputs bit-identical and whose error path is
+// deterministic; an ad-hoc goroutine-per-iteration loop has neither property,
+// and a captured loop variable is the usual symptom of one. Launches that
+// pass the variable as a call argument (the mpi substrate's pattern) do not
+// capture and are not flagged. Reviewed launches are suppressed with
+// //mdm:goloopok comments.
+var GoroutineLoop = &Analyzer{
+	Name:     "goroutineloop",
+	Doc:      "flag goroutines launched in loops capturing the loop variable instead of using parallelize.Pool",
+	Suppress: "goloopok",
+	Run:      runGoroutineLoop,
+}
+
+func runGoroutineLoop(pass *Pass) {
+	if goroutineLoopExemptPkgs[pass.Path] {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			loopVars := map[types.Object]string{}
+			switch loop := n.(type) {
+			case *ast.RangeStmt:
+				body = loop.Body
+				for _, e := range []ast.Expr{loop.Key, loop.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							loopVars[obj] = id.Name
+						}
+					}
+				}
+			case *ast.ForStmt:
+				body = loop.Body
+				if init, ok := loop.Init.(*ast.AssignStmt); ok {
+					for _, e := range init.Lhs {
+						if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+							if obj := pass.Info.Defs[id]; obj != nil {
+								loopVars[obj] = id.Name
+							}
+						}
+					}
+				}
+			default:
+				return true
+			}
+			if len(loopVars) == 0 {
+				return true
+			}
+			checkLoopBodyGoStmts(pass, body, loopVars)
+			return true
+		})
+	}
+}
+
+// checkLoopBodyGoStmts reports every go statement in the loop body whose
+// function literal references a loop variable of the enclosing loop.
+func checkLoopBodyGoStmts(pass *Pass, body *ast.BlockStmt, loopVars map[types.Object]string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		var captured string
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if captured != "" {
+				return false
+			}
+			if id, ok := m.(*ast.Ident); ok {
+				if name, isLoopVar := loopVars[pass.Info.Uses[id]]; isLoopVar {
+					captured = name
+					return false
+				}
+			}
+			return true
+		})
+		if captured != "" {
+			pass.Reportf(gs.Pos(),
+				"goroutine launched in a loop captures loop variable %s; stripe the loop through parallelize.Pool (or pass %s as an argument) so sharding and errors stay deterministic", captured, captured)
+		}
+		return true
+	})
+}

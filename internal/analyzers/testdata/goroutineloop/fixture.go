@@ -1,0 +1,69 @@
+// Fixtures for the goroutineloop analyzer: goroutines launched in loops must
+// not capture the loop variable — data-parallel loops go through the
+// parallelize pool, and explicit launches pass the variable as an argument.
+package fixture
+
+import "sync"
+
+func process(int) {}
+
+// capturedRange launches one goroutine per element, capturing the loop
+// variable in the closure.
+func capturedRange(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() { // want `goroutine launched in a loop captures loop variable it`
+			defer wg.Done()
+			process(it)
+		}()
+	}
+	wg.Wait()
+}
+
+// capturedIndex captures a classic three-clause loop counter.
+func capturedIndex(n int) {
+	for i := 0; i < n; i++ {
+		go func() { // want `goroutine launched in a loop captures loop variable i`
+			process(i)
+		}()
+	}
+}
+
+// passedAsArgument is the sanctioned explicit pattern: the loop variable
+// enters the goroutine as a call argument, so the closure owns a copy.
+func passedAsArgument(items []int) {
+	for _, it := range items {
+		go func(v int) {
+			process(v)
+		}(it)
+	}
+}
+
+// outerCapture closes over state that is not the loop variable; that is not
+// this analyzer's concern.
+func outerCapture(items []int) {
+	total := 0
+	for range items {
+		go func() {
+			total++
+		}()
+	}
+}
+
+// noGoroutine uses the loop variable synchronously.
+func noGoroutine(items []int) {
+	for _, it := range items {
+		process(it)
+	}
+}
+
+// reviewed is a justified capture, suppressed like any other mdmvet finding.
+func reviewed(items []int) {
+	for _, it := range items {
+		//mdm:goloopok single-element slice, sequenced by the channel below
+		go func() {
+			process(it)
+		}()
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"math"
 	"sort"
 
+	"mdm/internal/parallelize"
 	"mdm/internal/vec"
 )
 
@@ -133,6 +134,37 @@ func (g *Grid) Neighbors(c int) []Neighbor {
 	return out
 }
 
+// NeighborTable caches Neighbors(c) for every cell of a grid — the "cell
+// memory" contents the board FPGA computes once per grid geometry rather
+// than once per particle. Enumerating neighbors through the table returns
+// the exact slices Neighbors would, in the same order, without the per-call
+// allocation and dedup work.
+type NeighborTable struct {
+	g     *Grid
+	lists [][]Neighbor
+}
+
+// BuildNeighborTable enumerates every cell's neighbors, striping the cells
+// across the pool's workers (a nil pool is serial; each cell's list is
+// written by exactly one worker, so the table is identical at any width).
+func BuildNeighborTable(g *Grid, pool *parallelize.Pool) *NeighborTable {
+	t := &NeighborTable{g: g, lists: make([][]Neighbor, g.NumCells())}
+	_ = pool.Run(g.NumCells(), func(_, lo, hi int) error {
+		for c := lo; c < hi; c++ {
+			t.lists[c] = g.Neighbors(c)
+		}
+		return nil
+	})
+	return t
+}
+
+// Grid returns the grid the table was built for.
+func (t *NeighborTable) Grid() *Grid { return t.g }
+
+// Of returns the cached neighbor list of cell c. The caller must not modify
+// the returned slice.
+func (t *NeighborTable) Of(c int) []Neighbor { return t.lists[c] }
+
 // wrapCell wraps a cell coordinate into [0, n) and returns the image shift in
 // whole boxes (-1, 0 or +1).
 func wrapCell(i, n int) (wrapped, shift int) {
@@ -156,6 +188,17 @@ type Sorted struct {
 
 // Sort builds the sorted layout for the given positions.
 func Sort(g *Grid, pos []vec.V) *Sorted {
+	return SortPool(g, pos, nil)
+}
+
+// SortPool builds the sorted layout with the cell assignment and scatter
+// phases striped across the pool's workers (a nil pool is serial). The
+// layout is bit-identical to Sort at any pool width: shards are contiguous
+// original-index ranges and each shard scatters into slots reserved for it
+// by a deterministic per-shard/per-cell prefix sum, so within every cell the
+// particles appear in ascending original index exactly as in the serial
+// counting sort.
+func SortPool(g *Grid, pos []vec.V, pool *parallelize.Pool) *Sorted {
 	n := len(pos)
 	s := &Sorted{
 		Grid:  g,
@@ -163,26 +206,55 @@ func Sort(g *Grid, pos []vec.V) *Sorted {
 		Order: make([]int, n),
 		Start: make([]int, g.NumCells()+1),
 	}
+	nc := g.NumCells()
 	cells := make([]int, n)
-	counts := make([]int, g.NumCells())
-	for i, p := range pos {
-		c := g.CellOf(p)
-		cells[i] = c
-		counts[c]++
-	}
-	for c, k := 0, 0; c < g.NumCells(); c++ {
+	shards := parallelize.Shards(n, pool.Workers())
+	// Phase 1: cell assignment, one count table per shard.
+	counts := make([][]int, len(shards))
+	_ = pool.Run(n, func(shard, lo, hi int) error {
+		cnt := make([]int, nc)
+		for i := lo; i < hi; i++ {
+			c := g.CellOf(pos[i])
+			cells[i] = c
+			cnt[c]++
+		}
+		counts[shard] = cnt
+		return nil
+	})
+	// Phase 2 (serial): global cell offsets, then per-shard scatter bases —
+	// shard s writes cell c starting at Start[c] + Σ_{t<s} counts[t][c].
+	for c, k := 0, 0; c < nc; c++ {
 		s.Start[c] = k
-		k += counts[c]
+		for _, cnt := range counts {
+			k += cnt[c]
+		}
 	}
-	s.Start[g.NumCells()] = n
-	fill := append([]int(nil), s.Start[:g.NumCells()]...)
-	for i, p := range pos {
-		c := cells[i]
-		k := fill[c]
-		fill[c]++
-		s.Pos[k] = p.Wrap(g.L)
-		s.Order[k] = i
+	s.Start[nc] = n
+	base := make([][]int, len(shards))
+	prev := s.Start[:nc]
+	for sh := range shards {
+		b := append([]int(nil), prev...)
+		base[sh] = b
+		if sh+1 < len(shards) {
+			next := make([]int, nc)
+			for c := 0; c < nc; c++ {
+				next[c] = b[c] + counts[sh][c]
+			}
+			prev = next
+		}
 	}
+	// Phase 3: scatter. Slot ranges of different shards are disjoint.
+	_ = pool.Run(n, func(shard, lo, hi int) error {
+		fill := base[shard]
+		for i := lo; i < hi; i++ {
+			c := cells[i]
+			k := fill[c]
+			fill[c]++
+			s.Pos[k] = pos[i].Wrap(g.L)
+			s.Order[k] = i
+		}
+		return nil
+	})
 	return s
 }
 

@@ -9,6 +9,7 @@ import (
 	"mdm/internal/fault"
 	"mdm/internal/md"
 	"mdm/internal/mdgrape2"
+	"mdm/internal/parallelize"
 	"mdm/internal/tosifumi"
 	"mdm/internal/units"
 	"mdm/internal/vec"
@@ -68,6 +69,11 @@ type MachineConfig struct {
 	// on every per-rank session of the parallel path) so a fault.Injector can
 	// fail or corrupt hardware calls. Nil disables injection.
 	FaultHook fault.HardwareHook
+
+	// Workers is the host worker-pool width striping the simulated pipelines
+	// across OS threads (package parallelize). 0 selects runtime.GOMAXPROCS(0);
+	// 1 forces the serial code path. Every width is bit-identical.
+	Workers int
 }
 
 // CurrentMachineConfig returns the July-2000 MDM (45 Tflops WINE-2 +
@@ -91,6 +97,7 @@ type Machine struct {
 
 	mr1  *mdgrape2.MR1
 	wine *wine2.Library
+	pool *parallelize.Pool
 
 	coCoulomb *mdgrape2.Coeffs
 	coBM      *mdgrape2.Coeffs
@@ -125,6 +132,7 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		pot:   tosifumi.Default(),
 		waves: ewald.Waves(cfg.Ewald),
 		grid:  grid,
+		pool:  parallelize.New(cfg.Workers),
 	}
 
 	// MDGRAPE-2 session (Table 3 sequence).
@@ -133,6 +141,7 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		return nil, err
 	}
 	mr1.SetFaultHook(cfg.FaultHook)
+	mr1.SetPool(m.pool)
 	boards := cfg.MDGBoards
 	if boards == 0 {
 		boards = cfg.MDG.Boards()
@@ -196,6 +205,7 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		return nil, err
 	}
 	lib.SetFaultHook(cfg.FaultHook)
+	lib.SetPool(m.pool)
 	wboards := cfg.WineBoards
 	if wboards == 0 {
 		wboards = cfg.Wine.Boards()
@@ -278,7 +288,7 @@ func (m *Machine) Forces(s *md.System) ([]vec.V, float64, error) {
 	n := s.N()
 
 	// The j-side memory image: all particles, sorted by cell.
-	js, err := mdgrape2.NewJSet(m.grid, s.Pos, s.Type)
+	js, err := mdgrape2.NewJSetPool(m.grid, s.Pos, s.Type, nil, m.pool)
 	if err != nil {
 		return nil, 0, err
 	}

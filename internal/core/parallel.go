@@ -10,6 +10,7 @@ import (
 	"mdm/internal/md"
 	"mdm/internal/mdgrape2"
 	"mdm/internal/mpi"
+	"mdm/internal/parallelize"
 	"mdm/internal/tosifumi"
 	"mdm/internal/units"
 	"mdm/internal/vec"
@@ -218,11 +219,15 @@ func realSpaceRank(c *mpi.Comm, cfg MachineConfig, dec *domain.Decomposition, nR
 	jpos = append(jpos, h.pos...)
 	jtyp = append(jtyp, h.typ...)
 
-	// Per-rank MDGRAPE-2 session over this rank's share of the boards.
+	// Per-rank MDGRAPE-2 session over this rank's share of the boards. All
+	// rank sessions share one stateless pool: the pool owns no goroutines
+	// between calls, so concurrent ranks stripe their own loops independently.
+	pool := parallelize.New(cfg.Workers)
 	m, err := newRankMDG(cfg, nReal, me)
 	if err != nil {
 		return err
 	}
+	m.SetPool(pool)
 	defer func() { _ = m.Free() }()
 
 	xi := make([]vec.V, len(own))
@@ -231,7 +236,7 @@ func realSpaceRank(c *mpi.Comm, cfg MachineConfig, dec *domain.Decomposition, nR
 		xi[k] = s.Pos[i]
 		ti[k] = s.Type[i]
 	}
-	js, err := mdgrape2.NewJSet(grid, jpos, jtyp)
+	js, err := mdgrape2.NewJSetPool(grid, jpos, jtyp, nil, pool)
 	if err != nil {
 		return err
 	}
@@ -292,6 +297,7 @@ func waveRank(c *mpi.Comm, cfg MachineConfig, nReal, nWave int, s *md.System, re
 	if err != nil {
 		return err
 	}
+	lib.SetPool(parallelize.New(cfg.Workers))
 	defer func() { _ = lib.FreeBoards() }()
 	lib.SetMPICommunity(&groupComm{c: c, members: members, me: w})
 	if err := lib.SetNN(max(hi-lo, 1)); err != nil {

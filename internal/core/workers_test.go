@@ -1,0 +1,62 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"mdm/internal/fault"
+	"mdm/internal/md"
+)
+
+// The recovery layer must stay deterministic — bit-identical forces and an
+// identical audit trail — when the simulated pipelines are striped across a
+// worker pool, including through a retry and a dead-board re-stripe. The
+// -race pass over this package exercises the fault hooks under concurrency.
+
+func resilientChaosForces(t *testing.T, workers int) ([]md.Record, RunReport) {
+	t.Helper()
+	s := meltLike(t, 2, 5.64, 300, 29)
+	p := smallParams(s.L)
+	cfg := CurrentMachineConfig(p)
+	cfg.Workers = workers
+	cfg.WineBoards = 4
+	in, err := fault.ParseInjector(
+		"mdg:transient@call=3; wine2:board-drop@call=2,board=1; mdg:bitflip@call=5,word=9,bit=30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewResilient(cfg, RecoveryConfig{Injector: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = r.Free() }()
+	it, err := md.NewIntegrator(s, r, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &md.Recorder{}
+	rec.Sample(it)
+	if err := it.Run(8, func(int) error { rec.Sample(it); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if in.Remaining() != 0 {
+		t.Fatalf("%d scheduled faults never fired", in.Remaining())
+	}
+	return rec.Records, r.Report()
+}
+
+func TestResilientBitIdenticalUnderWorkers(t *testing.T) {
+	serialRecs, serialRep := resilientChaosForces(t, 1)
+	parRecs, parRep := resilientChaosForces(t, 4)
+	if !reflect.DeepEqual(serialRep, parRep) {
+		t.Errorf("recovery reports diverge under workers=4:\nserial: %+v\nparallel: %+v", serialRep, parRep)
+	}
+	if len(serialRecs) != len(parRecs) {
+		t.Fatalf("%d records vs %d", len(parRecs), len(serialRecs))
+	}
+	for k := range serialRecs {
+		if serialRecs[k] != parRecs[k] {
+			t.Fatalf("record %d diverges under workers=4: %+v vs %+v", k, parRecs[k], serialRecs[k])
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"mdm/internal/cellindex"
 	"mdm/internal/fault"
 	"mdm/internal/funceval"
+	"mdm/internal/parallelize"
 	"mdm/internal/vec"
 )
 
@@ -123,6 +124,7 @@ type System struct {
 	tables map[string]*funceval.Table
 	stats  Stats
 	hook   fault.HardwareHook
+	pool   *parallelize.Pool
 }
 
 // NewSystem builds a simulated system.
@@ -147,6 +149,14 @@ func (s *System) ResetStats() { s.stats = Stats{} }
 // with a board or transient error; an armed bit flip lands in one returned
 // force component. A nil hook (the default) disables injection.
 func (s *System) SetFaultHook(h fault.HardwareHook) { s.hook = h }
+
+// SetPool installs the worker pool that stripes the i-particle loops of the
+// force, potential and neighbor-list passes across host cores, mirroring the
+// hardware's distribution of i-particles over pipelines (§3.5.2). A nil pool
+// (the default) runs serially; every pool width is bit-identical because the
+// per-particle float64 accumulation order is unchanged — sharding only moves
+// whole i-particles between workers.
+func (s *System) SetPool(p *parallelize.Pool) { s.pool = p }
 
 // LoadTable fits g(x) into a 1,024-segment function-evaluator table covering
 // at least [2^emin, 2^emax) and stores it in every chip's RAM under the given
@@ -220,29 +230,41 @@ type JSet struct {
 	Sorted  *cellindex.Sorted
 	Types   []int     // particle type of each *sorted* j particle
 	Weights []float64 // per-sorted-j kernel weight (hardware charge field)
+
+	// nbt caches the per-cell neighbor lists (the board cell memory); the
+	// force/potential/neighbor passes enumerate cells through it instead of
+	// re-deriving the 27-cell neighborhood per i-particle.
+	nbt *cellindex.NeighborTable
 }
 
 // NewJSet sorts raw j-side particles into the board layout. types are given
 // in the original (unsorted) order; the charge field defaults to 1.
 func NewJSet(grid *cellindex.Grid, pos []vec.V, types []int) (*JSet, error) {
-	return NewJSetWeighted(grid, pos, types, nil)
+	return NewJSetPool(grid, pos, types, nil, nil)
 }
 
 // NewJSetWeighted additionally loads the per-particle charge field (weights
 // in original order; nil for all-ones).
 func NewJSetWeighted(grid *cellindex.Grid, pos []vec.V, types []int, weights []float64) (*JSet, error) {
+	return NewJSetPool(grid, pos, types, weights, nil)
+}
+
+// NewJSetPool is NewJSetWeighted with the cell sort and cell-memory build
+// striped across a worker pool (nil pool: serial; any width produces the
+// identical layout).
+func NewJSetPool(grid *cellindex.Grid, pos []vec.V, types []int, weights []float64, pool *parallelize.Pool) (*JSet, error) {
 	if len(pos) != len(types) {
 		return nil, fmt.Errorf("mdgrape2: %d positions vs %d types", len(pos), len(types))
 	}
 	if weights != nil && len(weights) != len(pos) {
 		return nil, fmt.Errorf("mdgrape2: %d positions vs %d weights", len(pos), len(weights))
 	}
-	sorted := cellindex.Sort(grid, pos)
+	sorted := cellindex.SortPool(grid, pos, pool)
 	st := make([]int, len(types))
 	for k, orig := range sorted.Order {
 		st[k] = types[orig]
 	}
-	js := &JSet{Sorted: sorted, Types: st}
+	js := &JSet{Sorted: sorted, Types: st, nbt: cellindex.BuildNeighborTable(grid, pool)}
 	if weights != nil {
 		sw := make([]float64, len(weights))
 		for k, orig := range sorted.Order {
@@ -251,6 +273,14 @@ func NewJSetWeighted(grid *cellindex.Grid, pos []vec.V, types []int, weights []f
 		js.Weights = sw
 	}
 	return js, nil
+}
+
+// neighbors returns the cached neighbor list of cell c.
+func (js *JSet) neighbors(c int) []cellindex.Neighbor {
+	if js.nbt != nil {
+		return js.nbt.Of(c)
+	}
+	return js.Sorted.Grid.Neighbors(c)
 }
 
 // weight32 returns the float32 charge field of sorted particle j.
@@ -316,7 +346,6 @@ func (s *System) ComputeForces(table string, co *Coeffs, xi []vec.V, ti []int, s
 
 	grid := js.Sorted.Grid
 	forces := make([]vec.V, len(xi))
-	var pairs int64
 
 	// Quantize coefficient RAM to float32 once (the RAM stores singles).
 	n := len(co.A)
@@ -331,42 +360,57 @@ func (s *System) ComputeForces(table string, co *Coeffs, xi []vec.V, ti []int, s
 		}
 	}
 
-	for i := range xi {
-		// The interface quantizes coordinates to single precision.
-		pix := float32(xi[i].X)
-		piy := float32(xi[i].Y)
-		piz := float32(xi[i].Z)
-		ci := grid.CellOf(xi[i])
-		var ax, ay, az float64 // double-precision accumulators (§3.5.4)
-		ta := a32[ti[i]]
-		tb := b32[ti[i]]
-		for _, nb := range grid.Neighbors(ci) {
-			jstart, jend := js.Sorted.CellRange(nb.Cell)
-			sx := float32(nb.Shift.X)
-			sy := float32(nb.Shift.Y)
-			sz := float32(nb.Shift.Z)
-			for j := jstart; j < jend; j++ {
-				pj := js.Sorted.Pos[j]
-				dx := pix - (float32(pj.X) + sx)
-				dy := piy - (float32(pj.Y) + sy)
-				dz := piz - (float32(pj.Z) + sz)
-				tj := js.Types[j]
-				b := tb[tj]
-				if js.Weights != nil {
-					b *= float32(js.Weights[j]) // particle-memory charge field
+	// The i-particles are striped across the pool's workers in contiguous
+	// blocks, as the hardware distributes them over pipelines; each
+	// i-particle's float64 accumulator stays in one shard, so accumulation
+	// order — and the result — is bit-identical at any pool width. Pair
+	// counters are per-shard, merged in shard order below.
+	shardPairs := make([]int64, len(parallelize.Shards(len(xi), s.pool.Workers())))
+	_ = s.pool.Run(len(xi), func(shard, lo, hi int) error {
+		var pairs int64
+		for i := lo; i < hi; i++ {
+			// The interface quantizes coordinates to single precision.
+			pix := float32(xi[i].X)
+			piy := float32(xi[i].Y)
+			piz := float32(xi[i].Z)
+			ci := grid.CellOf(xi[i])
+			var ax, ay, az float64 // double-precision accumulators (§3.5.4)
+			ta := a32[ti[i]]
+			tb := b32[ti[i]]
+			for _, nb := range js.neighbors(ci) {
+				jstart, jend := js.Sorted.CellRange(nb.Cell)
+				sx := float32(nb.Shift.X)
+				sy := float32(nb.Shift.Y)
+				sz := float32(nb.Shift.Z)
+				for j := jstart; j < jend; j++ {
+					pj := js.Sorted.Pos[j]
+					dx := pix - (float32(pj.X) + sx)
+					dy := piy - (float32(pj.Y) + sy)
+					dz := piz - (float32(pj.Z) + sz)
+					tj := js.Types[j]
+					b := tb[tj]
+					if js.Weights != nil {
+						b *= float32(js.Weights[j]) // particle-memory charge field
+					}
+					fx, fy, fz := pairForce(tbl, ta[tj], b, dx, dy, dz)
+					ax += float64(fx)
+					ay += float64(fy)
+					az += float64(fz)
+					pairs++
 				}
-				fx, fy, fz := pairForce(tbl, ta[tj], b, dx, dy, dz)
-				ax += float64(fx)
-				ay += float64(fy)
-				az += float64(fz)
-				pairs++
 			}
+			f := vec.New(ax, ay, az)
+			if scaleI != nil {
+				f = f.Scale(scaleI[i])
+			}
+			forces[i] = f
 		}
-		f := vec.New(ax, ay, az)
-		if scaleI != nil {
-			f = f.Scale(scaleI[i])
-		}
-		forces[i] = f
+		shardPairs[shard] = pairs
+		return nil
+	})
+	var pairs int64
+	for _, p := range shardPairs {
+		pairs += p
 	}
 
 	if s.hook != nil && len(forces) > 0 {

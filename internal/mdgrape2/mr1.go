@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mdm/internal/fault"
+	"mdm/internal/parallelize"
 	"mdm/internal/vec"
 )
 
@@ -24,6 +25,7 @@ type MR1 struct {
 	requested int
 	sys       *System
 	hook      fault.HardwareHook
+	pool      *parallelize.Pool
 }
 
 // NewMR1 creates a library session against a machine of the given
@@ -73,6 +75,7 @@ func (m *MR1) Init() error {
 		return err
 	}
 	sys.SetFaultHook(m.hook)
+	sys.SetPool(m.pool)
 	m.sys = sys
 	return nil
 }
@@ -83,6 +86,15 @@ func (m *MR1) SetFaultHook(h fault.HardwareHook) {
 	m.hook = h
 	if m.sys != nil {
 		m.sys.SetFaultHook(h)
+	}
+}
+
+// SetPool installs the worker pool on the session's hardware; it survives
+// Init/Free cycles. A nil pool runs serially.
+func (m *MR1) SetPool(p *parallelize.Pool) {
+	m.pool = p
+	if m.sys != nil {
+		m.sys.SetPool(p)
 	}
 }
 

@@ -3,6 +3,7 @@ package mdgrape2
 import (
 	"fmt"
 
+	"mdm/internal/parallelize"
 	"mdm/internal/vec"
 )
 
@@ -55,26 +56,38 @@ func (s *System) BuildNeighborLists(xi []vec.V, js *JSet, rcut float64) (*Neighb
 	grid := js.Sorted.Grid
 	nl := &NeighborList{RCut: rcut, Lists: make([][]NeighborEntry, len(xi)), js: js}
 	r2cut := rcut * rcut
-	var pairs int64
-	for i := range xi {
-		ci := grid.CellOf(xi[i])
-		pix, piy, piz := float32(xi[i].X), float32(xi[i].Y), float32(xi[i].Z)
-		for _, nb := range grid.Neighbors(ci) {
-			jstart, jend := js.Sorted.CellRange(nb.Cell)
-			sx, sy, sz := float32(nb.Shift.X), float32(nb.Shift.Y), float32(nb.Shift.Z)
-			for j := jstart; j < jend; j++ {
-				pj := js.Sorted.Pos[j]
-				dx := pix - (float32(pj.X) + sx)
-				dy := piy - (float32(pj.Y) + sy)
-				dz := piz - (float32(pj.Z) + sz)
-				r2 := float64(dx*dx + dy*dy + dz*dz)
-				pairs++
-				if r2 == 0 || r2 >= r2cut {
-					continue
+	// Each i-particle owns its own list slot, so the flagging pass stripes
+	// across the pool bit-identically: list contents and order are a pure
+	// function of i.
+	shardPairs := make([]int64, len(parallelize.Shards(len(xi), s.pool.Workers())))
+	_ = s.pool.Run(len(xi), func(shard, lo, hi int) error {
+		var pairs int64
+		for i := lo; i < hi; i++ {
+			ci := grid.CellOf(xi[i])
+			pix, piy, piz := float32(xi[i].X), float32(xi[i].Y), float32(xi[i].Z)
+			for _, nb := range js.neighbors(ci) {
+				jstart, jend := js.Sorted.CellRange(nb.Cell)
+				sx, sy, sz := float32(nb.Shift.X), float32(nb.Shift.Y), float32(nb.Shift.Z)
+				for j := jstart; j < jend; j++ {
+					pj := js.Sorted.Pos[j]
+					dx := pix - (float32(pj.X) + sx)
+					dy := piy - (float32(pj.Y) + sy)
+					dz := piz - (float32(pj.Z) + sz)
+					r2 := float64(dx*dx + dy*dy + dz*dz)
+					pairs++
+					if r2 == 0 || r2 >= r2cut {
+						continue
+					}
+					nl.Lists[i] = append(nl.Lists[i], NeighborEntry{J: j, Shift: nb.Shift})
 				}
-				nl.Lists[i] = append(nl.Lists[i], NeighborEntry{J: j, Shift: nb.Shift})
 			}
 		}
+		shardPairs[shard] = pairs
+		return nil
+	})
+	var pairs int64
+	for _, p := range shardPairs {
+		pairs += p
 	}
 	s.stats.PairsEvaluated += pairs
 	s.stats.IParticles += int64(len(xi))
@@ -122,35 +135,46 @@ func (s *System) ComputeForcesNL(table string, co *Coeffs, xi []vec.V, ti []int,
 		}
 	}
 	forces := make([]vec.V, len(xi))
+	shardPairs := make([]int64, len(parallelize.Shards(len(xi), s.pool.Workers())))
+	if err := s.pool.Run(len(xi), func(shard, lo, hi int) error {
+		var pairs int64
+		for i := lo; i < hi; i++ {
+			pix, piy, piz := float32(xi[i].X), float32(xi[i].Y), float32(xi[i].Z)
+			ta, tb := a32[ti[i]], b32[ti[i]]
+			var ax, ay, az float64
+			for _, e := range nl.Lists[i] {
+				pj := js.Sorted.Pos[e.J]
+				dx := pix - (float32(pj.X) + float32(e.Shift.X))
+				dy := piy - (float32(pj.Y) + float32(e.Shift.Y))
+				dz := piz - (float32(pj.Z) + float32(e.Shift.Z))
+				tj := js.Types[e.J]
+				if tj < 0 || tj >= n {
+					return fmt.Errorf("mdgrape2: j-type %d outside coefficient RAM", tj)
+				}
+				b := tb[tj]
+				if js.Weights != nil {
+					b *= float32(js.Weights[e.J])
+				}
+				fx, fy, fz := pairForce(tbl, ta[tj], b, dx, dy, dz)
+				ax += float64(fx)
+				ay += float64(fy)
+				az += float64(fz)
+				pairs++
+			}
+			f := vec.New(ax, ay, az)
+			if scaleI != nil {
+				f = f.Scale(scaleI[i])
+			}
+			forces[i] = f
+		}
+		shardPairs[shard] = pairs
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	var pairs int64
-	for i := range xi {
-		pix, piy, piz := float32(xi[i].X), float32(xi[i].Y), float32(xi[i].Z)
-		ta, tb := a32[ti[i]], b32[ti[i]]
-		var ax, ay, az float64
-		for _, e := range nl.Lists[i] {
-			pj := js.Sorted.Pos[e.J]
-			dx := pix - (float32(pj.X) + float32(e.Shift.X))
-			dy := piy - (float32(pj.Y) + float32(e.Shift.Y))
-			dz := piz - (float32(pj.Z) + float32(e.Shift.Z))
-			tj := js.Types[e.J]
-			if tj < 0 || tj >= n {
-				return nil, fmt.Errorf("mdgrape2: j-type %d outside coefficient RAM", tj)
-			}
-			b := tb[tj]
-			if js.Weights != nil {
-				b *= float32(js.Weights[e.J])
-			}
-			fx, fy, fz := pairForce(tbl, ta[tj], b, dx, dy, dz)
-			ax += float64(fx)
-			ay += float64(fy)
-			az += float64(fz)
-			pairs++
-		}
-		f := vec.New(ax, ay, az)
-		if scaleI != nil {
-			f = f.Scale(scaleI[i])
-		}
-		forces[i] = f
+	for _, p := range shardPairs {
+		pairs += p
 	}
 	s.stats.PairsEvaluated += pairs
 	s.stats.IParticles += int64(len(xi))
@@ -193,39 +217,50 @@ func (s *System) ComputePotentials(table string, co *Coeffs, xi []vec.V, ti []in
 	}
 	grid := js.Sorted.Grid
 	pots := make([]float64, len(xi))
-	var pairs int64
-	for i := range xi {
-		if ti[i] < 0 || ti[i] >= n {
-			return nil, fmt.Errorf("mdgrape2: i-type %d outside coefficient RAM", ti[i])
-		}
-		pix, piy, piz := float32(xi[i].X), float32(xi[i].Y), float32(xi[i].Z)
-		ta, tb := a32[ti[i]], b32[ti[i]]
-		ci := grid.CellOf(xi[i])
-		var acc float64
-		for _, nb := range grid.Neighbors(ci) {
-			jstart, jend := js.Sorted.CellRange(nb.Cell)
-			sx, sy, sz := float32(nb.Shift.X), float32(nb.Shift.Y), float32(nb.Shift.Z)
-			for j := jstart; j < jend; j++ {
-				pj := js.Sorted.Pos[j]
-				dx := pix - (float32(pj.X) + sx)
-				dy := piy - (float32(pj.Y) + sy)
-				dz := piz - (float32(pj.Z) + sz)
-				tj := js.Types[j]
-				r2 := dx*dx + dy*dy + dz*dz
-				phi := tbl.Eval(ta[tj] * r2)
-				b := tb[tj]
-				if js.Weights != nil {
-					b *= float32(js.Weights[j])
+	shardPairs := make([]int64, len(parallelize.Shards(len(xi), s.pool.Workers())))
+	if err := s.pool.Run(len(xi), func(shard, lo, hi int) error {
+		var pairs int64
+		for i := lo; i < hi; i++ {
+			if ti[i] < 0 || ti[i] >= n {
+				return fmt.Errorf("mdgrape2: i-type %d outside coefficient RAM", ti[i])
+			}
+			pix, piy, piz := float32(xi[i].X), float32(xi[i].Y), float32(xi[i].Z)
+			ta, tb := a32[ti[i]], b32[ti[i]]
+			ci := grid.CellOf(xi[i])
+			var acc float64
+			for _, nb := range js.neighbors(ci) {
+				jstart, jend := js.Sorted.CellRange(nb.Cell)
+				sx, sy, sz := float32(nb.Shift.X), float32(nb.Shift.Y), float32(nb.Shift.Z)
+				for j := jstart; j < jend; j++ {
+					pj := js.Sorted.Pos[j]
+					dx := pix - (float32(pj.X) + sx)
+					dy := piy - (float32(pj.Y) + sy)
+					dz := piz - (float32(pj.Z) + sz)
+					tj := js.Types[j]
+					r2 := dx*dx + dy*dy + dz*dz
+					phi := tbl.Eval(ta[tj] * r2)
+					b := tb[tj]
+					if js.Weights != nil {
+						b *= float32(js.Weights[j])
+					}
+					acc += float64(b * phi)
+					pairs++
 				}
-				acc += float64(b * phi)
-				pairs++
+			}
+			if scaleI != nil {
+				pots[i] = acc * scaleI[i]
+			} else {
+				pots[i] = acc
 			}
 		}
-		if scaleI != nil {
-			pots[i] = acc * scaleI[i]
-		} else {
-			pots[i] = acc
-		}
+		shardPairs[shard] = pairs
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var pairs int64
+	for _, p := range shardPairs {
+		pairs += p
 	}
 	s.stats.PairsEvaluated += pairs
 	s.stats.IParticles += int64(len(xi))

@@ -1,0 +1,145 @@
+// Package parallelize is the shared worker-pool layer that maps the MDM's
+// chip-level concurrency onto host OS threads.
+//
+// The real machine never ran a loop serially: WINE-2 striped the wavenumber
+// sum over 2,240 chips and MDGRAPE-2 striped the i-particles over 256
+// pipelines (§3.4, §3.5). The simulators reproduce those datapaths
+// bit-exactly but, before this layer, executed every pipeline on one OS
+// thread. A Pool re-introduces the hardware's parallel axis: an index range
+// is split into at most Workers contiguous shards ("virtual boards"), each
+// shard runs on its own goroutine, and the caller merges shard results in
+// shard order.
+//
+// Determinism contract. Sharding is a pure function of (n, workers):
+// shard s covers [s·n/w, (s+1)·n/w). A worker writes only to the output
+// slots of its own shard, so any per-index output (forces[i], sn[w]) is
+// bit-identical to the serial loop regardless of scheduling. Reductions
+// (scalar sums) must be merged by the caller in ascending shard order; the
+// fixed-point int64 accumulators of WINE-2 are associative, so even their
+// reduced sums stay bit-identical. Pool(1) — and a nil *Pool — runs the body
+// inline on the calling goroutine: exactly the pre-pool serial code path,
+// with no goroutine, channel, or defer overhead.
+//
+// Error contract. The error returned by Run is the error of the
+// lowest-numbered failing shard, independent of goroutine timing, so fault
+// injection and recovery stay deterministic under concurrency. A panicking
+// shard is converted to a *PanicError rather than crashing the process
+// sideways on a worker goroutine.
+package parallelize
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded, stateless worker pool: it owns no goroutines between
+// calls, so one Pool may be shared by concurrent callers (e.g. the per-rank
+// sessions of the §4 parallel layout) without locking.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool of the given width. workers <= 0 selects
+// runtime.GOMAXPROCS(0), the number of OS threads the Go scheduler will
+// actually run; workers == 1 makes every Run execute inline (the serial
+// code path).
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool width. A nil pool is serial: width 1.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// PanicError wraps a panic recovered on a worker goroutine.
+type PanicError struct {
+	Shard int
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallelize: panic in shard %d: %v", e.Shard, e.Value)
+}
+
+// Shards splits the index range [0, n) into at most workers contiguous
+// shards: shard s covers [s·n/w, (s+1)·n/w). Every index is covered exactly
+// once, empty shards are dropped, and the split depends only on (n, workers)
+// — the deterministic striping the bit-exactness contract rests on.
+func Shards(n, workers int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([][2]int, 0, workers)
+	for s := 0; s < workers; s++ {
+		lo := s * n / workers
+		hi := (s + 1) * n / workers
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// Run executes fn over the index range [0, n), split into at most Workers()
+// contiguous shards. fn receives its shard number and half-open range
+// [lo, hi); it must write only to per-index state of its own range (or to
+// per-shard state merged by the caller afterwards). With one shard — a nil
+// or width-1 pool, or n <= 1 — fn runs inline on the calling goroutine.
+//
+// The returned error is the lowest-numbered failing shard's error; a shard
+// panic surfaces as a *PanicError.
+func (p *Pool) Run(n int, fn func(shard, lo, hi int) error) error {
+	shards := Shards(n, p.Workers())
+	if len(shards) == 0 {
+		return nil
+	}
+	if len(shards) == 1 {
+		return runInline(fn, shards[0][0], shards[0][1])
+	}
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	wg.Add(len(shards))
+	for s, r := range shards {
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					errs[s] = &PanicError{Shard: s, Value: v}
+				}
+			}()
+			errs[s] = fn(s, lo, hi)
+		}(s, r[0], r[1])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runInline is the single-shard fast path: no goroutine, no channel — the
+// pre-pool serial code path, with only the panic contract kept uniform.
+func runInline(fn func(shard, lo, hi int) error, lo, hi int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Shard: 0, Value: v}
+		}
+	}()
+	return fn(0, lo, hi)
+}

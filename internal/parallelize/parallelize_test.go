@@ -1,0 +1,184 @@
+package parallelize
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestShardsCoverExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 100, 1000} {
+		for _, w := range []int{1, 2, 3, 4, 8, 13, 1000} {
+			shards := Shards(n, w)
+			covered := make([]int, n)
+			prev := 0
+			for _, r := range shards {
+				if r[0] != prev {
+					t.Fatalf("n=%d w=%d: shard starts at %d, want %d", n, w, r[0], prev)
+				}
+				if r[0] >= r[1] {
+					t.Fatalf("n=%d w=%d: empty shard %v survived", n, w, r)
+				}
+				for i := r[0]; i < r[1]; i++ {
+					covered[i]++
+				}
+				prev = r[1]
+			}
+			if n > 0 && prev != n {
+				t.Fatalf("n=%d w=%d: shards end at %d", n, w, prev)
+			}
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("n=%d w=%d: index %d covered %d times", n, w, i, c)
+				}
+			}
+			if len(shards) > w || (n > 0 && len(shards) > n) {
+				t.Fatalf("n=%d w=%d: %d shards", n, w, len(shards))
+			}
+		}
+	}
+}
+
+func TestShardsDeterministic(t *testing.T) {
+	a := fmt.Sprint(Shards(1000, 7))
+	b := fmt.Sprint(Shards(1000, 7))
+	if a != b {
+		t.Fatalf("sharding not deterministic: %s vs %s", a, b)
+	}
+}
+
+func TestNilAndWidthOnePoolRunInline(t *testing.T) {
+	gid := func() string {
+		var buf [64]byte
+		return string(buf[:runtime.Stack(buf[:], false)])[:20]
+	}
+	for _, p := range []*Pool{nil, New(1)} {
+		if p.Workers() != 1 {
+			t.Fatalf("Workers() = %d, want 1", p.Workers())
+		}
+		caller := gid()
+		calls := 0
+		err := p.Run(100, func(shard, lo, hi int) error {
+			calls++
+			if shard != 0 || lo != 0 || hi != 100 {
+				t.Fatalf("inline shard = (%d, %d, %d)", shard, lo, hi)
+			}
+			if gid() != caller {
+				t.Fatal("width-1 pool hopped goroutines")
+			}
+			return nil
+		})
+		if err != nil || calls != 1 {
+			t.Fatalf("inline run: err=%v calls=%d", err, calls)
+		}
+	}
+}
+
+func TestDefaultWidthIsGOMAXPROCS(t *testing.T) {
+	if got, want := New(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("New(0).Workers() = %d, want %d", got, want)
+	}
+	if got := New(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("New(-3).Workers() = %d", got)
+	}
+}
+
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8} {
+		p := New(w)
+		out := make([]int64, 997)
+		if err := p.Run(len(out), func(shard, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt64(&out[i], int64(i)+1)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != int64(i)+1 {
+				t.Fatalf("w=%d: out[%d] = %d", w, i, v)
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestShardError(t *testing.T) {
+	p := New(8)
+	errShard := errors.New("shard failed")
+	for trial := 0; trial < 20; trial++ {
+		err := p.Run(64, func(shard, lo, hi int) error {
+			if shard >= 3 {
+				return fmt.Errorf("%w: %d", errShard, shard)
+			}
+			return nil
+		})
+		if err == nil || !errors.Is(err, errShard) {
+			t.Fatalf("err = %v", err)
+		}
+		// Deterministic winner: shard 3 is the lowest failing shard.
+		if got := err.Error(); got != "shard failed: 3" {
+			t.Fatalf("trial %d: nondeterministic error choice: %q", trial, got)
+		}
+	}
+}
+
+func TestRunConvertsPanicToError(t *testing.T) {
+	p := New(4)
+	err := p.Run(16, func(shard, lo, hi int) error {
+		if shard == 2 {
+			panic("boom")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Shard != 2 || pe.Value != "boom" {
+		t.Fatalf("panic error = %+v", pe)
+	}
+	// The inline (single-shard) path must also not crash the process.
+	err = New(1).Run(4, func(shard, lo, hi int) error { panic("inline") })
+	if !errors.As(err, &pe) || pe.Value != "inline" {
+		t.Fatalf("inline panic: err = %v", err)
+	}
+}
+
+func TestPoolSharedByConcurrentCallers(t *testing.T) {
+	// One pool used from many goroutines at once, as the §4 rank sessions do.
+	p := New(4)
+	done := make(chan error, 8)
+	for c := 0; c < 8; c++ {
+		go func() {
+			var total int64
+			err := p.Run(1000, func(shard, lo, hi int) error {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt64(&total, 1)
+				}
+				return nil
+			})
+			if err == nil && total != 1000 {
+				err = fmt.Errorf("total = %d", total)
+			}
+			done <- err
+		}()
+	}
+	for c := 0; c < 8; c++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunZeroLength(t *testing.T) {
+	called := false
+	if err := New(4).Run(0, func(shard, lo, hi int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"mdm/internal/ewald"
 	"mdm/internal/fault"
+	"mdm/internal/parallelize"
 	"mdm/internal/vec"
 )
 
@@ -39,6 +40,7 @@ type Library struct {
 	nn        int
 	sys       *System
 	hook      fault.HardwareHook
+	pool      *parallelize.Pool
 }
 
 // NewLibrary creates a session against a machine configuration.
@@ -60,6 +62,15 @@ func (l *Library) SetFaultHook(h fault.HardwareHook) {
 	l.hook = h
 	if l.sys != nil {
 		l.sys.SetFaultHook(h)
+	}
+}
+
+// SetPool installs the worker pool on the session's hardware; it survives
+// InitializeBoards/FreeBoards cycles. A nil pool runs serially.
+func (l *Library) SetPool(p *parallelize.Pool) {
+	l.pool = p
+	if l.sys != nil {
+		l.sys.SetPool(p)
 	}
 }
 
@@ -96,6 +107,7 @@ func (l *Library) InitializeBoards() error {
 		return err
 	}
 	sys.SetFaultHook(l.hook)
+	sys.SetPool(l.pool)
 	l.sys = sys
 	return nil
 }
@@ -132,7 +144,13 @@ func (l *Library) CalcForceAndPotWavepart(p ewald.Params, waves []ewald.Wave, po
 	if len(pos) > l.nn {
 		return nil, 0, fmt.Errorf("wine2: %d particles exceed declared nn %d", len(pos), l.nn)
 	}
-	sn, cn, err := l.sys.DFT(p.L, waves, pos, q)
+	// Write the SDRAM particle image once; the DFT and IDFT passes both read
+	// it, halving the host quantization work of the call pair.
+	pw, err := l.sys.Quantize(p.L, pos, q)
+	if err != nil {
+		return nil, 0, err
+	}
+	sn, cn, err := l.sys.DFTQuantized(waves, pw)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -149,7 +167,7 @@ func (l *Library) CalcForceAndPotWavepart(p ewald.Params, waves []ewald.Wave, po
 		sn = buf[:len(waves)]
 		cn = buf[len(waves):]
 	}
-	forces, err := l.sys.IDFT(p.L, waves, sn, cn, pos, q)
+	forces, err := l.sys.IDFTQuantized(waves, sn, cn, pw)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -36,6 +36,7 @@ import (
 	"mdm/internal/ewald"
 	"mdm/internal/fault"
 	"mdm/internal/fixed"
+	"mdm/internal/parallelize"
 	"mdm/internal/units"
 	"mdm/internal/vec"
 )
@@ -140,6 +141,7 @@ type System struct {
 	trig  *fixed.SinCosTable
 	stats Stats
 	hook  fault.HardwareHook
+	pool  *parallelize.Pool
 }
 
 // NewSystem builds a simulated system.
@@ -169,17 +171,62 @@ func (s *System) ResetStats() { s.stats = Stats{} }
 // A nil hook (the default) disables injection.
 func (s *System) SetFaultHook(h fault.HardwareHook) { s.hook = h }
 
-// quantizePositions converts positions to fixed-point box fractions.
-func (s *System) quantizePositions(pos []vec.V, l float64) [][3]int64 {
-	pf := fixed.F(0, s.cfg.PosFrac)
-	out := make([][3]int64, len(pos))
-	for i, p := range pos {
-		w := p.Wrap(l)
-		out[i][0] = pf.QuantizeWrap(w.X / l)
-		out[i][1] = pf.QuantizeWrap(w.Y / l)
-		out[i][2] = pf.QuantizeWrap(w.Z / l)
+// SetPool installs the worker pool that stripes DFT waves and IDFT particles
+// across host cores, mirroring the hardware's chip-level concurrency. A nil
+// pool (the default) runs every pipeline loop serially; any pool width
+// produces bit-identical results (see ParticleWords and package
+// parallelize). The pool is also used to parallelize quantization.
+func (s *System) SetPool(p *parallelize.Pool) { s.pool = p }
+
+// ParticleWords is the quantized particle image of one board's SDRAM
+// particle memory: the fixed-point box-fraction position words and charge
+// words for a particle block. The hardware writes this memory once per step
+// and then runs both the DFT and the IDFT pass against the same image
+// (§3.4.2, Fig. 6); Quantize + DFTQuantized/IDFTQuantized reproduce that
+// flow, so the host quantization cost is paid once per image instead of once
+// per pass.
+type ParticleWords struct {
+	L float64    // box side the words were quantized against
+	U [][3]int64 // box-fraction position words, PosFrac fractional bits
+	Q []int64    // charge words, QFrac fractional bits
+	q []float64  // original charges (host side of the IDFT prefactor q_i)
+}
+
+// N returns the number of particles in the image.
+func (pw *ParticleWords) N() int { return len(pw.U) }
+
+// Quantize converts a particle block to the fixed-point SDRAM image shared
+// by the DFT and IDFT passes. len(pos) must equal len(q) and fit the board
+// particle memory.
+func (s *System) Quantize(l float64, pos []vec.V, q []float64) (*ParticleWords, error) {
+	if len(pos) != len(q) {
+		return nil, fmt.Errorf("wine2: %d positions vs %d charges", len(pos), len(q))
 	}
-	return out
+	if len(pos) > s.cfg.ParticleCapacity() {
+		return nil, fmt.Errorf("wine2: %d particles exceed board particle memory capacity %d",
+			len(pos), s.cfg.ParticleCapacity())
+	}
+	pw := &ParticleWords{
+		L: l,
+		U: make([][3]int64, len(pos)),
+		Q: make([]int64, len(pos)),
+		q: q,
+	}
+	pf := fixed.F(0, s.cfg.PosFrac)
+	qf := fixed.F(5, s.cfg.QFrac)
+	// Each particle's words are independent, so the quantization shards
+	// trivially; every slot is written by exactly one worker.
+	_ = s.pool.Run(len(pos), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			w := pos[i].Wrap(l)
+			pw.U[i][0] = pf.QuantizeWrap(w.X / l)
+			pw.U[i][1] = pf.QuantizeWrap(w.Y / l)
+			pw.U[i][2] = pf.QuantizeWrap(w.Z / l)
+			pw.Q[i] = qf.Quantize(q[i])
+		}
+		return nil
+	})
+	return pw, nil
 }
 
 // phase computes n⃗·u⃗ in fixed-point turns (PosFrac fractional bits). The
@@ -195,13 +242,19 @@ func phase(n [3]int, u [3]int64) int64 {
 // reconstruction S = ((S+C)+(S-C))/2 is applied before returning, exactly as
 // in §3.4.4. len(pos) must equal len(q) and fit the board particle memory.
 func (s *System) DFT(l float64, waves []ewald.Wave, pos []vec.V, q []float64) (sn, cn []float64, err error) {
-	if len(pos) != len(q) {
-		return nil, nil, fmt.Errorf("wine2: %d positions vs %d charges", len(pos), len(q))
+	pw, err := s.Quantize(l, pos, q)
+	if err != nil {
+		return nil, nil, err
 	}
-	if len(pos) > s.cfg.ParticleCapacity() {
-		return nil, nil, fmt.Errorf("wine2: %d particles exceed board particle memory capacity %d",
-			len(pos), s.cfg.ParticleCapacity())
-	}
+	return s.DFTQuantized(waves, pw)
+}
+
+// DFTQuantized is the DFT pass over a pre-quantized particle image. The wave
+// loop is striped across the pool's workers exactly as the hardware stripes
+// waves across chips (§3.4.2: "different wavenumber vectors are assigned to
+// different pipelines"); each wave's S±C accumulator lives entirely in one
+// shard, so the output is bit-identical at any pool width.
+func (s *System) DFTQuantized(waves []ewald.Wave, pw *ParticleWords) (sn, cn []float64, err error) {
 	// Fault injection: a scheduled board/transient error aborts the call; an
 	// armed bit flip lands in one wave's S+C accumulator at readout, the spot
 	// where a flipped SDRAM or pipeline-register bit would surface.
@@ -218,41 +271,40 @@ func (s *System) DFT(l float64, waves []ewald.Wave, pos []vec.V, q []float64) (s
 			flipBit = bit & 63
 		}
 	}
-	u := s.quantizePositions(pos, l)
-	qf := fixed.F(5, s.cfg.QFrac)
-	qraw := make([]int64, len(q))
-	for i, qi := range q {
-		qraw[i] = qf.Quantize(qi)
-	}
 	trigFrac := s.cfg.TrigFormat.Frac
 	prodFrac := s.cfg.QFrac + trigFrac
 
 	sn = make([]float64, len(waves))
 	cn = make([]float64, len(waves))
 	accF := fixed.F(0, s.cfg.AccFrac) // conversion scale for readout
-	for w := range waves {
-		var accPlus, accMinus int64 // S+C and S-C, AccFrac fractional bits
-		for j := range pos {
-			ph := phase(waves[w].N, u[j])
-			sj, cj := s.trig.SinCos(ph, s.cfg.PosFrac)
-			qs := fixed.MulRound(qraw[j], sj, s.cfg.QFrac, trigFrac, prodFrac)
-			qc := fixed.MulRound(qraw[j], cj, s.cfg.QFrac, trigFrac, prodFrac)
-			// Reduce to the accumulator precision before summing, as a
-			// fixed-width adder tree would.
-			qs = fixed.Convert(qs, fixed.WideFor(prodFrac), fixed.F(30, s.cfg.AccFrac))
-			qc = fixed.Convert(qc, fixed.WideFor(prodFrac), fixed.F(30, s.cfg.AccFrac))
-			accPlus += qs + qc
-			accMinus += qs - qc
+	accWide := fixed.F(30, s.cfg.AccFrac)
+	prodWide := fixed.WideFor(prodFrac)
+	_ = s.pool.Run(len(waves), func(_, lo, hi int) error {
+		for w := lo; w < hi; w++ {
+			var accPlus, accMinus int64 // S+C and S-C, AccFrac fractional bits
+			for j := range pw.U {
+				ph := phase(waves[w].N, pw.U[j])
+				sj, cj := s.trig.SinCos(ph, s.cfg.PosFrac)
+				qs := fixed.MulRound(pw.Q[j], sj, s.cfg.QFrac, trigFrac, prodFrac)
+				qc := fixed.MulRound(pw.Q[j], cj, s.cfg.QFrac, trigFrac, prodFrac)
+				// Reduce to the accumulator precision before summing, as a
+				// fixed-width adder tree would.
+				qs = fixed.Convert(qs, prodWide, accWide)
+				qc = fixed.Convert(qc, prodWide, accWide)
+				accPlus += qs + qc
+				accMinus += qs - qc
+			}
+			if w == flipWave {
+				accPlus ^= 1 << flipBit
+			}
+			plus := accF.Float(accPlus)
+			minus := accF.Float(accMinus)
+			sn[w] = (plus + minus) / 2
+			cn[w] = (plus - minus) / 2
 		}
-		if w == flipWave {
-			accPlus ^= 1 << flipBit
-		}
-		plus := accF.Float(accPlus)
-		minus := accF.Float(accMinus)
-		sn[w] = (plus + minus) / 2
-		cn[w] = (plus - minus) / 2
-	}
-	s.stats.DFTOps += int64(len(waves)) * int64(len(pos))
+		return nil
+	})
+	s.stats.DFTOps += int64(len(waves)) * int64(pw.N())
 	s.stats.Calls++
 	return sn, cn, nil
 }
@@ -264,22 +316,28 @@ func (s *System) DFT(l float64, waves []ewald.Wave, pos []vec.V, q []float64) (s
 // block-normalized by the host and quantized to CoefFrac bits before entering
 // the pipelines.
 func (s *System) IDFT(l float64, waves []ewald.Wave, sn, cn []float64, pos []vec.V, q []float64) ([]vec.V, error) {
+	pw, err := s.Quantize(l, pos, q)
+	if err != nil {
+		return nil, err
+	}
+	return s.IDFTQuantized(waves, sn, cn, pw)
+}
+
+// IDFTQuantized is the IDFT pass over a pre-quantized particle image. The
+// particle loop is striped across the pool's workers exactly as the board
+// blocking of §3.4.2 stripes resident particle blocks across boards; each
+// particle's fixed-point force accumulators live entirely in one shard, so
+// the output is bit-identical at any pool width.
+func (s *System) IDFTQuantized(waves []ewald.Wave, sn, cn []float64, pw *ParticleWords) ([]vec.V, error) {
 	if len(sn) != len(waves) || len(cn) != len(waves) {
 		return nil, fmt.Errorf("wine2: %d waves vs %d/%d structure factors", len(waves), len(sn), len(cn))
-	}
-	if len(pos) != len(q) {
-		return nil, fmt.Errorf("wine2: %d positions vs %d charges", len(pos), len(q))
-	}
-	if len(pos) > s.cfg.ParticleCapacity() {
-		return nil, fmt.Errorf("wine2: %d particles exceed board particle memory capacity %d",
-			len(pos), s.cfg.ParticleCapacity())
 	}
 	if s.hook != nil {
 		if err := s.hook.HardwareCall(fault.WINE2); err != nil {
 			return nil, err
 		}
 	}
-	u := s.quantizePositions(pos, l)
+	l := pw.L
 
 	// Host-side block normalization of a_n S_n and a_n C_n.
 	scale := 0.0
@@ -293,7 +351,7 @@ func (s *System) IDFT(l float64, waves []ewald.Wave, sn, cn []float64, pos []vec
 			scale = ac
 		}
 	}
-	forces := make([]vec.V, len(pos))
+	forces := make([]vec.V, pw.N())
 	if scale == 0 {
 		s.stats.Calls++
 		return forces, nil // all structure factors vanish
@@ -314,21 +372,25 @@ func (s *System) IDFT(l float64, waves []ewald.Wave, sn, cn []float64, pos []vec
 	// k⃗ = n⃗/L and the block scale restored.
 	pref := 4 * units.Coulomb / (l * l * l * l) * scale
 
-	for i := range pos {
-		var ax, ay, az int64 // IAccFrac fractional bits
-		for w := range waves {
-			ph := phase(waves[w].N, u[i])
-			si, ci := s.trig.SinCos(ph, s.cfg.PosFrac)
-			t1 := fixed.MulRound(aC[w], si, s.cfg.CoefFrac, trigFrac, prodFrac)
-			t2 := fixed.MulRound(aS[w], ci, s.cfg.CoefFrac, trigFrac, prodFrac)
-			t := fixed.Convert(t1-t2, fixed.WideFor(prodFrac), tF)
-			ax += t * int64(waves[w].N[0])
-			ay += t * int64(waves[w].N[1])
-			az += t * int64(waves[w].N[2])
+	prodWide := fixed.WideFor(prodFrac)
+	_ = s.pool.Run(pw.N(), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			var ax, ay, az int64 // IAccFrac fractional bits
+			for w := range waves {
+				ph := phase(waves[w].N, pw.U[i])
+				si, ci := s.trig.SinCos(ph, s.cfg.PosFrac)
+				t1 := fixed.MulRound(aC[w], si, s.cfg.CoefFrac, trigFrac, prodFrac)
+				t2 := fixed.MulRound(aS[w], ci, s.cfg.CoefFrac, trigFrac, prodFrac)
+				t := fixed.Convert(t1-t2, prodWide, tF)
+				ax += t * int64(waves[w].N[0])
+				ay += t * int64(waves[w].N[1])
+				az += t * int64(waves[w].N[2])
+			}
+			forces[i] = vec.New(iaccF.Float(ax), iaccF.Float(ay), iaccF.Float(az)).Scale(pref * pw.q[i])
 		}
-		forces[i] = vec.New(iaccF.Float(ax), iaccF.Float(ay), iaccF.Float(az)).Scale(pref * q[i])
-	}
-	s.stats.IDFTOps += int64(len(waves)) * int64(len(pos))
+		return nil
+	})
+	s.stats.IDFTOps += int64(len(waves)) * int64(pw.N())
 	s.stats.Calls++
 	return forces, nil
 }

@@ -84,6 +84,12 @@ type Config struct {
 	// MaxRetries bounds per-step hardware retries under a fault scenario
 	// (default 3; negative disables retries).
 	MaxRetries int
+
+	// Workers is the host worker-pool width the MDM backend uses to stripe
+	// the simulated WINE-2/MDGRAPE-2 pipelines across OS threads (0 =
+	// runtime.GOMAXPROCS(0), 1 = serial). Any width produces bit-identical
+	// trajectories; the reference backend ignores it.
+	Workers int
 }
 
 func (c *Config) fillDefaults() {
@@ -162,6 +168,7 @@ func newForceField(cfg Config, p ewald.Params, in *fault.Injector) (md.ForceFiel
 	case BackendMDM:
 		mcfg := core.CurrentMachineConfig(p)
 		mcfg.PotentialEvery = cfg.PotentialEvery
+		mcfg.Workers = cfg.Workers
 		if in == nil && cfg.Faults != "" {
 			var err error
 			in, err = fault.ParseInjector(cfg.Faults)

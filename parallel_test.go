@@ -1,0 +1,64 @@
+package mdm
+
+import (
+	"math"
+	"testing"
+)
+
+// The worker pool stripes the simulated pipelines across host cores without
+// changing any accumulation order, so a full protocol run must be
+// byte-identical at every pool width — the repo's zero-numerical-drift
+// guarantee for the intra-board parallelism layer.
+
+func runProtocolWithWorkers(t *testing.T, workers int) *Simulation {
+	t.Helper()
+	sim, err := NewSimulation(Config{
+		Cells:   2,
+		Backend: BackendMDM,
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunNVT(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunNVE(50); err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestNVEProtocolBitIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-machine protocol comparison in -short mode")
+	}
+	serial := runProtocolWithWorkers(t, 1)
+	defer func() { _ = serial.Free() }()
+	for _, w := range []int{4} {
+		par := runProtocolWithWorkers(t, w)
+		for i := range serial.System.Pos {
+			a, b := serial.System.Pos[i], par.System.Pos[i]
+			if math.Float64bits(a.X) != math.Float64bits(b.X) ||
+				math.Float64bits(a.Y) != math.Float64bits(b.Y) ||
+				math.Float64bits(a.Z) != math.Float64bits(b.Z) {
+				t.Fatalf("workers=%d: position %d differs after 50-step NVE: %v vs %v", w, i, b, a)
+			}
+			va, vb := serial.System.Vel[i], par.System.Vel[i]
+			if va != vb {
+				t.Fatalf("workers=%d: velocity %d differs: %v vs %v", w, i, vb, va)
+			}
+		}
+		sa, pa := serial.Records(), par.Records()
+		if len(sa) != len(pa) {
+			t.Fatalf("workers=%d: %d records vs %d", w, len(pa), len(sa))
+		}
+		for k := range sa {
+			if math.Float64bits(sa[k].E) != math.Float64bits(pa[k].E) ||
+				math.Float64bits(sa[k].PE) != math.Float64bits(pa[k].PE) {
+				t.Fatalf("workers=%d: record %d energies differ: %+v vs %+v", w, k, pa[k], sa[k])
+			}
+		}
+		_ = par.Free()
+	}
+}

@@ -19,14 +19,19 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> mdmvet (fixedformat singleprec mpitags unitsmix)"
+echo "==> mdmvet (fixedformat singleprec mpitags unitsmix goroutineloop)"
 go run ./cmd/mdmvet ./...
 
 echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race (concurrency-bearing packages)"
-go test -race ./internal/fault/... ./internal/mpi/... ./internal/core/...
+go test -race ./internal/fault/... ./internal/mpi/... ./internal/core/... \
+    ./internal/parallelize/... ./internal/wine2/... ./internal/mdgrape2/... \
+    ./internal/cellindex/...
+
+echo "==> bench smoke (parallel must not lose to serial on the Figure-2 step)"
+go run ./cmd/mdmbench -smoke -iters 3 -reps 2
 
 echo "==> chaos suite (fault injection, recovery, checkpoint restart)"
 go test -run 'Chaos|Resilient|FaultHook|RunProtocol|CheckpointFile|CheckpointTyped' \
