@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-smoke vet mdmvet race chaos check fmt
+.PHONY: all build test bench bench-json bench-smoke vet mdmvet race chaos fuzz-smoke check fmt
 
 all: build
 
@@ -30,12 +30,17 @@ mdmvet:
 race:
 	$(GO) test -race ./internal/fault/... ./internal/mpi/... ./internal/core/... \
 		./internal/parallelize/... ./internal/wine2/... ./internal/mdgrape2/... \
-		./internal/cellindex/...
+		./internal/cellindex/... ./internal/supervise/...
 
 chaos:
-	$(GO) test -run 'Chaos|Resilient|FaultHook|RunProtocol|CheckpointFile|CheckpointTyped' \
+	$(GO) test -run 'Chaos|Resilient|FaultHook|RunProtocol|CheckpointFile|CheckpointTyped|Watchdog|Breaker|Journal|Supervise|Interrupt' \
 		./internal/core/... ./internal/wine2/... ./internal/mdgrape2/... \
-		./internal/md/... ./cmd/mdmsim/...
+		./internal/md/... ./internal/supervise/... ./cmd/mdmsim/... .
+
+fuzz-smoke:
+	$(GO) test ./internal/fault/ -run '^$$' -fuzz FuzzParseScenario -fuzztime 3s
+	$(GO) test ./internal/md/ -run '^$$' -fuzz FuzzReadCheckpoint -fuzztime 3s
+	$(GO) test ./internal/supervise/ -run '^$$' -fuzz FuzzReadJournal -fuzztime 3s
 
 fmt:
 	gofmt -w .

@@ -11,15 +11,33 @@
 //
 //	mdmsim -faults "wine2:board-drop@step=60,board=2; run:fatal@step=90" \
 //	       -checkpoint run.ckpt -checkpoint-every 25
+//
+// Long runs add supervision: -watchdog bounds every hardware call, -journal
+// write-ahead-logs every committed step, and -resume recovers a killed run
+// from checkpoint + journal at the exact committed step:
+//
+//	mdmsim -nvt 2000 -nve 1000 -watchdog 30s \
+//	       -checkpoint run.ckpt -journal run.wal -summary run.json
+//	mdmsim -nvt 2000 -nve 1000 -watchdog 30s \
+//	       -checkpoint run.ckpt -journal run.wal -resume
+//
+// Signal contract: the first SIGINT/SIGTERM finishes the current step,
+// flushes the journal, writes a final checkpoint and exits 0 with summary
+// status "interrupted"; a second signal kills the process immediately
+// (exit 130). Errors exit 1, usage errors 2.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"mdm"
@@ -111,7 +129,56 @@ func runProtocol(sim *mdm.Simulation, o *runOpts) (*mdm.Simulation, int, error) 
 	}
 }
 
+// runSummary is the machine-readable result contract of one invocation,
+// written by -summary.
+type runSummary struct {
+	Status      string           `json:"status"` // "ok" | "interrupted" | "error"
+	Steps       int              `json:"steps"`
+	Restarts    int              `json:"restarts"`
+	WallSeconds float64          `json:"wall_seconds"`
+	TempMeanK   float64          `json:"temp_mean_k"`
+	TempStdK    float64          `json:"temp_std_k"`
+	EnergyDrift float64          `json:"energy_drift"`
+	Fault       *mdm.FaultReport `json:"fault,omitempty"`
+}
+
+func summarize(sim *mdm.Simulation, status string, restarts int, elapsed time.Duration) runSummary {
+	mean, std := sim.TemperatureStats()
+	s := runSummary{
+		Status:      status,
+		Steps:       sim.Integrator.StepCount(),
+		Restarts:    restarts,
+		WallSeconds: elapsed.Seconds(),
+		TempMeanK:   mean,
+		TempStdK:    std,
+		EnergyDrift: sim.EnergyDrift(),
+	}
+	if rep, ok := sim.FaultReport(); ok {
+		s.Fault = &rep
+	}
+	return s
+}
+
+func writeSummary(path string, s runSummary) error {
+	if path == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
 func main() {
+	// run() owns every cleanup as a defer and reports an exit code; the only
+	// os.Exit on the normal paths is here, so profiles, trajectories, the
+	// journal and the simulated boards are flushed no matter how the run
+	// ends. (The second-signal hard kill is the deliberate exception.)
+	os.Exit(run())
+}
+
+func run() (exit int) {
 	cells := flag.Int("cells", 2, "rock-salt cells per side (N = 8·cells³)")
 	temp := flag.Float64("t", 1200, "temperature (K), paper: 1200")
 	dt := flag.Float64("dt", 2, "time step (fs), paper: 2")
@@ -126,6 +193,10 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 25, "steps between checkpoints")
 	maxRestarts := flag.Int("max-restarts", 3, "restarts from checkpoint after fatal faults")
 	workers := flag.Int("workers", 0, "worker-pool width striping the simulated pipelines across cores (0 = GOMAXPROCS, 1 = serial); bit-identical at any width")
+	watchdog := flag.Duration("watchdog", 0, "stall deadline for one hardware call, e.g. 30s (0 disables the watchdog)")
+	journal := flag.String("journal", "", "write-ahead step journal path (with -checkpoint, enables -resume after a kill)")
+	resume := flag.Bool("resume", false, "resume a killed run from -checkpoint and -journal at the exact committed step")
+	summaryPath := flag.String("summary", "", "write a machine-readable JSON run summary to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -134,11 +205,11 @@ func main() {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -165,14 +236,22 @@ func main() {
 		be = mdm.BackendReference
 	default:
 		fmt.Fprintf(os.Stderr, "unknown backend %q\n", *backend)
-		os.Exit(2)
+		return 2
 	}
 	if *faults != "" && be != mdm.BackendMDM {
 		fmt.Fprintln(os.Stderr, "-faults requires the mdm backend")
-		os.Exit(2)
+		return 2
+	}
+	if *watchdog > 0 && be != mdm.BackendMDM {
+		fmt.Fprintln(os.Stderr, "-watchdog requires the mdm backend")
+		return 2
+	}
+	if *resume && (*ckpt == "" || *journal == "") {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint and -journal")
+		return 2
 	}
 
-	sim, err := mdm.NewSimulation(mdm.Config{
+	cfg := mdm.Config{
 		Cells:          *cells,
 		Temperature:    *temp,
 		Dt:             *dt,
@@ -181,12 +260,41 @@ func main() {
 		PotentialEvery: 1,
 		Faults:         *faults,
 		Workers:        *workers,
-	})
+		Supervise: mdm.SuperviseConfig{
+			Watchdog: *watchdog,
+			Journal:  *journal,
+		},
+	}
+	var sim *mdm.Simulation
+	var err error
+	if *resume {
+		sim, err = mdm.ResumeFromJournal(cfg, *ckpt)
+	} else {
+		sim, err = mdm.NewSimulation(cfg)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
+	// sim is reassigned after a restart; the deferred Free releases whichever
+	// simulation is live at exit and closes the journal behind it.
 	defer func() { _ = sim.Free() }()
+
+	// Graceful shutdown: the first signal stops the run on the next completed
+	// step; a second signal kills the process without waiting.
+	var interrupted atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		<-sigc
+		interrupted.Store(true)
+		fmt.Fprintln(os.Stderr, "mdmsim: signal received; finishing the current step (repeat to kill)")
+		<-sigc
+		fmt.Fprintln(os.Stderr, "mdmsim: killed")
+		os.Exit(130)
+	}()
+	sim.SetInterrupt(interrupted.Load)
 
 	p := sim.Params()
 	fmt.Printf("system: %d NaCl ions in a %.2f Å box, backend %s\n", sim.N(), p.L, be)
@@ -196,6 +304,10 @@ func main() {
 	if *faults != "" {
 		fmt.Printf("faults: %s\n", *faults)
 	}
+	if *resume {
+		fmt.Printf("resume: checkpoint %s + journal %s replayed to step %d\n",
+			*ckpt, *journal, sim.Integrator.StepCount())
+	}
 	fmt.Println()
 
 	var traj *os.File
@@ -203,14 +315,16 @@ func main() {
 		traj, err = os.Create(*xyz)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer func() {
 			// The trajectory is the program's output: a failed close (full
 			// disk, NFS flush) must not pass silently.
 			if err := traj.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				if exit == 0 {
+					exit = 1
+				}
 			}
 		}()
 	}
@@ -234,16 +348,33 @@ func main() {
 	start := time.Now()
 	if err := o.frame(sim, "initial"); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
-	sim, restarts, err := runProtocol(sim, o)
-	if err != nil {
+	var restarts int
+	sim, restarts, err = runProtocol(sim, o)
+	status := "ok"
+	switch {
+	case err == nil:
+	case errors.Is(err, mdm.ErrInterrupted):
+		// Graceful shutdown: the interrupted step is journaled and sampled;
+		// seal the run with a final checkpoint so -resume continues from it.
+		status = "interrupted"
+		o.logf("interrupted: stopping at completed step %d", sim.Integrator.StepCount())
+		if cerr := o.checkpoint(sim); cerr != nil {
+			fmt.Fprintln(os.Stderr, cerr)
+			status = "error"
+			exit = 1
+		}
+	default:
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		if serr := writeSummary(*summaryPath, summarize(sim, "error", restarts, time.Since(start))); serr != nil {
+			fmt.Fprintln(os.Stderr, serr)
+		}
+		return 1
 	}
 	if err := o.frame(sim, "final"); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	elapsed := time.Since(start)
 
@@ -269,4 +400,13 @@ func main() {
 	steps := *nvt + *nve
 	fmt.Printf("wall clock: %.2f s total, %.1f ms/step for N=%d\n",
 		elapsed.Seconds(), elapsed.Seconds()*1000/float64(steps), sim.N())
+	if status == "interrupted" {
+		fmt.Printf("status: interrupted at step %d; resume with -resume -checkpoint %s -journal %s\n",
+			sim.Integrator.StepCount(), *ckpt, *journal)
+	}
+	if err := writeSummary(*summaryPath, summarize(sim, status, restarts, elapsed)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return exit
 }

@@ -17,6 +17,11 @@
 //	unitsmix    — values from different internal/units helpers must not be
 //	              mixed additively, and unit constants must not be
 //	              re-hardcoded as literals
+//	goroutineloop — goroutines launched in a loop must not capture the
+//	              loop variable in their closures
+//	recvwithin  — production code must use the bounded mpi receive forms
+//	              (RecvWithin, RecvFloat64sWithin, BarrierWithin) or a
+//	              world deadline, so a wedged peer cannot block forever
 //
 // Each analyzer's diagnostics can be suppressed for a reviewed line with a
 // comment of the form "//mdm:<key> <justification>" (for example
@@ -216,7 +221,7 @@ func RunPackage(pkg *load.Package, analyzers []*Analyzer) []Diagnostic {
 
 // All returns the full mdmvet suite.
 func All() []*Analyzer {
-	return []*Analyzer{FixedFormat, SinglePrec, MPITags, UnitsMix, GoroutineLoop}
+	return []*Analyzer{FixedFormat, SinglePrec, MPITags, UnitsMix, GoroutineLoop, RecvWithin}
 }
 
 //

@@ -56,6 +56,10 @@ func TestGoroutineLoopExemptsPool(t *testing.T) {
 	}
 }
 
+func TestRecvWithinFixtures(t *testing.T) {
+	atest.Run(t, analyzers.RecvWithin, "recvwithin", "mdm/fixture/recvwithin")
+}
+
 // TestSuiteCleanOnRepo runs the whole suite over the whole module — the
 // in-process equivalent of `go run ./cmd/mdmvet ./...` — and requires it to
 // be green. Real findings must be fixed or carry a reviewed //mdm:* comment.

@@ -1,0 +1,56 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// unboundedRecv maps the blocking receive-side methods of mpi.Comm to their
+// deadline-bounded counterparts.
+var unboundedRecv = map[string]string{
+	"Recv":         "RecvWithin",
+	"RecvFloat64s": "RecvFloat64sWithin",
+	"Barrier":      "BarrierWithin",
+}
+
+// RecvWithin flags unbounded blocking receives on the MPI substrate. A bare
+// Recv/RecvFloat64s/Barrier waits forever if the peer dies or wedges, which
+// defeats the watchdog and recovery ladder: a 36.5-hour production run (§6)
+// must turn silence into a typed timeout it can act on. Production code
+// should call the ...Within variants, or set a world-level deadline with
+// World.SetTimeout and suppress the finding with //mdm:recvok explaining why
+// the receive is bounded. Test files and the mpi package itself (which
+// implements the bounded variants in terms of the bare ones) are exempt.
+var RecvWithin = &Analyzer{
+	Name:     "recvwithin",
+	Doc:      "check blocking mpi receives are deadline-bounded",
+	Suppress: "recvok",
+	Run:      runRecvWithin,
+}
+
+func runRecvWithin(pass *Pass) {
+	if pass.Path == mpiPkg {
+		return
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.FileStart).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || !isCommMethod(fn) {
+				return true
+			}
+			if within, ok := unboundedRecv[fn.Name()]; ok {
+				pass.Reportf(call.Pos(),
+					"unbounded mpi %s blocks forever if the peer wedges; use %s or bound it with World.SetTimeout",
+					fn.Name(), within)
+			}
+			return true
+		})
+	}
+}

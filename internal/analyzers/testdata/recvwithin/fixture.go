@@ -1,0 +1,39 @@
+// Fixtures for the recvwithin analyzer.
+package fixture
+
+import (
+	"time"
+
+	"mdm/internal/mpi"
+)
+
+const (
+	tagData  = 1
+	tagReply = 2
+)
+
+func unbounded(c *mpi.Comm) {
+	_, _ = c.Recv(0, tagData)         // want `unbounded mpi Recv blocks forever`
+	_, _ = c.RecvFloat64s(0, tagData) // want `unbounded mpi RecvFloat64s blocks forever`
+	_ = c.Barrier()                   // want `unbounded mpi Barrier blocks forever`
+}
+
+func bounded(c *mpi.Comm) {
+	_, _ = c.RecvWithin(0, tagData, time.Second)
+	_, _ = c.RecvFloat64sWithin(0, tagReply, time.Second)
+	_ = c.BarrierWithin(time.Second)
+}
+
+//mdm:recvok fixture: the world deadline (SetTimeout) bounds these receives
+func reviewed(c *mpi.Comm) {
+	_, _ = c.Recv(0, tagData)
+	_ = c.Barrier()
+}
+
+func reviewedLine(c *mpi.Comm) {
+	_, _ = c.RecvFloat64s(0, tagReply) //mdm:recvok fixture: reviewed bounded receive
+}
+
+// The sending side cannot block on a dead peer in this substrate: never
+// flagged.
+func sender(c *mpi.Comm) error { return c.Send(1, tagData, nil) }

@@ -70,6 +70,12 @@ type MachineConfig struct {
 	// fail or corrupt hardware calls. Nil disables injection.
 	FaultHook fault.HardwareHook
 
+	// Heartbeat, when non-nil, is invoked with a scope name ("wine2", "mdg",
+	// or a per-rank scope on the parallel path) at the entry of every
+	// hardware call — the watchdog's view of board progress. Nil (the
+	// default) costs one nil check per call.
+	Heartbeat func(scope string)
+
 	// Workers is the host worker-pool width striping the simulated pipelines
 	// across OS threads (package parallelize). 0 selects runtime.GOMAXPROCS(0);
 	// 1 forces the serial code path. Every width is bit-identical.
@@ -141,6 +147,9 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		return nil, err
 	}
 	mr1.SetFaultHook(cfg.FaultHook)
+	if cfg.Heartbeat != nil {
+		mr1.SetHeartbeat(func() { cfg.Heartbeat("mdg") })
+	}
 	mr1.SetPool(m.pool)
 	boards := cfg.MDGBoards
 	if boards == 0 {
@@ -205,6 +214,9 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		return nil, err
 	}
 	lib.SetFaultHook(cfg.FaultHook)
+	if cfg.Heartbeat != nil {
+		lib.SetHeartbeat(func() { cfg.Heartbeat("wine2") })
+	}
 	lib.SetPool(m.pool)
 	wboards := cfg.WineBoards
 	if wboards == 0 {

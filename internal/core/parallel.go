@@ -57,7 +57,7 @@ func (g *groupComm) AllreduceSum(vals []float64) ([]float64, error) {
 		total := make([]float64, len(vals))
 		copy(total, vals)
 		for _, m := range g.members[1:] {
-			part, err := g.c.RecvFloat64s(m, tagGroupReduce)
+			part, err := g.c.RecvFloat64s(m, tagGroupReduce) //mdm:recvok world deadline (SetTimeout) bounds this receive
 			if err != nil {
 				return nil, err
 			}
@@ -80,7 +80,7 @@ func (g *groupComm) AllreduceSum(vals []float64) ([]float64, error) {
 	if err := g.c.Send(root, tagGroupReduce, part); err != nil {
 		return nil, err
 	}
-	return g.c.RecvFloat64s(root, tagGroupReduce)
+	return g.c.RecvFloat64s(root, tagGroupReduce) //mdm:recvok world deadline (SetTimeout) bounds this receive
 }
 
 // ParallelResult is the assembled output of a parallel force step.
@@ -197,7 +197,7 @@ func realSpaceRank(c *mpi.Comm, cfg MachineConfig, dec *domain.Decomposition, nR
 		if other == me {
 			continue
 		}
-		buf, err := c.RecvFloat64s(other, tagHalo)
+		buf, err := c.RecvFloat64s(other, tagHalo) //mdm:recvok world deadline (SetTimeout) bounds this receive
 		if err != nil {
 			return err
 		}
@@ -328,7 +328,7 @@ func waveRank(c *mpi.Comm, cfg MachineConfig, nReal, nWave int, s *md.System, re
 func assembleRank0(c *mpi.Comm, cfg MachineConfig, s *md.System, result *ParallelResult) error {
 	total := make([]vec.V, s.N())
 	for src := 0; src < c.Size(); src++ {
-		buf, err := c.RecvFloat64s(src, tagForces)
+		buf, err := c.RecvFloat64s(src, tagForces) //mdm:recvok world deadline (SetTimeout) bounds this receive
 		if err != nil {
 			return err
 		}
@@ -400,6 +400,10 @@ func newRankMDG(cfg MachineConfig, nReal, rank int) (*mdgrape2.MR1, error) {
 		return nil, err
 	}
 	m.SetFaultHook(cfg.FaultHook)
+	if cfg.Heartbeat != nil {
+		scope := fmt.Sprintf("mdg/rank%d", rank)
+		m.SetHeartbeat(func() { cfg.Heartbeat(scope) })
+	}
 	total := cfg.MDGBoards
 	if total == 0 {
 		total = cfg.MDG.Boards()
@@ -447,6 +451,10 @@ func newRankWine(cfg MachineConfig, nWave, rank int) (*wine2.Library, error) {
 		return nil, err
 	}
 	lib.SetFaultHook(cfg.FaultHook)
+	if cfg.Heartbeat != nil {
+		scope := fmt.Sprintf("wine2/rank%d", rank)
+		lib.SetHeartbeat(func() { cfg.Heartbeat(scope) })
+	}
 	total := cfg.WineBoards
 	if total == 0 {
 		total = cfg.Wine.Boards()

@@ -10,6 +10,7 @@ import (
 	"mdm/internal/fault"
 	"mdm/internal/md"
 	"mdm/internal/mpi"
+	"mdm/internal/supervise"
 	"mdm/internal/vec"
 )
 
@@ -38,6 +39,21 @@ type RecoveryConfig struct {
 	// step clock and installs it as the hardware hook. It is also how the
 	// recovery loop is chaos-tested.
 	Injector *fault.Injector
+
+	// Watchdog, when set, is armed around every hardware step: the engine's
+	// heartbeats feed it, and a declared stall releases injected hangs (and,
+	// on the parallel path, cancels the rank group) so a wedged call fails
+	// fast with a retryable StallError instead of blocking the run. Resilient
+	// starts the monitor on construction and stops it in Free.
+	Watchdog *supervise.Watchdog
+
+	// Breakers, when set, adds per-board and per-link circuit breakers over
+	// the retry ladder: a board that trips its breaker is quarantined up
+	// front (re-striped away like a dead board), and while a site or link
+	// breaker is open the step is served by the host path without paying the
+	// hardware round-trip. Cooldowns run on the step clock, so breaker
+	// behaviour is deterministic for a scripted fault schedule.
+	Breakers *supervise.BreakerSet
 }
 
 const defaultMaxRetries = 3
@@ -52,6 +68,9 @@ type RunReport struct {
 	FallbackSteps  int      // steps served by the host reference path
 	WineBoardsLost int      // WINE-2 boards marked dead
 	MDGBoardsLost  int      // MDGRAPE-2 boards marked dead
+	Stalls         int      // stalled calls interrupted by the watchdog
+	BreakerTrips   int      // circuit-breaker openings
+	Quarantines    int      // boards re-striped away by a tripped breaker
 	Fallback       bool     // permanently degraded to the host path
 	Events         []string // recovery log, one line per transition
 }
@@ -192,11 +211,31 @@ func NewResilient(cfg MachineConfig, rc RecoveryConfig) (*Resilient, error) {
 	if rc.Injector != nil {
 		cfg.FaultHook = rc.Injector
 	}
+	superviseWatchdog(&cfg, rc, nil)
 	eng, err := newSerialEngine(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &Resilient{rc: rc, eng: eng, p: cfg.Ewald}, nil
+}
+
+// superviseWatchdog wires a configured watchdog into the machine config:
+// hardware heartbeats feed it, and a declared stall releases injected hangs
+// and (parallel path) cancels the rank group so every peer unwinds with a
+// retryable error.
+func superviseWatchdog(cfg *MachineConfig, rc RecoveryConfig, world *mpi.World) {
+	wd := rc.Watchdog
+	if wd == nil {
+		return
+	}
+	cfg.Heartbeat = wd.Beat
+	if in := rc.Injector; in != nil {
+		wd.OnStall(func(string) { in.ReleaseHangs() })
+	}
+	if world != nil {
+		wd.OnStall(func(string) { world.CancelRun() })
+	}
+	wd.Start()
 }
 
 // NewResilientParallel builds the recovery layer over the §4 parallel
@@ -211,6 +250,7 @@ func NewResilientParallel(cfg MachineConfig, rc RecoveryConfig, world *mpi.World
 		cfg.FaultHook = rc.Injector
 		world.SetFaultHook(rc.Injector)
 	}
+	superviseWatchdog(&cfg, rc, world)
 	eng := &parallelEngine{cfg: cfg, world: world, nReal: nReal, nWave: nWave}
 	return &Resilient{rc: rc, eng: eng, p: cfg.Ewald}, nil
 }
@@ -238,8 +278,14 @@ func (r *Resilient) AdoptReport(rep RunReport) {
 	r.report = rep
 }
 
-// Free releases the underlying hardware sessions.
-func (r *Resilient) Free() error { return r.eng.free() }
+// Free releases the underlying hardware sessions and stops the watchdog
+// monitor.
+func (r *Resilient) Free() error {
+	if r.rc.Watchdog != nil {
+		r.rc.Watchdog.Stop()
+	}
+	return r.eng.free()
+}
 
 func (r *Resilient) maxRetries() int {
 	if r.rc.MaxRetries == 0 {
@@ -275,7 +321,8 @@ func (r *Resilient) backoff(n int) {
 func retryable(err error) bool {
 	var te *fault.TransientError
 	var le *fault.LinkError
-	return errors.As(err, &te) || errors.As(err, &le) ||
+	var se *fault.StallError
+	return errors.As(err, &te) || errors.As(err, &le) || errors.As(err, &se) ||
 		errors.Is(err, mpi.ErrTimeout) || errors.Is(err, mpi.ErrCanceled) ||
 		errors.Is(err, mpi.ErrTagMismatch) || errors.Is(err, errSuspect)
 }
@@ -293,6 +340,10 @@ func classify(err error) string {
 	if errors.As(err, &le) {
 		return fmt.Sprintf("link error %d→%d", le.Src, le.Dst)
 	}
+	var se *fault.StallError
+	if errors.As(err, &se) {
+		return fmt.Sprintf("%s stall (watchdog)", se.Site)
+	}
 	if errors.Is(err, errSuspect) {
 		return err.Error()
 	}
@@ -300,6 +351,32 @@ func classify(err error) string {
 		return "message-layer fault"
 	}
 	return "hardware fault"
+}
+
+// breakerScope derives the circuit-breaker scope of a retryable failure: a
+// board-attributed hardware fault keys "site/boardN" (quarantinable), an
+// unattributed one keys the site, a link error keys its (src, dst) pair.
+func breakerScope(err error) (scope string, site fault.Site, board int, ok bool) {
+	var te *fault.TransientError
+	if errors.As(err, &te) {
+		return hwScope(te.Site, te.Board), te.Site, te.Board, true
+	}
+	var se *fault.StallError
+	if errors.As(err, &se) {
+		return hwScope(se.Site, se.Board), se.Site, se.Board, true
+	}
+	var le *fault.LinkError
+	if errors.As(err, &le) {
+		return fmt.Sprintf("link %d-%d", le.Src, le.Dst), "", -1, true
+	}
+	return "", "", -1, false
+}
+
+func hwScope(site fault.Site, board int) string {
+	if board >= 0 {
+		return fmt.Sprintf("%s/board%d", site, board)
+	}
+	return string(site)
 }
 
 // suspectReason applies the sanity guards to a completed step; it returns a
@@ -360,14 +437,33 @@ func (r *Resilient) Forces(s *md.System) ([]vec.V, float64, error) {
 		r.report.FallbackSteps++
 		return r.hostForces(s)
 	}
+	// A breaker left open by earlier steps quarantines hardware dispatch up
+	// front: the step is served by the host path without paying the retry
+	// round-trip, until the step-clock cooldown half-opens the breaker.
+	if br := r.rc.Breakers; br != nil {
+		if scope, open := br.FirstOpen(r.step); open {
+			r.report.FallbackSteps++
+			r.logf("step %d: breaker %s open, host fallback", r.step, scope)
+			return r.hostForces(s)
+		}
+	}
 	retries := 0
 	for {
+		if wd := r.rc.Watchdog; wd != nil {
+			wd.Arm()
+		}
 		f, pot, err := r.eng.forces(s)
+		if wd := r.rc.Watchdog; wd != nil {
+			wd.Disarm()
+		}
 		if err == nil {
 			if reason := r.suspectReason(f, pot); reason != "" {
 				r.report.SuspectSteps++
 				err = fmt.Errorf("%w: %s", errSuspect, reason)
 			} else {
+				if br := r.rc.Breakers; br != nil {
+					br.OK(r.step)
+				}
 				r.havePot = true
 				r.lastPot = pot
 				return f, pot, nil
@@ -397,6 +493,37 @@ func (r *Resilient) Forces(s *md.System) ([]vec.V, float64, error) {
 		}
 		if !retryable(err) {
 			return nil, 0, err // config/validation error: not the hardware's fault
+		}
+		var se *fault.StallError
+		if errors.As(err, &se) {
+			r.report.Stalls++
+		}
+		if br := r.rc.Breakers; br != nil {
+			if scope, site, board, ok := breakerScope(err); ok && br.Fail(scope, r.step) {
+				r.report.BreakerTrips++
+				if board >= 0 && (site == fault.WINE2 || site == fault.MDG2) {
+					// The breaker's verdict: this board is chronically bad.
+					// Quarantine it up front — drop it from the stripe like a
+					// dead board — instead of paying a retry every step.
+					br.Drop(scope)
+					ok, rerr := r.eng.restripe(site)
+					if rerr != nil {
+						return nil, 0, rerr
+					}
+					if ok {
+						r.report.Quarantines++
+						r.logf("step %d: breaker %s tripped, board quarantined (re-striped)", r.step, scope)
+						continue
+					}
+					r.report.Fallback = true
+					r.report.FallbackSteps++
+					r.logf("step %d: breaker %s tripped with no capacity left, degrading to host reference path", r.step, scope)
+					return r.hostForces(s)
+				}
+				r.report.FallbackSteps++
+				r.logf("step %d: breaker %s open, host fallback for this step", r.step, scope)
+				return r.hostForces(s)
+			}
 		}
 		if retries < r.maxRetries() {
 			retries++

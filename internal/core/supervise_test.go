@@ -1,0 +1,264 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mdm/internal/fault"
+	"mdm/internal/md"
+	"mdm/internal/mpi"
+	"mdm/internal/supervise"
+)
+
+// An injected hang on the serial machine must be detected by the watchdog,
+// released as a StallError, and absorbed by one retry — well before the
+// MaxHang backstop would have let the run limp on without supervision.
+func TestResilientWatchdogRecoversHang(t *testing.T) {
+	s := meltLike(t, 2, 5.64, 300, 31)
+	p := smallParams(s.L)
+	in, err := fault.ParseInjector("mdg:hang@step=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewResilient(CurrentMachineConfig(p), RecoveryConfig{
+		Injector: in,
+		Watchdog: supervise.NewWatchdog(50 * time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = r.Free() }()
+	start := time.Now()
+	var got [][3]float64
+	for step := 0; step < 3; step++ {
+		f, _, err := r.Forces(s)
+		if err != nil {
+			t.Fatalf("step %d: %v", step+1, err)
+		}
+		got = append(got, [3]float64{f[0].X, f[0].Y, f[0].Z})
+	}
+	if elapsed := time.Since(start); elapsed >= fault.MaxHang {
+		t.Errorf("run took %v: the watchdog never fired, the MaxHang backstop did", elapsed)
+	}
+	rep := r.Report()
+	if rep.Stalls != 1 || rep.Retries != 1 {
+		t.Errorf("report = %+v, want 1 stall absorbed by 1 retry", rep)
+	}
+	// The retried step computes the same forces as a clean machine.
+	m := newTestMachine(t, p)
+	want, _, err := m.Forces(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range got {
+		if g != [3]float64{want[0].X, want[0].Y, want[0].Z} {
+			t.Fatalf("recovered forces deviate: %v != %v", g, want[0])
+		}
+	}
+}
+
+// A board failing repeatedly trips its breaker and is quarantined up front —
+// re-striped away like a dead board — so later steps stop paying retries.
+func TestResilientBreakerQuarantinesFlakyBoard(t *testing.T) {
+	s := meltLike(t, 2, 5.64, 300, 32)
+	p := smallParams(s.L)
+	cfg := CurrentMachineConfig(p)
+	cfg.MDGBoards = 4
+	in, err := fault.ParseInjector(
+		"mdg:transient@step=2,board=1; mdg:transient@step=3,board=1; mdg:transient@step=4,board=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewResilient(cfg, RecoveryConfig{
+		Injector: in,
+		Breakers: supervise.NewBreakerSet(supervise.BreakerConfig{Trip: 3, Window: 20}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = r.Free() }()
+	m := newTestMachine(t, p)
+	want, _, err := m.Forces(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 6; step++ {
+		f, _, err := r.Forces(s)
+		if err != nil {
+			t.Fatalf("step %d: %v", step+1, err)
+		}
+		// Striping is pure partitioning: the quarantined stripe computes the
+		// identical forces, and the host path never has to serve a step.
+		if f[0] != want[0] {
+			t.Fatalf("step %d: forces deviate after quarantine", step+1)
+		}
+	}
+	rep := r.Report()
+	if rep.BreakerTrips != 1 || rep.Quarantines != 1 {
+		t.Errorf("report = %+v, want 1 trip and 1 quarantine", rep)
+	}
+	// Failures at steps 2 and 3 are retried; the step-4 failure trips the
+	// breaker and is handled by the quarantine re-stripe, not a retry.
+	if rep.Retries != 2 {
+		t.Errorf("Retries = %d, want 2 (trip replaces the third retry)", rep.Retries)
+	}
+	if rep.FallbackSteps != 0 || rep.Fallback {
+		t.Errorf("quarantine degraded to host: %+v", rep)
+	}
+	if in.Remaining() != 0 {
+		t.Errorf("%d scheduled faults never fired", in.Remaining())
+	}
+}
+
+// Unattributed failures trip the site-level breaker: while it is open the
+// step is served by the host path without dispatching to hardware, and after
+// the step-clock cooldown a half-open probe closes it again.
+func TestResilientBreakerOpenServesHostThenRecloses(t *testing.T) {
+	s := meltLike(t, 2, 5.64, 300, 33)
+	p := smallParams(s.L)
+	in, err := fault.ParseInjector(
+		"mdg:transient@step=2; mdg:transient@step=3; mdg:transient@step=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewResilient(CurrentMachineConfig(p), RecoveryConfig{
+		Injector: in,
+		Breakers: supervise.NewBreakerSet(supervise.BreakerConfig{Trip: 3, Window: 20, Cooldown: 4}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = r.Free() }()
+	for step := 0; step < 9; step++ {
+		if _, _, err := r.Forces(s); err != nil {
+			t.Fatalf("step %d: %v", step+1, err)
+		}
+	}
+	rep := r.Report()
+	if rep.BreakerTrips != 1 {
+		t.Errorf("BreakerTrips = %d, want 1", rep.BreakerTrips)
+	}
+	// Trip at step 4 (served by host), open through steps 5-7, half-open
+	// probe at step 8 succeeds and recloses, step 9 is hardware again.
+	if rep.FallbackSteps != 4 {
+		t.Errorf("FallbackSteps = %d, want 4 (trip step + 3 cooldown steps): %+v", rep.FallbackSteps, rep)
+	}
+	if rep.Fallback {
+		t.Errorf("site breaker caused permanent fallback: %+v", rep)
+	}
+	if rep.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", rep.Retries)
+	}
+}
+
+// The full supervised chaos run: a parallel NaCl integration survives a hang
+// (watchdog) plus a repeatedly flaky board (breaker quarantine) without ever
+// degrading to the host path, and still conserves energy.
+func TestChaosSupervisedEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integrates 120 parallel supervised steps")
+	}
+	s := meltLike(t, 2, 5.64, 300, 35)
+	p := smallParams(s.L)
+	cfg := CurrentMachineConfig(p)
+	cfg.MDGBoards = 4
+	world, err := mpi.NewWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world.SetTimeout(5 * time.Second)
+	in, err := fault.ParseInjector(
+		"mdg:hang@step=20; " +
+			"mdg:transient@step=40,board=1; mdg:transient@step=55,board=1; mdg:transient@step=70,board=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewResilientParallel(cfg, RecoveryConfig{
+		Injector: in,
+		Watchdog: supervise.NewWatchdog(100 * time.Millisecond),
+		Breakers: supervise.NewBreakerSet(supervise.BreakerConfig{Trip: 3, Window: 40}),
+	}, world, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = r.Free() }()
+	it, err := md.NewIntegrator(s, r, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &md.Recorder{}
+	rec.Sample(it)
+	if err := it.Run(120, func(int) error {
+		rec.Sample(it)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if drift := rec.EnergyDrift(); drift > 5e-4 {
+		t.Errorf("supervised chaos run drift = %g", drift)
+	}
+	rep := r.Report()
+	if rep.Stalls != 1 {
+		t.Errorf("Stalls = %d, want 1: %+v", rep.Stalls, rep)
+	}
+	if rep.BreakerTrips != 1 || rep.Quarantines != 1 {
+		t.Errorf("breaker did not quarantine the flaky board: %+v", rep)
+	}
+	if rep.Fallback || rep.FallbackSteps != 0 {
+		t.Errorf("supervised run degraded to the host path: %+v", rep)
+	}
+	if in.Remaining() != 0 {
+		t.Errorf("%d scheduled faults never fired", in.Remaining())
+	}
+}
+
+// The parallel path: a hang on one rank's hardware session stalls the whole
+// group mid-collective; the watchdog releases the hang and cancels the run
+// group, and the step is absorbed by a single retry.
+func TestResilientParallelWatchdogRecoversHang(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel hang recovery integrates several parallel steps")
+	}
+	s := meltLike(t, 2, 5.64, 300, 34)
+	p := smallParams(s.L)
+	cfg := CurrentMachineConfig(p)
+	world, err := mpi.NewWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world.SetTimeout(5 * time.Second)
+	in, err := fault.ParseInjector("mdg:hang@step=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewResilientParallel(cfg, RecoveryConfig{
+		Injector: in,
+		Watchdog: supervise.NewWatchdog(100 * time.Millisecond),
+	}, world, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = r.Free() }()
+	start := time.Now()
+	for step := 0; step < 5; step++ {
+		if _, _, err := r.Forces(s); err != nil {
+			t.Fatalf("step %d: %v", step+1, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed >= fault.MaxHang {
+		t.Errorf("run took %v: the watchdog never fired, the MaxHang backstop did", elapsed)
+	}
+	rep := r.Report()
+	if rep.Stalls != 1 {
+		t.Errorf("Stalls = %d, want 1: %+v", rep.Stalls, rep)
+	}
+	if rep.Retries < 1 {
+		t.Errorf("hang not absorbed by a retry: %+v", rep)
+	}
+	if rep.Fallback || rep.FallbackSteps != 0 {
+		t.Errorf("hang degraded the run to the host path: %+v", rep)
+	}
+	if in.Remaining() != 0 {
+		t.Errorf("%d scheduled faults never fired", in.Remaining())
+	}
+}

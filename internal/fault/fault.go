@@ -20,6 +20,7 @@ package fault
 import (
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"time"
 )
@@ -63,6 +64,13 @@ const (
 	// Fatal kills the whole run at a step (host crash); only a
 	// restart-from-checkpoint recovers.
 	Fatal
+	// Hang wedges one hardware call: the call blocks until the watchdog
+	// releases it (Injector.ReleaseHangs) or MaxHang elapses, then fails
+	// with *StallError; a retry succeeds.
+	Hang
+	// Slow stalls one hardware call for DelayMS milliseconds (bounded by
+	// MaxDelay) before letting it proceed normally.
+	Slow
 )
 
 // String implements fmt.Stringer.
@@ -86,6 +94,10 @@ func (k Kind) String() string {
 		return "recverr"
 	case Fatal:
 		return "fatal"
+	case Hang:
+		return "hang"
+	case Slow:
+		return "slow"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -101,7 +113,9 @@ type Event struct {
 	Call int64
 	Step int
 
-	// Board names the board killed by BoardDrop.
+	// Board names the board killed by BoardDrop, or attributes a Transient
+	// or Hang to a specific board so the circuit-breaker layer can quarantine
+	// a chronically flaky one (-1 = unattributed).
 	Board int
 	// Word and Bit locate a BitFlip / MsgCorrupt: Word indexes the corrupted
 	// memory word (wave index on WINE-2, flattened force component on
@@ -124,8 +138,15 @@ func (e Event) String() string {
 	switch e.Kind {
 	case BoardDrop:
 		return fmt.Sprintf("%s:%s@%s,board=%d", e.Site, e.Kind, e.when(), e.Board)
-	case Transient, Fatal:
+	case Transient, Hang:
+		if e.Board >= 0 {
+			return fmt.Sprintf("%s:%s@%s,board=%d", e.Site, e.Kind, e.when(), e.Board)
+		}
 		return fmt.Sprintf("%s:%s@%s", e.Site, e.Kind, e.when())
+	case Fatal:
+		return fmt.Sprintf("%s:%s@%s", e.Site, e.Kind, e.when())
+	case Slow:
+		return fmt.Sprintf("%s:%s@%s,ms=%d", e.Site, e.Kind, e.when(), e.DelayMS)
 	case BitFlip:
 		return fmt.Sprintf("%s:%s@%s,word=%d,bit=%d", e.Site, e.Kind, e.when(), e.Word, e.Bit)
 	case MsgDrop, SendErr, RecvErr:
@@ -148,7 +169,7 @@ func (e Event) when() string {
 // validate reports scheduling errors in an event.
 func (e Event) validate() error {
 	switch e.Kind {
-	case BoardDrop, Transient, BitFlip:
+	case BoardDrop, Transient, BitFlip, Hang, Slow:
 		if e.Site != WINE2 && e.Site != MDG2 {
 			return fmt.Errorf("fault: %s event on non-hardware site %q", e.Kind, e.Site)
 		}
@@ -191,13 +212,31 @@ func (e *BoardError) Error() string {
 }
 
 // TransientError reports a one-shot hardware hiccup; a retry succeeds.
+// Board attributes the hiccup to a specific board when the scenario named
+// one (-1 = unattributed); the circuit-breaker layer uses it to quarantine
+// chronically flaky boards.
 type TransientError struct {
-	Site Site
+	Site  Site
+	Board int
 }
 
 // Error implements error.
 func (e *TransientError) Error() string {
 	return fmt.Sprintf("fault: transient %s error", e.Site)
+}
+
+// StallError reports a hardware call that stopped making progress and was
+// interrupted — by the watchdog releasing an injected hang, or by the MaxHang
+// backstop on an unsupervised run. It is retryable; Board names the wedged
+// board when the scenario attributed one (-1 = unattributed).
+type StallError struct {
+	Site  Site
+	Board int
+}
+
+// Error implements error.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("fault: %s stalled (watchdog)", e.Site)
 }
 
 // LinkError reports a transient message-passing failure (SendErr/RecvErr).
@@ -236,6 +275,11 @@ type Fate struct {
 // stall a run longer than a deadline-equipped receiver would wait anyway.
 const MaxDelay = 5 * time.Second
 
+// MaxHang bounds an injected hang when no watchdog is armed: the wedged call
+// returns a StallError on its own after this long, so a scenario cannot block
+// an unsupervised run forever.
+const MaxHang = 2 * time.Second
+
 // HardwareHook is the injection surface the simulated hardware consults.
 // *Injector implements it; the hardware packages hold it as an interface so
 // they stay testable with local fakes.
@@ -260,6 +304,7 @@ type Injector struct {
 	sends  map[[2]int]int64
 	recvs  map[[2]int]int64
 	fired  []string
+	hangs  []chan struct{}
 }
 
 type scheduled struct {
@@ -307,45 +352,94 @@ func (in *Injector) StepFault() error {
 	return nil
 }
 
-// HardwareCall implements HardwareHook.
+// HardwareCall implements HardwareHook. An armed Hang event blocks the call
+// after the injector lock is released, so concurrent ranks and the watchdog
+// stay live while one "board" is wedged.
 func (in *Injector) HardwareCall(site Site) error {
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	in.calls[site]++
 	n := in.calls[site]
-	var failure *scheduled
+	var failure, hang *scheduled
+	var slow time.Duration
 	for _, e := range in.events {
 		if e.fired || e.Site != site {
 			continue
 		}
 		switch e.Kind {
-		case BoardDrop, Transient, BitFlip:
+		case BoardDrop, Transient, BitFlip, Hang, Slow:
 		default:
 			continue
 		}
 		if !(e.Call == n || (e.Call == 0 && e.Step > 0 && e.Step == in.step)) {
 			continue
 		}
-		if e.Kind == BitFlip {
+		switch e.Kind {
+		case BitFlip:
 			// Arm the flip for this call; the pipeline consumes it via
 			// PendingFlip at its memory-readout point.
 			in.fire(e)
 			in.flips[site] = e
-			continue
+		case Slow:
+			in.fire(e)
+			d := time.Duration(e.DelayMS) * time.Millisecond
+			if d > MaxDelay {
+				d = MaxDelay
+			}
+			if d > slow {
+				slow = d
+			}
+		case Hang:
+			if hang == nil {
+				in.fire(e)
+				hang = e
+			}
+		default:
+			if failure == nil {
+				failure = e
+			}
 		}
-		if failure == nil {
-			failure = e
+	}
+	var release chan struct{}
+	if hang != nil {
+		release = make(chan struct{})
+		in.hangs = append(in.hangs, release)
+	}
+	if failure != nil {
+		in.fire(failure)
+	}
+	in.mu.Unlock()
+
+	if slow > 0 {
+		time.Sleep(slow)
+	}
+	if hang != nil {
+		select {
+		case <-release:
+		case <-time.After(MaxHang):
 		}
+		return &StallError{Site: site, Board: hang.Board}
 	}
 	if failure == nil {
 		return nil
 	}
-	in.fire(failure)
 	switch failure.Kind {
 	case BoardDrop:
 		return &BoardError{Site: site, Board: failure.Board}
 	default:
-		return &TransientError{Site: site}
+		return &TransientError{Site: site, Board: failure.Board}
+	}
+}
+
+// ReleaseHangs unblocks every hardware call currently wedged by a Hang event;
+// each returns a *StallError to its caller. The watchdog invokes it when it
+// declares a stall, converting silent non-progress into a retryable error.
+func (in *Injector) ReleaseHangs() {
+	in.mu.Lock()
+	hangs := in.hangs
+	in.hangs = nil
+	in.mu.Unlock()
+	for _, ch := range hangs {
+		close(ch)
 	}
 }
 
@@ -426,6 +520,31 @@ func (in *Injector) Fired() []string {
 	out := make([]string, len(in.fired))
 	copy(out, in.fired)
 	return out
+}
+
+// Consume marks as already-fired the events recorded in a fired log from a
+// previous incarnation of the same scenario — the journal's injector cursor —
+// so a resumed run does not refire them. Each log line consumes at most one
+// matching unfired event; lines that match nothing (counters drifted, or the
+// scenario changed) are ignored. Only step-keyed events replay exactly: call-
+// and message-count-keyed events are counted from process start, so their
+// unfired remainder fires relative to the resumed process's counters.
+func (in *Injector) Consume(fired []string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, line := range fired {
+		rendered := line
+		if _, after, ok := strings.Cut(line, ": "); ok {
+			rendered = after
+		}
+		for _, e := range in.events {
+			if !e.fired && e.Event.String() == rendered {
+				e.fired = true
+				in.fired = append(in.fired, line)
+				break
+			}
+		}
+	}
 }
 
 // Remaining returns how many scheduled events have not fired yet.

@@ -1,0 +1,46 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseScenario drives the DSL parser with arbitrary input. The parser
+// must never panic, and anything it accepts must satisfy the canonical-form
+// property the recovery stack depends on: the rendered events re-parse
+// successfully and idempotently (String of the re-parse equals String of the
+// parse), and the schedule builds an injector.
+func FuzzParseScenario(f *testing.F) {
+	f.Add("wine2:board-drop@step=3,board=2; mdg:transient@call=7")
+	f.Add("mdg:hang@step=6; wine2:slow@step=4,ms=80")
+	f.Add("mpi:delay@src=0,dst=1,n=3,ms=50; run:fatal@step=100")
+	f.Add("mdg:transient@step=9,board=1; mpi:corrupt@src=0,dst=2,n=1,word=0,bit=7")
+	f.Add("wine2:bitflip@step=5,word=12,bit=40")
+	f.Add(" ; ;; mdg:hang@message=2 ; ")
+	f.Add("mdg:transient@step=-1")
+	f.Add("bogus:kind@step=1")
+	f.Fuzz(func(t *testing.T, scenario string) {
+		events, err := Parse(scenario)
+		if err != nil {
+			return
+		}
+		render := func(evs []Event) string {
+			parts := make([]string, len(evs))
+			for i, e := range evs {
+				parts[i] = e.String()
+			}
+			return strings.Join(parts, "; ")
+		}
+		first := render(events)
+		again, err := Parse(first)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", scenario, first, err)
+		}
+		if second := render(again); second != first {
+			t.Fatalf("rendering not idempotent:\n  %q\n  %q", first, second)
+		}
+		if _, err := NewInjector(events...); err != nil {
+			t.Fatalf("parsed %q but injector rejected it: %v", scenario, err)
+		}
+	})
+}

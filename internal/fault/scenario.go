@@ -22,6 +22,11 @@ import (
 //	mpi:senderr@src=1,dst=0,n=4          transient link error on send
 //	mpi:recverr@src=1,dst=0,n=4          transient link error on receive
 //	run:fatal@step=100                   host crash: restart from checkpoint
+//	mdg:hang@step=6                      wedge a call until the watchdog fires
+//	wine2:slow@step=4,ms=80              stall a call 80 ms, then proceed
+//
+// transient and hang take an optional board= attributing the fault to one
+// board, which lets the circuit-breaker layer quarantine a repeat offender.
 //
 // Hardware clauses take exactly one of call= (per-site hardware call count)
 // or step= (simulation step); message clauses address the n-th message of a
@@ -39,6 +44,8 @@ var kindNames = map[string]Kind{
 	"senderr":    SendErr,
 	"recverr":    RecvErr,
 	"fatal":      Fatal,
+	"hang":       Hang,
+	"slow":       Slow,
 }
 
 // siteNames maps DSL site tokens to Site values.
@@ -93,6 +100,9 @@ func parseClause(clause string) (Event, error) {
 		return Event{}, fmt.Errorf("fault: clause %q: unknown kind %q", clause, kindTok)
 	}
 	e := Event{Site: site, Kind: kind, Src: -1, Dst: -1}
+	if kind == Transient || kind == Hang || kind == Slow {
+		e.Board = -1 // board attribution is optional for these
+	}
 	if !hasArgs {
 		return e, nil
 	}
@@ -104,6 +114,9 @@ func parseClause(clause string) (Event, error) {
 		n, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
 		if err != nil {
 			return Event{}, fmt.Errorf("fault: clause %q: %s=%q is not an integer", clause, key, val)
+		}
+		if n < 0 {
+			return Event{}, fmt.Errorf("fault: clause %q: %s=%q must be non-negative", clause, key, val)
 		}
 		switch strings.TrimSpace(key) {
 		case "call":
@@ -156,7 +169,7 @@ func RandomEvents(seed int64, steps, n int) []Event {
 		var e Event
 		switch rng.Intn(3) {
 		case 0:
-			e = Event{Site: site, Kind: Transient, Step: step}
+			e = Event{Site: site, Kind: Transient, Step: step, Board: -1}
 		case 1:
 			e = Event{Site: site, Kind: BitFlip, Step: step,
 				Word: rng.Intn(64), Bit: 62 - rng.Intn(8)}

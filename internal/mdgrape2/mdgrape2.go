@@ -124,6 +124,7 @@ type System struct {
 	tables map[string]*funceval.Table
 	stats  Stats
 	hook   fault.HardwareHook
+	beat   func()
 	pool   *parallelize.Pool
 }
 
@@ -149,6 +150,11 @@ func (s *System) ResetStats() { s.stats = Stats{} }
 // with a board or transient error; an armed bit flip lands in one returned
 // force component. A nil hook (the default) disables injection.
 func (s *System) SetFaultHook(h fault.HardwareHook) { s.hook = h }
+
+// SetHeartbeat installs a liveness callback invoked at the entry of every
+// ComputeForces call, before fault injection can wedge it — the watchdog's
+// view of board progress. A nil heartbeat (the default) costs one nil check.
+func (s *System) SetHeartbeat(beat func()) { s.beat = beat }
 
 // SetPool installs the worker pool that stripes the i-particle loops of the
 // force, potential and neighbor-list passes across host cores, mirroring the
@@ -338,6 +344,9 @@ func (s *System) ComputeForces(table string, co *Coeffs, xi []vec.V, ti []int, s
 	// Fault injection: a scheduled board/transient error aborts the call; an
 	// armed bit flip corrupts one force component after the pipeline loop,
 	// where a flipped particle-memory or accumulator bit would surface.
+	if s.beat != nil {
+		s.beat()
+	}
 	if s.hook != nil {
 		if err := s.hook.HardwareCall(fault.MDG2); err != nil {
 			return nil, err

@@ -256,6 +256,17 @@ func (w *World) Run(f func(c *Comm) error) error {
 	return nil
 }
 
+// CancelRun cancels the active Run group from outside it: every rank blocked
+// in a Send/Recv/collective unwinds with ErrCanceled. This is the watchdog's
+// stalled-rank escalation — when a rank stops making progress, the group is
+// torn down as one retryable failure instead of waiting out the deadline on
+// every peer. A no-op when no Run is active.
+func (w *World) CancelRun() {
+	if g := w.group.Load(); g != nil {
+		g.cancel()
+	}
+}
+
 // groupDone returns the active run group's cancellation channel, or nil (a
 // channel that never fires) outside Run.
 func (w *World) groupDone() <-chan struct{} {

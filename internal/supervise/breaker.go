@@ -1,0 +1,236 @@
+package supervise
+
+import "sync"
+
+// BreakerConfig tunes the circuit breakers. Cooldowns are measured on the
+// simulation step clock, not wall time, so breaker behaviour is deterministic
+// for a scripted fault schedule.
+type BreakerConfig struct {
+	// Trip opens a breaker after this many failures inside Window steps.
+	Trip int
+	// Window is the sliding failure-counting window, in steps.
+	Window int
+	// Cooldown is how many steps a freshly opened breaker stays open before
+	// probing half-open; it doubles on every reopen up to MaxCooldown.
+	Cooldown int
+	// MaxCooldown caps the exponential reopen backoff.
+	MaxCooldown int
+}
+
+// withDefaults fills unset knobs.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Trip <= 0 {
+		c.Trip = 3
+	}
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 8
+	}
+	if c.MaxCooldown <= 0 {
+		c.MaxCooldown = 256
+	}
+	return c
+}
+
+// State is a breaker's position in the closed → open → half-open cycle.
+type State int
+
+// The breaker states.
+const (
+	// Closed passes traffic and counts failures.
+	Closed State = iota
+	// Open rejects traffic until the cooldown elapses.
+	Open
+	// HalfOpen passes one probe: success closes, failure reopens with a
+	// doubled cooldown.
+	HalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is one circuit breaker on the step clock. Not safe for concurrent
+// use on its own; BreakerSet adds the locking.
+type Breaker struct {
+	cfg      BreakerConfig
+	state    State
+	fails    []int // steps of recent failures (Closed only)
+	openedAt int
+	cooldown int // current reopen cooldown, doubles per reopen
+	trips    int
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// sync lazily moves an open breaker whose cooldown has elapsed to half-open.
+func (b *Breaker) sync(step int) {
+	if b.state == Open && step >= b.openedAt+b.cooldown {
+		b.state = HalfOpen
+	}
+}
+
+// State reports the breaker's state as of a step.
+func (b *Breaker) State(step int) State {
+	b.sync(step)
+	return b.state
+}
+
+// Allow reports whether traffic may pass at a step (closed or half-open).
+func (b *Breaker) Allow(step int) bool {
+	b.sync(step)
+	return b.state != Open
+}
+
+// Fail records a failure at a step and reports whether it tripped the
+// breaker open (including a half-open probe failing back to open).
+func (b *Breaker) Fail(step int) bool {
+	b.sync(step)
+	switch b.state {
+	case Open:
+		return false
+	case HalfOpen:
+		b.open(step, true)
+		return true
+	}
+	b.fails = append(b.fails, step)
+	keep := b.fails[:0]
+	for _, s := range b.fails {
+		if s > step-b.cfg.Window {
+			keep = append(keep, s)
+		}
+	}
+	b.fails = keep
+	if len(b.fails) >= b.cfg.Trip {
+		b.open(step, false)
+		return true
+	}
+	return false
+}
+
+// OK records a success at a step; a half-open probe succeeding closes the
+// breaker and resets its backoff.
+func (b *Breaker) OK(step int) {
+	b.sync(step)
+	if b.state == HalfOpen {
+		b.state = Closed
+		b.cooldown = 0
+		b.fails = nil
+	}
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int { return b.trips }
+
+func (b *Breaker) open(step int, reopen bool) {
+	b.state = Open
+	b.openedAt = step
+	b.fails = nil
+	b.trips++
+	if reopen {
+		b.cooldown *= 2
+		if b.cooldown > b.cfg.MaxCooldown {
+			b.cooldown = b.cfg.MaxCooldown
+		}
+	} else {
+		b.cooldown = b.cfg.Cooldown
+	}
+}
+
+// BreakerSet is a concurrency-safe registry of breakers keyed by scope
+// ("wine2", "mdg/board2", "link 1-0", ...). Breakers are created on first
+// failure; Drop retires a scope whose component has been quarantined so it
+// no longer gates dispatch.
+type BreakerSet struct {
+	mu      sync.Mutex
+	cfg     BreakerConfig
+	m       map[string]*Breaker
+	order   []string
+	dropped int
+	trips   int
+}
+
+// NewBreakerSet builds an empty set sharing one config.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	return &BreakerSet{cfg: cfg.withDefaults(), m: make(map[string]*Breaker)}
+}
+
+// Fail records a failure against a scope and reports whether it tripped the
+// scope's breaker open.
+func (s *BreakerSet) Fail(scope string, step int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[scope]
+	if b == nil {
+		b = NewBreaker(s.cfg)
+		s.m[scope] = b
+		s.order = append(s.order, scope)
+	}
+	tripped := b.Fail(step)
+	if tripped {
+		s.trips++
+	}
+	return tripped
+}
+
+// OK records a successful step on every live breaker, closing half-open ones.
+func (s *BreakerSet) OK(step int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range s.m {
+		b.OK(step)
+	}
+}
+
+// FirstOpen returns the first registered scope whose breaker rejects traffic
+// at a step, in registration order (deterministic for a scripted schedule).
+func (s *BreakerSet) FirstOpen(step int) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, scope := range s.order {
+		if b := s.m[scope]; b != nil && !b.Allow(step) {
+			return scope, true
+		}
+	}
+	return "", false
+}
+
+// Drop retires a scope: its component has been quarantined (re-striped away),
+// so its breaker must not keep rejecting a stripe that no longer includes it.
+func (s *BreakerSet) Drop(scope string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[scope]; ok {
+		delete(s.m, scope)
+		s.dropped++
+		keep := s.order[:0]
+		for _, sc := range s.order {
+			if sc != scope {
+				keep = append(keep, sc)
+			}
+		}
+		s.order = keep
+	}
+}
+
+// Trips returns the total number of breaker openings, including breakers
+// since retired by Drop.
+func (s *BreakerSet) Trips() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.trips
+}

@@ -1,0 +1,186 @@
+package supervise
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// The write-ahead step journal: one JSON record per line, each framed with a
+// CRC-32 over its own encoding and fsynced before the step it describes is
+// considered committed. A checkpoint bounds restart work to -checkpoint-every
+// steps; the journal shrinks that to zero — a kill between checkpoints
+// resumes at the exact journaled step by replaying the tail over the
+// checkpoint. The payload is opaque here (the mdm package owns its format:
+// injector cursor + accumulated recovery report), which keeps this package
+// free of upward dependencies.
+
+// JournalVersion is the current record format version.
+const JournalVersion = 1
+
+// Typed journal failures, matched with errors.Is.
+var (
+	// ErrJournalCorrupt reports a record that fails its CRC or does not
+	// decode, with valid records after it (a torn final line is tolerated
+	// silently: that is the expected shape of a crash mid-append).
+	ErrJournalCorrupt = errors.New("supervise: journal record corrupt")
+	// ErrJournalVersion reports a record version this build cannot read.
+	ErrJournalVersion = errors.New("supervise: unsupported journal version")
+)
+
+// Record is one committed step.
+type Record struct {
+	Version int `json:"version"`
+	// Step is the simulation step this record commits.
+	Step int `json:"step"`
+	// Stage tags the integration mode of the step ("nvt" or "nve") so a
+	// resume replays the tail under the same ensemble schedule.
+	Stage string `json:"stage,omitempty"`
+	// Cursor is the fault injector's fired-event log as of this step; a
+	// resumed run feeds it to Injector.Consume so one-shot events stay
+	// consumed across the restart.
+	Cursor []string `json:"cursor,omitempty"`
+	// Payload is owned by the caller (mdm stores the accumulated recovery
+	// report here).
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// Checksum is the IEEE CRC-32 of the record's JSON encoding with this
+	// field zeroed.
+	Checksum uint32 `json:"crc32"`
+}
+
+// recordCRC computes the checksum a record must carry.
+func recordCRC(r Record) (uint32, error) {
+	r.Checksum = 0
+	buf, err := json.Marshal(r)
+	if err != nil {
+		return 0, err
+	}
+	return crc32.ChecksumIEEE(buf), nil
+}
+
+// Journal is the append side: an open journal file whose every Append is
+// fsynced before returning, making the record durable before the step it
+// describes commits.
+type Journal struct {
+	f    *os.File
+	path string
+}
+
+// CreateJournal starts a fresh journal, truncating any stale file from a
+// previous run at the same path.
+func CreateJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// AppendJournal opens an existing journal for appending — the resume path,
+// which must keep the already-replayed prefix intact.
+func AppendJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append writes one record and fsyncs it; on return the record is durable.
+func (j *Journal) Append(r Record) error {
+	r.Version = JournalVersion
+	crc, err := recordCRC(r)
+	if err != nil {
+		return err
+	}
+	r.Checksum = crc
+	buf, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if _, err := j.f.Write(buf); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// ReadJournal decodes a journal's records in order. A torn or corrupt *final*
+// line is dropped silently — that is what a crash mid-append leaves behind —
+// but damage followed by further valid records is real corruption and returns
+// the valid prefix together with ErrJournalCorrupt.
+func ReadJournal(lines []string) ([]Record, error) {
+	var recs []Record
+	for i, line := range lines {
+		if line == "" {
+			continue
+		}
+		rec, err := decodeRecord(line)
+		if err != nil {
+			if i == len(lines)-1 && !errors.Is(err, ErrJournalVersion) {
+				return recs, nil
+			}
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// ReadJournalFile reads a journal from disk; a missing file is an empty
+// journal.
+func ReadJournalFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lines []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ReadJournal(lines)
+}
+
+func decodeRecord(line string) (Record, error) {
+	var rec Record
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrJournalCorrupt, err)
+	}
+	if rec.Version != JournalVersion {
+		return Record{}, fmt.Errorf("%w: %d", ErrJournalVersion, rec.Version)
+	}
+	want := rec.Checksum
+	crc, err := recordCRC(rec)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrJournalCorrupt, err)
+	}
+	if crc != want {
+		return Record{}, fmt.Errorf("%w: crc32 %08x, want %08x", ErrJournalCorrupt, crc, want)
+	}
+	return rec, nil
+}

@@ -1,0 +1,310 @@
+package supervise
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWatchdogDeclaresStall(t *testing.T) {
+	w := NewWatchdog(20 * time.Millisecond)
+	var mu sync.Mutex
+	var got []string
+	w.OnStall(func(scope string) {
+		mu.Lock()
+		got = append(got, scope)
+		mu.Unlock()
+	})
+	w.Start()
+	defer w.Stop()
+	w.Arm()
+	defer w.Disarm()
+	w.Beat("mdg")
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no stall declared for a silent armed scope")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	scope := got[0]
+	mu.Unlock()
+	if scope != "mdg" {
+		t.Errorf("stalled scope = %q, want mdg", scope)
+	}
+	if stalls := w.Stalls(); len(stalls) == 0 || !strings.Contains(stalls[0], "mdg") {
+		t.Errorf("Stalls() = %v", stalls)
+	}
+}
+
+func TestWatchdogQuietWhenDisarmedOrBeating(t *testing.T) {
+	w := NewWatchdog(10 * time.Millisecond)
+	w.OnStall(func(string) { t.Error("stall declared") })
+	w.Start()
+	defer w.Stop()
+	// Disarmed: a silent scope is idle, not stalled.
+	w.Beat("wine2")
+	time.Sleep(50 * time.Millisecond)
+	// Armed but beating: alive.
+	w.Arm()
+	for i := 0; i < 20; i++ {
+		w.Beat("wine2")
+		time.Sleep(2 * time.Millisecond)
+	}
+	w.Disarm()
+}
+
+func TestWatchdogStallLatchClearsOnBeat(t *testing.T) {
+	w := NewWatchdog(10 * time.Millisecond)
+	var mu sync.Mutex
+	count := 0
+	w.OnStall(func(string) { mu.Lock(); count++; mu.Unlock() })
+	w.Start()
+	defer w.Stop()
+	w.Arm()
+	defer w.Disarm()
+	w.Beat("mdg")
+	time.Sleep(60 * time.Millisecond) // one stall, then latched
+	mu.Lock()
+	first := count
+	mu.Unlock()
+	if first != 1 {
+		t.Fatalf("stall count after silence = %d, want 1 (latched)", first)
+	}
+	w.Beat("mdg") // recovery: latch clears
+	time.Sleep(60 * time.Millisecond)
+	mu.Lock()
+	second := count
+	mu.Unlock()
+	if second != 2 {
+		t.Errorf("stall count after beat + silence = %d, want 2", second)
+	}
+}
+
+func TestWatchdogStopIdempotent(t *testing.T) {
+	w := NewWatchdog(time.Millisecond)
+	w.Start()
+	w.Stop()
+	w.Stop()
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Trip: 3, Window: 10, Cooldown: 4})
+	// Two failures inside the window: still closed.
+	if b.Fail(1) || b.Fail(2) {
+		t.Fatal("tripped before Trip failures")
+	}
+	if !b.Allow(3) {
+		t.Fatal("closed breaker rejects")
+	}
+	// Third failure trips it open.
+	if !b.Fail(3) {
+		t.Fatal("third failure in window did not trip")
+	}
+	if b.Allow(4) || b.State(4) != Open {
+		t.Fatal("open breaker allows")
+	}
+	// Cooldown elapses: half-open probe allowed.
+	if !b.Allow(7) || b.State(7) != HalfOpen {
+		t.Fatalf("state at step 7 = %v, want half-open", b.State(7))
+	}
+	// Probe fails: reopens with doubled cooldown (8 steps).
+	if !b.Fail(7) {
+		t.Fatal("half-open probe failure did not reopen")
+	}
+	if b.Allow(14) {
+		t.Fatal("reopened breaker allowed before doubled cooldown")
+	}
+	if !b.Allow(15) {
+		t.Fatal("breaker still open after doubled cooldown")
+	}
+	// Probe succeeds: closed, backoff reset.
+	b.OK(15)
+	if b.State(16) != Closed {
+		t.Fatalf("state after good probe = %v, want closed", b.State(16))
+	}
+	if b.Trips() != 2 {
+		t.Errorf("Trips = %d, want 2", b.Trips())
+	}
+}
+
+func TestBreakerWindowExpiresFailures(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Trip: 3, Window: 5, Cooldown: 4})
+	b.Fail(1)
+	b.Fail(2)
+	// Step 10 is outside the window of both: only one live failure.
+	if b.Fail(10) {
+		t.Fatal("stale failures counted toward trip")
+	}
+	if !b.Allow(10) {
+		t.Fatal("breaker opened on expired window")
+	}
+}
+
+func TestBreakerSetQuarantineFlow(t *testing.T) {
+	s := NewBreakerSet(BreakerConfig{Trip: 2, Window: 10, Cooldown: 4})
+	if s.Fail("mdg/board1", 1) {
+		t.Fatal("tripped on first failure")
+	}
+	if !s.Fail("mdg/board1", 2) {
+		t.Fatal("did not trip on second failure")
+	}
+	if scope, open := s.FirstOpen(3); !open || scope != "mdg/board1" {
+		t.Fatalf("FirstOpen = %q, %v", scope, open)
+	}
+	// Quarantined: the board left the stripe, its breaker retires with it.
+	s.Drop("mdg/board1")
+	if _, open := s.FirstOpen(3); open {
+		t.Fatal("dropped scope still gates dispatch")
+	}
+	if s.Trips() != 1 {
+		t.Errorf("Trips = %d, want 1 (survives Drop)", s.Trips())
+	}
+	// OK on an empty set is fine.
+	s.OK(4)
+}
+
+func journalPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "run.journal")
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := journalPath(t)
+	j, err := CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := json.Marshal(map[string]int{"steps": 3})
+	want := []Record{
+		{Step: 1, Stage: "nvt", Cursor: []string{"step 1: mdg:transient@step=1"}},
+		{Step: 2, Stage: "nvt"},
+		{Step: 3, Stage: "nve", Payload: payload},
+	}
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		if r.Step != want[i].Step || r.Stage != want[i].Stage {
+			t.Errorf("record %d = step %d stage %q, want step %d stage %q",
+				i, r.Step, r.Stage, want[i].Step, want[i].Stage)
+		}
+		if r.Version != JournalVersion || r.Checksum == 0 {
+			t.Errorf("record %d: version %d checksum %08x", i, r.Version, r.Checksum)
+		}
+	}
+	if got[0].Cursor[0] != want[0].Cursor[0] {
+		t.Errorf("cursor = %v", got[0].Cursor)
+	}
+	if string(got[2].Payload) != string(payload) {
+		t.Errorf("payload = %s", got[2].Payload)
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	path := journalPath(t)
+	j, err := CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Step: 1})
+	j.Append(Record{Step: 2})
+	j.Close()
+	// A kill mid-append leaves a truncated final line.
+	buf, _ := os.ReadFile(path)
+	torn := append(buf, []byte(`{"version":1,"step":3,"crc`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	if len(recs) != 2 || recs[1].Step != 2 {
+		t.Fatalf("records = %+v, want steps 1,2", recs)
+	}
+}
+
+func TestJournalRejectsInteriorCorruption(t *testing.T) {
+	path := journalPath(t)
+	j, err := CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Step: 1})
+	j.Append(Record{Step: 2})
+	j.Append(Record{Step: 3})
+	j.Close()
+	buf, _ := os.ReadFile(path)
+	lines := strings.Split(strings.TrimRight(string(buf), "\n"), "\n")
+	lines[1] = strings.Replace(lines[1], `"step":2`, `"step":20`, 1) // breaks CRC
+	recs, err := ReadJournal(lines)
+	if !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("interior corruption: err = %v, want ErrJournalCorrupt", err)
+	}
+	if len(recs) != 1 || recs[0].Step != 1 {
+		t.Fatalf("valid prefix = %+v, want step 1", recs)
+	}
+}
+
+func TestJournalRejectsUnknownVersion(t *testing.T) {
+	rec := Record{Version: 99, Step: 1}
+	crc, err := recordCRC(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Checksum = crc
+	buf, _ := json.Marshal(rec)
+	// Even as the final line, a future version must not be dropped silently.
+	if _, err := ReadJournal([]string{string(buf)}); !errors.Is(err, ErrJournalVersion) {
+		t.Fatalf("err = %v, want ErrJournalVersion", err)
+	}
+}
+
+func TestJournalMissingFileIsEmpty(t *testing.T) {
+	recs, err := ReadJournalFile(filepath.Join(t.TempDir(), "absent.journal"))
+	if err != nil || recs != nil {
+		t.Fatalf("missing file: recs=%v err=%v", recs, err)
+	}
+}
+
+func TestAppendJournalPreservesPrefix(t *testing.T) {
+	path := journalPath(t)
+	j, _ := CreateJournal(path)
+	j.Append(Record{Step: 1})
+	j.Close()
+	j2, err := AppendJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Append(Record{Step: 2})
+	j2.Close()
+	recs, err := ReadJournalFile(path)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("recs=%v err=%v, want 2 records", recs, err)
+	}
+}

@@ -40,6 +40,7 @@ type Library struct {
 	nn        int
 	sys       *System
 	hook      fault.HardwareHook
+	beat      func()
 	pool      *parallelize.Pool
 }
 
@@ -62,6 +63,15 @@ func (l *Library) SetFaultHook(h fault.HardwareHook) {
 	l.hook = h
 	if l.sys != nil {
 		l.sys.SetFaultHook(h)
+	}
+}
+
+// SetHeartbeat installs a liveness callback on the session's hardware; it
+// survives InitializeBoards/FreeBoards cycles.
+func (l *Library) SetHeartbeat(beat func()) {
+	l.beat = beat
+	if l.sys != nil {
+		l.sys.SetHeartbeat(beat)
 	}
 }
 
@@ -107,6 +117,7 @@ func (l *Library) InitializeBoards() error {
 		return err
 	}
 	sys.SetFaultHook(l.hook)
+	sys.SetHeartbeat(l.beat)
 	sys.SetPool(l.pool)
 	l.sys = sys
 	return nil

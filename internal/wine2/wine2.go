@@ -141,6 +141,7 @@ type System struct {
 	trig  *fixed.SinCosTable
 	stats Stats
 	hook  fault.HardwareHook
+	beat  func()
 	pool  *parallelize.Pool
 }
 
@@ -170,6 +171,11 @@ func (s *System) ResetStats() { s.stats = Stats{} }
 // a board or transient error; an armed bit flip lands in a DFT accumulator.
 // A nil hook (the default) disables injection.
 func (s *System) SetFaultHook(h fault.HardwareHook) { s.hook = h }
+
+// SetHeartbeat installs a liveness callback invoked at the entry of every
+// DFT/IDFT call, before fault injection can wedge it — the watchdog's view
+// of board progress. A nil heartbeat (the default) costs one nil check.
+func (s *System) SetHeartbeat(beat func()) { s.beat = beat }
 
 // SetPool installs the worker pool that stripes DFT waves and IDFT particles
 // across host cores, mirroring the hardware's chip-level concurrency. A nil
@@ -259,6 +265,9 @@ func (s *System) DFTQuantized(waves []ewald.Wave, pw *ParticleWords) (sn, cn []f
 	// armed bit flip lands in one wave's S+C accumulator at readout, the spot
 	// where a flipped SDRAM or pipeline-register bit would surface.
 	flipWave, flipBit := -1, 0
+	if s.beat != nil {
+		s.beat()
+	}
 	if s.hook != nil {
 		if err := s.hook.HardwareCall(fault.WINE2); err != nil {
 			return nil, nil, err
@@ -331,6 +340,9 @@ func (s *System) IDFT(l float64, waves []ewald.Wave, sn, cn []float64, pos []vec
 func (s *System) IDFTQuantized(waves []ewald.Wave, sn, cn []float64, pw *ParticleWords) ([]vec.V, error) {
 	if len(sn) != len(waves) || len(cn) != len(waves) {
 		return nil, fmt.Errorf("wine2: %d waves vs %d/%d structure factors", len(waves), len(sn), len(cn))
+	}
+	if s.beat != nil {
+		s.beat()
 	}
 	if s.hook != nil {
 		if err := s.hook.HardwareCall(fault.WINE2); err != nil {

@@ -23,16 +23,26 @@
 package mdm
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"mdm/internal/core"
 	"mdm/internal/ewald"
 	"mdm/internal/fault"
 	"mdm/internal/md"
 	"mdm/internal/perf"
+	"mdm/internal/supervise"
 	"mdm/internal/units"
 )
+
+// ErrInterrupted reports a run stopped by the interrupt check installed with
+// SetInterrupt. The interrupted step is complete: its state is sampled and,
+// when a journal is configured, committed, so the caller can checkpoint and
+// later resume exactly where the run stopped.
+var ErrInterrupted = errors.New("mdm: run interrupted")
 
 // Backend selects which engine evaluates forces.
 type Backend int
@@ -90,6 +100,45 @@ type Config struct {
 	// runtime.GOMAXPROCS(0), 1 = serial). Any width produces bit-identical
 	// trajectories; the reference backend ignores it.
 	Workers int
+
+	// Supervise enables long-run supervision on the MDM backend: a watchdog
+	// over the simulated hardware, circuit breakers over boards and sites,
+	// and a write-ahead step journal. The zero value disables all of it and
+	// costs nothing on the force path.
+	Supervise SuperviseConfig
+}
+
+// SuperviseConfig is the long-run supervision policy of a Simulation. The
+// paper's production run held 2,304 ASICs busy for 36.5 hours (§6); at that
+// scale silence is a failure mode of its own, so the supervision layer turns
+// stalls into typed errors, repeated failures into quarantines, and makes
+// every committed step durable.
+type SuperviseConfig struct {
+	// Watchdog is the stall deadline for a single hardware call (0 disables
+	// the watchdog). A call silent for this long is interrupted and fed to
+	// the recovery ladder as a retryable stall.
+	Watchdog time.Duration
+
+	// Journal is the path of the write-ahead step journal ("" disables
+	// journaling). Every completed step is appended and fsynced before the
+	// run moves on; ResumeFromJournal replays the tail over a checkpoint,
+	// recovering a killed run at the exact committed step.
+	Journal string
+
+	// BreakerTrip, BreakerWindow and BreakerCooldown tune the circuit
+	// breakers (0 = package defaults): a board or site failing BreakerTrip
+	// times within BreakerWindow steps is opened — a board is quarantined by
+	// re-striping, a site is served by the host path until a half-open probe
+	// after BreakerCooldown steps succeeds.
+	BreakerTrip     int
+	BreakerWindow   int
+	BreakerCooldown int
+}
+
+// enabled reports whether any supervision feature requiring the recovery
+// layer is on (the journal alone works with the plain machine).
+func (sc SuperviseConfig) enabled() bool {
+	return sc.Watchdog > 0 || sc.BreakerTrip > 0 || sc.BreakerWindow > 0 || sc.BreakerCooldown > 0
 }
 
 func (c *Config) fillDefaults() {
@@ -154,10 +203,15 @@ type Simulation struct {
 	Recorder   *md.Recorder
 
 	machine   *core.Machine   // nil for the reference backend
-	resilient *core.Resilient // non-nil when running under a fault scenario
+	resilient *core.Resilient // non-nil under a fault scenario or supervision
 	injector  *fault.Injector // the scenario's schedule; survives restarts
 	obs       *core.Reference // host-side observable evaluation (pressure)
 	nveStart  int             // record index where the latest NVE segment began
+
+	journal   *supervise.Journal // write-ahead step journal (nil when disabled)
+	stage     string             // "nvt"/"nve": the running segment, tags journal records
+	replaying bool               // journal replay in progress: suppress re-journaling
+	interrupt func() bool        // graceful-shutdown check; survives restarts
 }
 
 // newForceField builds the configured engine. A non-nil injector (the
@@ -176,11 +230,22 @@ func newForceField(cfg Config, p ewald.Params, in *fault.Injector) (md.ForceFiel
 				return nil, nil, nil, nil, fmt.Errorf("mdm: fault scenario: %w", err)
 			}
 		}
-		if in != nil {
-			res, err := core.NewResilient(mcfg, core.RecoveryConfig{
+		if in != nil || cfg.Supervise.enabled() {
+			rc := core.RecoveryConfig{
 				MaxRetries: cfg.MaxRetries,
 				Injector:   in,
-			})
+			}
+			if d := cfg.Supervise.Watchdog; d > 0 {
+				rc.Watchdog = supervise.NewWatchdog(d)
+			}
+			if cfg.Supervise.enabled() {
+				rc.Breakers = supervise.NewBreakerSet(supervise.BreakerConfig{
+					Trip:     cfg.Supervise.BreakerTrip,
+					Window:   cfg.Supervise.BreakerWindow,
+					Cooldown: cfg.Supervise.BreakerCooldown,
+				})
+			}
+			res, err := core.NewResilient(mcfg, rc)
 			if err != nil {
 				return nil, nil, nil, nil, err
 			}
@@ -249,7 +314,19 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		return nil, err
 	}
 	sys.SetMaxwellVelocities(cfg.Temperature, cfg.Seed)
-	return newSimulation(cfg, sys, 0, nil)
+	sim, err := newSimulation(cfg, sys, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	if path := cfg.Supervise.Journal; path != "" {
+		j, err := supervise.CreateJournal(path)
+		if err != nil {
+			_ = sim.Free()
+			return nil, fmt.Errorf("mdm: journal: %w", err)
+		}
+		sim.journal = j
+	}
+	return sim, nil
 }
 
 // ResumeSimulation rebuilds a run from checkpointed state — the mdmsim
@@ -259,6 +336,11 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 // step so step-keyed events and the time axis line up.
 func ResumeSimulation(prev *Simulation, sys *md.System, step int) (*Simulation, error) {
 	in := prev.injector
+	check := prev.interrupt
+	jpath := ""
+	if prev.journal != nil {
+		jpath = prev.journal.Path()
+	}
 	prevRep, hadRep := prev.FaultReport()
 	if err := prev.Free(); err != nil {
 		return nil, err
@@ -271,6 +353,138 @@ func ResumeSimulation(prev *Simulation, sys *md.System, step int) (*Simulation, 
 		// Recovery history survives the restart.
 		sim.resilient.AdoptReport(prevRep)
 	}
+	sim.interrupt = check
+	if jpath != "" {
+		// Rewind the journal to the checkpoint step: the restarted timeline
+		// re-executes — and re-journals — everything after it.
+		j, err := rewindJournal(jpath, step)
+		if err != nil {
+			_ = sim.Free()
+			return nil, err
+		}
+		sim.journal = j
+	}
+	return sim, nil
+}
+
+// rewindJournal rewrites the journal at path keeping only records through
+// step, and returns it open for appending. The rewrite also discards any torn
+// trailing bytes a crash left behind.
+func rewindJournal(path string, step int) (*supervise.Journal, error) {
+	recs, err := supervise.ReadJournalFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("mdm: journal: %w", err)
+	}
+	j, err := supervise.CreateJournal(path)
+	if err != nil {
+		return nil, fmt.Errorf("mdm: journal: %w", err)
+	}
+	for _, r := range recs {
+		if r.Step > step {
+			break
+		}
+		if err := j.Append(r); err != nil {
+			_ = j.Close()
+			return nil, fmt.Errorf("mdm: journal: %w", err)
+		}
+	}
+	return j, nil
+}
+
+// ResumeFromJournal rebuilds a run that was killed between checkpoints — the
+// recovery path for a hard kill (power loss, OOM, SIGKILL). The checkpoint
+// restores the last durable state; the journal tail replays the steps that
+// committed after it under the original ensemble schedule and fault timeline,
+// yielding the exact pre-kill state bit for bit. cfg must be the original
+// run's Config (including Supervise.Journal and Faults).
+func ResumeFromJournal(cfg Config, ckptPath string) (*Simulation, error) {
+	cfg.fillDefaults()
+	if cfg.Supervise.Journal == "" {
+		return nil, fmt.Errorf("mdm: ResumeFromJournal requires Config.Supervise.Journal")
+	}
+	sys, step, err := md.ReadCheckpointFile(ckptPath)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := supervise.ReadJournalFile(cfg.Supervise.Journal)
+	if err != nil {
+		return nil, fmt.Errorf("mdm: journal: %w", err)
+	}
+	// The tail must continue the checkpoint step contiguously; a gap means
+	// the journal and checkpoint belong to different runs.
+	tail := make([]supervise.Record, 0, len(recs))
+	var at *supervise.Record
+	for i := range recs {
+		switch {
+		case recs[i].Step == step:
+			at = &recs[i]
+		case recs[i].Step > step:
+			tail = append(tail, recs[i])
+		}
+	}
+	for i := range tail {
+		if tail[i].Step != step+i+1 {
+			return nil, fmt.Errorf("mdm: journal: step %d follows checkpoint step %d non-contiguously",
+				tail[i].Step, step)
+		}
+	}
+	// Rebuild the fault schedule and consume the events the journal says had
+	// fired by the checkpoint; events after it refire during replay exactly
+	// as they did originally.
+	var in *fault.Injector
+	if cfg.Faults != "" {
+		in, err = fault.ParseInjector(cfg.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("mdm: fault scenario: %w", err)
+		}
+		if at != nil {
+			in.Consume(at.Cursor)
+		}
+	}
+	sim, err := newSimulation(cfg, sys, step, in)
+	if err != nil {
+		return nil, err
+	}
+	if sim.resilient != nil && at != nil && len(at.Payload) > 0 {
+		var rep FaultReport
+		if err := json.Unmarshal(at.Payload, &rep); err != nil {
+			_ = sim.Free()
+			return nil, fmt.Errorf("mdm: journal payload: %w", err)
+		}
+		sim.resilient.AdoptReport(rep)
+	}
+	// Reopen the journal for appending before the replay; the rewrite drops
+	// any torn trailing bytes while keeping every committed record.
+	lastStep := step
+	if n := len(tail); n > 0 {
+		lastStep = tail[n-1].Step
+	}
+	j, err := rewindJournal(cfg.Supervise.Journal, lastStep)
+	if err != nil {
+		_ = sim.Free()
+		return nil, err
+	}
+	sim.journal = j
+	// Replay the tail, grouped into runs of the journaled ensemble stages.
+	// Journaling stays off: these records are already durable.
+	sim.replaying = true
+	for i := 0; i < len(tail); {
+		k := i + 1
+		for k < len(tail) && tail[k].Stage == tail[i].Stage {
+			k++
+		}
+		run := sim.RunNVE
+		if tail[i].Stage == "nvt" {
+			run = sim.RunNVT
+		}
+		if err := run(k - i); err != nil {
+			sim.replaying = false
+			_ = sim.Free()
+			return nil, fmt.Errorf("mdm: journal replay at step %d: %w", tail[i].Step, err)
+		}
+		i = k
+	}
+	sim.replaying = false
 	return sim, nil
 }
 
@@ -286,10 +500,8 @@ func (s *Simulation) N() int { return s.System.N() }
 func (s *Simulation) RunNVT(n int) error {
 	s.Integrator.Mode = md.NVT
 	s.Integrator.Target = s.cfg.Temperature
-	return s.Integrator.Run(n, func(int) error {
-		s.Recorder.Sample(s.Integrator)
-		return nil
-	})
+	s.stage = "nvt"
+	return s.Integrator.Run(n, s.observe)
 }
 
 // RunNVE advances n steps at constant energy (the second segment of §5).
@@ -302,11 +514,51 @@ func (s *Simulation) RunNVE(n int) error {
 		s.Recorder.Sample(s.Integrator)
 	}
 	s.Integrator.Mode = md.NVE
-	return s.Integrator.Run(n, func(int) error {
-		s.Recorder.Sample(s.Integrator)
-		return nil
-	})
+	s.stage = "nve"
+	return s.Integrator.Run(n, s.observe)
 }
+
+// observe commits one completed step: journal first (the step is not durable
+// until its record is fsynced), then sample, then honor a pending interrupt —
+// so an interrupted run stops on a fully committed step.
+func (s *Simulation) observe(int) error {
+	if err := s.commitStep(); err != nil {
+		return err
+	}
+	s.Recorder.Sample(s.Integrator)
+	if s.interrupt != nil && s.interrupt() {
+		return ErrInterrupted
+	}
+	return nil
+}
+
+// commitStep appends the just-completed step to the write-ahead journal.
+func (s *Simulation) commitStep() error {
+	if s.journal == nil || s.replaying {
+		return nil
+	}
+	rec := supervise.Record{Step: s.Integrator.StepCount(), Stage: s.stage}
+	if s.injector != nil {
+		rec.Cursor = s.injector.Fired()
+	}
+	if s.resilient != nil {
+		buf, err := json.Marshal(s.resilient.Report())
+		if err != nil {
+			return fmt.Errorf("mdm: journal payload: %w", err)
+		}
+		rec.Payload = buf
+	}
+	if err := s.journal.Append(rec); err != nil {
+		return fmt.Errorf("mdm: journal: %w", err)
+	}
+	return nil
+}
+
+// SetInterrupt installs a check polled after every completed step; when it
+// returns true the running segment stops with ErrInterrupted. The check
+// survives ResumeSimulation restarts. mdmsim uses it to turn SIGINT/SIGTERM
+// into a graceful shutdown: finish the step, flush the journal, checkpoint.
+func (s *Simulation) SetInterrupt(check func() bool) { s.interrupt = check }
 
 // Records returns all sampled observables.
 func (s *Simulation) Records() []Record { return s.Recorder.Records }
@@ -343,15 +595,18 @@ func (s *Simulation) FaultReport() (rep FaultReport, ok bool) {
 }
 
 // Free releases the simulated boards of the MDM backend (no-op for the
-// reference backend).
+// reference backend) and closes the journal, making the last committed step
+// its final record.
 func (s *Simulation) Free() error {
-	if s.resilient != nil {
-		return s.resilient.Free()
+	jerr := s.journal.Close() // nil-safe
+	s.journal = nil
+	switch {
+	case s.resilient != nil:
+		return errors.Join(s.resilient.Free(), jerr)
+	case s.machine != nil:
+		return errors.Join(s.machine.Free(), jerr)
 	}
-	if s.machine == nil {
-		return nil
-	}
-	return s.machine.Free()
+	return jerr
 }
 
 // Table4 regenerates the paper's Table 4 at the paper's system size.

@@ -19,7 +19,7 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> mdmvet (fixedformat singleprec mpitags unitsmix goroutineloop)"
+echo "==> mdmvet (fixedformat singleprec mpitags unitsmix goroutineloop recvwithin)"
 go run ./cmd/mdmvet ./...
 
 echo "==> go test ./..."
@@ -28,14 +28,19 @@ go test ./...
 echo "==> go test -race (concurrency-bearing packages)"
 go test -race ./internal/fault/... ./internal/mpi/... ./internal/core/... \
     ./internal/parallelize/... ./internal/wine2/... ./internal/mdgrape2/... \
-    ./internal/cellindex/...
+    ./internal/cellindex/... ./internal/supervise/...
 
 echo "==> bench smoke (parallel must not lose to serial on the Figure-2 step)"
 go run ./cmd/mdmbench -smoke -iters 3 -reps 2
 
-echo "==> chaos suite (fault injection, recovery, checkpoint restart)"
-go test -run 'Chaos|Resilient|FaultHook|RunProtocol|CheckpointFile|CheckpointTyped' \
+echo "==> chaos suite (fault injection, recovery, checkpoint restart, supervision)"
+go test -run 'Chaos|Resilient|FaultHook|RunProtocol|CheckpointFile|CheckpointTyped|Watchdog|Breaker|Journal|Supervise|Interrupt' \
     ./internal/core/... ./internal/wine2/... ./internal/mdgrape2/... \
-    ./internal/md/... ./cmd/mdmsim/...
+    ./internal/md/... ./internal/supervise/... ./cmd/mdmsim/... .
+
+echo "==> fuzz smoke (decoders and the fault DSL must hold up under mutation)"
+go test ./internal/fault/ -run '^$' -fuzz FuzzParseScenario -fuzztime 3s
+go test ./internal/md/ -run '^$' -fuzz FuzzReadCheckpoint -fuzztime 3s
+go test ./internal/supervise/ -run '^$' -fuzz FuzzReadJournal -fuzztime 3s
 
 echo "==> all checks passed"
