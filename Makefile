@@ -19,7 +19,7 @@ bench-json:
 	sh scripts/bench.sh
 
 bench-smoke:
-	$(GO) run ./cmd/mdmbench -smoke -iters 3 -reps 2
+	GOMAXPROCS=2 $(GO) run ./cmd/mdmbench -smoke -iters 3 -reps 2
 
 vet:
 	$(GO) vet ./...

@@ -193,6 +193,8 @@ func run() (exit int) {
 	ckptEvery := flag.Int("checkpoint-every", 25, "steps between checkpoints")
 	maxRestarts := flag.Int("max-restarts", 3, "restarts from checkpoint after fatal faults")
 	workers := flag.Int("workers", 0, "worker-pool width striping the simulated pipelines across cores (0 = GOMAXPROCS, 1 = serial); bit-identical at any width")
+	pipeline := flag.Bool("pipeline", false, "overlap the WINE-2 wavenumber pass with the MDGRAPE-2 real-space sweep and fuse the four real-space passes; bit-identical to the sequential path")
+	skin := flag.Float64("skin", 0, "Verlet skin in Å: reuse the sorted cell layout until a particle moves more than skin/2 (0 = rebuild every step)")
 	watchdog := flag.Duration("watchdog", 0, "stall deadline for one hardware call, e.g. 30s (0 disables the watchdog)")
 	journal := flag.String("journal", "", "write-ahead step journal path (with -checkpoint, enables -resume after a kill)")
 	resume := flag.Bool("resume", false, "resume a killed run from -checkpoint and -journal at the exact committed step")
@@ -250,6 +252,10 @@ func run() (exit int) {
 		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint and -journal")
 		return 2
 	}
+	if (*pipeline || *skin != 0) && be != mdm.BackendMDM {
+		fmt.Fprintln(os.Stderr, "-pipeline and -skin require the mdm backend")
+		return 2
+	}
 
 	cfg := mdm.Config{
 		Cells:          *cells,
@@ -260,6 +266,8 @@ func run() (exit int) {
 		PotentialEvery: 1,
 		Faults:         *faults,
 		Workers:        *workers,
+		Pipeline:       *pipeline,
+		Skin:           *skin,
 		Supervise: mdm.SuperviseConfig{
 			Watchdog: *watchdog,
 			Journal:  *journal,
@@ -286,6 +294,7 @@ func run() (exit int) {
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigc)
+	//mdm:gojoinok process-lifetime signal watcher; parked on sigc, detached by design
 	go func() {
 		<-sigc
 		interrupted.Store(true)

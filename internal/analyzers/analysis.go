@@ -22,6 +22,9 @@
 //	recvwithin  — production code must use the bounded mpi receive forms
 //	              (RecvWithin, RecvFloat64sWithin, BarrierWithin) or a
 //	              world deadline, so a wedged peer cannot block forever
+//	gojoin      — launched goroutines must signal completion (channel send,
+//	              close, or WaitGroup Done/Wait) so the launcher can join
+//	              them and collect their errors
 //
 // Each analyzer's diagnostics can be suppressed for a reviewed line with a
 // comment of the form "//mdm:<key> <justification>" (for example
@@ -221,7 +224,7 @@ func RunPackage(pkg *load.Package, analyzers []*Analyzer) []Diagnostic {
 
 // All returns the full mdmvet suite.
 func All() []*Analyzer {
-	return []*Analyzer{FixedFormat, SinglePrec, MPITags, UnitsMix, GoroutineLoop, RecvWithin}
+	return []*Analyzer{FixedFormat, SinglePrec, MPITags, UnitsMix, GoroutineLoop, RecvWithin, GoJoin}
 }
 
 //

@@ -60,6 +60,10 @@ func TestRecvWithinFixtures(t *testing.T) {
 	atest.Run(t, analyzers.RecvWithin, "recvwithin", "mdm/fixture/recvwithin")
 }
 
+func TestGoJoinFixtures(t *testing.T) {
+	atest.Run(t, analyzers.GoJoin, "gojoin", "mdm/fixture/gojoin")
+}
+
 // TestSuiteCleanOnRepo runs the whole suite over the whole module — the
 // in-process equivalent of `go run ./cmd/mdmvet ./...` — and requires it to
 // be green. Real findings must be fixed or carry a reviewed //mdm:* comment.

@@ -1,0 +1,107 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoJoin flags goroutines launched without a join or error-collection path.
+// A goroutine whose body never signals completion — no channel send, no
+// close, no sync.WaitGroup Done/Wait — cannot be awaited by its launcher, so
+// its failure is invisible and its work may still be in flight when the
+// launcher tears shared state down. That is exactly the bug class the force
+// pipeline's unconditional join exists to prevent: the recovery ladder
+// assumes no engine pass outlives its step. Launches of functions from other
+// packages are not resolvable here and are left alone; deliberately detached
+// process-lifetime goroutines carry a reviewed //mdm:gojoinok comment. Test
+// files are exempt (hang tests wedge goroutines on purpose).
+var GoJoin = &Analyzer{
+	Name:     "gojoin",
+	Doc:      "check launched goroutines signal completion via a channel or WaitGroup",
+	Suppress: "gojoinok",
+	Run:      runGoJoin,
+}
+
+func runGoJoin(pass *Pass) {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.FileStart).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := launchedBody(pass, gs)
+			if body == nil || signalsCompletion(pass, body) {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"goroutine body has no join path (no channel send, close, or WaitGroup Done/Wait): the launcher cannot await it or collect its error")
+			return true
+		})
+	}
+}
+
+// launchedBody resolves the body of the function a go statement launches: a
+// function literal inline, or a same-package named function or method. Calls
+// into other packages (or through function values) return nil — their bodies
+// are not loaded here, and flagging what cannot be inspected would be noise.
+func launchedBody(pass *Pass, gs *ast.GoStmt) *ast.BlockStmt {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident, *ast.SelectorExpr:
+		fn := calleeFunc(pass.Info, gs.Call)
+		if fn == nil || fn.Pkg() != pass.Pkg {
+			return nil
+		}
+		return funcDeclBody(pass, fn)
+	default:
+		return nil
+	}
+}
+
+// funcDeclBody finds the declaration body of a package-local function.
+func funcDeclBody(pass *Pass, fn *types.Func) *ast.BlockStmt {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && pass.Info.Defs[fd.Name] == fn {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// signalsCompletion reports whether the body (including nested literals and
+// deferred closures) contains a completion signal the launcher side can wait
+// on: a channel send, a close, or a sync.WaitGroup Done/Wait.
+func signalsCompletion(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+					break
+				}
+			}
+			fn := calleeFunc(pass.Info, n)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" &&
+				(fn.Name() == "Done" || fn.Name() == "Wait") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

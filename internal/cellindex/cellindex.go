@@ -147,7 +147,12 @@ type NeighborTable struct {
 // BuildNeighborTable enumerates every cell's neighbors, striping the cells
 // across the pool's workers (a nil pool is serial; each cell's list is
 // written by exactly one worker, so the table is identical at any width).
+// Small grids run serially: below serialCellsCutoff cells the per-shard
+// goroutine handoff costs more than the enumeration itself.
 func BuildNeighborTable(g *Grid, pool *parallelize.Pool) *NeighborTable {
+	if g.NumCells() < serialCellsCutoff {
+		pool = nil
+	}
 	t := &NeighborTable{g: g, lists: make([][]Neighbor, g.NumCells())}
 	_ = pool.Run(g.NumCells(), func(_, lo, hi int) error {
 		for c := lo; c < hi; c++ {
@@ -191,56 +196,113 @@ func Sort(g *Grid, pos []vec.V) *Sorted {
 	return SortPool(g, pos, nil)
 }
 
+// Serial cutoffs for the parallel phases. BENCH_1 measured the 3-phase
+// parallel counting sort at 0.61–0.77× serial speed for the 216-particle
+// NaCl cell at widths 2–8: below a few thousand elements the goroutine
+// handoff and per-shard count tables dominate the O(n) scan they split.
+// The crossover benchmark (BenchmarkSortCrossover) pins the threshold.
+const (
+	serialSortCutoff  = 2048 // particles below which SortPool runs serially
+	serialCellsCutoff = 1024 // cells below which BuildNeighborTable runs serially
+)
+
 // SortPool builds the sorted layout with the cell assignment and scatter
 // phases striped across the pool's workers (a nil pool is serial). The
 // layout is bit-identical to Sort at any pool width: shards are contiguous
 // original-index ranges and each shard scatters into slots reserved for it
 // by a deterministic per-shard/per-cell prefix sum, so within every cell the
 // particles appear in ascending original index exactly as in the serial
-// counting sort.
+// counting sort. Inputs below serialSortCutoff run serially regardless of
+// pool width (same layout, cheaper).
 func SortPool(g *Grid, pos []vec.V, pool *parallelize.Pool) *Sorted {
+	return NewSorter(g).SortInto(nil, pos, pool)
+}
+
+// Sorter owns the scratch state of the counting sort (cell assignments,
+// per-shard count and scatter-base tables) so repeated sorts over the same
+// grid allocate nothing. One Sorter serves one caller at a time.
+type Sorter struct {
+	g      *Grid
+	cells  []int
+	counts [][]int
+	base   [][]int
+}
+
+// NewSorter returns a reusable sorter for the grid.
+func NewSorter(g *Grid) *Sorter { return &Sorter{g: g} }
+
+// Grid returns the grid the sorter sorts into.
+func (so *Sorter) Grid() *Grid { return so.g }
+
+// SortInto builds the sorted layout for pos into dst, reusing dst's buffers
+// when their lengths match (a nil dst allocates a fresh Sorted). The layout
+// is the same bit-identical counting sort as SortPool at every pool width,
+// including the small-n serial cutoff.
+func (so *Sorter) SortInto(dst *Sorted, pos []vec.V, pool *parallelize.Pool) *Sorted {
+	g := so.g
 	n := len(pos)
-	s := &Sorted{
-		Grid:  g,
-		Pos:   make([]vec.V, n),
-		Order: make([]int, n),
-		Start: make([]int, g.NumCells()+1),
-	}
 	nc := g.NumCells()
-	cells := make([]int, n)
+	if dst == nil {
+		dst = &Sorted{}
+	}
+	dst.Grid = g
+	if len(dst.Pos) != n {
+		dst.Pos = make([]vec.V, n)
+		dst.Order = make([]int, n)
+	}
+	if len(dst.Start) != nc+1 {
+		dst.Start = make([]int, nc+1)
+	}
+	if n < serialSortCutoff {
+		pool = nil
+	}
 	shards := parallelize.Shards(n, pool.Workers())
-	// Phase 1: cell assignment, one count table per shard.
-	counts := make([][]int, len(shards))
+	if len(so.cells) < n {
+		so.cells = make([]int, n)
+	}
+	cells := so.cells[:n]
+	for len(so.counts) < len(shards) {
+		so.counts = append(so.counts, nil)
+		so.base = append(so.base, nil)
+	}
+	counts := so.counts[:len(shards)]
+	base := so.base[:len(shards)]
+	for sh := range counts {
+		if len(counts[sh]) != nc {
+			counts[sh] = make([]int, nc)
+			base[sh] = make([]int, nc)
+		}
+	}
+	// Phase 1: cell assignment, one count table per shard (zeroed in-shard so
+	// table reuse across calls is invisible).
 	_ = pool.Run(n, func(shard, lo, hi int) error {
-		cnt := make([]int, nc)
+		cnt := counts[shard]
+		for c := range cnt {
+			cnt[c] = 0
+		}
 		for i := lo; i < hi; i++ {
 			c := g.CellOf(pos[i])
 			cells[i] = c
 			cnt[c]++
 		}
-		counts[shard] = cnt
 		return nil
 	})
 	// Phase 2 (serial): global cell offsets, then per-shard scatter bases —
 	// shard s writes cell c starting at Start[c] + Σ_{t<s} counts[t][c].
 	for c, k := 0, 0; c < nc; c++ {
-		s.Start[c] = k
+		dst.Start[c] = k
 		for _, cnt := range counts {
 			k += cnt[c]
 		}
 	}
-	s.Start[nc] = n
-	base := make([][]int, len(shards))
-	prev := s.Start[:nc]
-	for sh := range shards {
-		b := append([]int(nil), prev...)
-		base[sh] = b
-		if sh+1 < len(shards) {
-			next := make([]int, nc)
+	dst.Start[nc] = n
+	if len(shards) > 0 {
+		copy(base[0], dst.Start[:nc])
+		for sh := 1; sh < len(shards); sh++ {
+			prev, cnt, b := base[sh-1], counts[sh-1], base[sh]
 			for c := 0; c < nc; c++ {
-				next[c] = b[c] + counts[sh][c]
+				b[c] = prev[c] + cnt[c]
 			}
-			prev = next
 		}
 	}
 	// Phase 3: scatter. Slot ranges of different shards are disjoint.
@@ -250,12 +312,12 @@ func SortPool(g *Grid, pos []vec.V, pool *parallelize.Pool) *Sorted {
 			c := cells[i]
 			k := fill[c]
 			fill[c]++
-			s.Pos[k] = pos[i].Wrap(g.L)
-			s.Order[k] = i
+			dst.Pos[k] = pos[i].Wrap(g.L)
+			dst.Order[k] = i
 		}
 		return nil
 	})
-	return s
+	return dst
 }
 
 // Len returns the number of particles.
@@ -276,6 +338,19 @@ func (s *Sorted) Unsort(dst, src []vec.V) {
 	}
 }
 
+// Refresh rewrites the sorted positions from the current original-order
+// positions without re-sorting: Pos[k] = pos[Order[k]] wrapped into the box.
+// The cell assignment (Order, Start) is left as built, so the layout is valid
+// as long as no particle has left the shell its cell size allows for — the
+// Verlet-skin reuse contract (rebuild when max displacement exceeds skin/2).
+// pos must have the same length as the sorted layout.
+func (s *Sorted) Refresh(pos []vec.V) {
+	l := s.Grid.L
+	for k, orig := range s.Order {
+		s.Pos[k] = pos[orig].Wrap(l)
+	}
+}
+
 // ForEachOrderedPair visits, for every sorted particle i, every sorted
 // particle j in the 27 neighbor cells of i's cell (including i's own cell and
 // including j == i), passing the displacement rij = ri - (rj + shift).
@@ -283,13 +358,30 @@ func (s *Sorted) Unsort(dst, src []vec.V) {
 // (§2.2): the pipeline evaluates all N_int_g candidates and relies on the
 // force kernel vanishing beyond the cutoff. The visit order is deterministic.
 func (s *Sorted) ForEachOrderedPair(f func(i, j int, rij vec.V)) {
+	s.forEachOrderedPair(nil, f)
+}
+
+// ForEachOrderedPairTable is ForEachOrderedPair drawing each cell's neighbor
+// list from a prebuilt table instead of enumerating it — the same visit
+// order without the per-cell allocation. The table must belong to s.Grid's
+// geometry.
+func (s *Sorted) ForEachOrderedPairTable(nbt *NeighborTable, f func(i, j int, rij vec.V)) {
+	s.forEachOrderedPair(nbt, f)
+}
+
+func (s *Sorted) forEachOrderedPair(nbt *NeighborTable, f func(i, j int, rij vec.V)) {
 	g := s.Grid
 	for c := 0; c < g.NumCells(); c++ {
 		is, ie := s.CellRange(c)
 		if is == ie {
 			continue
 		}
-		nbrs := g.Neighbors(c)
+		var nbrs []Neighbor
+		if nbt != nil {
+			nbrs = nbt.Of(c)
+		} else {
+			nbrs = g.Neighbors(c)
+		}
 		for i := is; i < ie; i++ {
 			ri := s.Pos[i]
 			for _, nb := range nbrs {

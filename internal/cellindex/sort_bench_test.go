@@ -1,0 +1,130 @@
+package cellindex
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mdm/internal/parallelize"
+	"mdm/internal/vec"
+)
+
+// benchPositions fills a box of side l with n deterministically scattered
+// particles (no RNG so every run sorts the same input).
+func benchPositions(n int, l float64) []vec.V {
+	pos := make([]vec.V, n)
+	for i := range pos {
+		h := float64((i*2654435761)%100003) / 100003.0
+		g := float64((i*40503)%9973) / 9973.0
+		pos[i] = vec.New(h*l, g*l, math.Mod(h*7+g*3, 1)*l)
+	}
+	return pos
+}
+
+// BenchmarkSortCrossover pins the serial/parallel crossover of the 3-phase
+// counting sort: below serialSortCutoff the parallel path was measured slower
+// than serial (BENCH_1 jsetBuild 0.61–0.77×), so SortPool must run those sizes
+// inline. The "forced" variants bypass the cutoff to expose the raw parallel
+// cost at each size.
+func BenchmarkSortCrossover(b *testing.B) {
+	pool := parallelize.New(4)
+	for _, n := range []int{216, 1000, 2048, 8192, 32768} {
+		l := 10.0 * math.Cbrt(float64(n)/216.0)
+		g, err := NewGrid(l, 1.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pos := benchPositions(n, l)
+		b.Run(fmt.Sprintf("n=%d/auto", n), func(b *testing.B) {
+			so := NewSorter(g)
+			var dst *Sorted
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dst = so.SortInto(dst, pos, pool)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/serial", n), func(b *testing.B) {
+			so := NewSorter(g)
+			var dst *Sorted
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dst = so.SortInto(dst, pos, nil)
+			}
+		})
+	}
+}
+
+// TestSorterMatchesSortPool pins SortInto (with and without buffer reuse,
+// above and below the serial cutoff) to the reference Sort layout.
+func TestSorterMatchesSortPool(t *testing.T) {
+	pool := parallelize.New(4)
+	for _, n := range []int{0, 1, 216, serialSortCutoff + 100} {
+		l := 10.0 * math.Cbrt(math.Max(float64(n), 1)/216.0)
+		g, err := NewGrid(l, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := benchPositions(n, l)
+		want := Sort(g, pos)
+		so := NewSorter(g)
+		var got *Sorted
+		for trial := 0; trial < 3; trial++ { // reuse across calls
+			got = so.SortInto(got, pos, pool)
+			if len(got.Pos) != len(want.Pos) || len(got.Start) != len(want.Start) {
+				t.Fatalf("n=%d trial %d: layout size mismatch", n, trial)
+			}
+			for k := range want.Pos {
+				if got.Pos[k] != want.Pos[k] || got.Order[k] != want.Order[k] {
+					t.Fatalf("n=%d trial %d: slot %d differs", n, trial, k)
+				}
+			}
+			for c := range want.Start {
+				if got.Start[c] != want.Start[c] {
+					t.Fatalf("n=%d trial %d: start %d differs", n, trial, c)
+				}
+			}
+		}
+	}
+}
+
+// TestRefreshMatchesResort checks Refresh on cell-center particles (so a
+// small nudge cannot change any cell assignment): the refreshed layout must
+// equal a full re-sort of the moved positions bit-for-bit.
+func TestRefreshMatchesResort(t *testing.T) {
+	g, err := NewGrid(10, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One particle per cell center in a scrambled original order.
+	n := g.NumCells()
+	pos := make([]vec.V, n)
+	for i := range pos {
+		c := (i * 37) % n
+		cx, cy, cz := g.Coords(c)
+		pos[i] = vec.New(
+			(float64(cx)+0.5)*g.CellSize,
+			(float64(cy)+0.5)*g.CellSize,
+			(float64(cz)+0.5)*g.CellSize,
+		)
+	}
+	s := Sort(g, pos)
+	moved := make([]vec.V, len(pos))
+	for i, p := range pos {
+		moved[i] = p.Add(vec.New(1e-3, -1e-3, 5e-4))
+	}
+	s.Refresh(moved)
+	want := Sort(g, moved)
+	for k := range want.Pos {
+		if s.Order[k] != want.Order[k] {
+			t.Fatalf("slot %d: order %d != %d", k, s.Order[k], want.Order[k])
+		}
+		if s.Pos[k] != want.Pos[k] {
+			t.Fatalf("slot %d: pos %v != %v", k, s.Pos[k], want.Pos[k])
+		}
+	}
+	for c := range want.Start {
+		if s.Start[c] != want.Start[c] {
+			t.Fatalf("start %d differs", c)
+		}
+	}
+}

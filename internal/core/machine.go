@@ -80,6 +80,23 @@ type MachineConfig struct {
 	// across OS threads (package parallelize). 0 selects runtime.GOMAXPROCS(0);
 	// 1 forces the serial code path. Every width is bit-identical.
 	Workers int
+
+	// Pipeline overlaps the WINE-2 wavenumber pass with the MDGRAPE-2
+	// real-space work of each step — the machine-level concurrency of §3.1
+	// (the two engines are independent until the host combines forces) — and
+	// fuses the four real-space table passes into one cell-index sweep.
+	// Forces are bit-identical to the sequential path: the fixed-order
+	// reduction Coulomb + BM + r⁻⁶ + r⁻⁸ + wave is preserved exactly.
+	Pipeline bool
+
+	// Skin widens the cell grid to RCut+Skin (Å) so the sorted j-set can be
+	// reused across steps until some particle has moved more than Skin/2
+	// since the last rebuild — the Verlet-skin amortization of the host sort.
+	// Zero rebuilds every step. A non-zero skin changes which far pairs the
+	// cutoff-free 27-cell walk sees, so it is a different (equally valid)
+	// discretization, not a bit-identical one; forces and potential stay
+	// mutually consistent.
+	Skin float64
 }
 
 // CurrentMachineConfig returns the July-2000 MDM (45 Tflops WINE-2 +
@@ -117,6 +134,26 @@ type Machine struct {
 
 	potCalls int
 	lastPot  float64
+
+	// Step-path state, reused across Forces calls (the zero-alloc step path).
+	jsb          *mdgrape2.JSetBuilder // amortized j-set construction
+	js           *mdgrape2.JSet        // current j-set (owned by jsb)
+	refPos       []vec.V               // positions at the last j-set rebuild
+	haveJSet     bool
+	jsetRebuilds int
+	jsetReuses   int
+	scale        []float64 // hoisted per-i Coulomb force prefactor
+	potScale     []float64 // hoisted per-i Coulomb potential prefactor
+	passes       [4]mdgrape2.ForcePass
+	wineForces   []vec.V         // wavenumber force buffer (pipeline path)
+	wineDone     chan wineResult // join channel, reused across steps
+}
+
+// wineResult carries the wavenumber pass result across the pipeline join.
+type wineResult struct {
+	f   []vec.V
+	pot float64
+	err error
 }
 
 // NewMachine acquires the simulated boards, loads the kernel tables and
@@ -129,17 +166,22 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	if cfg.PotentialEvery < 1 {
 		cfg.PotentialEvery = 1
 	}
-	grid, err := cellindex.NewGrid(cfg.Ewald.L, cfg.Ewald.RCut)
+	if cfg.Skin < 0 {
+		return nil, fmt.Errorf("core: negative Verlet skin %g", cfg.Skin)
+	}
+	grid, err := cellindex.NewGrid(cfg.Ewald.L, cfg.Ewald.RCut+cfg.Skin)
 	if err != nil {
 		return nil, err
 	}
 	m := &Machine{
-		cfg:   cfg,
-		pot:   tosifumi.Default(),
-		waves: ewald.Waves(cfg.Ewald),
-		grid:  grid,
-		pool:  parallelize.New(cfg.Workers),
+		cfg:      cfg,
+		pot:      tosifumi.Default(),
+		waves:    ewald.Waves(cfg.Ewald),
+		grid:     grid,
+		pool:     parallelize.New(cfg.Workers),
+		wineDone: make(chan wineResult, 1),
 	}
+	m.jsb = mdgrape2.NewJSetBuilder(grid, m.pool)
 
 	// MDGRAPE-2 session (Table 3 sequence).
 	mr1, err := mdgrape2.NewMR1(cfg.MDG)
@@ -288,10 +330,102 @@ func (m *Machine) Free() error {
 	return m.wine.FreeBoards()
 }
 
+// InvalidateGeometry drops the cached j-set so the next Forces call rebuilds
+// it — the hook for external position rewrites (checkpoint restore) that the
+// Verlet-skin displacement test cannot be trusted to catch (a particle moved
+// by a near-multiple of the box looks stationary under minimum image).
+func (m *Machine) InvalidateGeometry() { m.haveJSet = false }
+
+// JSetStats returns how many Forces calls rebuilt the sorted j-set and how
+// many reused it under the Verlet-skin bound.
+func (m *Machine) JSetStats() (rebuilds, reuses int) { return m.jsetRebuilds, m.jsetReuses }
+
+// ensureScale keeps the per-i Coulomb prefactor slices sized to n. The
+// prefactors depend only on the Ewald parameters, so they are built once and
+// reused every step.
+func (m *Machine) ensureScale(n int) {
+	if len(m.scale) == n {
+		return
+	}
+	p := m.cfg.Ewald
+	m.scale = make([]float64, n)
+	pref := units.Coulomb * math.Pow(p.Alpha/p.L, 3)
+	for i := range m.scale {
+		m.scale[i] = pref
+	}
+	m.potScale = make([]float64, n)
+	ppref := units.Coulomb * p.Alpha / p.L
+	for i := range m.potScale {
+		m.potScale[i] = ppref
+	}
+}
+
+// jset returns the j-side memory image, rebuilding the cell sort only when
+// the Verlet-skin bound has been violated: the grid covers RCut+Skin, so the
+// cell assignment (and hence the candidate pair walk) stays valid until some
+// particle has moved more than Skin/2 from its position at the last rebuild.
+// Within that bound only the stored positions are refreshed. With Skin = 0
+// every call rebuilds and the layout is bit-identical to a fresh sort.
+func (m *Machine) jset(s *md.System) (*mdgrape2.JSet, error) {
+	if m.haveJSet && len(m.refPos) == s.N() && m.maxDisp2(s.Pos) <= (m.cfg.Skin/2)*(m.cfg.Skin/2) {
+		js, err := m.jsb.Refresh(s.Pos)
+		if err != nil {
+			return nil, err
+		}
+		m.jsetReuses++
+		m.js = js
+		return js, nil
+	}
+	js, err := m.jsb.Build(s.Pos, s.Type, m.pool)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.refPos) != s.N() {
+		m.refPos = make([]vec.V, s.N())
+	}
+	copy(m.refPos, s.Pos)
+	m.haveJSet = true
+	m.jsetRebuilds++
+	m.js = js
+	return js, nil
+}
+
+// maxDisp2 returns the largest squared minimum-image displacement of any
+// particle from the reference positions of the last j-set rebuild.
+func (m *Machine) maxDisp2(pos []vec.V) float64 {
+	l := m.cfg.Ewald.L
+	worst := 0.0
+	for i := range pos {
+		d := pos[i].Sub(m.refPos[i])
+		d.X -= l * math.Round(d.X/l)
+		d.Y -= l * math.Round(d.Y/l)
+		d.Z -= l * math.Round(d.Z/l)
+		if d2 := d.Norm2(); d2 > worst {
+			worst = d2
+		}
+	}
+	return worst
+}
+
+// realPasses fills the per-step pass descriptors of the fused real-space
+// sweep, in the fixed reduction order Coulomb + Born–Mayer + r⁻⁶ + r⁻⁸.
+func (m *Machine) realPasses() []mdgrape2.ForcePass {
+	m.passes = [4]mdgrape2.ForcePass{
+		{Table: tableCoulomb, Co: m.coCoulomb, ScaleI: m.scale},
+		{Table: tableBM, Co: m.coBM},
+		{Table: tableDisp6, Co: m.coD6},
+		{Table: tableDisp8, Co: m.coD8},
+	}
+	return m.passes[:]
+}
+
 // Forces implements md.ForceField: the per-step flow of §3.1 — send
 // positions to both backends, real-space forces from MDGRAPE-2 (four kernel
 // passes), wavenumber-space forces from WINE-2, host combines and adds the
-// self-energy bookkeeping.
+// self-energy bookkeeping. With cfg.Pipeline the wavenumber pass runs
+// concurrently with the real-space work and the four real-space passes fuse
+// into one sweep; the combined forces are bit-identical either way because
+// the reduction order is fixed: Coulomb + BM + r⁻⁶ + r⁻⁸, then + wave.
 func (m *Machine) Forces(s *md.System) ([]vec.V, float64, error) {
 	p := m.cfg.Ewald
 	if s.L != p.L {
@@ -299,51 +433,82 @@ func (m *Machine) Forces(s *md.System) ([]vec.V, float64, error) {
 	}
 	n := s.N()
 
-	// The j-side memory image: all particles, sorted by cell.
-	js, err := mdgrape2.NewJSetPool(m.grid, s.Pos, s.Type, nil, m.pool)
+	// The j-side memory image: all particles, sorted by cell (reused across
+	// steps under the Verlet-skin bound).
+	js, err := m.jset(s)
 	if err != nil {
 		return nil, 0, err
 	}
+	m.ensureScale(n)
 
-	// Real-space Coulomb pass: b carries q_i·q_j, host scale k_e (α/L)³.
-	scale := make([]float64, n)
-	pref := units.Coulomb * math.Pow(p.Alpha/p.L, 3)
-	for i := range scale {
-		scale[i] = pref
-	}
-	forces, err := m.mr1.CalcVDWBlock2(tableCoulomb, m.coCoulomb, s.Pos, s.Type, scale, js)
-	if err != nil {
-		return nil, 0, fmt.Errorf("core: Coulomb real-space pass: %w", err)
-	}
-
-	// Short-range passes.
-	for _, pass := range []struct {
-		table string
-		co    *mdgrape2.Coeffs
-	}{
-		{tableBM, m.coBM},
-		{tableDisp6, m.coD6},
-		{tableDisp8, m.coD8},
-	} {
-		f, err := m.mr1.CalcVDWBlock2(pass.table, pass.co, s.Pos, s.Type, nil, js)
-		if err != nil {
-			return nil, 0, fmt.Errorf("core: %s pass: %w", pass.table, err)
-		}
-		for i := range forces {
-			forces[i] = forces[i].Add(f[i])
-		}
-	}
-
-	// Wavenumber-space part on WINE-2.
+	// Declare the wavenumber block size before launching anything: SetNN
+	// mutates the wine session, so it stays on the calling goroutine.
 	if err := m.wine.SetNN(n); err != nil {
 		return nil, 0, err
 	}
-	wf, wavePot, err := m.wine.CalcForceAndPotWavepart(p, m.waves, s.Pos, s.Charge)
-	if err != nil {
-		return nil, 0, fmt.Errorf("core: wavenumber pass: %w", err)
-	}
-	for i := range forces {
-		forces[i] = forces[i].Add(wf[i])
+
+	var forces []vec.V
+	var wavePot float64
+	if m.cfg.Pipeline {
+		// Overlap the two engines, §3.1: WINE-2 works the wavenumber sum
+		// while MDGRAPE-2 (and its host loops) work the real-space sweep.
+		// The join is unconditional — no return path may leave the pass in
+		// flight (the recovery layer tears the machine down on failure).
+		go func() {
+			wf, wp, werr := m.wine.CalcForceAndPotWavepartInto(p, m.waves, s.Pos, s.Charge, m.wineForces)
+			m.wineDone <- wineResult{f: wf, pot: wp, err: werr}
+		}()
+		f, mdgErr := m.mr1.CalcVDWFused(m.realPasses(), s.Pos, s.Type, js)
+		res := <-m.wineDone
+		if res.f != nil {
+			m.wineForces = res.f // keep the buffer even on an error path
+		}
+		if mdgErr != nil {
+			// Real-space error wins when both engines fail: the serial path
+			// surfaces the MDGRAPE-2 passes first, and the recovery ladder
+			// keys on that ordering.
+			return nil, 0, fmt.Errorf("core: real-space sweep: %w", mdgErr)
+		}
+		if res.err != nil {
+			return nil, 0, fmt.Errorf("core: wavenumber pass: %w", res.err)
+		}
+		forces = f
+		wavePot = res.pot
+		for i := range forces {
+			forces[i] = forces[i].Add(res.f[i])
+		}
+	} else {
+		// Sequential path: four real-space passes back to back, then the
+		// wavenumber pass.
+		forces, err = m.mr1.CalcVDWBlock2(tableCoulomb, m.coCoulomb, s.Pos, s.Type, m.scale, js)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: Coulomb real-space pass: %w", err)
+		}
+		for _, pass := range []struct {
+			table string
+			co    *mdgrape2.Coeffs
+		}{
+			{tableBM, m.coBM},
+			{tableDisp6, m.coD6},
+			{tableDisp8, m.coD8},
+		} {
+			f, err := m.mr1.CalcVDWBlock2(pass.table, pass.co, s.Pos, s.Type, nil, js)
+			if err != nil {
+				return nil, 0, fmt.Errorf("core: %s pass: %w", pass.table, err)
+			}
+			for i := range forces {
+				forces[i] = forces[i].Add(f[i])
+			}
+		}
+		var wf []vec.V
+		wf, wavePot, err = m.wine.CalcForceAndPotWavepartInto(p, m.waves, s.Pos, s.Charge, m.wineForces)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: wavenumber pass: %w", err)
+		}
+		m.wineForces = wf
+		for i := range forces {
+			forces[i] = forces[i].Add(wf[i])
+		}
 	}
 
 	// Potential-energy bookkeeping (every PotentialEvery calls, like the
@@ -357,7 +522,7 @@ func (m *Machine) Forces(s *md.System) ([]vec.V, float64, error) {
 				return nil, 0, fmt.Errorf("core: hardware potential: %w", err)
 			}
 		} else {
-			realPot = m.hostPotential(s)
+			realPot = m.hostPotential(s, js)
 		}
 		m.lastPot = realPot + wavePot + ewald.SelfEnergy(p, s.Charge)
 	}
@@ -369,20 +534,14 @@ func (m *Machine) Forces(s *md.System) ([]vec.V, float64, error) {
 // potential mode: four φ-table passes over the same 27-cell pair set as the
 // force passes, halved because every unordered pair is visited twice.
 func (m *Machine) hardwarePotential(s *md.System, js *mdgrape2.JSet) (float64, error) {
-	p := m.cfg.Ewald
-	n := s.N()
-	scale := make([]float64, n)
-	pref := units.Coulomb * p.Alpha / p.L
-	for i := range scale {
-		scale[i] = pref
-	}
+	m.ensureScale(s.N())
 	total := 0.0
 	for _, pass := range []struct {
 		table string
 		co    *mdgrape2.Coeffs
 		scale []float64
 	}{
-		{tableCoulombPot, m.coCoulomb, scale},
+		{tableCoulombPot, m.coCoulomb, m.potScale},
 		{tableBMPot, m.coBMPot, nil},
 		{tableDisp6Pot, m.coD6Pot, nil},
 		{tableDisp8Pot, m.coD8Pot, nil},
@@ -402,15 +561,34 @@ func (m *Machine) hardwarePotential(s *md.System, js *mdgrape2.JSet) (float64, e
 // energy in float64 on the host. It walks the same 27-cell pair set as the
 // MDGRAPE-2 force passes (which apply no r_cut test, §2.2), so the potential
 // stays consistent with the forces — the condition for energy conservation.
-func (m *Machine) hostPotential(s *md.System) float64 {
-	return machineRealPotential(m.cfg.Ewald, m.grid, m.pot, s)
+// The walk reuses the step's shared j-set layout and neighbor table, saving
+// a second cell sort and the per-cell neighbor enumeration.
+func (m *Machine) hostPotential(s *md.System, js *mdgrape2.JSet) float64 {
+	p := m.cfg.Ewald
+	tf := m.pot
+	pot := 0.0
+	js.Sorted.ForEachOrderedPairTable(m.jsb.NeighborTable(), func(i, j int, rij vec.V) {
+		r2 := rij.Norm2()
+		if r2 == 0 {
+			return
+		}
+		oi, oj := js.Sorted.Order[i], js.Sorted.Order[j]
+		pot += p.RealPairEnergy(s.Charge[oi], s.Charge[oj], rij)
+		pot += tf.ShortEnergy(tosifumi.Species(s.Type[oi]), tosifumi.Species(s.Type[oj]), rij.Norm())
+	})
+	return pot / 2
 }
 
-// machineRealPotential is the 27-cell (cutoff-free) real-space potential:
-// every ordered pair is visited twice, so the sum is halved. True self pairs
-// (r = 0) contribute nothing, as in the pipelines.
+// machineRealPotential is the 27-cell (cutoff-free) real-space potential over
+// a freshly sorted layout (the parallel path, which has no shared j-set).
 func machineRealPotential(p ewald.Params, grid *cellindex.Grid, tf *tosifumi.Potential, s *md.System) float64 {
-	sorted := cellindex.Sort(grid, s.Pos)
+	return machineRealPotentialSorted(p, cellindex.Sort(grid, s.Pos), tf, s)
+}
+
+// machineRealPotentialSorted walks every ordered 27-cell pair of the sorted
+// layout; each unordered pair is visited twice, so the sum is halved. True
+// self pairs (r = 0) contribute nothing, as in the pipelines.
+func machineRealPotentialSorted(p ewald.Params, sorted *cellindex.Sorted, tf *tosifumi.Potential, s *md.System) float64 {
 	pot := 0.0
 	sorted.ForEachOrderedPair(func(i, j int, rij vec.V) {
 		r2 := rij.Norm2()

@@ -249,21 +249,17 @@ func realSpaceRank(c *mpi.Comm, cfg MachineConfig, dec *domain.Decomposition, nR
 	for i := range scale {
 		scale[i] = pref
 	}
-	forces, err := m.CalcVDWBlock2(tableCoulomb, co.coulomb, xi, ti, scale, js)
+	// One fused sweep replaces the four back-to-back passes; the combine
+	// order (Coulomb + BM + r⁻⁶ + r⁻⁸) and the per-pass hardware call
+	// sequence are identical, so forces and fault schedules are unchanged.
+	forces, err := m.CalcVDWFused([]mdgrape2.ForcePass{
+		{Table: tableCoulomb, Co: co.coulomb, ScaleI: scale},
+		{Table: tableBM, Co: co.bm},
+		{Table: tableDisp6, Co: co.d6},
+		{Table: tableDisp8, Co: co.d8},
+	}, xi, ti, js)
 	if err != nil {
 		return err
-	}
-	for _, pass := range []struct {
-		table string
-		co    *mdgrape2.Coeffs
-	}{{tableBM, co.bm}, {tableDisp6, co.d6}, {tableDisp8, co.d8}} {
-		f, err := m.CalcVDWBlock2(pass.table, pass.co, xi, ti, nil, js)
-		if err != nil {
-			return err
-		}
-		for i := range forces {
-			forces[i] = forces[i].Add(f[i])
-		}
 	}
 
 	// Ship (globalIndex, force) triples to rank 0.

@@ -85,6 +85,9 @@ type hwEngine interface {
 	// restripe drops one board at the given site and re-partitions the work
 	// across the survivors; it reports false when no capacity remains.
 	restripe(site fault.Site) (bool, error)
+	// invalidateGeometry drops any cached position-dependent state (the
+	// machine's Verlet-skin j-set) after an external position rewrite.
+	invalidateGeometry()
 	free() error
 }
 
@@ -136,6 +139,8 @@ func (e *serialEngine) restripe(site fault.Site) (bool, error) {
 	return true, nil
 }
 
+func (e *serialEngine) invalidateGeometry() { e.m.InvalidateGeometry() }
+
 func (e *serialEngine) free() error { return e.m.Free() }
 
 // parallelEngine runs the §4 process layout. Rank sessions are rebuilt on
@@ -180,6 +185,10 @@ func (e *parallelEngine) restripe(site fault.Site) (bool, error) {
 	}
 	return true, nil
 }
+
+// invalidateGeometry is a no-op: rank sessions rebuild their j-sets on every
+// step.
+func (e *parallelEngine) invalidateGeometry() {}
 
 func (e *parallelEngine) free() error { return nil }
 
@@ -258,6 +267,10 @@ func NewResilientParallel(cfg MachineConfig, rc RecoveryConfig, world *mpi.World
 // SetStep positions the step clock (e.g. when resuming from a checkpoint),
 // so step-keyed fault events line up with the simulation step.
 func (r *Resilient) SetStep(n int) { r.step = n }
+
+// InvalidateGeometry implements md.GeometryInvalidator: an external position
+// rewrite (checkpoint restore) drops the cached Verlet-skin j-set.
+func (r *Resilient) InvalidateGeometry() { r.eng.invalidateGeometry() }
 
 // Step returns the current force-evaluation index (1-based).
 func (r *Resilient) Step() int { return r.step }

@@ -154,6 +154,15 @@ type ForceField interface {
 	Forces(s *System) (forces []vec.V, potential float64, err error)
 }
 
+// GeometryInvalidator is implemented by force fields that cache
+// position-dependent geometry between calls (the machine's Verlet-skin
+// j-set). The integrator's own steps move particles gradually — the cache
+// validates itself against a displacement bound — but an external rewrite of
+// the positions (checkpoint restore) must announce itself through this hook.
+type GeometryInvalidator interface {
+	InvalidateGeometry()
+}
+
 // Ensemble selects the integration mode of one segment of a run.
 type Ensemble int
 
@@ -260,8 +269,21 @@ func (it *Integrator) Run(n int, observe func(step int) error) error {
 func (it *Integrator) StepCount() int { return it.step }
 
 // SetStepCount positions the step counter, so a run resumed from a
-// checkpoint keeps the original step numbering and time axis.
-func (it *Integrator) SetStepCount(n int) { it.step = n }
+// checkpoint keeps the original step numbering and time axis. Restoring a
+// checkpoint rewrites the positions out from under the force field, so any
+// cached geometry is invalidated here.
+func (it *Integrator) SetStepCount(n int) {
+	it.step = n
+	it.InvalidateGeometry()
+}
+
+// InvalidateGeometry forwards an external position rewrite to the force
+// field's geometry cache, when it keeps one.
+func (it *Integrator) InvalidateGeometry() {
+	if gi, ok := it.FF.(GeometryInvalidator); ok {
+		gi.InvalidateGeometry()
+	}
+}
 
 // Potential returns the potential energy at the current positions (eV).
 func (it *Integrator) Potential() float64 { return it.pot }

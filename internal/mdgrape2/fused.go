@@ -1,0 +1,275 @@
+package mdgrape2
+
+import (
+	"fmt"
+
+	"mdm/internal/cellindex"
+	"mdm/internal/fault"
+	"mdm/internal/funceval"
+	"mdm/internal/parallelize"
+	"mdm/internal/vec"
+)
+
+// Fused multi-table sweep. A Tosi–Fumi force step issues four kernel passes
+// (Coulomb real-space + Born–Mayer + r⁻⁶ + r⁻⁸) over the same j-set; the
+// unfused path walks the cell-pair candidates and streams j-memory four
+// times. The fused sweep walks them once, evaluating every loaded table per
+// pair — the host-side analogue of the hardware broadcasting each j particle
+// to all pipelines once per step. Bookkeeping (stats, heartbeats, fault
+// injection) still counts one hardware call per pass, so the timing model and
+// the injector-visible call sequence are identical to running the passes
+// back-to-back.
+
+// ForcePass describes one table pass of a fused sweep: the function table,
+// the coefficient RAM, and the optional per-i host prefactor.
+type ForcePass struct {
+	Table  string
+	Co     *Coeffs
+	ScaleI []float64 // per-i scale applied to the accumulated force; nil = 1
+}
+
+// maxFusedPasses bounds a fused sweep (a chip evaluates one table per pass
+// slot; four slots carry the NaCl force field, eight leave headroom).
+const maxFusedPasses = 8
+
+// fusedFlip is one captured bit-flip event, replayed onto the pass's
+// contribution exactly where the unfused path would have applied it.
+type fusedFlip struct {
+	i    int // particle index (word % (3·n) / 3)
+	comp int // component 0/1/2
+	bit  int // bit to flip (already masked to 0..63)
+}
+
+// ComputeForcesFused evaluates up to maxFusedPasses table passes in a single
+// cell-index traversal and returns the pass contributions summed per particle
+// in pass order. The result is bit-identical to calling ComputeForces once
+// per pass and combining forces[i] = pass0[i] + pass1[i] + … in order:
+// the float32 displacement is a pure function of the positions, each pass
+// keeps its own float64 accumulator walked in the same j order, the per-i
+// scale and any injected bit flip are applied to the pass's own contribution
+// before the ordered combine, and the heartbeat/HardwareCall/PendingFlip
+// sequence per pass is issued in pass order up front (the traversal between
+// those calls never touches the injector, so the injector-visible event
+// stream is unchanged).
+func (s *System) ComputeForcesFused(passes []ForcePass, xi []vec.V, ti []int, js *JSet) ([]vec.V, error) {
+	np := len(passes)
+	if np == 0 || np > maxFusedPasses {
+		return nil, fmt.Errorf("mdgrape2: %d fused passes outside [1, %d]", np, maxFusedPasses)
+	}
+	if len(xi) != len(ti) {
+		return nil, fmt.Errorf("mdgrape2: %d i-positions vs %d i-types", len(xi), len(ti))
+	}
+	if js.Sorted.Len() > s.cfg.ParticleCapacity() {
+		return nil, fmt.Errorf("mdgrape2: %d j-particles exceed board particle memory capacity %d",
+			js.Sorted.Len(), s.cfg.ParticleCapacity())
+	}
+	var tbls [maxFusedPasses]tableRef
+	for p := range passes {
+		tbl, err := s.Table(passes[p].Table)
+		if err != nil {
+			return nil, err
+		}
+		tbls[p].tbl = tbl
+		co := passes[p].Co
+		if passes[p].ScaleI != nil && len(passes[p].ScaleI) != len(xi) {
+			return nil, fmt.Errorf("mdgrape2: %s: %d i-positions vs %d scales",
+				passes[p].Table, len(xi), len(passes[p].ScaleI))
+		}
+		nt := len(co.A)
+		for _, t := range ti {
+			if t < 0 || t >= nt {
+				return nil, fmt.Errorf("mdgrape2: i-type %d outside coefficient RAM (%d types)", t, nt)
+			}
+		}
+		for _, t := range js.Types {
+			if t < 0 || t >= nt {
+				return nil, fmt.Errorf("mdgrape2: j-type %d outside coefficient RAM (%d types)", t, nt)
+			}
+		}
+		tbls[p].a32, tbls[p].b32 = co.quant32()
+	}
+
+	// Per-pass hardware bookkeeping, in pass order: heartbeat, injected call
+	// fault, armed bit-flip capture. This is the exact injector-visible
+	// sequence of np back-to-back ComputeForces calls.
+	var flips [maxFusedPasses]fusedFlip
+	var hasFlip [maxFusedPasses]bool
+	for p := range passes {
+		if s.beat != nil {
+			s.beat()
+		}
+		if s.hook != nil {
+			if err := s.hook.HardwareCall(fault.MDG2); err != nil {
+				return nil, fmt.Errorf("%s pass: %w", passes[p].Table, err)
+			}
+			if len(xi) > 0 {
+				if word, bit, ok := s.hook.PendingFlip(fault.MDG2); ok {
+					i := word % (3 * len(xi))
+					if i < 0 {
+						i += 3 * len(xi)
+					}
+					flips[p] = fusedFlip{i: i / 3, comp: i % 3, bit: bit & 63}
+					hasFlip[p] = true
+				}
+			}
+		}
+	}
+
+	grid := js.Sorted.Grid
+	forces := make([]vec.V, len(xi))
+	shardPairs := s.pairScratch(parallelize.NumShards(len(xi), s.pool.Workers()))
+	_ = s.pool.Run(len(xi), func(shard, lo, hi int) error {
+		var pairs int64
+		var tb [maxFusedPasses][]float32
+		var ta [maxFusedPasses][]float32
+		var ax, ay, az [maxFusedPasses]float64
+		for i := lo; i < hi; i++ {
+			pix := float32(xi[i].X)
+			piy := float32(xi[i].Y)
+			piz := float32(xi[i].Z)
+			ci := grid.CellOf(xi[i])
+			for p := 0; p < np; p++ {
+				ta[p] = tbls[p].a32[ti[i]]
+				tb[p] = tbls[p].b32[ti[i]]
+				ax[p], ay[p], az[p] = 0, 0, 0
+			}
+			for _, nb := range js.neighbors(ci) {
+				jstart, jend := js.Sorted.CellRange(nb.Cell)
+				sx := float32(nb.Shift.X)
+				sy := float32(nb.Shift.Y)
+				sz := float32(nb.Shift.Z)
+				for j := jstart; j < jend; j++ {
+					pj := js.Sorted.Pos[j]
+					dx := pix - (float32(pj.X) + sx)
+					dy := piy - (float32(pj.Y) + sy)
+					dz := piz - (float32(pj.Z) + sz)
+					tj := js.Types[j]
+					var w float32 = 1
+					if js.Weights != nil {
+						w = float32(js.Weights[j])
+					}
+					for p := 0; p < np; p++ {
+						b := tb[p][tj]
+						if js.Weights != nil {
+							b *= w
+						}
+						fx, fy, fz := pairForce(tbls[p].tbl, ta[p][tj], b, dx, dy, dz)
+						ax[p] += float64(fx)
+						ay[p] += float64(fy)
+						az[p] += float64(fz)
+					}
+					pairs++
+				}
+			}
+			// Scale, flip and combine in pass order — exactly the unfused
+			// reduction forces[i] = pass0 + pass1 + … .
+			var f vec.V
+			for p := 0; p < np; p++ {
+				fp := vec.New(ax[p], ay[p], az[p])
+				if sc := passes[p].ScaleI; sc != nil {
+					fp = fp.Scale(sc[i])
+				}
+				if hasFlip[p] && flips[p].i == i {
+					switch flips[p].comp {
+					case 0:
+						fp.X = fault.FlipFloat64(fp.X, flips[p].bit)
+					case 1:
+						fp.Y = fault.FlipFloat64(fp.Y, flips[p].bit)
+					default:
+						fp.Z = fault.FlipFloat64(fp.Z, flips[p].bit)
+					}
+				}
+				if p == 0 {
+					f = fp
+				} else {
+					f = f.Add(fp)
+				}
+			}
+			forces[i] = f
+		}
+		shardPairs[shard] = pairs
+		return nil
+	})
+	var pairs int64
+	for _, p := range shardPairs {
+		pairs += p
+	}
+	// Stats count one hardware pass per table, as the unfused path would.
+	s.stats.PairsEvaluated += pairs * int64(np)
+	s.stats.IParticles += int64(len(xi) * np)
+	s.stats.JLoads += int64(js.Sorted.Len() * s.cfg.Boards() * np)
+	s.stats.Calls += int64(np)
+	return forces, nil
+}
+
+// tableRef is the resolved per-pass state of a fused sweep.
+type tableRef struct {
+	tbl      *funceval.Table
+	a32, b32 [][]float32
+}
+
+// CalcVDWFused computes several real-space kernel passes in one cell-index
+// sweep (see System.ComputeForcesFused). The session must be initialized.
+func (m *MR1) CalcVDWFused(passes []ForcePass, xi []vec.V, ti []int, js *JSet) ([]vec.V, error) {
+	if m.sys == nil {
+		return nil, fmt.Errorf("mdgrape2: MR1calcvdw_block2 before MR1init")
+	}
+	return m.sys.ComputeForcesFused(passes, xi, ti, js)
+}
+
+// JSetBuilder amortizes per-step j-set construction: the neighbor table is
+// built once per grid, the counting-sort scratch and the sorted layout are
+// reused across rebuilds, and Refresh rewrites the sorted positions in place
+// when the cell assignment is still valid (the Verlet-skin reuse contract:
+// no particle has moved more than skin/2 since the last Build). The returned
+// JSet is owned by the builder and valid until the next Build or Refresh.
+type JSetBuilder struct {
+	nbt    *cellindex.NeighborTable
+	sorter *cellindex.Sorter
+	js     JSet
+}
+
+// NewJSetBuilder prepares a builder for the grid; the neighbor table is
+// enumerated once here.
+func NewJSetBuilder(grid *cellindex.Grid, pool *parallelize.Pool) *JSetBuilder {
+	return &JSetBuilder{
+		nbt:    cellindex.BuildNeighborTable(grid, pool),
+		sorter: cellindex.NewSorter(grid),
+	}
+}
+
+// NeighborTable exposes the builder's cached per-cell neighbor lists, so
+// host-side pair walks over the built j-set can share them.
+func (b *JSetBuilder) NeighborTable() *cellindex.NeighborTable { return b.nbt }
+
+// Build (re)sorts the particles into the board layout, reusing all internal
+// buffers. types are in original (unsorted) order; the charge field is 1.
+func (b *JSetBuilder) Build(pos []vec.V, types []int, pool *parallelize.Pool) (*JSet, error) {
+	if len(pos) != len(types) {
+		return nil, fmt.Errorf("mdgrape2: %d positions vs %d types", len(pos), len(types))
+	}
+	b.js.Sorted = b.sorter.SortInto(b.js.Sorted, pos, pool)
+	if len(b.js.Types) != len(types) {
+		b.js.Types = make([]int, len(types))
+	}
+	for k, orig := range b.js.Sorted.Order {
+		b.js.Types[k] = types[orig]
+	}
+	b.js.Weights = nil
+	b.js.nbt = b.nbt
+	return &b.js, nil
+}
+
+// Refresh rewrites the sorted positions from the current original-order
+// positions without re-sorting; the caller guarantees the skin bound still
+// holds (every displacement since the last Build ≤ skin/2).
+func (b *JSetBuilder) Refresh(pos []vec.V) (*JSet, error) {
+	if b.js.Sorted == nil {
+		return nil, fmt.Errorf("mdgrape2: Refresh before Build")
+	}
+	if len(pos) != b.js.Sorted.Len() {
+		return nil, fmt.Errorf("mdgrape2: %d positions vs %d sorted particles", len(pos), b.js.Sorted.Len())
+	}
+	b.js.Sorted.Refresh(pos)
+	return &b.js, nil
+}

@@ -1,0 +1,224 @@
+package mdgrape2
+
+import (
+	"math"
+	"testing"
+
+	"mdm/internal/cellindex"
+	"mdm/internal/fault"
+	"mdm/internal/parallelize"
+	"mdm/internal/vec"
+)
+
+// fusedFixture loads three distinct kernels into a system and builds matching
+// coefficient RAMs with per-type-pair structure.
+func fusedFixture(t *testing.T) (*System, []ForcePass, []vec.V, []int, *JSet) {
+	t.Helper()
+	sys, err := NewSystem(CurrentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernels := map[string]func(float64) float64{
+		"k-exp":  func(x float64) float64 { return math.Exp(-x) },
+		"k-r6":   func(x float64) float64 { x2 := x * x; return 1 / (x2 * x2) },
+		"k-sqrt": func(x float64) float64 { s := math.Sqrt(x); return math.Exp(-s) / s },
+	}
+	for name, g := range kernels {
+		if err := sys.LoadTable(name, g, -8, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l := 9.0
+	pos, types, _ := naclSystem(200, l, 7)
+	grid, err := cellindex.NewGrid(l, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := NewJSet(grid, pos, types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(b00, b01, b11 float64) *Coeffs {
+		co, _ := NewCoeffs(2, 1, 0)
+		co.Set(0, 0, 1.0, b00)
+		co.Set(0, 1, 0.9, b01)
+		co.Set(1, 1, 1.1, b11)
+		return co
+	}
+	scale := make([]float64, len(pos))
+	for i := range scale {
+		scale[i] = 0.5
+	}
+	passes := []ForcePass{
+		{Table: "k-exp", Co: mk(1, -1, 1), ScaleI: scale},
+		{Table: "k-sqrt", Co: mk(2, 3, 4), ScaleI: nil},
+		{Table: "k-r6", Co: mk(-6, -5, -4), ScaleI: nil},
+	}
+	return sys, passes, pos, types, js
+}
+
+// unfusedReference runs the passes back-to-back through ComputeForces and
+// combines them in pass order — the pre-fusion Machine.Forces reduction.
+func unfusedReference(t *testing.T, sys *System, passes []ForcePass, xi []vec.V, ti []int, js *JSet) []vec.V {
+	t.Helper()
+	var total []vec.V
+	for p, pass := range passes {
+		f, err := sys.ComputeForces(pass.Table, pass.Co, xi, ti, pass.ScaleI, js)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == 0 {
+			total = f
+		} else {
+			for i := range total {
+				total[i] = total[i].Add(f[i])
+			}
+		}
+	}
+	return total
+}
+
+// TestFusedMatchesUnfusedBitExact pins the fused sweep to the unfused
+// pass-by-pass reduction bit-for-bit, at several pool widths.
+func TestFusedMatchesUnfusedBitExact(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		sys, passes, pos, types, js := fusedFixture(t)
+		sys.SetPool(parallelize.New(workers))
+		want := unfusedReference(t, sys, passes, pos, types, js)
+		got, err := sys.ComputeForcesFused(passes, pos, types, js)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: force %d differs: fused %v vs unfused %v",
+					workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFusedStatsMatchUnfused checks the fused sweep books the same hardware
+// work as the pass-by-pass path (the timing model depends on it).
+func TestFusedStatsMatchUnfused(t *testing.T) {
+	sys, passes, pos, types, js := fusedFixture(t)
+	_ = unfusedReference(t, sys, passes, pos, types, js)
+	unfused := sys.Stats()
+	sys.ResetStats()
+	if _, err := sys.ComputeForcesFused(passes, pos, types, js); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Stats(); got != unfused {
+		t.Fatalf("fused stats %+v != unfused %+v", got, unfused)
+	}
+}
+
+// TestFusedFaultSequence checks the fused sweep consumes injector events in
+// the same order as back-to-back passes: a transient scheduled on the k-th
+// hardware call fails the k-th pass, and an armed bit flip lands in that
+// pass's contribution exactly as the unfused path applies it.
+func TestFusedFaultSequence(t *testing.T) {
+	// Transient on the 2nd MDG2 call of the step.
+	sys, passes, pos, types, js := fusedFixture(t)
+	in, err := fault.ParseInjector("mdg:transient@call=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetFaultHook(in)
+	if _, err := sys.ComputeForcesFused(passes, pos, types, js); err == nil {
+		t.Fatal("transient on pass 2 not surfaced")
+	}
+	// Same schedule against the unfused sequence errors on the same pass.
+	sys2, passes2, pos2, types2, js2 := fusedFixture(t)
+	in2, err := fault.ParseInjector("mdg:transient@call=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2.SetFaultHook(in2)
+	if _, err := sys2.ComputeForces(passes2[0].Table, passes2[0].Co, pos2, types2, passes2[0].ScaleI, js2); err != nil {
+		t.Fatalf("pass 1 should succeed: %v", err)
+	}
+	if _, err := sys2.ComputeForces(passes2[1].Table, passes2[1].Co, pos2, types2, passes2[1].ScaleI, js2); err == nil {
+		t.Fatal("unfused pass 2 should fail")
+	}
+
+	// Bit flip armed for the 3rd call lands identically in both paths.
+	sysA, passesA, posA, typesA, jsA := fusedFixture(t)
+	inA, err := fault.ParseInjector("mdg:bitflip@call=3,word=41,bit=51")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysA.SetFaultHook(inA)
+	gotA, err := sysA.ComputeForcesFused(passesA, posA, typesA, jsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB, passesB, posB, typesB, jsB := fusedFixture(t)
+	inB, err := fault.ParseInjector("mdg:bitflip@call=3,word=41,bit=51")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB.SetFaultHook(inB)
+	wantB := unfusedReference(t, sysB, passesB, posB, typesB, jsB)
+	flipped := false
+	for i := range wantB {
+		if gotA[i] != wantB[i] {
+			t.Fatalf("flip landed differently at %d: %v vs %v", i, gotA[i], wantB[i])
+		}
+	}
+	// Confirm the flip actually fired (results differ from a clean run).
+	sysC, passesC, posC, typesC, jsC := fusedFixture(t)
+	clean, err := sysC.ComputeForcesFused(passesC, posC, typesC, jsC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean {
+		if clean[i] != gotA[i] {
+			flipped = true
+			break
+		}
+	}
+	if !flipped {
+		t.Fatal("bit flip did not fire")
+	}
+}
+
+// TestJSetBuilderMatchesNewJSet pins the builder's reused layout to a fresh
+// NewJSetPool build, including after Refresh with unchanged cells.
+func TestJSetBuilderMatchesNewJSet(t *testing.T) {
+	l := 9.0
+	pos, types, _ := naclSystem(300, l, 11)
+	grid, err := cellindex.NewGrid(l, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := parallelize.New(4)
+	b := NewJSetBuilder(grid, pool)
+	for trial := 0; trial < 3; trial++ {
+		js, err := b.Build(pos, types, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := NewJSetPool(grid, pos, types, nil, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range want.Sorted.Pos {
+			if js.Sorted.Pos[k] != want.Sorted.Pos[k] || js.Types[k] != want.Types[k] {
+				t.Fatalf("trial %d: sorted slot %d differs", trial, k)
+			}
+		}
+		// Perturb within a cell and refresh.
+		for i := range pos {
+			pos[i] = pos[i].Add(vec.New(1e-7, -1e-7, 1e-7))
+		}
+		if _, err := b.Refresh(pos); err != nil {
+			t.Fatal(err)
+		}
+		for k, orig := range js.Sorted.Order {
+			if js.Sorted.Pos[k] != pos[orig].Wrap(l) {
+				t.Fatalf("trial %d: refreshed slot %d stale", trial, k)
+			}
+		}
+	}
+}

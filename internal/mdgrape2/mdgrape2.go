@@ -118,7 +118,9 @@ type Stats struct {
 	Calls          int64 // force-calculation calls
 }
 
-// System is a simulated MDGRAPE-2 installation.
+// System is a simulated MDGRAPE-2 installation. Calculation calls on one
+// System must not overlap (the stats counters are unsynchronized, as the
+// hardware's were per-session); concurrent sessions use separate Systems.
 type System struct {
 	cfg    Config
 	tables map[string]*funceval.Table
@@ -126,6 +128,21 @@ type System struct {
 	hook   fault.HardwareHook
 	beat   func()
 	pool   *parallelize.Pool
+
+	shardPairs []int64 // per-call pair-counter scratch, reused across calls
+}
+
+// pairScratch returns a zeroed per-shard pair-counter slice of length n,
+// reusing the session's scratch buffer.
+func (s *System) pairScratch(n int) []int64 {
+	if cap(s.shardPairs) < n {
+		s.shardPairs = make([]int64, n)
+	}
+	sp := s.shardPairs[:n]
+	for i := range sp {
+		sp[i] = 0
+	}
+	return sp
 }
 
 // NewSystem builds a simulated system.
@@ -196,10 +213,19 @@ func (s *System) Table(name string) (*funceval.Table, error) {
 }
 
 // Coeffs is the per-type-pair coefficient RAM content: a_ij scales the
-// squared distance, b_ij scales the evaluated kernel (eq. 14).
+// squared distance, b_ij scales the evaluated kernel (eq. 14). Mutate the
+// coefficients through Set (not by writing A/B directly) so the cached
+// float32 RAM image stays coherent.
 type Coeffs struct {
 	A [][]float64
 	B [][]float64
+
+	// Cached float32 image of the RAM (the chips store singles). Rebuilt
+	// lazily after NewCoeffs/Set mark it stale, so the per-call quantization
+	// loop — and its allocations — run once per coefficient load instead of
+	// once per force pass.
+	a32, b32 [][]float32
+	stale    bool
 }
 
 // NewCoeffs builds uniform coefficient tables (a, b identical for all type
@@ -208,7 +234,7 @@ func NewCoeffs(n int, a, b float64) (*Coeffs, error) {
 	if n < 1 || n > MaxTypes {
 		return nil, fmt.Errorf("mdgrape2: %d types outside [1, %d]", n, MaxTypes)
 	}
-	c := &Coeffs{A: make([][]float64, n), B: make([][]float64, n)}
+	c := &Coeffs{A: make([][]float64, n), B: make([][]float64, n), stale: true}
 	for i := range c.A {
 		c.A[i] = make([]float64, n)
 		c.B[i] = make([]float64, n)
@@ -224,6 +250,33 @@ func NewCoeffs(n int, a, b float64) (*Coeffs, error) {
 func (c *Coeffs) Set(i, j int, a, b float64) {
 	c.A[i][j], c.A[j][i] = a, a
 	c.B[i][j], c.B[j][i] = b, b
+	c.stale = true
+}
+
+// quant32 returns the float32 coefficient RAM image, rebuilding it if a Set
+// invalidated the cache. Coefficient RAMs are loaded during session setup, so
+// on the hot path this is a flag check; concurrent readers of a coherent
+// cache are safe (rebuilds must not race reads, as on real hardware).
+func (c *Coeffs) quant32() (a32, b32 [][]float32) {
+	if c.stale || c.a32 == nil {
+		n := len(c.A)
+		if len(c.a32) != n {
+			c.a32 = make([][]float32, n)
+			c.b32 = make([][]float32, n)
+			for i := range c.a32 {
+				c.a32[i] = make([]float32, n)
+				c.b32[i] = make([]float32, n)
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				c.a32[i][j] = float32(c.A[i][j])
+				c.b32[i][j] = float32(c.B[i][j])
+			}
+		}
+		c.stale = false
+	}
+	return c.a32, c.b32
 }
 
 // JSet is the j-side particle data in the board memory layout: sorted by
@@ -356,25 +409,16 @@ func (s *System) ComputeForces(table string, co *Coeffs, xi []vec.V, ti []int, s
 	grid := js.Sorted.Grid
 	forces := make([]vec.V, len(xi))
 
-	// Quantize coefficient RAM to float32 once (the RAM stores singles).
-	n := len(co.A)
-	a32 := make([][]float32, n)
-	b32 := make([][]float32, n)
-	for i := 0; i < n; i++ {
-		a32[i] = make([]float32, n)
-		b32[i] = make([]float32, n)
-		for j := 0; j < n; j++ {
-			a32[i][j] = float32(co.A[i][j])
-			b32[i][j] = float32(co.B[i][j])
-		}
-	}
+	// The coefficient RAM stores singles; the float32 image is cached on the
+	// Coeffs and rebuilt only after a Set.
+	a32, b32 := co.quant32()
 
 	// The i-particles are striped across the pool's workers in contiguous
 	// blocks, as the hardware distributes them over pipelines; each
 	// i-particle's float64 accumulator stays in one shard, so accumulation
 	// order — and the result — is bit-identical at any pool width. Pair
 	// counters are per-shard, merged in shard order below.
-	shardPairs := make([]int64, len(parallelize.Shards(len(xi), s.pool.Workers())))
+	shardPairs := s.pairScratch(parallelize.NumShards(len(xi), s.pool.Workers()))
 	_ = s.pool.Run(len(xi), func(shard, lo, hi int) error {
 		var pairs int64
 		for i := lo; i < hi; i++ {

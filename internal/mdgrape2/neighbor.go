@@ -59,7 +59,7 @@ func (s *System) BuildNeighborLists(xi []vec.V, js *JSet, rcut float64) (*Neighb
 	// Each i-particle owns its own list slot, so the flagging pass stripes
 	// across the pool bit-identically: list contents and order are a pure
 	// function of i.
-	shardPairs := make([]int64, len(parallelize.Shards(len(xi), s.pool.Workers())))
+	shardPairs := s.pairScratch(parallelize.NumShards(len(xi), s.pool.Workers()))
 	_ = s.pool.Run(len(xi), func(shard, lo, hi int) error {
 		var pairs int64
 		for i := lo; i < hi; i++ {
@@ -124,18 +124,9 @@ func (s *System) ComputeForcesNL(table string, co *Coeffs, xi []vec.V, ti []int,
 			return nil, fmt.Errorf("mdgrape2: i-type %d outside coefficient RAM", t)
 		}
 	}
-	a32 := make([][]float32, n)
-	b32 := make([][]float32, n)
-	for i := 0; i < n; i++ {
-		a32[i] = make([]float32, n)
-		b32[i] = make([]float32, n)
-		for j := 0; j < n; j++ {
-			a32[i][j] = float32(co.A[i][j])
-			b32[i][j] = float32(co.B[i][j])
-		}
-	}
+	a32, b32 := co.quant32()
 	forces := make([]vec.V, len(xi))
-	shardPairs := make([]int64, len(parallelize.Shards(len(xi), s.pool.Workers())))
+	shardPairs := s.pairScratch(parallelize.NumShards(len(xi), s.pool.Workers()))
 	if err := s.pool.Run(len(xi), func(shard, lo, hi int) error {
 		var pairs int64
 		for i := lo; i < hi; i++ {
@@ -205,19 +196,10 @@ func (s *System) ComputePotentials(table string, co *Coeffs, xi []vec.V, ti []in
 			js.Sorted.Len(), s.cfg.ParticleCapacity())
 	}
 	n := len(co.A)
-	a32 := make([][]float32, n)
-	b32 := make([][]float32, n)
-	for i := 0; i < n; i++ {
-		a32[i] = make([]float32, n)
-		b32[i] = make([]float32, n)
-		for j := 0; j < n; j++ {
-			a32[i][j] = float32(co.A[i][j])
-			b32[i][j] = float32(co.B[i][j])
-		}
-	}
+	a32, b32 := co.quant32()
 	grid := js.Sorted.Grid
 	pots := make([]float64, len(xi))
-	shardPairs := make([]int64, len(parallelize.Shards(len(xi), s.pool.Workers())))
+	shardPairs := s.pairScratch(parallelize.NumShards(len(xi), s.pool.Workers()))
 	if err := s.pool.Run(len(xi), func(shard, lo, hi int) error {
 		var pairs int64
 		for i := lo; i < hi; i++ {

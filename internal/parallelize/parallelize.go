@@ -94,6 +94,24 @@ func Shards(n, workers int) [][2]int {
 	return out
 }
 
+// NumShards returns len(Shards(n, workers)) without building the slice:
+// every shard of the contiguous split is non-empty once workers is clamped
+// to n, so the count is min(workers, n) (and 0 for an empty range). Callers
+// sizing per-shard accumulators on a hot path use this to stay allocation-
+// free.
+func NumShards(n, workers int) int {
+	if n <= 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
 // Run executes fn over the index range [0, n), split into at most Workers()
 // contiguous shards. fn receives its shard number and half-open range
 // [lo, hi); it must write only to per-index state of its own range (or to
@@ -103,13 +121,15 @@ func Shards(n, workers int) [][2]int {
 // The returned error is the lowest-numbered failing shard's error; a shard
 // panic surfaces as a *PanicError.
 func (p *Pool) Run(n int, fn func(shard, lo, hi int) error) error {
-	shards := Shards(n, p.Workers())
-	if len(shards) == 0 {
+	if n <= 0 {
 		return nil
 	}
-	if len(shards) == 1 {
-		return runInline(fn, shards[0][0], shards[0][1])
+	if NumShards(n, p.Workers()) == 1 {
+		// Single-shard fast path without materializing the shard list: the
+		// zero-alloc step path runs through here at width 1.
+		return runInline(fn, 0, n)
 	}
+	shards := Shards(n, p.Workers())
 	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
 	wg.Add(len(shards))

@@ -42,6 +42,14 @@ type Library struct {
 	hook      fault.HardwareHook
 	beat      func()
 	pool      *parallelize.Pool
+
+	// Per-call scratch, reused across force calls. A Library session serves
+	// one goroutine at a time (as one host process drove one WINE-2 board
+	// set); concurrent CalcForceAndPotWavepart calls on a single Library are
+	// not supported.
+	pw     *ParticleWords
+	sn, cn []float64
+	redbuf []float64
 }
 
 // NewLibrary creates a session against a machine configuration.
@@ -146,6 +154,15 @@ func (l *Library) SetNN(n int) error {
 // communicator before the IDFT, so the returned potential is the full-system
 // value on every rank.
 func (l *Library) CalcForceAndPotWavepart(p ewald.Params, waves []ewald.Wave, pos []vec.V, q []float64) ([]vec.V, float64, error) {
+	return l.CalcForceAndPotWavepartInto(p, waves, pos, q, nil)
+}
+
+// CalcForceAndPotWavepartInto is CalcForceAndPotWavepart writing the forces
+// into dst (reused when len(dst) == len(pos), reallocated otherwise) and
+// drawing all intermediate buffers — the quantized particle image, the
+// structure factors, the reduction message — from session scratch. Results
+// are bit-identical to the allocating call.
+func (l *Library) CalcForceAndPotWavepartInto(p ewald.Params, waves []ewald.Wave, pos []vec.V, q []float64, dst []vec.V) ([]vec.V, float64, error) {
 	if l.sys == nil {
 		return nil, 0, fmt.Errorf("wine2: force call before initialize")
 	}
@@ -157,18 +174,23 @@ func (l *Library) CalcForceAndPotWavepart(p ewald.Params, waves []ewald.Wave, po
 	}
 	// Write the SDRAM particle image once; the DFT and IDFT passes both read
 	// it, halving the host quantization work of the call pair.
-	pw, err := l.sys.Quantize(p.L, pos, q)
+	pw, err := l.sys.QuantizeInto(l.pw, p.L, pos, q)
 	if err != nil {
 		return nil, 0, err
 	}
-	sn, cn, err := l.sys.DFTQuantized(waves, pw)
+	l.pw = pw
+	sn, cn, err := l.sys.DFTQuantizedInto(waves, pw, l.sn, l.cn)
 	if err != nil {
 		return nil, 0, err
 	}
+	l.sn, l.cn = sn, cn
 	if l.comm != nil && l.comm.Size() > 1 {
 		// Reduce S and C across processes in one message, mirroring the
 		// single exchange of the hardware's S+C / S-C readout.
-		buf := make([]float64, 0, 2*len(waves))
+		if cap(l.redbuf) < 2*len(waves) {
+			l.redbuf = make([]float64, 0, 2*len(waves))
+		}
+		buf := l.redbuf[:0]
 		buf = append(buf, sn...)
 		buf = append(buf, cn...)
 		buf, err = l.comm.AllreduceSum(buf)
@@ -178,7 +200,7 @@ func (l *Library) CalcForceAndPotWavepart(p ewald.Params, waves []ewald.Wave, po
 		sn = buf[:len(waves)]
 		cn = buf[len(waves):]
 	}
-	forces, err := l.sys.IDFTQuantized(waves, sn, cn, pw)
+	forces, err := l.sys.IDFTQuantizedInto(waves, sn, cn, pw, dst)
 	if err != nil {
 		return nil, 0, err
 	}

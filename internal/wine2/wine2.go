@@ -135,7 +135,10 @@ type Stats struct {
 	Calls   int64
 }
 
-// System is a simulated WINE-2 installation.
+// System is a simulated WINE-2 installation. Calculation calls on one System
+// must not overlap (the stats counters and coefficient scratch are
+// unsynchronized, as a hardware session's were); concurrent sessions use
+// separate Systems.
 type System struct {
 	cfg   Config
 	trig  *fixed.SinCosTable
@@ -143,6 +146,8 @@ type System struct {
 	hook  fault.HardwareHook
 	beat  func()
 	pool  *parallelize.Pool
+
+	aS, aC []int64 // IDFT normalized-coefficient scratch, reused across calls
 }
 
 // NewSystem builds a simulated system.
@@ -205,6 +210,14 @@ func (pw *ParticleWords) N() int { return len(pw.U) }
 // by the DFT and IDFT passes. len(pos) must equal len(q) and fit the board
 // particle memory.
 func (s *System) Quantize(l float64, pos []vec.V, q []float64) (*ParticleWords, error) {
+	return s.QuantizeInto(nil, l, pos, q)
+}
+
+// QuantizeInto is Quantize rewriting a reusable particle image: a non-nil
+// pw's word buffers are reused when the particle count matches, so the
+// steady-state step path allocates nothing here (the hardware, likewise,
+// rewrites the same SDRAM every step).
+func (s *System) QuantizeInto(pw *ParticleWords, l float64, pos []vec.V, q []float64) (*ParticleWords, error) {
 	if len(pos) != len(q) {
 		return nil, fmt.Errorf("wine2: %d positions vs %d charges", len(pos), len(q))
 	}
@@ -212,12 +225,15 @@ func (s *System) Quantize(l float64, pos []vec.V, q []float64) (*ParticleWords, 
 		return nil, fmt.Errorf("wine2: %d particles exceed board particle memory capacity %d",
 			len(pos), s.cfg.ParticleCapacity())
 	}
-	pw := &ParticleWords{
-		L: l,
-		U: make([][3]int64, len(pos)),
-		Q: make([]int64, len(pos)),
-		q: q,
+	if pw == nil {
+		pw = &ParticleWords{}
 	}
+	pw.L = l
+	if len(pw.U) != len(pos) {
+		pw.U = make([][3]int64, len(pos))
+		pw.Q = make([]int64, len(pos))
+	}
+	pw.q = q
 	pf := fixed.F(0, s.cfg.PosFrac)
 	qf := fixed.F(5, s.cfg.QFrac)
 	// Each particle's words are independent, so the quantization shards
@@ -261,6 +277,13 @@ func (s *System) DFT(l float64, waves []ewald.Wave, pos []vec.V, q []float64) (s
 // different pipelines"); each wave's S±C accumulator lives entirely in one
 // shard, so the output is bit-identical at any pool width.
 func (s *System) DFTQuantized(waves []ewald.Wave, pw *ParticleWords) (sn, cn []float64, err error) {
+	return s.DFTQuantizedInto(waves, pw, nil, nil)
+}
+
+// DFTQuantizedInto is DFTQuantized writing into caller-provided structure
+// factor slices (reused when their length matches len(waves), allocated
+// otherwise).
+func (s *System) DFTQuantizedInto(waves []ewald.Wave, pw *ParticleWords, sn, cn []float64) ([]float64, []float64, error) {
 	// Fault injection: a scheduled board/transient error aborts the call; an
 	// armed bit flip lands in one wave's S+C accumulator at readout, the spot
 	// where a flipped SDRAM or pipeline-register bit would surface.
@@ -283,8 +306,12 @@ func (s *System) DFTQuantized(waves []ewald.Wave, pw *ParticleWords) (sn, cn []f
 	trigFrac := s.cfg.TrigFormat.Frac
 	prodFrac := s.cfg.QFrac + trigFrac
 
-	sn = make([]float64, len(waves))
-	cn = make([]float64, len(waves))
+	if len(sn) != len(waves) {
+		sn = make([]float64, len(waves))
+	}
+	if len(cn) != len(waves) {
+		cn = make([]float64, len(waves))
+	}
 	accF := fixed.F(0, s.cfg.AccFrac) // conversion scale for readout
 	accWide := fixed.F(30, s.cfg.AccFrac)
 	prodWide := fixed.WideFor(prodFrac)
@@ -338,6 +365,13 @@ func (s *System) IDFT(l float64, waves []ewald.Wave, sn, cn []float64, pos []vec
 // particle's fixed-point force accumulators live entirely in one shard, so
 // the output is bit-identical at any pool width.
 func (s *System) IDFTQuantized(waves []ewald.Wave, sn, cn []float64, pw *ParticleWords) ([]vec.V, error) {
+	return s.IDFTQuantizedInto(waves, sn, cn, pw, nil)
+}
+
+// IDFTQuantizedInto is IDFTQuantized writing the forces into dst (reused
+// when its length matches the particle count, allocated otherwise); the
+// normalized per-wave coefficients live in session scratch.
+func (s *System) IDFTQuantizedInto(waves []ewald.Wave, sn, cn []float64, pw *ParticleWords, dst []vec.V) ([]vec.V, error) {
 	if len(sn) != len(waves) || len(cn) != len(waves) {
 		return nil, fmt.Errorf("wine2: %d waves vs %d/%d structure factors", len(waves), len(sn), len(cn))
 	}
@@ -363,14 +397,24 @@ func (s *System) IDFTQuantized(waves []ewald.Wave, sn, cn []float64, pw *Particl
 			scale = ac
 		}
 	}
-	forces := make([]vec.V, pw.N())
+	forces := dst
+	if len(forces) != pw.N() {
+		forces = make([]vec.V, pw.N())
+	}
 	if scale == 0 {
+		for i := range forces {
+			forces[i] = vec.V{}
+		}
 		s.stats.Calls++
 		return forces, nil // all structure factors vanish
 	}
 	cf := fixed.F(1, s.cfg.CoefFrac)
-	aS := make([]int64, len(waves))
-	aC := make([]int64, len(waves))
+	if cap(s.aS) < len(waves) {
+		s.aS = make([]int64, len(waves))
+		s.aC = make([]int64, len(waves))
+	}
+	aS := s.aS[:len(waves)]
+	aC := s.aC[:len(waves)]
 	for w := range waves {
 		aS[w] = cf.Quantize(waves[w].A * sn[w] / scale)
 		aC[w] = cf.Quantize(waves[w].A * cn[w] / scale)

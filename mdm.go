@@ -101,6 +101,19 @@ type Config struct {
 	// trajectories; the reference backend ignores it.
 	Workers int
 
+	// Pipeline overlaps the WINE-2 wavenumber pass with the MDGRAPE-2
+	// real-space work of every step and fuses the four real-space table
+	// passes into one cell-index sweep (MDM backend only). Trajectories are
+	// bit-identical with the flag on or off at the same Skin.
+	Pipeline bool
+
+	// Skin is the Verlet skin in Å added to the real-space cell grid so the
+	// sorted particle layout is reused across steps until a particle moves
+	// more than Skin/2 (MDM backend only; 0 rebuilds every step). A non-zero
+	// skin widens the cutoff-free 27-cell pair walk, so it selects a
+	// different — equally energy-conserving — discretization.
+	Skin float64
+
 	// Supervise enables long-run supervision on the MDM backend: a watchdog
 	// over the simulated hardware, circuit breakers over boards and sites,
 	// and a write-ahead step journal. The zero value disables all of it and
@@ -223,6 +236,8 @@ func newForceField(cfg Config, p ewald.Params, in *fault.Injector) (md.ForceFiel
 		mcfg := core.CurrentMachineConfig(p)
 		mcfg.PotentialEvery = cfg.PotentialEvery
 		mcfg.Workers = cfg.Workers
+		mcfg.Pipeline = cfg.Pipeline
+		mcfg.Skin = cfg.Skin
 		if in == nil && cfg.Faults != "" {
 			var err error
 			in, err = fault.ParseInjector(cfg.Faults)

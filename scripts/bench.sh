@@ -1,10 +1,13 @@
 #!/bin/sh
 # bench.sh — record a benchmark artifact for the intra-board parallelism
 # layer. Picks the next free BENCH_<n>.json in the repo root and writes the
-# cmd/mdmbench report there (ns/op and speedup at pool widths 1/2/4/8 for the
-# machine force evaluation, the WINE-2 DFT/IDFT pair, the j-set build and the
-# Figure-2 MD step). The artifact records gomaxprocs, so baselines taken on
-# single-core hosts are recognizable as serial measurements.
+# cmd/mdmbench report there (ns/op, allocs/op and speedup at pool widths
+# 1/2/4/8 for the machine force evaluation, the WINE-2 DFT/IDFT pair, the
+# j-set build and the Figure-2 MD step with the concurrent pipeline off, on,
+# and on with a Verlet skin), plus the interleaved pipeline-off/on headline
+# comparison at the engine-balanced Ewald splitting. The artifact records
+# gomaxprocs and num_cpu, so baselines taken on single-core hosts are
+# recognizable as serial measurements.
 #
 # Usage: scripts/bench.sh [extra mdmbench flags, e.g. -iters 20]
 set -eu

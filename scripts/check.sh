@@ -19,7 +19,7 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> mdmvet (fixedformat singleprec mpitags unitsmix goroutineloop recvwithin)"
+echo "==> mdmvet (fixedformat singleprec mpitags unitsmix goroutineloop recvwithin gojoin)"
 go run ./cmd/mdmvet ./...
 
 echo "==> go test ./..."
@@ -30,8 +30,8 @@ go test -race ./internal/fault/... ./internal/mpi/... ./internal/core/... \
     ./internal/parallelize/... ./internal/wine2/... ./internal/mdgrape2/... \
     ./internal/cellindex/... ./internal/supervise/...
 
-echo "==> bench smoke (parallel must not lose to serial on the Figure-2 step)"
-go run ./cmd/mdmbench -smoke -iters 3 -reps 2
+echo "==> bench smoke (parallel must not lose to serial; pipeline overlap at GOMAXPROCS=2)"
+GOMAXPROCS=2 go run ./cmd/mdmbench -smoke -iters 3 -reps 2
 
 echo "==> chaos suite (fault injection, recovery, checkpoint restart, supervision)"
 go test -run 'Chaos|Resilient|FaultHook|RunProtocol|CheckpointFile|CheckpointTyped|Watchdog|Breaker|Journal|Supervise|Interrupt' \
