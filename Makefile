@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-smoke vet mdmvet race chaos fuzz-smoke check fmt
+.PHONY: all build test bench bench-json bench-smoke vet mdmvet audit race chaos fuzz-smoke check fmt
 
 all: build
 
@@ -25,7 +25,10 @@ vet:
 	$(GO) vet ./...
 
 mdmvet:
-	$(GO) run ./cmd/mdmvet ./...
+	$(GO) run ./cmd/mdmvet -baseline mdmvet.baseline ./...
+
+audit:
+	$(GO) run ./cmd/mdmvet -audit
 
 race:
 	$(GO) test -race ./internal/fault/... ./internal/mpi/... ./internal/core/... \

@@ -1,0 +1,121 @@
+// Benchmark artifact comparison: `mdmbench -compare A.json B.json` renders a
+// regression summary between two reports recorded by scripts/bench.sh, so a
+// perf change can be judged from checked-in artifacts instead of re-running
+// both sides. Configurations are matched by (name, workers); pipeline rows by
+// workers. A configuration is called a regression when the new ns/op exceeds
+// the old by more than the threshold, or when allocs/op grew at all (the
+// arena work made allocation counts exact, so any growth is a real leak).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+type benchKey struct {
+	name    string
+	workers int
+}
+
+// compareReports prints the summary and returns the number of regressions.
+func compareReports(aPath, bPath string, threshold float64) (int, error) {
+	a, err := readReport(aPath)
+	if err != nil {
+		return 0, err
+	}
+	b, err := readReport(bPath)
+	if err != nil {
+		return 0, err
+	}
+	if a.GOMAXPROCS != b.GOMAXPROCS || a.NumCPU != b.NumCPU || a.N != b.N {
+		fmt.Printf("note: environments differ (%s: gomaxprocs=%d num_cpu=%d n=%d; %s: gomaxprocs=%d num_cpu=%d n=%d) — deltas are indicative only\n",
+			aPath, a.GOMAXPROCS, a.NumCPU, a.N, bPath, b.GOMAXPROCS, b.NumCPU, b.N)
+	}
+
+	old := make(map[benchKey]Result, len(a.Results))
+	for _, r := range a.Results {
+		old[benchKey{r.Name, r.Workers}] = r
+	}
+	regressions := 0
+	fmt.Printf("%-34s %14s %14s %9s %16s\n", "configuration", aPath+" ns/op", bPath+" ns/op", "delta", "allocs/op")
+	keys := make([]benchKey, 0, len(b.Results))
+	for _, r := range b.Results {
+		keys = append(keys, benchKey{r.Name, r.Workers})
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].workers < keys[j].workers
+	})
+	newByKey := make(map[benchKey]Result, len(b.Results))
+	for _, r := range b.Results {
+		newByKey[benchKey{r.Name, r.Workers}] = r
+	}
+	for _, k := range keys {
+		nr := newByKey[k]
+		or, ok := old[k]
+		label := fmt.Sprintf("%s/w%d", k.name, k.workers)
+		if !ok {
+			fmt.Printf("%-34s %14s %14.0f %9s %16.1f\n", label, "-", nr.NsPerOp, "new", nr.AllocsPerOp)
+			continue
+		}
+		delta := nr.NsPerOp/or.NsPerOp - 1
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			regressions++
+		} else if or.AllocsPerOp > 0 && nr.AllocsPerOp > or.AllocsPerOp {
+			// Reports from before alloc recording carry 0; only a real
+			// old measurement can regress.
+			mark = "  ALLOC REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-34s %14.0f %14.0f %+8.1f%% %7.1f → %-7.1f%s\n",
+			label, or.NsPerOp, nr.NsPerOp, 100*delta, or.AllocsPerOp, nr.AllocsPerOp, mark)
+	}
+	for _, r := range a.Results {
+		if _, ok := newByKey[benchKey{r.Name, r.Workers}]; !ok {
+			fmt.Printf("%-34s %14.0f %14s\n", fmt.Sprintf("%s/w%d", r.Name, r.Workers), r.NsPerOp, "dropped")
+		}
+	}
+
+	oldPipe := make(map[int]PipelineResult, len(a.Pipeline))
+	for _, p := range a.Pipeline {
+		oldPipe[p.Workers] = p
+	}
+	for _, p := range b.Pipeline {
+		op, ok := oldPipe[p.Workers]
+		if !ok {
+			continue
+		}
+		delta := p.OnNsPerOp/op.OnNsPerOp - 1
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-34s %14.0f %14.0f %+8.1f%% speedup %.2f → %.2f%s\n",
+			fmt.Sprintf("pipeline-on/w%d", p.Workers), op.OnNsPerOp, p.OnNsPerOp, 100*delta, op.Speedup, p.Speedup, mark)
+	}
+	if regressions > 0 {
+		fmt.Printf("\n%d regression(s) beyond %.0f%%\n", regressions, 100*threshold)
+	} else {
+		fmt.Printf("\nno regressions beyond %.0f%%\n", 100*threshold)
+	}
+	return regressions, nil
+}

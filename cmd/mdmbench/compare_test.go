@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, rep Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareReports(t *testing.T) {
+	dir := t.TempDir()
+	old := Report{
+		GOMAXPROCS: 2, NumCPU: 2, N: 64,
+		Results: []Result{
+			{Name: "forces", Workers: 1, NsPerOp: 1000, AllocsPerOp: 10},
+			{Name: "forces", Workers: 2, NsPerOp: 600, AllocsPerOp: 10},
+			{Name: "dropped", Workers: 1, NsPerOp: 500},
+		},
+		Pipeline: []PipelineResult{{Workers: 2, OnNsPerOp: 800, Speedup: 1.5}},
+	}
+	newer := Report{
+		GOMAXPROCS: 2, NumCPU: 2, N: 64,
+		Results: []Result{
+			{Name: "forces", Workers: 1, NsPerOp: 1050, AllocsPerOp: 10}, // +5%: within threshold
+			{Name: "forces", Workers: 2, NsPerOp: 900, AllocsPerOp: 10},  // +50%: regression
+			{Name: "fresh", Workers: 1, NsPerOp: 200},                    // new row, never a regression
+		},
+		Pipeline: []PipelineResult{{Workers: 2, OnNsPerOp: 820, Speedup: 1.45}},
+	}
+	a := writeReport(t, dir, "a.json", old)
+	b := writeReport(t, dir, "b.json", newer)
+
+	got, err := compareReports(a, b, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("compareReports = %d regressions, want 1 (forces/w2 +50%%)", got)
+	}
+
+	// Alloc growth is a regression on its own, even when ns/op holds steady —
+	// but only against an old report that actually recorded allocs.
+	newer.Results[0].AllocsPerOp = 14
+	b2 := writeReport(t, dir, "b2.json", newer)
+	if got, err = compareReports(a, b2, 0.20); err != nil || got != 2 {
+		t.Fatalf("with alloc growth: got %d, %v; want 2 regressions", got, err)
+	}
+	old.Results[0].AllocsPerOp = 0 // pre-alloc-recording artifact
+	a2 := writeReport(t, dir, "a2.json", old)
+	if got, err = compareReports(a2, b2, 0.20); err != nil || got != 1 {
+		t.Fatalf("against alloc-free old report: got %d, %v; want 1 regression", got, err)
+	}
+}
+
+func TestCompareReportsClean(t *testing.T) {
+	dir := t.TempDir()
+	rep := Report{
+		GOMAXPROCS: 2, NumCPU: 2, N: 64,
+		Results:  []Result{{Name: "forces", Workers: 1, NsPerOp: 1000, AllocsPerOp: 10}},
+		Pipeline: []PipelineResult{{Workers: 2, OnNsPerOp: 800, Speedup: 1.5}},
+	}
+	a := writeReport(t, dir, "a.json", rep)
+	if got, err := compareReports(a, a, 0.20); err != nil || got != 0 {
+		t.Fatalf("self-compare: got %d regressions, %v; want 0", got, err)
+	}
+}

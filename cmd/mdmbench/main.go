@@ -377,7 +377,25 @@ func main() {
 	iters := flag.Int("iters", 10, "operations per timing sample")
 	reps := flag.Int("reps", 3, "timing samples per configuration (best is kept)")
 	smokeMode := flag.Bool("smoke", false, "CI gate: check parallel is not slower than serial on the Figure-2 step")
+	compareMode := flag.Bool("compare", false, "compare two recorded reports: mdmbench -compare OLD.json NEW.json")
+	threshold := flag.Float64("threshold", 0.20, "ns/op growth beyond this fraction counts as a regression in -compare")
 	flag.Parse()
+
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: mdmbench -compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		regressions, err := compareReports(flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *smokeMode {
 		if err := smoke(*iters, *reps); err != nil {

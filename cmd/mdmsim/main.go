@@ -294,7 +294,7 @@ func run() (exit int) {
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigc)
-	//mdm:gojoinok process-lifetime signal watcher; parked on sigc, detached by design
+	//mdm:gojoinok -- process-lifetime signal watcher; parked on sigc, detached by design
 	go func() {
 		<-sigc
 		interrupted.Store(true)

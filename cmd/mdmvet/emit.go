@@ -1,0 +1,231 @@
+// Machine-consumable output for mdmvet: a flat JSON finding list, SARIF
+// 2.1.0 for code-scanning uploads, GitHub workflow-command annotations, and
+// the baseline file enabling incremental adoption of new analyzers.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mdm/internal/analyzers"
+)
+
+// A Finding is one diagnostic with a module-relative path — the unit of the
+// JSON output and of baseline matching.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // slash-separated, relative to the module root
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// newFinding relativizes a diagnostic against the module root.
+func newFinding(root string, d analyzers.Diagnostic) Finding {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return Finding{
+		Analyzer: d.Analyzer,
+		File:     file,
+		Line:     d.Pos.Line,
+		Column:   d.Pos.Column,
+		Message:  d.Message,
+	}
+}
+
+func emitJSON(w io.Writer, findings []Finding) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+// emitGitHub prints one workflow-command annotation per finding; GitHub
+// renders them inline on the PR diff.
+func emitGitHub(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		// Workflow commands terminate at newlines; findings are single-line.
+		fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=mdmvet/%s::%s\n",
+			f.File, f.Line, f.Column, f.Analyzer, f.Message)
+	}
+}
+
+//
+// SARIF 2.1.0 (the subset code-scanning consumes).
+//
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+const sarifSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+// buildSARIF assembles the log: one run, one rule per analyzer that appears
+// in the suite, one result per finding.
+func buildSARIF(suite []*analyzers.Analyzer, findings []Finding) sarifLog {
+	rules := make([]sarifRule, 0, len(suite))
+	for _, a := range suite {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+				},
+			}},
+		})
+	}
+	return sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "mdmvet", InformationURI: "https://example.invalid/mdm", Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+func emitSARIF(w io.Writer, suite []*analyzers.Analyzer, findings []Finding) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(buildSARIF(suite, findings))
+}
+
+//
+// Baseline: a checked-in list of accepted findings, matched by analyzer,
+// file and message (line numbers excluded so unrelated edits don't churn
+// it). New findings fail the build; baselined ones are reported as skipped.
+//
+
+type baselineFile struct {
+	Comment  string          `json:"comment,omitempty"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// readBaseline loads the baseline set, mapping each entry to its match key.
+func readBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	set := make(map[string]bool, len(bf.Findings))
+	for _, e := range bf.Findings {
+		set[baselineKey(e.Analyzer, e.File, e.Message)] = true
+	}
+	return set, nil
+}
+
+// writeBaseline records the current findings as the accepted baseline.
+func writeBaseline(path string, findings []Finding) error {
+	bf := baselineFile{
+		Comment: "mdmvet baseline: accepted findings for incremental adoption; regenerate with mdmvet -write-baseline " + filepath.Base(path),
+	}
+	for _, f := range findings {
+		bf.Findings = append(bf.Findings, baselineEntry{Analyzer: f.Analyzer, File: f.File, Message: f.Message})
+	}
+	sort.Slice(bf.Findings, func(i, j int) bool {
+		a, b := bf.Findings[i], bf.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// splitBaseline partitions findings into kept (new) and skipped (baselined).
+func splitBaseline(findings []Finding, baseline map[string]bool) (kept, skipped []Finding) {
+	for _, f := range findings {
+		if baseline[baselineKey(f.Analyzer, f.File, f.Message)] {
+			skipped = append(skipped, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	return kept, skipped
+}

@@ -4,17 +4,30 @@
 //	go run ./cmd/mdmvet ./...
 //	go run ./cmd/mdmvet -list
 //	go run ./cmd/mdmvet -run fixedformat,mpitags ./internal/...
+//	go run ./cmd/mdmvet -json ./...              # machine-readable findings
+//	go run ./cmd/mdmvet -sarif -o out.sarif ./...
+//	go run ./cmd/mdmvet -baseline mdmvet.baseline ./...
+//	go run ./cmd/mdmvet -audit                   # suppression-comment hygiene
+//	go run ./cmd/mdmvet -stepflow ./...          # dump the hot-path fact set
 //
-// Exit status is 0 when the suite is clean, 1 when it reports diagnostics,
-// and 2 when packages fail to load or type-check. Findings can be silenced
-// for a reviewed line with a "//mdm:<key> justification" comment; see the
-// package documentation of internal/analyzers.
+// Before the analyzers run, a callgraph pass over every loaded package
+// computes the "stepflow" fact — transitive reachability from the
+// //mdm:stepflow-annotated hot-path roots — which gates the determinism
+// analyzers (maporder, wallclock, hotalloc, shardmerge).
+//
+// Exit status is 0 when the suite is clean, 1 when it reports diagnostics
+// (or -audit finds malformed suppressions), and 2 when packages fail to load
+// or type-check. Findings can be silenced for a reviewed line with a
+// "//mdm:<key> -- justification" comment; see the package documentation of
+// internal/analyzers. The justification is mandatory: -audit lists every
+// suppression in the tree and fails on bare ones.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"mdm/internal/analyzers"
@@ -30,6 +43,14 @@ func run(args []string) int {
 	list := fs.Bool("list", false, "list available analyzers and exit")
 	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	dir := fs.String("C", ".", "directory to resolve package patterns in")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON instead of text")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0 instead of text")
+	outPath := fs.String("o", "", "write the -json/-sarif report to this file (default stdout)")
+	baselinePath := fs.String("baseline", "", "skip findings recorded in this baseline file")
+	writeBaselinePath := fs.String("write-baseline", "", "write current findings to this baseline file and exit 0")
+	github := fs.Bool("github", false, "also print GitHub workflow-command annotations for findings")
+	audit := fs.Bool("audit", false, "list every //mdm:* suppression in the tree and fail on missing justifications")
+	stepflow := fs.Bool("stepflow", false, "print the stepflow fact set (hot-path functions) and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: mdmvet [flags] [packages]\n")
 		fs.PrintDefaults()
@@ -45,6 +66,17 @@ func run(args []string) int {
 		}
 		return 0
 	}
+
+	root, err := filepath.Abs(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdmvet: %v\n", err)
+		return 2
+	}
+
+	if *audit {
+		return runAudit(root, suite)
+	}
+
 	if *only != "" {
 		suite = selectAnalyzers(suite, *only)
 		if suite == nil {
@@ -57,27 +89,106 @@ func run(args []string) int {
 		patterns = []string{"./..."}
 	}
 
-	loader, err := load.NewLoader(*dir, patterns...)
+	loader, err := load.NewLoader(root, patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mdmvet: %v\n", err)
 		return 2
 	}
-	pkgs, err := loader.Load(*dir, patterns...)
+	pkgs, err := loader.Load(root, patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mdmvet: %v\n", err)
 		return 2
 	}
 
-	found := false
+	facts := analyzers.BuildFacts(pkgs)
+	if *stepflow {
+		for _, name := range facts.StepFlowNames() {
+			fmt.Println(name)
+		}
+		return 0
+	}
+
+	var findings []Finding
 	for _, pkg := range pkgs {
-		for _, d := range analyzers.RunPackage(pkg, suite) {
-			fmt.Printf("%s\n", d)
-			found = true
+		for _, d := range analyzers.RunPackageFacts(pkg, suite, facts) {
+			findings = append(findings, newFinding(root, d))
 		}
 	}
-	if found {
+
+	if *writeBaselinePath != "" {
+		if err := writeBaseline(*writeBaselinePath, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "mdmvet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "mdmvet: wrote %d finding(s) to %s\n", len(findings), *writeBaselinePath)
+		return 0
+	}
+	if *baselinePath != "" {
+		baseline, err := readBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdmvet: %v\n", err)
+			return 2
+		}
+		var skipped []Finding
+		findings, skipped = splitBaseline(findings, baseline)
+		if len(skipped) > 0 {
+			fmt.Fprintf(os.Stderr, "mdmvet: %d baselined finding(s) skipped\n", len(skipped))
+		}
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdmvet: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		out = f
+	}
+	switch {
+	case *jsonOut:
+		if err := emitJSON(out, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "mdmvet: %v\n", err)
+			return 2
+		}
+	case *sarifOut:
+		if err := emitSARIF(out, suite, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "mdmvet: %v\n", err)
+			return 2
+		}
+	default:
+		for _, f := range findings {
+			fmt.Fprintf(out, "%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Column, f.Message, f.Analyzer)
+		}
+	}
+	if *github {
+		emitGitHub(os.Stdout, findings)
+	}
+	if len(findings) > 0 {
 		return 1
 	}
+	return 0
+}
+
+// runAudit implements -audit: the suppression-hygiene listing and gate.
+func runAudit(root string, suite []*analyzers.Analyzer) int {
+	sups, problems, err := analyzers.AuditDir(root, analyzers.KnownSuppressKeys(suite))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdmvet: %v\n", err)
+		return 2
+	}
+	for _, s := range sups {
+		fmt.Printf("%s:%d: //mdm:%s -- %s\n", s.Pos.Filename, s.Pos.Line, s.Key, s.Reason)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "\nmdmvet -audit: %d problem(s):\n", len(problems))
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "  %s\n", p)
+		}
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "mdmvet -audit: %d suppression(s), all justified\n", len(sups))
 	return 0
 }
 

@@ -26,10 +26,29 @@
 //	              close, or WaitGroup Done/Wait) so the launcher can join
 //	              them and collect their errors
 //
+// On top of the per-package checks, a callgraph pass (callgraph.go) computes
+// transitive reachability from //mdm:stepflow-annotated roots and marks every
+// function on the simulation hot path. Four determinism analyzers consume
+// that fact:
+//
+//	maporder    — no map iteration whose body writes accumulators or does
+//	              float math in stepflow code (nondeterministic order breaks
+//	              bit-identity)
+//	wallclock   — no time.Now/time.Since/math/rand in stepflow code (breaks
+//	              journal replay)
+//	hotalloc    — no growing appends, fmt.Sprintf, string concatenation or
+//	              captured-closure goroutine launches in stepflow code (the
+//	              arena'd step path budgets ~10 allocs/step)
+//	shardmerge  — no floating-point read-modify-write accumulation into
+//	              captured state from goroutines or worker closures in
+//	              stepflow code (shard results merge in fixed serial order)
+//
 // Each analyzer's diagnostics can be suppressed for a reviewed line with a
-// comment of the form "//mdm:<key> <justification>" (for example
-// //mdm:float64ok) placed on the offending line, the line above it, or in
-// the doc comment of the enclosing function.
+// comment of the form "//mdm:<key> -- <justification>" (for example
+// //mdm:float64ok -- exact widening) placed on the offending line, the line
+// above it, or in the doc comment of the enclosing function. The
+// justification after " -- " is mandatory: `mdmvet -audit` fails on bare
+// suppressions.
 //
 // The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
 // Pass, Reportf) so the suite can migrate to the upstream framework
@@ -76,6 +95,7 @@ type Pass struct {
 	Path     string // package import path
 	Pkg      *types.Package
 	Info     *types.Info
+	Facts    *Facts // module-wide callgraph facts; nil disables fact-aware analyzers
 
 	diags      []Diagnostic
 	suppressed *suppressions
@@ -191,9 +211,18 @@ func (s *suppressions) covers(key string, pos token.Position) bool {
 	return false
 }
 
-// RunPackage runs the analyzers over one loaded package and returns the
-// surviving (non-suppressed) diagnostics sorted by position.
+// RunPackage runs the analyzers over one loaded package without module-wide
+// facts: the per-package analyzers behave as always and the fact-aware ones
+// (maporder, wallclock, hotalloc, shardmerge) stay silent. Use
+// RunPackageFacts with a BuildFacts result to enable them.
 func RunPackage(pkg *load.Package, analyzers []*Analyzer) []Diagnostic {
+	return RunPackageFacts(pkg, analyzers, nil)
+}
+
+// RunPackageFacts runs the analyzers over one loaded package with the given
+// module-wide facts and returns the surviving (non-suppressed) diagnostics
+// sorted by position.
+func RunPackageFacts(pkg *load.Package, analyzers []*Analyzer, facts *Facts) []Diagnostic {
 	sup := buildSuppressions(pkg.Fset, pkg.Files)
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -204,6 +233,7 @@ func RunPackage(pkg *load.Package, analyzers []*Analyzer) []Diagnostic {
 			Path:       pkg.ImportPath,
 			Pkg:        pkg.Pkg,
 			Info:       pkg.TypesInfo,
+			Facts:      facts,
 			suppressed: sup,
 		}
 		a.Run(pass)
@@ -222,9 +252,14 @@ func RunPackage(pkg *load.Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// All returns the full mdmvet suite.
+// All returns the full mdmvet suite. The last four are the fact-aware
+// determinism analyzers: they only report when the runner supplies BuildFacts
+// output via RunPackageFacts.
 func All() []*Analyzer {
-	return []*Analyzer{FixedFormat, SinglePrec, MPITags, UnitsMix, GoroutineLoop, RecvWithin, GoJoin}
+	return []*Analyzer{
+		FixedFormat, SinglePrec, MPITags, UnitsMix, GoroutineLoop, RecvWithin, GoJoin,
+		MapOrder, WallClock, HotAlloc, ShardMerge,
+	}
 }
 
 //

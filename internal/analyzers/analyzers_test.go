@@ -64,6 +64,71 @@ func TestGoJoinFixtures(t *testing.T) {
 	atest.Run(t, analyzers.GoJoin, "gojoin", "mdm/fixture/gojoin")
 }
 
+func TestMapOrderFixtures(t *testing.T) {
+	atest.Run(t, analyzers.MapOrder, "maporder", "mdm/fixture/maporder")
+}
+
+func TestWallClockFixtures(t *testing.T) {
+	atest.Run(t, analyzers.WallClock, "wallclock", "mdm/fixture/wallclock")
+}
+
+func TestHotAllocFixtures(t *testing.T) {
+	atest.Run(t, analyzers.HotAlloc, "hotalloc", "mdm/fixture/hotalloc")
+}
+
+func TestShardMergeFixtures(t *testing.T) {
+	atest.Run(t, analyzers.ShardMerge, "shardmerge", "mdm/fixture/shardmerge")
+}
+
+// TestStepFlowFactPropagation checks the callgraph pass across real module
+// boundaries: functions nowhere near an //mdm:stepflow comment must be marked
+// because a root reaches them — through plain calls, interface dispatch
+// (md.ForceField), and callback arguments (Integrator.Run's observe) — and
+// cold entry points must stay unmarked.
+func TestStepFlowFactPropagation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	pkgs, err := atest.Loader(t).Load(atest.ModuleRoot(t), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := analyzers.BuildFacts(pkgs)
+	if got := len(facts.Roots()); got < 6 {
+		t.Fatalf("expected at least the 6 annotated roots, got %d: %v", got, facts.Roots())
+	}
+	hot := []string{
+		// Direct call chain from core.Machine.Forces.
+		"(*mdm/internal/cellindex.Sorted).ForEachOrderedPairTable",
+		// Cross-package chain through the wine2 root into the DFT engine.
+		"(*mdm/internal/wine2.System).DFTQuantizedInto",
+		// Interface dispatch: md.Integrator.Step calls ForceField.Forces, and
+		// CHA fans out to the core implementations.
+		"(*mdm/internal/core.Machine).Forces",
+		"(*mdm/internal/core.Resilient).Forces",
+		// Callback edge: functions passed to Integrator.Run run between steps.
+		"(*mdm.Simulation).observe",
+		// Explicitly annotated root whose wiring is an assignment.
+		"(*mdm/internal/supervise.Watchdog).Beat",
+	}
+	for _, name := range hot {
+		if !facts.StepFlowName(name) {
+			t.Errorf("%s not marked stepflow; roots=%v", name, facts.Roots())
+		}
+	}
+	cold := []string{
+		// The performance model is an offline predictor.
+		"mdm/internal/perf.CurrentMDM",
+		// The journal replay reader is an offline tool.
+		"mdm/internal/supervise.ReadJournal",
+	}
+	for _, name := range cold {
+		if facts.StepFlowName(name) {
+			t.Errorf("%s wrongly marked stepflow", name)
+		}
+	}
+}
+
 // TestSuiteCleanOnRepo runs the whole suite over the whole module — the
 // in-process equivalent of `go run ./cmd/mdmvet ./...` — and requires it to
 // be green. Real findings must be fixed or carry a reviewed //mdm:* comment.
@@ -79,8 +144,9 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("expected to load the full module, got %d packages", len(pkgs))
 	}
+	facts := analyzers.BuildFacts(pkgs)
 	for _, p := range pkgs {
-		for _, d := range analyzers.RunPackage(p, analyzers.All()) {
+		for _, d := range analyzers.RunPackageFacts(p, analyzers.All(), facts) {
 			t.Errorf("%s", d)
 		}
 	}

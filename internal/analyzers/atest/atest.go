@@ -70,7 +70,9 @@ func FixtureFiles(t *testing.T, name string) []string {
 
 // Run type-checks the fixture directory testdata/<name> as a package with
 // the given import path, applies the analyzer, and matches diagnostics
-// against the fixture's want comments.
+// against the fixture's want comments. Stepflow facts are computed over the
+// fixture package itself, so //mdm:stepflow-rooted fixtures exercise the
+// fact-dependent analyzers.
 func Run(t *testing.T, a *analyzers.Analyzer, name, importPath string) {
 	t.Helper()
 	files := FixtureFiles(t, name)
@@ -78,7 +80,8 @@ func Run(t *testing.T, a *analyzers.Analyzer, name, importPath string) {
 	if err != nil {
 		t.Fatalf("atest: fixture %s does not type-check: %v", name, err)
 	}
-	diags := analyzers.RunPackage(pkg, []*analyzers.Analyzer{a})
+	facts := analyzers.BuildFacts([]*load.Package{pkg})
+	diags := analyzers.RunPackageFacts(pkg, []*analyzers.Analyzer{a}, facts)
 
 	wants := collectWants(t, files)
 	for _, d := range diags {

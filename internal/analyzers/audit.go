@@ -1,0 +1,123 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Suppression audit: every //mdm:<key> comment is a reviewed exception to a
+// machine-checked contract, and the review is only worth anything if its
+// justification survives next to it. The audit walks every .go file of the
+// module (fixtures under testdata included — hygiene is repo-wide), lists
+// each suppression, and reports the ones that are malformed:
+//
+//   - unknown key (not a registered analyzer's suppress key, nor stepflow)
+//   - missing " -- reason" separator, or an empty reason after it
+//
+// The canonical form is:
+//
+//	//mdm:<key> -- <why this exception is correct>
+//
+// `mdmvet -audit` prints the listing and fails on any problem; `make audit`
+// and CI run it.
+
+// A Suppression is one //mdm:<key> comment found in the tree.
+type Suppression struct {
+	Pos    token.Position
+	Key    string
+	Reason string // justification after " -- "; empty when malformed
+	Raw    string // the comment line as written
+}
+
+// KnownSuppressKeys returns every key the audit accepts: the suppress keys
+// of the given analyzers plus the stepflow root directive.
+func KnownSuppressKeys(analyzers []*Analyzer) map[string]bool {
+	keys := map[string]bool{StepFlowKey: true}
+	for _, a := range analyzers {
+		if a.Suppress != "" {
+			keys[a.Suppress] = true
+		}
+	}
+	return keys
+}
+
+// AuditDir walks every .go file under root and returns the suppressions it
+// finds plus a sorted list of problems ("file:line: what's wrong"). The walk
+// skips .git and hidden directories but deliberately includes testdata.
+func AuditDir(root string, known map[string]bool) ([]Suppression, []string, error) {
+	fset := token.NewFileSet()
+	var sups []Suppression
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("audit: %v", err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				base := fset.Position(c.Pos())
+				for off, line := range strings.Split(c.Text, "\n") {
+					line = strings.TrimSpace(line)
+					rest, ok := strings.CutPrefix(line, suppressPrefix)
+					if !ok {
+						continue
+					}
+					pos := base
+					pos.Line += off
+					key, tail, _ := strings.Cut(rest, " ")
+					s := Suppression{Pos: pos, Key: key, Raw: line}
+					rel, rerr := filepath.Rel(root, pos.Filename)
+					if rerr == nil {
+						s.Pos.Filename = filepath.ToSlash(rel)
+					}
+					switch {
+					case key == "":
+						problems = append(problems, fmt.Sprintf("%s: bare //mdm: comment with no key", s.Pos))
+					case !known[key]:
+						problems = append(problems, fmt.Sprintf("%s: unknown suppression key %q", s.Pos, key))
+					}
+					reason := ""
+					if _, after, found := strings.Cut(tail, "--"); found {
+						reason = strings.TrimSpace(after)
+					}
+					if reason == "" {
+						problems = append(problems, fmt.Sprintf(
+							"%s: suppression //mdm:%s lacks a justification; write \"//mdm:%s -- <reason>\"", s.Pos, key, key))
+					}
+					s.Reason = reason
+					sups = append(sups, s)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Slice(sups, func(i, j int) bool {
+		a, b := sups[i].Pos, sups[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	sort.Strings(problems)
+	return sups, problems, nil
+}

@@ -1,0 +1,201 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags map iteration on the simulation hot path whose body does
+// order-sensitive work: writes to variables declared outside the loop
+// (accumulators, output slices) or floating-point arithmetic. Go randomizes
+// map iteration order per run, so any such loop produces a different float
+// reduction order — or a differently ordered output slice — on every
+// execution, silently breaking the repo's bit-identity contract (identical
+// forces at every worker width, pipeline on/off) and the journal replay
+// contract. The fix is to iterate a sorted key slice; the collection half of
+// that idiom (`for k := range m { keys = append(keys, k) }` followed by a
+// sort) is recognized and exempt. Where the body is genuinely order-free
+// (pure lookups, set membership) the finding is suppressed with
+// //mdm:maporderok -- reason.
+var MapOrder = &Analyzer{
+	Name:     "maporder",
+	Doc:      "flag order-sensitive map iteration (accumulator writes, float math) in stepflow code",
+	Suppress: "maporderok",
+	Run:      runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	stepFlowFuncs(pass, func(fd *ast.FuncDecl, fn *types.Func) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if keyCollection(pass, fd, rng) {
+				return true
+			}
+			if reason := orderSensitive(pass, rng); reason != "" {
+				pass.Reportf(rng.Pos(),
+					"map iteration in hot-path function %s %s; map order is randomized per run, breaking bit-identity — iterate sorted keys instead", fd.Name.Name, reason)
+			}
+			return true
+		})
+	})
+}
+
+// orderSensitive describes why the range body depends on iteration order, or
+// returns "" when it looks order-free.
+func orderSensitive(pass *Pass, rng *ast.RangeStmt) string {
+	// Objects introduced by the range statement itself (key/value vars and
+	// anything declared in the body) are per-iteration and safe to write.
+	local := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+		return true
+	})
+
+	reason := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			if stmt.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range stmt.Lhs {
+				if obj := lvalueRoot(pass.Info, lhs); obj != nil && !local[obj] {
+					reason = "writes " + obj.Name() + ", declared outside the loop"
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := lvalueRoot(pass.Info, stmt.X); obj != nil && !local[obj] {
+				reason = "increments " + obj.Name() + ", declared outside the loop"
+				return false
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(stmt.Fun).(*ast.Ident); ok && id.Name == "append" && isBuiltin(pass.Info, id) {
+				// append is flagged through the assignment it feeds; a bare
+				// append call discards its result and is meaningless anyway.
+				return true
+			}
+		case *ast.BinaryExpr:
+			switch stmt.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				if tv, ok := pass.Info.Types[stmt]; ok && isFloat(tv.Type) && tv.Value == nil {
+					reason = "does float arithmetic"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// sortPkgs are the packages whose functions establish a deterministic order
+// on a slice; a key slice handed to one of them is no longer order-sensitive.
+var sortPkgs = map[string]bool{"sort": true, "slices": true}
+
+// keyCollection reports whether the range is the collection half of the
+// sorted-iteration idiom the analyzer itself recommends: a body that is
+// exactly `keys = append(keys, k)` over the range key, with keys later
+// passed to a sort/slices call in the same function. The append order leaks
+// map order, but the subsequent sort erases it.
+func keyCollection(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	if rng.Value != nil || rng.Key == nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyObj := pass.Info.Defs[keyID]
+	as, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	dst := lvalueRoot(pass.Info, as.Lhs[0])
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || dst == nil || keyObj == nil || len(call.Args) != 2 {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" || !isBuiltin(pass.Info, id) {
+		return false
+	}
+	if lvalueRoot(pass.Info, call.Args[0]) != dst {
+		return false
+	}
+	if arg, ok := ast.Unparen(call.Args[1]).(*ast.Ident); !ok || pass.Info.Uses[arg] != keyObj {
+		return false
+	}
+	// The slice must reach a sort call after the loop.
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok || c.Pos() < rng.End() {
+			return true
+		}
+		callee := calleeFunc(pass.Info, c)
+		if callee == nil || callee.Pkg() == nil || !sortPkgs[callee.Pkg().Path()] {
+			return true
+		}
+		for _, a := range c.Args {
+			if lvalueRoot(pass.Info, a) == dst {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// lvalueRoot resolves the base object of an assignable expression: the
+// variable itself for identifiers, the indexed/selected variable for
+// x[i] = ... and x.f = ... chains.
+func lvalueRoot(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			if e.Name == "_" {
+				return nil
+			}
+			if obj := info.Uses[e]; obj != nil {
+				return obj
+			}
+			return info.Defs[e]
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}

@@ -39,5 +39,5 @@ func productWidths(aFrac, bFrac uint) {
 }
 
 func suppressed() {
-	_ = fixed.F(40, 40) //mdm:fixedok fixture: reviewed, never materialized
+	_ = fixed.F(40, 40) //mdm:fixedok -- fixture: reviewed, never materialized
 }

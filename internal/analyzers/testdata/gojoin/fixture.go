@@ -83,7 +83,7 @@ func crossPackage() {
 
 // reviewedDetached is a process-lifetime goroutine, detached by design.
 func reviewedDetached() {
-	//mdm:gojoinok process-lifetime watcher, never joined by design
+	//mdm:gojoinok -- process-lifetime watcher, never joined by design
 	go func() {
 		for {
 			_ = work()

@@ -61,7 +61,7 @@ func noGoroutine(items []int) {
 // reviewed is a justified capture, suppressed like any other mdmvet finding.
 func reviewed(items []int) {
 	for _, it := range items {
-		//mdm:goloopok single-element slice, sequenced by the channel below
+		//mdm:goloopok -- single-element slice, sequenced by the channel below
 		go func() {
 			process(it)
 		}()

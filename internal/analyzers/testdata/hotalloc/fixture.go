@@ -1,0 +1,94 @@
+// Fixtures for the hotalloc analyzer: per-step allocation patterns (growing
+// append, Sprintf, string concatenation, capturing go closures) in stepflow
+// code undo the ~10 allocs/step arena work. Preallocated loops, error paths
+// and cold functions stay quiet.
+package fixture
+
+import "fmt"
+
+// step is the fixture's hot-path root; everything it reaches is stepflow.
+//
+//mdm:stepflow -- fixture: hot-path root
+func step(xs []float64, names []string) string {
+	grow(xs)
+	prealloc(xs)
+	appendOnce(xs)
+	launch(xs)
+	reviewedLaunch(xs)
+	_ = fail(3)
+	_ = label(1)
+	return join(names)
+}
+
+// grow appends inside a loop — the growing-slice pattern.
+func grow(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x*2) // want `append in a loop in hot-path function grow grows its slice per step`
+	}
+	return out
+}
+
+// prealloc sizes the output up front and indexes — the sanctioned pattern.
+func prealloc(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * 2
+	}
+	return out
+}
+
+// appendOnce appends outside any loop; a one-shot append is amortized by the
+// caller and not flagged.
+func appendOnce(xs []float64) []float64 {
+	return append(xs, 1)
+}
+
+// label formats on the step path.
+func label(n int) string {
+	return fmt.Sprintf("step %d", n) // want `fmt.Sprintf in hot-path function label allocates on every call`
+}
+
+// join concatenates strings in a loop.
+func join(names []string) string {
+	s := ""
+	for _, n := range names {
+		s = s + n // want `string concatenation in hot-path function join allocates on every call`
+	}
+	return s
+}
+
+// fail builds an error — fmt.Errorf is exempt, error paths run on failure.
+func fail(n int) error {
+	return fmt.Errorf("step %d failed", n)
+}
+
+// launch starts a goroutine whose closure captures outer state.
+func launch(xs []float64) {
+	done := make(chan struct{})
+	go func() { // want `go statement in hot-path function launch captures xs`
+		_ = xs[0]
+		close(done)
+	}()
+	<-done
+}
+
+// reviewedLaunch carries a justified suppression on the same pattern.
+func reviewedLaunch(xs []float64) {
+	done := make(chan struct{})
+	//mdm:hotallocok -- fixture: one launch per call, joined immediately below
+	go func() {
+		_ = xs[0]
+		close(done)
+	}()
+	<-done
+}
+
+// coldGrow is the offending pattern off the hot path — must not fire.
+func coldGrow(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

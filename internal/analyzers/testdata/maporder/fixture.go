@@ -1,0 +1,90 @@
+// Fixtures for the maporder analyzer: map iteration whose body is
+// order-sensitive (accumulator writes, output appends, float arithmetic)
+// breaks bit-identity in stepflow code; order-free bodies and cold-path
+// walks stay quiet.
+package fixture
+
+import "sort"
+
+// step is the fixture's hot-path root; everything it reaches is stepflow.
+//
+//mdm:stepflow -- fixture: hot-path root
+func step(m map[string]float64, set map[string]bool) float64 {
+	total := sumUnordered(m)
+	total += sumSorted(m)
+	collect(m)
+	countEntries(m)
+	drain(set)
+	total += reviewed(m)
+	return total
+}
+
+// sumUnordered accumulates a float across a raw map range.
+func sumUnordered(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `map iteration in hot-path function sumUnordered writes total, declared outside the loop`
+		total += v
+	}
+	return total
+}
+
+// sumSorted is the sanctioned pattern: collect keys, sort, iterate the
+// slice. The collection loop is the recognized idiom and must not fire.
+func sumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// collect appends map entries to an outer slice — the output order leaks.
+func collect(m map[string]float64) []string {
+	var out []string
+	for k := range m { // want `map iteration in hot-path function collect writes out, declared outside the loop`
+		out = append(out, k)
+	}
+	return out
+}
+
+// countEntries increments an outer counter per entry.
+func countEntries(m map[string]float64) int {
+	n := 0
+	for range m { // want `map iteration in hot-path function countEntries increments n, declared outside the loop`
+		n++
+	}
+	return n
+}
+
+// drain deletes every entry — no writes to outer state, no float math, so
+// the body is order-free and must not fire.
+func drain(set map[string]bool) {
+	for k := range set {
+		delete(set, k)
+	}
+}
+
+// reviewed carries a justified suppression on an otherwise-flagged loop.
+func reviewed(m map[string]float64) float64 {
+	n := 0
+	//mdm:maporderok -- fixture: integer count, order-independent by construction
+	for range m {
+		n++
+	}
+	return float64(n)
+}
+
+// coldSum is byte-for-byte the offending pattern, but unreachable from the
+// stepflow root — the analyzer must stay quiet off the hot path.
+func coldSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

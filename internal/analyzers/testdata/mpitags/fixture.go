@@ -43,7 +43,7 @@ func literals(c *mpi.Comm) {
 	_ = c.Send(1, 7, nil)        // want `mpi Send with untyped literal tag 7`
 	_, _ = c.Recv(1, -3)         // want `mpi Recv with untyped literal tag -3`
 	_, _ = c.RecvFloat64s(0, 12) // want `mpi RecvFloat64s with untyped literal tag 12`
-	_ = c.Send(1, 11, nil)       //mdm:tagok fixture: reviewed one-shot probe
+	_ = c.Send(1, 11, nil)       //mdm:tagok -- fixture: reviewed one-shot probe
 	_ = c.Send(1, tagNoise, nil)
 	_, _ = c.Recv(1, tagNoise)
 }

@@ -24,14 +24,14 @@ func bounded(c *mpi.Comm) {
 	_ = c.BarrierWithin(time.Second)
 }
 
-//mdm:recvok fixture: the world deadline (SetTimeout) bounds these receives
+//mdm:recvok -- fixture: the world deadline (SetTimeout) bounds these receives
 func reviewed(c *mpi.Comm) {
 	_, _ = c.Recv(0, tagData)
 	_ = c.Barrier()
 }
 
 func reviewedLine(c *mpi.Comm) {
-	_, _ = c.RecvFloat64s(0, tagReply) //mdm:recvok fixture: reviewed bounded receive
+	_, _ = c.RecvFloat64s(0, tagReply) //mdm:recvok -- fixture: reviewed bounded receive
 }
 
 // The sending side cannot block on a dead peer in this substrate: never

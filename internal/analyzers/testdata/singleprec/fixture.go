@@ -29,7 +29,7 @@ func accumulate(acc *float64, fs []float32) {
 
 // pipeSuppressed widens at a reviewed boundary.
 func pipeSuppressed(x float32) float32 {
-	xf := float64(x)                         //mdm:float64ok fixture: exact widening, no double rounding
+	xf := float64(x)                         //mdm:float64ok -- fixture: exact widening, no double rounding
 	if math.IsNaN(xf) || math.IsInf(xf, 0) { // predicates never compute
 		return 0
 	}
@@ -38,7 +38,7 @@ func pipeSuppressed(x float32) float32 {
 
 // pipeDocSuppressed is suppressed for its whole body via the doc comment.
 //
-//mdm:float64ok fixture: reviewed host readout helper
+//mdm:float64ok -- fixture: reviewed host readout helper
 func pipeDocSuppressed(x float32) float32 {
 	return float32(float64(x) * math.Pi / math.Pi)
 }

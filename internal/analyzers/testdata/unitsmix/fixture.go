@@ -22,7 +22,7 @@ func mixing(n int) {
 func hardcoded() {
 	_ = 14.399645478   // want `literal 14\.399645478 duplicates units\.Coulomb`
 	_ = 8.617333262e-5 // want `literal 8\.617333262e-5 duplicates units\.Boltzmann`
-	_ = 14.399645478   //mdm:unitsok fixture: doc mirror of the constant
+	_ = 14.399645478   //mdm:unitsok -- fixture: doc mirror of the constant
 	_ = 14.4           // ok: too few significant digits to be a copy
 	_ = 160.21766208   // want `literal 160\.21766208 duplicates units\.EVPerA3ToGPa`
 	_ = 2.718281828    // ok: matches no units constant

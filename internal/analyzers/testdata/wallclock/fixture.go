@@ -1,0 +1,58 @@
+// Fixtures for the wallclock analyzer: clock reads and RNG draws in stepflow
+// code diverge between a live run and a journal replay. Duration arithmetic
+// and cold-path timing stay quiet.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// step is the fixture's hot-path root; everything it reaches is stepflow.
+//
+//mdm:stepflow -- fixture: hot-path root
+func step(n int) time.Duration {
+	tick()
+	jitter(n)
+	waitOut()
+	durationMath()
+	liveness()
+	return sinceStart(time.Unix(0, 0))
+}
+
+// tick samples the wall clock on the step path.
+func tick() {
+	_ = time.Now() // want `time.Now in hot-path function tick`
+}
+
+// jitter draws from the global RNG on the step path.
+func jitter(n int) int {
+	return rand.Intn(n + 1) // want `math/rand.Intn in hot-path function jitter`
+}
+
+// sinceStart measures elapsed wall time on the step path.
+func sinceStart(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in hot-path function sinceStart`
+}
+
+// waitOut sleeps on the step path.
+func waitOut() {
+	time.Sleep(time.Millisecond) // want `time.Sleep in hot-path function waitOut`
+}
+
+// durationMath manipulates durations without reading the clock — fine.
+func durationMath() time.Duration {
+	d := 3 * time.Second
+	return d / 2
+}
+
+// liveness carries a reviewed suppression (the watchdog-beat pattern).
+func liveness() time.Time {
+	return time.Now() //mdm:wallclockok -- fixture: liveness clock only, never enters simulation state
+}
+
+// coldTiming is the offending pattern off the hot path — must not fire.
+func coldTiming() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}

@@ -1,0 +1,63 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the time package functions that read the wall (or
+// monotonic) clock. Duration arithmetic and formatting are fine; sampling
+// the clock is what diverges between a live run and a journal replay.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+	"Tick":  true,
+	"After": true,
+	"Sleep": true,
+}
+
+// wallClockPkgs are the packages whose every call is a nondeterminism source.
+var wallClockPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// WallClock flags clock reads (time.Now, time.Since, time.Until, timers) and
+// math/rand use in hot-path functions. The step journal (PR 4) promises that
+// replaying a journal reproduces the original run bit-for-bit; a step path
+// that samples the wall clock or an unseeded RNG takes different branches on
+// replay and the promise quietly dies. Supervision code that uses the
+// monotonic clock only for liveness (watchdog beats) — never letting it into
+// simulation state or journal records — carries reviewed
+// //mdm:wallclockok -- suppressions.
+var WallClock = &Analyzer{
+	Name:     "wallclock",
+	Doc:      "flag time.Now/time.Since/math/rand in stepflow code (breaks journal replay)",
+	Suppress: "wallclockok",
+	Run:      runWallClock,
+}
+
+func runWallClock(pass *Pass) {
+	stepFlowFuncs(pass, func(fd *ast.FuncDecl, fn *types.Func) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			switch path := callee.Pkg().Path(); {
+			case path == "time" && wallClockFuncs[callee.Name()]:
+				pass.Reportf(call.Pos(),
+					"time.%s in hot-path function %s; clock reads diverge between a live run and journal replay — derive times from the step counter or move the read off the step path", callee.Name(), fd.Name.Name)
+			case wallClockPkgs[path]:
+				pass.Reportf(call.Pos(),
+					"%s.%s in hot-path function %s; RNG draws diverge between a live run and journal replay — thread an explicitly seeded source through the config instead", path, callee.Name(), fd.Name.Name)
+			}
+			return true
+		})
+	})
+}

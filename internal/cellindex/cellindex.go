@@ -262,7 +262,9 @@ func (so *Sorter) SortInto(dst *Sorted, pos []vec.V, pool *parallelize.Pool) *So
 	}
 	cells := so.cells[:n]
 	for len(so.counts) < len(shards) {
+		//mdm:hotallocok -- amortized scratch growth: grows to the worker count once, then reuses across sorts
 		so.counts = append(so.counts, nil)
+		//mdm:hotallocok -- amortized scratch growth: grows to the worker count once, then reuses across sorts
 		so.base = append(so.base, nil)
 	}
 	counts := so.counts[:len(shards)]

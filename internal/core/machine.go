@@ -426,6 +426,8 @@ func (m *Machine) realPasses() []mdgrape2.ForcePass {
 // concurrently with the real-space work and the four real-space passes fuse
 // into one sweep; the combined forces are bit-identical either way because
 // the reduction order is fixed: Coulomb + BM + r⁻⁶ + r⁻⁸, then + wave.
+//
+//mdm:stepflow -- hot-path root: the per-step force evaluation of §3.1; everything it reaches must stay deterministic and allocation-free
 func (m *Machine) Forces(s *md.System) ([]vec.V, float64, error) {
 	p := m.cfg.Ewald
 	if s.L != p.L {
@@ -454,6 +456,7 @@ func (m *Machine) Forces(s *md.System) ([]vec.V, float64, error) {
 		// while MDGRAPE-2 (and its host loops) work the real-space sweep.
 		// The join is unconditional — no return path may leave the pass in
 		// flight (the recovery layer tears the machine down on failure).
+		//mdm:hotallocok -- one pipeline launch per step by design; the closure capture is the overlap mechanism and fits the ~10 allocs/step budget
 		go func() {
 			wf, wp, werr := m.wine.CalcForceAndPotWavepartInto(p, m.waves, s.Pos, s.Charge, m.wineForces)
 			m.wineDone <- wineResult{f: wf, pot: wp, err: werr}

@@ -57,7 +57,7 @@ func (g *groupComm) AllreduceSum(vals []float64) ([]float64, error) {
 		total := make([]float64, len(vals))
 		copy(total, vals)
 		for _, m := range g.members[1:] {
-			part, err := g.c.RecvFloat64s(m, tagGroupReduce) //mdm:recvok world deadline (SetTimeout) bounds this receive
+			part, err := g.c.RecvFloat64s(m, tagGroupReduce) //mdm:recvok -- world deadline (SetTimeout) bounds this receive
 			if err != nil {
 				return nil, err
 			}
@@ -80,7 +80,7 @@ func (g *groupComm) AllreduceSum(vals []float64) ([]float64, error) {
 	if err := g.c.Send(root, tagGroupReduce, part); err != nil {
 		return nil, err
 	}
-	return g.c.RecvFloat64s(root, tagGroupReduce) //mdm:recvok world deadline (SetTimeout) bounds this receive
+	return g.c.RecvFloat64s(root, tagGroupReduce) //mdm:recvok -- world deadline (SetTimeout) bounds this receive
 }
 
 // ParallelResult is the assembled output of a parallel force step.
@@ -169,11 +169,12 @@ func realSpaceRank(c *mpi.Comm, cfg MachineConfig, dec *domain.Decomposition, nR
 	}
 
 	// Exchange: send my particles that fall inside each other domain's halo.
+	send := make([]int, 0, len(own))
 	for other := 0; other < nReal; other++ {
 		if other == me {
 			continue
 		}
-		var send []int
+		send = send[:0]
 		for _, i := range own {
 			if dec.InHalo(other, s.Pos[i], haloR) {
 				send = append(send, i)
@@ -192,12 +193,19 @@ func realSpaceRank(c *mpi.Comm, cfg MachineConfig, dec *domain.Decomposition, nR
 		typ  []int
 		gidx []int
 	}
+	// Size the halo buffers for their upper bound up front (every particle
+	// this rank does not own), so the receive loop below never regrows them.
 	var h halo
+	hcap := len(s.Pos) - len(own)
+	h.pos = make([]vec.V, 0, hcap)
+	h.chg = make([]float64, 0, hcap)
+	h.typ = make([]int, 0, hcap)
+	h.gidx = make([]int, 0, hcap)
 	for other := 0; other < nReal; other++ {
 		if other == me {
 			continue
 		}
-		buf, err := c.RecvFloat64s(other, tagHalo) //mdm:recvok world deadline (SetTimeout) bounds this receive
+		buf, err := c.RecvFloat64s(other, tagHalo) //mdm:recvok -- world deadline (SetTimeout) bounds this receive
 		if err != nil {
 			return err
 		}
@@ -324,7 +332,7 @@ func waveRank(c *mpi.Comm, cfg MachineConfig, nReal, nWave int, s *md.System, re
 func assembleRank0(c *mpi.Comm, cfg MachineConfig, s *md.System, result *ParallelResult) error {
 	total := make([]vec.V, s.N())
 	for src := 0; src < c.Size(); src++ {
-		buf, err := c.RecvFloat64s(src, tagForces) //mdm:recvok world deadline (SetTimeout) bounds this receive
+		buf, err := c.RecvFloat64s(src, tagForces) //mdm:recvok -- world deadline (SetTimeout) bounds this receive
 		if err != nil {
 			return err
 		}
@@ -397,6 +405,7 @@ func newRankMDG(cfg MachineConfig, nReal, rank int) (*mdgrape2.MR1, error) {
 	}
 	m.SetFaultHook(cfg.FaultHook)
 	if cfg.Heartbeat != nil {
+		//mdm:hotallocok -- rank construction: runs at machine build and re-stripe, not per clean step
 		scope := fmt.Sprintf("mdg/rank%d", rank)
 		m.SetHeartbeat(func() { cfg.Heartbeat(scope) })
 	}
@@ -448,6 +457,7 @@ func newRankWine(cfg MachineConfig, nWave, rank int) (*wine2.Library, error) {
 	}
 	lib.SetFaultHook(cfg.FaultHook)
 	if cfg.Heartbeat != nil {
+		//mdm:hotallocok -- rank construction: runs at machine build and re-stripe, not per clean step
 		scope := fmt.Sprintf("wine2/rank%d", rank)
 		lib.SetHeartbeat(func() { cfg.Heartbeat(scope) })
 	}

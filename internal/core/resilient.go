@@ -310,12 +310,17 @@ func (r *Resilient) maxRetries() int {
 	return r.rc.MaxRetries
 }
 
+// logf appends a formatted line to the recovery event log.
+//
+//mdm:hotallocok -- recovery event log: reached only when a step failed or was rejected, never on the clean per-step path
 func (r *Resilient) logf(format string, args ...any) {
 	r.report.Events = append(r.report.Events, fmt.Sprintf(format, args...))
 }
 
 // backoff sleeps before the n-th retry (n ≥ 1): Backoff·2^(n-1), capped at
 // one second.
+//
+//mdm:wallclockok -- retry backoff on the failure path only; the sleep paces recovery and never feeds simulation state
 func (r *Resilient) backoff(n int) {
 	if r.rc.Backoff <= 0 {
 		return
@@ -344,6 +349,8 @@ func retryable(err error) bool {
 // across goroutine interleavings: a dropped message surfaces on the parallel
 // path as a timeout, a cancellation echo, or a tag desync depending on
 // timing, so those collapse to one label.
+//
+//mdm:hotallocok -- error-classification labels are built only after a step failed; the clean step path never reaches this
 func classify(err error) string {
 	var te *fault.TransientError
 	if errors.As(err, &te) {
@@ -369,6 +376,8 @@ func classify(err error) string {
 // breakerScope derives the circuit-breaker scope of a retryable failure: a
 // board-attributed hardware fault keys "site/boardN" (quarantinable), an
 // unattributed one keys the site, a link error keys its (src, dst) pair.
+//
+//mdm:hotallocok -- breaker scope keys are derived only from a retryable failure, off the clean per-step path
 func breakerScope(err error) (scope string, site fault.Site, board int, ok bool) {
 	var te *fault.TransientError
 	if errors.As(err, &te) {
@@ -385,6 +394,9 @@ func breakerScope(err error) (scope string, site fault.Site, board int, ok bool)
 	return "", "", -1, false
 }
 
+// hwScope renders the breaker-scope key of a board-attributed fault.
+//
+//mdm:hotallocok -- called only while classifying a failed step (see breakerScope), never on the clean path
 func hwScope(site fault.Site, board int) string {
 	if board >= 0 {
 		return fmt.Sprintf("%s/board%d", site, board)
@@ -394,6 +406,8 @@ func hwScope(site fault.Site, board int) string {
 
 // suspectReason applies the sanity guards to a completed step; it returns a
 // non-empty reason when the step must be rejected.
+//
+//mdm:hotallocok -- the Sprintf branches run only when a guard trips and the step is about to be rejected; the accept path is scan-only
 func (r *Resilient) suspectReason(f []vec.V, pot float64) string {
 	maxAbs := 0.0
 	for i := range f {

@@ -112,8 +112,17 @@ func (d *Decomposition) Bounds(dom int) (lo, hi vec.V) {
 }
 
 // Partition returns, for each domain, the indices of the particles it owns.
+// Two passes: count first, then fill exactly-sized lists, so the per-domain
+// slices never regrow.
 func (d *Decomposition) Partition(pos []vec.V) [][]int {
+	counts := make([]int, d.NumDomains())
+	for _, p := range pos {
+		counts[d.DomainOf(p)]++
+	}
 	out := make([][]int, d.NumDomains())
+	for dom, c := range counts {
+		out[dom] = make([]int, 0, c)
+	}
 	for i, p := range pos {
 		dom := d.DomainOf(p)
 		out[dom] = append(out[dom], i)

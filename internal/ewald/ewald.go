@@ -104,7 +104,9 @@ type Wave struct {
 func Waves(p Params) []Wave {
 	nmax := int(math.Ceil(p.LKCut))
 	cut2 := p.LKCut * p.LKCut
-	var out []Wave
+	// Lattice points in the half ball of radius LKCut number ≈ (2π/3)·LKCut³;
+	// size for that so the appends below never regrow.
+	out := make([]Wave, 0, int(2.1*p.LKCut*cut2)+8)
 	for nz := 0; nz <= nmax; nz++ {
 		for ny := -nmax; ny <= nmax; ny++ {
 			for nx := -nmax; nx <= nmax; nx++ {

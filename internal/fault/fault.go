@@ -207,6 +207,8 @@ type BoardError struct {
 }
 
 // Error implements error.
+//
+//mdm:hotallocok -- error rendering: reached only once a fault fired, off the clean step path
 func (e *BoardError) Error() string {
 	return fmt.Sprintf("fault: %s board %d down", e.Site, e.Board)
 }
@@ -221,6 +223,8 @@ type TransientError struct {
 }
 
 // Error implements error.
+//
+//mdm:hotallocok -- error rendering: reached only once a fault fired, off the clean step path
 func (e *TransientError) Error() string {
 	return fmt.Sprintf("fault: transient %s error", e.Site)
 }
@@ -235,6 +239,8 @@ type StallError struct {
 }
 
 // Error implements error.
+//
+//mdm:hotallocok -- error rendering: reached only once a fault fired, off the clean step path
 func (e *StallError) Error() string {
 	return fmt.Sprintf("fault: %s stalled (watchdog)", e.Site)
 }
@@ -245,6 +251,8 @@ type LinkError struct {
 }
 
 // Error implements error.
+//
+//mdm:hotallocok -- error rendering: reached only once a fault fired, off the clean step path
 func (e *LinkError) Error() string {
 	return fmt.Sprintf("fault: link %d→%d transient error", e.Src, e.Dst)
 }
@@ -256,6 +264,8 @@ type FatalError struct {
 }
 
 // Error implements error.
+//
+//mdm:hotallocok -- error rendering: reached only once a fault fired, off the clean step path
 func (e *FatalError) Error() string {
 	return fmt.Sprintf("fault: fatal host fault at step %d", e.Step)
 }
@@ -410,11 +420,13 @@ func (in *Injector) HardwareCall(site Site) error {
 	in.mu.Unlock()
 
 	if slow > 0 {
+		//mdm:wallclockok -- deliberate injected slowdown: the whole point of the scenario is to burn wall time; results are unaffected
 		time.Sleep(slow)
 	}
 	if hang != nil {
 		select {
 		case <-release:
+		//mdm:wallclockok -- MaxHang backstop on a deliberately injected hang; fires only in fault scenarios
 		case <-time.After(MaxHang):
 		}
 		return &StallError{Site: site, Board: hang.Board}
@@ -508,6 +520,8 @@ func (in *Injector) RecvError(src, dst int) error {
 }
 
 // fire marks an event consumed and logs it. Callers hold in.mu.
+//
+//mdm:hotallocok -- fault-event logging: runs only when an injected event fires, never on a clean step
 func (in *Injector) fire(e *scheduled) {
 	e.fired = true
 	in.fired = append(in.fired, fmt.Sprintf("step %d: %s", in.step, e.Event))

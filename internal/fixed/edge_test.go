@@ -9,7 +9,7 @@ import (
 // widest legal formats on either side of the boundary, at both extremes of
 // the Int/Frac split.
 //
-//mdm:fixedok this test constructs out-of-range formats on purpose
+//mdm:fixedok -- this test constructs out-of-range formats on purpose
 func TestCarrierBoundaryFormats(t *testing.T) {
 	cases := []struct {
 		f     Format

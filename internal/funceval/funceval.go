@@ -195,7 +195,7 @@ func solveVandermonde(u, v [Order + 1]float64) ([Order + 1]float64, error) {
 // domain minimum; arguments at or above the domain maximum return the
 // high-side tail value (0 by default — the implicit cutoff).
 func (t *Table) Eval(x float32) float32 {
-	xf := float64(x) //mdm:float64ok exact widening used only for segment addressing, not arithmetic
+	xf := float64(x) //mdm:float64ok -- exact widening used only for segment addressing, not arithmetic
 	if !(xf > 0) || math.IsNaN(xf) {
 		return 0
 	}

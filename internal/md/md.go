@@ -218,6 +218,8 @@ func NewIntegrator(s *System, ff ForceField, dt float64) (*Integrator, error) {
 // Step advances one velocity-Verlet time step. In NVT mode the velocities
 // are rescaled to the target temperature after the update (the paper's
 // velocity-scaling thermostat).
+//
+//mdm:stepflow -- hot-path root: one velocity-Verlet step, incl. every md.ForceField implementation it dispatches to
 func (it *Integrator) Step() error {
 	s := it.Sys
 	dt := it.Dt
@@ -251,6 +253,8 @@ func (it *Integrator) Step() error {
 }
 
 // Run advances n steps, invoking observe (if non-nil) after each step.
+//
+//mdm:stepflow -- hot-path root: the step loop; per-step observe callbacks passed to it (journal commit, sampling) run between steps
 func (it *Integrator) Run(n int, observe func(step int) error) error {
 	for i := 0; i < n; i++ {
 		if err := it.Step(); err != nil {

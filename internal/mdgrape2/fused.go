@@ -210,6 +210,8 @@ type tableRef struct {
 
 // CalcVDWFused computes several real-space kernel passes in one cell-index
 // sweep (see System.ComputeForcesFused). The session must be initialized.
+//
+//mdm:stepflow -- hot-path root: the MDGRAPE-2 session's fused per-step sweep (Table 3 loop, four tables at once)
 func (m *MR1) CalcVDWFused(passes []ForcePass, xi []vec.V, ti []int, js *JSet) ([]vec.V, error) {
 	if m.sys == nil {
 		return nil, fmt.Errorf("mdgrape2: MR1calcvdw_block2 before MR1init")

@@ -123,6 +123,8 @@ func (m *MR1) SetTable(name string, g func(float64) float64, emin, emax int) err
 // cell-index method (MR1calcvdw_block2): forces on the xi/ti block from the
 // j-set js, using the named table and the coefficient RAM co. See
 // System.ComputeForces for the scale semantics.
+//
+//mdm:stepflow -- hot-path root: the MDGRAPE-2 session's per-step kernel pass (Table 3 loop)
 func (m *MR1) CalcVDWBlock2(table string, co *Coeffs, xi []vec.V, ti []int, scaleI []float64, js *JSet) ([]vec.V, error) {
 	if m.sys == nil {
 		return nil, fmt.Errorf("mdgrape2: MR1calcvdw_block2 before MR1init")

@@ -230,6 +230,7 @@ func (w *World) Run(f func(c *Comm) error) error {
 	var wg sync.WaitGroup
 	for r := 0; r < w.size; r++ {
 		wg.Add(1)
+		//mdm:hotallocok -- rank goroutines launch once per world run, not per step; the per-step work happens inside f
 		go func(rank int) {
 			defer wg.Done()
 			c, err := w.Comm(rank)
@@ -345,6 +346,7 @@ func (c *Comm) Send(dst, tag int, data any) error {
 			return nil // lost on the wire; the receiver's deadline notices
 		}
 		if f.Delay > 0 {
+			//mdm:wallclockok -- injected link delay from a fault scenario; clean runs never take this branch
 			time.Sleep(f.Delay)
 		}
 		if f.Corrupt {

@@ -63,7 +63,7 @@ func TestRecvTagMismatch(t *testing.T) {
 		if c.Rank() == 0 {
 			return c.Send(1, tagData, nil)
 		}
-		_, err := c.Recv(0, tagWrong) //mdm:tagok tagWrong is one-sided on purpose: the test wants the mismatch
+		_, err := c.Recv(0, tagWrong) //mdm:tagok -- tagWrong is one-sided on purpose: the test wants the mismatch
 		if err == nil {
 			return fmt.Errorf("tag mismatch not detected")
 		}
@@ -78,7 +78,7 @@ func TestRecvAnyTag(t *testing.T) {
 	w, _ := NewWorld(2)
 	err := w.Run(func(c *Comm) error {
 		if c.Rank() == 0 {
-			return c.Send(1, tagProbe, []float64{9}) //mdm:tagok tagProbe is received via AnyTag below
+			return c.Send(1, tagProbe, []float64{9}) //mdm:tagok -- tagProbe is received via AnyTag below
 		}
 		got, err := c.Recv(0, AnyTag)
 		if err != nil {

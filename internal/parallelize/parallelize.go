@@ -65,6 +65,9 @@ type PanicError struct {
 	Value any
 }
 
+// Error implements error.
+//
+//mdm:hotallocok -- panic rendering: reached only after a worker panicked, never on the clean step path
 func (e *PanicError) Error() string {
 	return fmt.Sprintf("parallelize: panic in shard %d: %v", e.Shard, e.Value)
 }
@@ -134,6 +137,7 @@ func (p *Pool) Run(n int, fn func(shard, lo, hi int) error) error {
 	var wg sync.WaitGroup
 	wg.Add(len(shards))
 	for s, r := range shards {
+		//mdm:hotallocok -- the pool's dispatch mechanism: one goroutine per shard with the WaitGroup capture is the join; width 1 takes the zero-alloc runInline path
 		go func(s, lo, hi int) {
 			defer wg.Done()
 			defer func() {

@@ -23,6 +23,7 @@ package supervise
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -82,6 +83,9 @@ func (w *Watchdog) OnStall(fn func(scope string)) {
 
 // Beat records a sign of life from a scope, registering it on first use and
 // clearing any stall latched against it.
+//
+//mdm:stepflow -- hot-path root: installed as the hardware-call heartbeat hook (core wires cfg.Heartbeat = wd.Beat), so it runs inside every step; annotated explicitly because the hook wiring is an assignment the callgraph cannot see
+//mdm:wallclockok -- the liveness clock must be wall time (a stall IS elapsed wall time); timestamps stay inside the watchdog and never reach simulation state or the journal
 func (w *Watchdog) Beat(scope string) {
 	now := time.Now()
 	w.mu.Lock()
@@ -99,6 +103,8 @@ func (w *Watchdog) Beat(scope string) {
 // counts as stalled. Windows nest; every known scope's silence clock resets
 // at the outermost Arm so staleness from the previous window cannot trip the
 // monitor instantly.
+//
+//mdm:wallclockok -- the liveness clock must be wall time (a stall IS elapsed wall time); timestamps stay inside the watchdog and never reach simulation state or the journal
 func (w *Watchdog) Arm() {
 	now := time.Now()
 	w.mu.Lock()
@@ -179,8 +185,17 @@ func (w *Watchdog) check(now time.Time) {
 		w.mu.Unlock()
 		return
 	}
+	// Walk scopes in sorted order so the stall log and the callback sequence
+	// are stable when several scopes trip on the same tick (map iteration
+	// order would otherwise shuffle them run to run).
+	names := make([]string, 0, len(w.scopes))
+	for scope := range w.scopes {
+		names = append(names, scope)
+	}
+	sort.Strings(names)
 	var stalled []string
-	for scope, s := range w.scopes {
+	for _, scope := range names {
+		s := w.scopes[scope]
 		if !s.stalled && now.Sub(s.last) > w.deadline {
 			s.stalled = true
 			w.stalls = append(w.stalls, fmt.Sprintf("%s silent > %v", scope, w.deadline))

@@ -162,6 +162,8 @@ func (l *Library) CalcForceAndPotWavepart(p ewald.Params, waves []ewald.Wave, po
 // drawing all intermediate buffers — the quantized particle image, the
 // structure factors, the reduction message — from session scratch. Results
 // are bit-identical to the allocating call.
+//
+//mdm:stepflow -- hot-path root: the WINE-2 session's per-step wavenumber pass (Table 2 loop)
 func (l *Library) CalcForceAndPotWavepartInto(p ewald.Params, waves []ewald.Wave, pos []vec.V, q []float64, dst []vec.V) ([]vec.V, float64, error) {
 	if l.sys == nil {
 		return nil, 0, fmt.Errorf("wine2: force call before initialize")

@@ -10,9 +10,19 @@
 # recognizable as serial measurements.
 #
 # Usage: scripts/bench.sh [extra mdmbench flags, e.g. -iters 20]
+#        scripts/bench.sh -compare BENCH_a.json BENCH_b.json
+#
+# The -compare form renders a regression summary between two recorded
+# artifacts (ns/op delta per configuration, alloc growth, pipeline speedup)
+# and exits 1 when the new report regresses beyond the threshold.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "-compare" ]; then
+    shift
+    exec go run ./cmd/mdmbench -compare "$@"
+fi
 
 n=0
 while [ -e "BENCH_${n}.json" ]; do

@@ -19,8 +19,11 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> mdmvet (fixedformat singleprec mpitags unitsmix goroutineloop recvwithin gojoin)"
-go run ./cmd/mdmvet ./...
+echo "==> mdmvet (full analyzer suite incl. stepflow determinism checks, baseline-filtered)"
+go run ./cmd/mdmvet -baseline mdmvet.baseline ./...
+
+echo "==> mdmvet -audit (every //mdm:* suppression must carry a justification)"
+go run ./cmd/mdmvet -audit >/dev/null
 
 echo "==> go test ./..."
 go test ./...
