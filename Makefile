@@ -33,10 +33,10 @@ audit:
 race:
 	$(GO) test -race ./internal/fault/... ./internal/mpi/... ./internal/core/... \
 		./internal/parallelize/... ./internal/wine2/... ./internal/mdgrape2/... \
-		./internal/cellindex/... ./internal/supervise/...
+		./internal/cellindex/... ./internal/supervise/... ./internal/store/...
 
 chaos:
-	$(GO) test -run 'Chaos|Resilient|FaultHook|RunProtocol|CheckpointFile|CheckpointTyped|Watchdog|Breaker|Journal|Supervise|Interrupt' \
+	$(GO) test -run 'Chaos|Resilient|FaultHook|RunProtocol|CheckpointFile|CheckpointTyped|Watchdog|Breaker|Journal|Supervise|Interrupt|CrashMatrix' \
 		./internal/core/... ./internal/wine2/... ./internal/mdgrape2/... \
 		./internal/md/... ./internal/supervise/... ./cmd/mdmsim/... .
 
@@ -44,6 +44,7 @@ fuzz-smoke:
 	$(GO) test ./internal/fault/ -run '^$$' -fuzz FuzzParseScenario -fuzztime 3s
 	$(GO) test ./internal/md/ -run '^$$' -fuzz FuzzReadCheckpoint -fuzztime 3s
 	$(GO) test ./internal/supervise/ -run '^$$' -fuzz FuzzReadJournal -fuzztime 3s
+	$(GO) test ./internal/store/ -run '^$$' -fuzz FuzzScanRunDir -fuzztime 3s
 
 fmt:
 	gofmt -w .

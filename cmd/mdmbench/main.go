@@ -420,6 +420,7 @@ func main() {
 		os.Stdout.Write(buf)
 		return
 	}
+	//mdm:rawiook -- benchmark report: re-runnable output, not durable run state
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,107 @@
+// Command mdmfsck inspects, verifies and repairs the durable artifacts of an
+// mdm run — the checkpoint and the write-ahead journal (active segment plus
+// rotated wal.NNNN segments) that ResumeFromJournal needs to rebuild a killed
+// simulation:
+//
+//	go run ./cmd/mdmfsck -checkpoint run.ckpt -journal run.journal
+//	go run ./cmd/mdmfsck -verify -checkpoint run.ckpt -journal run.journal
+//	go run ./cmd/mdmfsck -repair -checkpoint run.ckpt -journal run.journal
+//
+// The default mode prints the recovery manager's inventory (store.Scan) as
+// JSON: every artifact with its validation status, the newest consistent
+// checkpoint + journal-tail pair, and the lists of torn, damaged and stale
+// files. -repair applies the inventory's verdict the same way resume does —
+// torn or interior-corrupt journal segments are truncated to their valid
+// prefix with a full atomic replace, stale atomic-replace temps are removed —
+// and prints the post-repair inventory. A damaged checkpoint is never
+// touched: that state is unrecoverable and deleting it is a human's call.
+//
+// Exit status is 0 when the directory is healthy (with -repair: healthy
+// after repair), 1 when anomalies exist that -repair could fix (or -verify
+// found the directory unclean), and 2 when the state is unrecoverable — no
+// checkpoint validates yet journal progress exists — or the scan itself
+// fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mdm/internal/md"
+	"mdm/internal/store"
+	"mdm/internal/supervise"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// report is the JSON document mdmfsck emits: the scan inventory plus the
+// tool's verdict and, after -repair, the paths it changed.
+type report struct {
+	*store.Inventory
+	Healthy       bool     `json:"healthy"`
+	Unrecoverable bool     `json:"unrecoverable"`
+	Repaired      []string `json:"repaired,omitempty"`
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("mdmfsck", flag.ExitOnError)
+	ckpt := fs.String("checkpoint", "run.ckpt", "checkpoint path")
+	journal := fs.String("journal", "run.journal", "journal path (active segment; rotated segments are derived)")
+	verify := fs.Bool("verify", false, "verify only: exit 0 iff the run directory is clean")
+	repair := fs.Bool("repair", false, "truncate torn journal tails and remove stale temps, then re-verify")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: mdmfsck [-verify|-repair] -checkpoint path -journal path\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *verify && *repair {
+		fmt.Fprintln(stderr, "mdmfsck: -verify and -repair are mutually exclusive")
+		return 2
+	}
+
+	fsys := store.OS()
+	lay := store.Layout{Checkpoint: *ckpt, Journal: *journal}
+	v := store.Validators{CheckpointStep: md.CheckpointStep, ScanSegment: supervise.ScanSegment}
+
+	inv, err := store.Scan(fsys, lay, v)
+	if err != nil {
+		fmt.Fprintln(stderr, "mdmfsck:", err)
+		return 2
+	}
+	rep := report{Inventory: inv}
+	if *repair && !inv.Healthy() && !inv.Unrecoverable() {
+		changed, err := store.Repair(fsys, inv)
+		if err != nil {
+			fmt.Fprintln(stderr, "mdmfsck: repair:", err)
+			return 2
+		}
+		rep.Repaired = changed
+		if inv, err = store.Scan(fsys, lay, v); err != nil {
+			fmt.Fprintln(stderr, "mdmfsck:", err)
+			return 2
+		}
+		rep.Inventory = inv
+	}
+	rep.Healthy = inv.Healthy()
+	rep.Unrecoverable = inv.Unrecoverable()
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(stderr, "mdmfsck:", err)
+		return 2
+	}
+	switch {
+	case rep.Unrecoverable:
+		return 2
+	case !rep.Healthy:
+		return 1
+	}
+	return 0
+}

@@ -55,12 +55,14 @@ type runOpts struct {
 	logf        func(format string, args ...any)
 }
 
-// checkpoint writes the crash-safe checkpoint if one is configured.
+// checkpoint writes the crash-safe checkpoint if one is configured. The
+// commit also rotates and compacts the write-ahead journal, keeping it
+// bounded across a long campaign.
 func (o *runOpts) checkpoint(sim *mdm.Simulation) error {
 	if o.ckptPath == "" {
 		return nil
 	}
-	return md.WriteCheckpointFile(o.ckptPath, sim.System, sim.Integrator.StepCount())
+	return sim.WriteCheckpoint(o.ckptPath)
 }
 
 // runSegments advances sim from wherever its step counter stands through the
@@ -167,6 +169,7 @@ func writeSummary(path string, s runSummary) error {
 	if err != nil {
 		return err
 	}
+	//mdm:rawiook -- run-summary report: re-runnable output, not durable run state
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
@@ -197,6 +200,7 @@ func run() (exit int) {
 	skin := flag.Float64("skin", 0, "Verlet skin in Å: reuse the sorted cell layout until a particle moves more than skin/2 (0 = rebuild every step)")
 	watchdog := flag.Duration("watchdog", 0, "stall deadline for one hardware call, e.g. 30s (0 disables the watchdog)")
 	journal := flag.String("journal", "", "write-ahead step journal path (with -checkpoint, enables -resume after a kill)")
+	syncEvery := flag.Int("sync-every", 1, "journal group-commit interval: fsync every Nth step record (1 = every step, the strongest durability; N > 1 risks the last N-1 steps on a power cut)")
 	resume := flag.Bool("resume", false, "resume a killed run from -checkpoint and -journal at the exact committed step")
 	summaryPath := flag.String("summary", "", "write a machine-readable JSON run summary to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -204,6 +208,7 @@ func run() (exit int) {
 	flag.Parse()
 
 	if *cpuprofile != "" {
+		//mdm:rawiook -- pprof profile: diagnostic output, lose-on-crash is fine
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -217,6 +222,7 @@ func run() (exit int) {
 	}
 	if *memprofile != "" {
 		defer func() {
+			//mdm:rawiook -- pprof profile: diagnostic output, lose-on-crash is fine
 			f, err := os.Create(*memprofile)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -269,8 +275,9 @@ func run() (exit int) {
 		Pipeline:       *pipeline,
 		Skin:           *skin,
 		Supervise: mdm.SuperviseConfig{
-			Watchdog: *watchdog,
-			Journal:  *journal,
+			Watchdog:  *watchdog,
+			Journal:   *journal,
+			SyncEvery: *syncEvery,
 		},
 	}
 	var sim *mdm.Simulation
@@ -321,6 +328,7 @@ func run() (exit int) {
 
 	var traj *os.File
 	if *xyz != "" {
+		//mdm:rawiook -- trajectory dump: re-runnable output, not durable run state
 		traj, err = os.Create(*xyz)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

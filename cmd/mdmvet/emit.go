@@ -215,6 +215,7 @@ func writeBaseline(path string, findings []Finding) error {
 	if err != nil {
 		return err
 	}
+	//mdm:rawiook -- baseline file: regenerated with -write-baseline, not durable run state
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 

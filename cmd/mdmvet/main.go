@@ -138,6 +138,7 @@ func run(args []string) int {
 
 	out := os.Stdout
 	if *outPath != "" {
+		//mdm:rawiook -- findings report: re-runnable output, not durable run state
 		f, err := os.Create(*outPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mdmvet: %v\n", err)

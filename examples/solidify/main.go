@@ -35,6 +35,7 @@ func main() {
 	}
 	defer func() { _ = sim.Free() }()
 
+	//mdm:rawiook -- trajectory dump: re-runnable output, not durable run state
 	traj, err := os.Create("solidify.xyz")
 	if err != nil {
 		log.Fatal(err)

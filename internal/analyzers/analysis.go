@@ -257,7 +257,7 @@ func RunPackageFacts(pkg *load.Package, analyzers []*Analyzer, facts *Facts) []D
 // output via RunPackageFacts.
 func All() []*Analyzer {
 	return []*Analyzer{
-		FixedFormat, SinglePrec, MPITags, UnitsMix, GoroutineLoop, RecvWithin, GoJoin,
+		FixedFormat, SinglePrec, MPITags, UnitsMix, GoroutineLoop, RecvWithin, GoJoin, RawIO,
 		MapOrder, WallClock, HotAlloc, ShardMerge,
 	}
 }

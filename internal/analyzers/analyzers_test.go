@@ -64,6 +64,22 @@ func TestGoJoinFixtures(t *testing.T) {
 	atest.Run(t, analyzers.GoJoin, "gojoin", "mdm/fixture/gojoin")
 }
 
+func TestRawIOFixtures(t *testing.T) {
+	atest.Run(t, analyzers.RawIO, "rawio", "mdm/fixture/rawio")
+}
+
+func TestRawIOExemptsStore(t *testing.T) {
+	// internal/store IS the wrapper layer: the same fixture under its import
+	// path must produce nothing.
+	pkg, err := atest.Loader(t).Check("mdm/internal/store", atest.FixtureDir(t, "rawio"), atest.FixtureFiles(t, "rawio"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := analyzers.RunPackage(pkg, []*analyzers.Analyzer{analyzers.RawIO}); len(diags) != 0 {
+		t.Errorf("rawio fired inside the store package: %v", diags)
+	}
+}
+
 func TestMapOrderFixtures(t *testing.T) {
 	atest.Run(t, analyzers.MapOrder, "maporder", "mdm/fixture/maporder")
 }

@@ -1,0 +1,65 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// rawIOFuncs are the os-package calls that create, mutate or replace files
+// directly. Durable run state written through them silently skips the
+// storage layer's crash discipline — atomic replace, file fsync, directory
+// fsync — and the fault filesystem's injection points, so a kill test can
+// never reach the code path and a real kill can tear it.
+var rawIOFuncs = map[string]bool{
+	"OpenFile":   true,
+	"Create":     true,
+	"CreateTemp": true,
+	"Rename":     true,
+	"WriteFile":  true,
+}
+
+// rawIOExemptPkgs may touch os file APIs directly: internal/store IS the
+// wrapper layer the rest of the tree must go through.
+var rawIOExemptPkgs = map[string]bool{
+	"mdm/internal/store": true,
+}
+
+// RawIO flags direct os file-writing calls (os.OpenFile, os.Create,
+// os.CreateTemp, os.Rename, os.WriteFile) outside internal/store. The
+// crash-safe storage layer (store.FS) is the only sanctioned route to
+// durable run state — checkpoints and journals written through it get the
+// atomic-replace + fsync discipline and stay reachable by the FaultFS crash
+// matrix. Sites that write genuinely non-durable output (trajectory dumps,
+// profiles, vet reports: lose-on-crash is acceptable and re-runnable) carry
+// reviewed //mdm:rawiook -- suppressions. Test files are exempt: tests
+// fabricate broken files on purpose.
+var RawIO = &Analyzer{
+	Name:     "rawio",
+	Doc:      "flag raw os file writes outside internal/store (bypasses the crash-safe storage layer)",
+	Suppress: "rawiook",
+	Run:      runRawIO,
+}
+
+func runRawIO(pass *Pass) {
+	if rawIOExemptPkgs[pass.Path] {
+		return
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.FileStart).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" || !rawIOFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"os.%s bypasses the crash-safe storage layer; durable run state must go through a store.FS (internal/store) so it gets atomic replace, fsync and fault injection", fn.Name())
+			return true
+		})
+	}
+}

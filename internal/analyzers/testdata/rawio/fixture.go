@@ -1,0 +1,69 @@
+// Fixtures for the rawio analyzer: direct os file-writing calls bypass the
+// crash-safe storage layer (internal/store) — no atomic replace, no fsync
+// discipline, invisible to the fault filesystem's crash matrix.
+package fixture
+
+import (
+	"io"
+	"os"
+)
+
+// saveState writes durable state with raw os calls: every write-side call
+// fires.
+func saveState(data []byte) error {
+	f, err := os.Create("state.tmp") // want `os.Create bypasses the crash-safe storage layer`
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename("state.tmp", "state") // want `os.Rename bypasses the crash-safe storage layer`
+}
+
+// appendLog opens a file for appending without the store layer.
+func appendLog(line string) error {
+	f, err := os.OpenFile("log", os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644) // want `os.OpenFile bypasses the crash-safe storage layer`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = io.WriteString(f, line)
+	return err
+}
+
+// dumpAll uses the one-shot and temp-file helpers.
+func dumpAll(data []byte) error {
+	if err := os.WriteFile("dump", data, 0o644); err != nil { // want `os.WriteFile bypasses the crash-safe storage layer`
+		return err
+	}
+	_, err := os.CreateTemp("", "scratch") // want `os.CreateTemp bypasses the crash-safe storage layer`
+	return err
+}
+
+// readSide only reads: read paths are the store layer's concern too, but
+// they cannot tear durable state, so the analyzer leaves them alone.
+func readSide() ([]byte, error) {
+	data, err := os.ReadFile("state")
+	if err != nil {
+		return nil, err
+	}
+	_ = os.Remove("scratch")
+	f, err := os.Open("state")
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return data, nil
+}
+
+// reviewed writes a lose-on-crash artifact (a trajectory dump) and carries
+// the sanctioned suppression.
+func reviewed(data []byte) error {
+	//mdm:rawiook -- trajectory dump: re-runnable output, not durable run state
+	return os.WriteFile("traj.xyz", data, 0o644)
+}

@@ -34,6 +34,7 @@ const (
 	MDG2  Site = "mdg"   // real-space engine (internal/mdgrape2)
 	MPI   Site = "mpi"   // message-passing substrate (internal/mpi)
 	Run   Site = "run"   // the run itself (fatal host faults)
+	Store Site = "store" // durable storage layer (internal/store VFS)
 )
 
 // Kind enumerates the fault classes the injector can schedule.
@@ -71,6 +72,28 @@ const (
 	// Slow stalls one hardware call for DelayMS milliseconds (bounded by
 	// MaxDelay) before letting it proceed normally.
 	Slow
+	// TornWrite crashes the storage layer mid-write: the Op-th store write
+	// persists only its first Bytes bytes, every byte not yet fsynced is
+	// lost, and all further storage operations fail with the FS down.
+	TornWrite
+	// NoSpace fails one store write with an out-of-space error; the
+	// filesystem stays up and nothing is persisted by the failed write.
+	NoSpace
+	// IOErr fails one store operation (read, write, create, rename or sync)
+	// with an I/O error; the filesystem stays up.
+	IOErr
+	// BitRot corrupts one store read: the bit at byte Offset of the data
+	// returned by the Op-th read is flipped, simulating silent on-disk decay
+	// that only a checksum can catch.
+	BitRot
+	// CrashRename crashes the storage layer immediately before the Op-th
+	// rename: the rename never happens, unsynced data is lost, and all
+	// further storage operations fail.
+	CrashRename
+	// Crash is a plain power cut at the Op-th store operation of the given
+	// class: the operation has no effect, unsynced data is lost, and all
+	// further storage operations fail.
+	Crash
 )
 
 // String implements fmt.Stringer.
@@ -98,6 +121,18 @@ func (k Kind) String() string {
 		return "hang"
 	case Slow:
 		return "slow"
+	case TornWrite:
+		return "torn-write"
+	case NoSpace:
+		return "enospc"
+	case IOErr:
+		return "eio"
+	case BitRot:
+		return "bitrot"
+	case CrashRename:
+		return "crash-before-rename"
+	case Crash:
+		return "crash"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -131,6 +166,20 @@ type Event struct {
 
 	// DelayMS is the MsgDelay stall in milliseconds (bounded by MaxDelay).
 	DelayMS int
+
+	// Store scheduling (TornWrite, NoSpace, IOErr, BitRot, CrashRename,
+	// Crash): fire on the Op-th storage operation of class OpClass ("write",
+	// "read", "create", "rename" or "sync"), counted per class by the
+	// injection-aware filesystem. Per-class counts are deterministic because
+	// the storage layer is driven from the program-ordered step loop.
+	Op      int64
+	OpClass string
+	// Bytes is how many bytes of a TornWrite's buffer persist before the
+	// simulated power cut (0 = the write is lost entirely).
+	Bytes int
+	// Offset is the byte a BitRot corrupts within the data returned by the
+	// targeted read.
+	Offset int64
 }
 
 // String renders the event in the scenario DSL syntax (see Parse).
@@ -155,6 +204,12 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s:%s@src=%d,dst=%d,n=%d,ms=%d", e.Site, e.Kind, e.Src, e.Dst, e.Nth, e.DelayMS)
 	case MsgCorrupt:
 		return fmt.Sprintf("%s:%s@src=%d,dst=%d,n=%d,word=%d,bit=%d", e.Site, e.Kind, e.Src, e.Dst, e.Nth, e.Word, e.Bit)
+	case TornWrite:
+		return fmt.Sprintf("%s:%s@%s=%d,bytes=%d", e.Site, e.Kind, e.OpClass, e.Op, e.Bytes)
+	case BitRot:
+		return fmt.Sprintf("%s:%s@%s=%d,offset=%d", e.Site, e.Kind, e.OpClass, e.Op, e.Offset)
+	case NoSpace, IOErr, CrashRename, Crash:
+		return fmt.Sprintf("%s:%s@%s=%d", e.Site, e.Kind, e.OpClass, e.Op)
 	}
 	return fmt.Sprintf("%s:%s", e.Site, e.Kind)
 }
@@ -192,6 +247,25 @@ func (e Event) validate() error {
 		}
 		if e.Nth <= 0 {
 			return fmt.Errorf("fault: %s event needs n= (per-pair message count)", e.Kind)
+		}
+	case TornWrite, NoSpace, IOErr, BitRot, CrashRename, Crash:
+		if e.Site != Store {
+			return fmt.Errorf("fault: %s event must use site %q", e.Kind, Store)
+		}
+		if e.Op <= 0 || e.OpClass == "" {
+			return fmt.Errorf("fault: %s event needs exactly one of %s=, %s=, %s=, %s= or %s=",
+				e.Kind, OpWrite, OpRead, OpCreate, OpRename, OpSync)
+		}
+		want := storeOpClasses[e.Kind]
+		ok := false
+		for _, c := range want {
+			if e.OpClass == c {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("fault: %s event cannot be keyed by %s= (allowed: %s)",
+				e.Kind, e.OpClass, strings.Join(want, ", "))
 		}
 	default:
 		return fmt.Errorf("fault: unknown event kind %d", int(e.Kind))
@@ -281,6 +355,48 @@ type Fate struct {
 	Err     error         // fail the operation instead (nil = proceed)
 }
 
+// Storage-operation classes: the per-class counters store events are keyed
+// against. "create" also counts append-opens (both materialize a directory
+// entry or a writable handle); "sync" counts file fsyncs and directory fsyncs
+// on one clock, in program order.
+const (
+	OpWrite  = "write"
+	OpRead   = "read"
+	OpCreate = "create"
+	OpRename = "rename"
+	OpSync   = "sync"
+)
+
+// storeOpClasses lists which operation classes each store fault kind may be
+// keyed by.
+var storeOpClasses = map[Kind][]string{
+	TornWrite:   {OpWrite},
+	NoSpace:     {OpWrite},
+	IOErr:       {OpWrite, OpRead, OpCreate, OpRename, OpSync},
+	BitRot:      {OpRead},
+	CrashRename: {OpRename},
+	Crash:       {OpWrite, OpRead, OpCreate, OpRename, OpSync},
+}
+
+// StoreFate is the injector's verdict on one storage operation, consulted by
+// the store VFS (internal/store.FaultFS) on every call when a hook is
+// installed. The zero value lets the operation proceed.
+type StoreFate struct {
+	Hit    bool  // an event fired for this operation
+	Kind   Kind  // TornWrite, NoSpace, IOErr, BitRot, CrashRename or Crash
+	Bytes  int   // TornWrite: bytes of the buffer that persist
+	Offset int64 // BitRot: byte offset to corrupt in the returned data
+}
+
+// StoreHook is the injection surface the storage layer consults. *Injector
+// implements it; internal/store holds it as an interface so it stays testable
+// with local fakes.
+type StoreHook interface {
+	// StoreOp fires at every storage operation of the given class (OpWrite,
+	// OpRead, OpCreate, OpRename, OpSync) and reports the operation's fate.
+	StoreOp(class string) StoreFate
+}
+
 // MaxDelay bounds injected message delays so a mis-scripted scenario cannot
 // stall a run longer than a deadline-equipped receiver would wait anyway.
 const MaxDelay = 5 * time.Second
@@ -313,6 +429,7 @@ type Injector struct {
 	flips  map[Site]*scheduled // registered for the current call, unconsumed
 	sends  map[[2]int]int64
 	recvs  map[[2]int]int64
+	stores map[string]int64
 	fired  []string
 	hangs  []chan struct{}
 }
@@ -325,10 +442,11 @@ type scheduled struct {
 // NewInjector builds an injector over a validated fault schedule.
 func NewInjector(events ...Event) (*Injector, error) {
 	in := &Injector{
-		calls: make(map[Site]int64),
-		flips: make(map[Site]*scheduled),
-		sends: make(map[[2]int]int64),
-		recvs: make(map[[2]int]int64),
+		calls:  make(map[Site]int64),
+		flips:  make(map[Site]*scheduled),
+		sends:  make(map[[2]int]int64),
+		recvs:  make(map[[2]int]int64),
+		stores: make(map[string]int64),
 	}
 	for i, e := range events {
 		if err := e.validate(); err != nil {
@@ -517,6 +635,23 @@ func (in *Injector) RecvError(src, dst int) error {
 		return &LinkError{Src: src, Dst: dst}
 	}
 	return nil
+}
+
+// StoreOp implements StoreHook: it advances the per-class storage-operation
+// counter and fires the first unfired store event keyed to this operation.
+func (in *Injector) StoreOp(class string) StoreFate {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stores[class]++
+	n := in.stores[class]
+	for _, e := range in.events {
+		if e.fired || e.Site != Store || e.OpClass != class || e.Op != n {
+			continue
+		}
+		in.fire(e)
+		return StoreFate{Hit: true, Kind: e.Kind, Bytes: e.Bytes, Offset: e.Offset}
+	}
+	return StoreFate{}
 }
 
 // fire marks an event consumed and logs it. Callers hold in.mu.

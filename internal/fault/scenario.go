@@ -11,7 +11,7 @@ import (
 //
 //	site:kind@key=value,key=value,...
 //
-// Sites: wine2, mdg, mpi, run. Kinds and their keys:
+// Sites: wine2, mdg, mpi, run, store. Kinds and their keys:
 //
 //	wine2:board-drop@step=3,board=2      kill WINE-2 board 2 in step 3
 //	mdg:transient@call=7                 fail the 7th MDGRAPE-2 call once
@@ -24,6 +24,12 @@ import (
 //	run:fatal@step=100                   host crash: restart from checkpoint
 //	mdg:hang@step=6                      wedge a call until the watchdog fires
 //	wine2:slow@step=4,ms=80              stall a call 80 ms, then proceed
+//	store:torn-write@write=3,bytes=10    power cut: 3rd write persists 10 bytes
+//	store:enospc@write=2                 2nd write fails, disk full
+//	store:eio@sync=1                     1st fsync fails with an I/O error
+//	store:bitrot@read=4,offset=7         flip a bit of byte 7 of the 4th read
+//	store:crash-before-rename@rename=1   power cut just before the 1st rename
+//	store:crash@sync=2                   power cut at the 2nd fsync
 //
 // transient and hang take an optional board= attributing the fault to one
 // board, which lets the circuit-breaker layer quarantine a repeat offender.
@@ -31,7 +37,10 @@ import (
 // Hardware clauses take exactly one of call= (per-site hardware call count)
 // or step= (simulation step); message clauses address the n-th message of a
 // (src, dst) pair, which is deterministic because each rank's sends are
-// program-ordered.
+// program-ordered. Store clauses take exactly one of write=, read=, create=,
+// rename= or sync= — the N-th storage operation of that class, counted per
+// class by the fault-injecting filesystem — which is deterministic because
+// the storage layer is driven from the program-ordered step loop.
 
 // kindNames maps DSL kind tokens to Kind values.
 var kindNames = map[string]Kind{
@@ -46,6 +55,13 @@ var kindNames = map[string]Kind{
 	"fatal":      Fatal,
 	"hang":       Hang,
 	"slow":       Slow,
+
+	"torn-write":          TornWrite,
+	"enospc":              NoSpace,
+	"eio":                 IOErr,
+	"bitrot":              BitRot,
+	"crash-before-rename": CrashRename,
+	"crash":               Crash,
 }
 
 // siteNames maps DSL site tokens to Site values.
@@ -54,6 +70,7 @@ var siteNames = map[string]Site{
 	string(MDG2):  MDG2,
 	string(MPI):   MPI,
 	string(Run):   Run,
+	string(Store): Store,
 }
 
 // Parse parses a scenario string into its fault schedule.
@@ -137,6 +154,16 @@ func parseClause(clause string) (Event, error) {
 			e.Nth = n
 		case "ms":
 			e.DelayMS = int(n)
+		case OpWrite, OpRead, OpCreate, OpRename, OpSync:
+			if e.OpClass != "" {
+				return Event{}, fmt.Errorf("fault: clause %q: %s= conflicts with %s=", clause, key, e.OpClass)
+			}
+			e.OpClass = strings.TrimSpace(key)
+			e.Op = n
+		case "bytes":
+			e.Bytes = int(n)
+		case "offset":
+			e.Offset = n
 		default:
 			return Event{}, fmt.Errorf("fault: clause %q: unknown key %q", clause, key)
 		}

@@ -1,14 +1,14 @@
 package md
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
-	"path/filepath"
 
+	"mdm/internal/store"
 	"mdm/internal/vec"
 )
 
@@ -138,22 +138,29 @@ func ReadCheckpoint(r io.Reader) (*System, int, error) {
 	return s, cp.Step, nil
 }
 
-// WriteCheckpointFile writes a checkpoint crash-safely: the record goes to a
-// temporary file in the same directory, is fsynced, and is renamed over the
-// destination, so a crash at any instant leaves either the old complete file
-// or the new complete file — never a torn one. The directory is fsynced too
-// so the rename itself is durable.
-func WriteCheckpointFile(path string, s *System, step int) (err error) {
-	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+// WriteCheckpointFile writes a checkpoint crash-safely to the real
+// filesystem; see WriteCheckpointFS.
+func WriteCheckpointFile(path string, s *System, step int) error {
+	return WriteCheckpointFS(store.OS(), path, s, step)
+}
+
+// WriteCheckpointFS writes a checkpoint crash-safely through a store VFS:
+// the record goes to a fixed-name temporary sibling, is fsynced, and is
+// renamed over the destination, so a crash at any instant leaves either the
+// old complete file or the new complete file — never a torn one. The
+// directory is fsynced too so the rename itself is durable. The temp name is
+// deterministic (store.TempPath) so fault schedules keyed by operation
+// counts replay exactly and the recovery scan can recognize leftovers.
+func WriteCheckpointFS(fsys store.FS, path string, s *System, step int) (err error) {
+	tmp := store.TempPath(path)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return err
 	}
-	tmp := f.Name()
 	defer func() {
 		if err != nil {
 			_ = f.Close()
-			_ = os.Remove(tmp)
+			_ = fsys.Remove(tmp)
 		}
 	}()
 	if err = WriteCheckpoint(f, s, step); err != nil {
@@ -165,22 +172,30 @@ func WriteCheckpointFile(path string, s *System, step int) (err error) {
 	if err = f.Close(); err != nil {
 		return err
 	}
-	if err = os.Rename(tmp, path); err != nil {
+	if err = fsys.Rename(tmp, path); err != nil {
 		return err
 	}
-	if d, derr := os.Open(dir); derr == nil {
-		_ = d.Sync() // best-effort: some filesystems reject directory fsync
-		_ = d.Close()
-	}
-	return nil
+	return fsys.SyncDir(store.Dir(path))
 }
 
 // ReadCheckpointFile restores a checkpoint written by WriteCheckpointFile.
 func ReadCheckpointFile(path string) (*System, int, error) {
-	f, err := os.Open(path)
+	return ReadCheckpointFS(store.OS(), path)
+}
+
+// ReadCheckpointFS restores a checkpoint through a store VFS.
+func ReadCheckpointFS(fsys store.FS, path string) (*System, int, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, 0, err
 	}
-	defer f.Close()
-	return ReadCheckpoint(f)
+	return ReadCheckpoint(bytes.NewReader(data))
+}
+
+// CheckpointStep validates a checkpoint image — parse, version, CRC, state
+// invariants — and returns the step it commits. It is the format callback
+// the recovery scan (store.Validators) uses to judge checkpoint artifacts.
+func CheckpointStep(data []byte) (int, error) {
+	_, step, err := ReadCheckpoint(bytes.NewReader(data))
+	return step, err
 }

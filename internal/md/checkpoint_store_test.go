@@ -1,0 +1,116 @@
+package md
+
+import (
+	"errors"
+	"testing"
+
+	"mdm/internal/fault"
+	"mdm/internal/store"
+)
+
+// The FS-threaded checkpoint path round-trips through the fault filesystem
+// and survives a crash once the atomic replace completes.
+func TestCheckpointFSRoundTripAndDurability(t *testing.T) {
+	s, _ := NewRockSalt(2, 5.64)
+	fs := store.NewFaultFS(nil)
+	if err := WriteCheckpointFS(fs, "run.ckpt", s, 7); err != nil {
+		t.Fatal(err)
+	}
+	fs.Reboot(nil)
+	got, step, err := ReadCheckpointFS(fs, "run.ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 7 || len(got.Pos) != len(s.Pos) {
+		t.Fatalf("step=%d n=%d", step, len(got.Pos))
+	}
+	if _, err := fs.ReadFile(store.TempPath("run.ckpt")); !store.NotExist(err) {
+		t.Fatal("temp file left behind by clean write")
+	}
+}
+
+// A crash before the commit rename preserves the previous checkpoint — the
+// contract WriteCheckpointFS exists to keep.
+func TestCheckpointFSCrashBeforeRenameKeepsOld(t *testing.T) {
+	s, _ := NewRockSalt(2, 5.64)
+	fs := store.NewFaultFS(nil)
+	if err := WriteCheckpointFS(fs, "run.ckpt", s, 5); err != nil {
+		t.Fatal(err)
+	}
+	in, err := fault.ParseInjector("store:crash-before-rename@rename=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Reboot(in)
+	if werr := WriteCheckpointFS(fs, "run.ckpt", s, 9); !errors.Is(werr, store.ErrCrashed) {
+		t.Fatalf("crashed write: %v", werr)
+	}
+	fs.Reboot(nil)
+	_, step, err := ReadCheckpointFS(fs, "run.ckpt")
+	if err != nil || step != 5 {
+		t.Fatalf("old checkpoint lost: step=%d err=%v", step, err)
+	}
+}
+
+// An injected eio on the checkpoint read surfaces as an error, never a
+// silent short read.
+func TestReadCheckpointFSEIO(t *testing.T) {
+	s, _ := NewRockSalt(2, 5.64)
+	fs := store.NewFaultFS(nil)
+	if err := WriteCheckpointFS(fs, "run.ckpt", s, 3); err != nil {
+		t.Fatal(err)
+	}
+	in, err := fault.ParseInjector("store:eio@read=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Reboot(in)
+	if _, _, rerr := ReadCheckpointFS(fs, "run.ckpt"); !errors.Is(rerr, store.ErrIO) {
+		t.Fatalf("eio read: %v, want ErrIO", rerr)
+	}
+}
+
+// An injected bitrot trips the CRC: the typed ErrCheckpointCorrupt comes
+// back instead of a corrupted trajectory.
+func TestReadCheckpointFSBitRot(t *testing.T) {
+	s, _ := NewRockSalt(2, 5.64)
+	fs := store.NewFaultFS(nil)
+	if err := WriteCheckpointFS(fs, "run.ckpt", s, 3); err != nil {
+		t.Fatal(err)
+	}
+	in, err := fault.ParseInjector("store:bitrot@read=1,offset=40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Reboot(in)
+	_, _, rerr := ReadCheckpointFS(fs, "run.ckpt")
+	if rerr == nil {
+		t.Fatal("bit-rotted checkpoint accepted")
+	}
+	if !errors.Is(rerr, ErrCheckpointCorrupt) {
+		t.Fatalf("bitrot read: %v, want ErrCheckpointCorrupt", rerr)
+	}
+}
+
+// CheckpointStep — the recovery scan's validator — accepts a good image and
+// rejects damage with the typed errors.
+func TestCheckpointStepValidator(t *testing.T) {
+	s, _ := NewRockSalt(2, 5.64)
+	fs := store.NewFaultFS(nil)
+	if err := WriteCheckpointFS(fs, "run.ckpt", s, 11); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.ReadFile("run.ckpt")
+	step, err := CheckpointStep(data)
+	if err != nil || step != 11 {
+		t.Fatalf("CheckpointStep: %d, %v", step, err)
+	}
+	if _, err := CheckpointStep(data[:len(data)/2]); !errors.Is(err, ErrCheckpointTruncated) {
+		t.Fatalf("truncated: %v", err)
+	}
+	rotted := append([]byte(nil), data...)
+	rotted[40] ^= 1
+	if _, err := CheckpointStep(rotted); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("rotted: %v", err)
+	}
+}

@@ -1,0 +1,158 @@
+package store_test
+
+// The recovery manager's fuzz harness lives in an external test package so
+// it can validate with the real format callbacks — md.CheckpointStep and
+// supervise.ScanSegment — which internal/store itself must not import (both
+// packages write through it).
+
+import (
+	"testing"
+
+	"mdm/internal/md"
+	"mdm/internal/store"
+	"mdm/internal/supervise"
+)
+
+var fuzzLayout = store.Layout{Checkpoint: "run.ckpt", Journal: "run.wal"}
+
+func fuzzValidators() store.Validators {
+	return store.Validators{
+		CheckpointStep: md.CheckpointStep,
+		ScanSegment:    supervise.ScanSegment,
+	}
+}
+
+// plant writes data into the filesystem under path, skipping empty files so
+// the fuzzer controls which artifacts exist at all.
+func plant(t *testing.T, fsys store.FS, path string, data []byte) {
+	t.Helper()
+	if len(data) == 0 {
+		return
+	}
+	f, err := fsys.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// realArtifacts builds a genuine checkpoint image and journal segment to
+// seed the corpus with the formats Scan actually meets.
+func realArtifacts(t testing.TB) (ckpt, seg []byte) {
+	s, err := md.NewRockSalt(2, 5.64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := store.NewFaultFS(nil)
+	if err := md.WriteCheckpointFS(fs, "c", s, 3); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err = fs.ReadFile("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := supervise.CreateJournalFS("j", supervise.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 4; step <= 6; step++ {
+		if err := j.Append(supervise.Record{Step: step, Stage: "nvt"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg, err = fs.ReadFile("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ckpt, seg
+}
+
+// FuzzScanRunDir throws arbitrary artifact mixes — checkpoint, active
+// journal, rotated segments, atomic-replace leftovers — at the recovery
+// manager and asserts its safety contract: Scan never panics and never
+// certifies an inconsistent resume pair, and Repair converges to a
+// directory with no torn or stale debris without shrinking the certified
+// resume state.
+func FuzzScanRunDir(f *testing.F) {
+	ckpt, seg := realArtifacts(f)
+	torn := seg[:len(seg)-5]
+	rotted := append([]byte(nil), seg...)
+	rotted[10] ^= 0x08
+
+	f.Add(ckpt, seg, []byte(nil), []byte(nil), []byte(nil))
+	f.Add(ckpt, torn, seg, []byte(nil), []byte("half-written temp"))
+	f.Add(ckpt, rotted, seg, torn, []byte(nil))
+	f.Add([]byte("not a checkpoint"), seg, []byte(nil), []byte(nil), []byte(nil))
+	f.Add(ckpt[:len(ckpt)/2], []byte(nil), seg, []byte(nil), ckpt)
+	f.Add([]byte(nil), []byte(nil), []byte(nil), []byte(nil), []byte(nil))
+
+	f.Fuzz(func(t *testing.T, ckpt, active, seg1, seg2, tmp []byte) {
+		fs := store.NewFaultFS(nil)
+		plant(t, fs, fuzzLayout.Checkpoint, ckpt)
+		plant(t, fs, fuzzLayout.Journal, active)
+		plant(t, fs, store.SegmentPath(fuzzLayout.Journal, 1), seg1)
+		plant(t, fs, store.SegmentPath(fuzzLayout.Journal, 2), seg2)
+		plant(t, fs, store.TempPath(fuzzLayout.Checkpoint), tmp)
+
+		inv, err := store.Scan(fs, fuzzLayout, fuzzValidators())
+		if err != nil {
+			t.Fatalf("Scan on a fault-free fs: %v", err)
+		}
+		// A certified resume pair must be consistent: a validated checkpoint
+		// at or below the resume step, whose image really does decode to the
+		// step the inventory claims.
+		if inv.ResumeStep >= 0 {
+			if inv.CheckpointStep < 0 || inv.ResumeStep < inv.CheckpointStep {
+				t.Fatalf("inconsistent pair: ckpt=%d resume=%d", inv.CheckpointStep, inv.ResumeStep)
+			}
+			data, err := fs.ReadFile(inv.Checkpoint)
+			if err != nil {
+				t.Fatalf("certified checkpoint unreadable: %v", err)
+			}
+			step, err := md.CheckpointStep(data)
+			if err != nil || step != inv.CheckpointStep {
+				t.Fatalf("certified checkpoint does not validate: step=%d err=%v", step, err)
+			}
+		}
+		if inv.CheckpointStep >= 0 && inv.ResumeStep < inv.CheckpointStep {
+			t.Fatalf("valid checkpoint but resume=%d < %d", inv.ResumeStep, inv.CheckpointStep)
+		}
+
+		// Repair converges: no torn or stale debris afterwards, and the
+		// certified resume state is preserved exactly.
+		if _, err := store.Repair(fs, inv); err != nil {
+			t.Fatalf("Repair: %v", err)
+		}
+		after, err := store.Scan(fs, fuzzLayout, fuzzValidators())
+		if err != nil {
+			t.Fatalf("post-repair Scan: %v", err)
+		}
+		if len(after.Torn) != 0 || len(after.Stale) != 0 {
+			t.Fatalf("repair left debris: torn=%v stale=%v", after.Torn, after.Stale)
+		}
+		// Repair never shrinks the certified state: the checkpoint is
+		// untouched and the resume step only grows (truncating a torn
+		// rotated segment can legitimately reconnect later segments).
+		if after.CheckpointStep != inv.CheckpointStep {
+			t.Fatalf("repair moved the checkpoint step: %d -> %d", inv.CheckpointStep, after.CheckpointStep)
+		}
+		if after.ResumeStep < inv.ResumeStep {
+			t.Fatalf("repair shrank the resume step: %d -> %d", inv.ResumeStep, after.ResumeStep)
+		}
+		// A post-repair directory with every artifact "ok" must read back
+		// clean end to end.
+		if after.Healthy() {
+			if _, err := supervise.ReadJournalFS(fs, fuzzLayout.Journal); err != nil {
+				t.Fatalf("healthy journal unreadable: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,216 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Synthetic formats for Scan tests: a checkpoint is "ckpt:<step>", a journal
+// segment is newline-terminated "s<step>" lines. "BAD" is interior
+// corruption; a line without its newline is a torn tail.
+func testValidators() Validators {
+	return Validators{
+		CheckpointStep: func(data []byte) (int, error) {
+			s, ok := strings.CutPrefix(string(data), "ckpt:")
+			if !ok {
+				return 0, fmt.Errorf("not a checkpoint")
+			}
+			return strconv.Atoi(strings.TrimSpace(s))
+		},
+		ScanSegment: func(data []byte) ([]int, int, error) {
+			var steps []int
+			valid := 0
+			for len(data) > 0 {
+				nl := bytes.IndexByte(data, '\n')
+				if nl < 0 {
+					return steps, valid, nil // torn tail
+				}
+				line := string(data[:nl])
+				st, err := strconv.Atoi(strings.TrimPrefix(line, "s"))
+				if err != nil || !strings.HasPrefix(line, "s") {
+					return steps, valid, fmt.Errorf("corrupt record %q", line)
+				}
+				steps = append(steps, st)
+				valid += nl + 1
+				data = data[nl+1:]
+			}
+			return steps, valid, nil
+		},
+	}
+}
+
+func seg(steps ...int) []byte {
+	var b bytes.Buffer
+	for _, s := range steps {
+		fmt.Fprintf(&b, "s%d\n", s)
+	}
+	return b.Bytes()
+}
+
+var lay = Layout{Checkpoint: "run.ckpt", Journal: "run.journal"}
+
+func put(t *testing.T, fs FS, path string, data []byte) {
+	t.Helper()
+	if err := WriteFileAtomic(fs, path, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanEmptyDir(t *testing.T) {
+	inv, err := Scan(NewFaultFS(nil), lay, testValidators())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.CheckpointStep != -1 || inv.ResumeStep != -1 || !inv.Healthy() || inv.Unrecoverable() {
+		t.Fatalf("empty dir: %+v", inv)
+	}
+}
+
+func TestScanConsistentPair(t *testing.T) {
+	fs := NewFaultFS(nil)
+	put(t, fs, lay.Checkpoint, []byte("ckpt:4"))
+	put(t, fs, SegmentPath(lay.Journal, 1), seg(1, 2, 3, 4))
+	put(t, fs, lay.Journal, seg(5, 6, 7))
+	inv, err := Scan(fs, lay, testValidators())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.CheckpointStep != 4 || inv.ResumeStep != 7 {
+		t.Fatalf("ckpt=%d resume=%d, want 4/7", inv.CheckpointStep, inv.ResumeStep)
+	}
+	if !inv.Healthy() {
+		t.Fatalf("healthy dir flagged: %+v", inv)
+	}
+}
+
+// A gap after the checkpoint step truncates the resume tail to the
+// contiguous prefix — Scan never selects records beyond the gap.
+func TestScanGapTruncatesResume(t *testing.T) {
+	fs := NewFaultFS(nil)
+	put(t, fs, lay.Checkpoint, []byte("ckpt:2"))
+	put(t, fs, lay.Journal, seg(3, 4, 6, 7))
+	inv, err := Scan(fs, lay, testValidators())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.ResumeStep != 4 {
+		t.Fatalf("resume=%d, want 4 (gap at 5)", inv.ResumeStep)
+	}
+}
+
+// Torn tail: the valid prefix still resumes; Repair truncates the tear and
+// the rescan is healthy with the same resume step.
+func TestScanTornTailAndRepair(t *testing.T) {
+	fs := NewFaultFS(nil)
+	put(t, fs, lay.Checkpoint, []byte("ckpt:1"))
+	torn := append(seg(2, 3), []byte("s4")...) // record 4 lost its newline
+	put(t, fs, lay.Journal, torn)
+	v := testValidators()
+	inv, err := Scan(fs, lay, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.ResumeStep != 3 || len(inv.Torn) != 1 {
+		t.Fatalf("torn scan: %+v", inv)
+	}
+	changed, err := Repair(fs, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || changed[0] != lay.Journal {
+		t.Fatalf("repair changed %v", changed)
+	}
+	inv2, err := Scan(fs, lay, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv2.Healthy() || inv2.ResumeStep != 3 {
+		t.Fatalf("post-repair: %+v", inv2)
+	}
+}
+
+// Interior corruption in a rotated segment stops the resume tail before the
+// later segments, even if their steps would continue the sequence.
+func TestScanCorruptSegmentStopsTail(t *testing.T) {
+	fs := NewFaultFS(nil)
+	put(t, fs, lay.Checkpoint, []byte("ckpt:0"))
+	bad := append(seg(1, 2), []byte("BAD\n")...)
+	put(t, fs, SegmentPath(lay.Journal, 1), bad)
+	put(t, fs, lay.Journal, seg(3, 4))
+	inv, err := Scan(fs, lay, testValidators())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.ResumeStep != 2 {
+		t.Fatalf("resume=%d, want 2 (stop at corruption)", inv.ResumeStep)
+	}
+	if len(inv.Damaged) != 1 {
+		t.Fatalf("damaged: %v", inv.Damaged)
+	}
+}
+
+// A corrupt checkpoint with journal records is unrecoverable; Repair leaves
+// the checkpoint alone.
+func TestScanCorruptCheckpointUnrecoverable(t *testing.T) {
+	fs := NewFaultFS(nil)
+	put(t, fs, lay.Checkpoint, []byte("garbage"))
+	put(t, fs, lay.Journal, seg(1, 2))
+	inv, err := Scan(fs, lay, testValidators())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.Unrecoverable() {
+		t.Fatalf("corrupt checkpoint not flagged unrecoverable: %+v", inv)
+	}
+	if _, err := Repair(fs, inv); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile(lay.Checkpoint); !bytes.Equal(got, []byte("garbage")) {
+		t.Fatal("Repair touched the damaged checkpoint")
+	}
+}
+
+// Stale atomic-replace temps are inventoried and removed by Repair.
+func TestScanStaleTempRemoved(t *testing.T) {
+	fs := NewFaultFS(nil)
+	put(t, fs, lay.Checkpoint, []byte("ckpt:3"))
+	put(t, fs, TempPath(lay.Checkpoint), []byte("half-written"))
+	inv, err := Scan(fs, lay, testValidators())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv.Stale) != 1 {
+		t.Fatalf("stale: %v", inv.Stale)
+	}
+	if _, err := Repair(fs, inv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile(TempPath(lay.Checkpoint)); !NotExist(err) {
+		t.Fatal("stale temp survived repair")
+	}
+}
+
+func TestSegmentNaming(t *testing.T) {
+	fs := NewFaultFS(nil)
+	if seq, err := NextSegmentSeq(fs, lay.Journal); err != nil || seq != 1 {
+		t.Fatalf("empty: seq=%d err=%v", seq, err)
+	}
+	put(t, fs, SegmentPath(lay.Journal, 1), seg(1))
+	put(t, fs, SegmentPath(lay.Journal, 3), seg(3))
+	put(t, fs, lay.Journal, seg(4))
+	put(t, fs, lay.Journal+".junk", []byte("not a segment"))
+	segs, err := JournalSegments(fs, lay.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{SegmentPath(lay.Journal, 1), SegmentPath(lay.Journal, 3)}
+	if len(segs) != 2 || segs[0] != want[0] || segs[1] != want[1] {
+		t.Fatalf("segments: %v, want %v", segs, want)
+	}
+	if seq, _ := NextSegmentSeq(fs, lay.Journal); seq != 4 {
+		t.Fatalf("next seq: %d, want 4", seq)
+	}
+}

@@ -1,12 +1,13 @@
 package supervise
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
+
+	"mdm/internal/store"
 )
 
 // The write-ahead step journal: one JSON record per line, each framed with a
@@ -17,6 +18,14 @@ import (
 // checkpoint. The payload is opaque here (the mdm package owns its format:
 // injector cursor + accumulated recovery report), which keeps this package
 // free of upward dependencies.
+//
+// The journal is segmented: the path itself is the active segment, and each
+// committed checkpoint rotates it to path.NNNN (Rotate) so CompactJournal can
+// retire segments the checkpoint has made redundant — the journal no longer
+// grows without bound over a long campaign. All file I/O goes through the
+// store VFS, so every durability claim here is exercised by fault injection:
+// creates and rotations are atomic (temp + rename) and committed with a
+// directory fsync before any record lands in the new segment.
 
 // JournalVersion is the current record format version.
 const JournalVersion = 1
@@ -61,38 +70,93 @@ func recordCRC(r Record) (uint32, error) {
 	return crc32.ChecksumIEEE(buf), nil
 }
 
-// Journal is the append side: an open journal file whose every Append is
-// fsynced before returning, making the record durable before the step it
-// describes commits.
+// Options configures the journal's storage behavior.
+type Options struct {
+	// FS is the storage layer (nil = the real filesystem).
+	FS store.FS
+	// SyncEvery is the group-commit interval: fsync after every Nth append
+	// (<= 1 = every append, the default and the strongest guarantee; larger
+	// values trade the crash-durability of up to N-1 trailing steps for
+	// fewer fsyncs). Rotate and Close always flush.
+	SyncEvery int
+}
+
+func (o Options) fsys() store.FS {
+	if o.FS == nil {
+		return store.OS()
+	}
+	return o.FS
+}
+
+func (o Options) every() int {
+	if o.SyncEvery < 1 {
+		return 1
+	}
+	return o.SyncEvery
+}
+
+// Journal is the append side: an open active segment whose records become
+// durable at each group-commit fsync.
 type Journal struct {
-	f    *os.File
-	path string
+	fs      store.FS
+	f       store.File
+	path    string
+	every   int
+	pending int // appends since the last fsync
 }
 
-// CreateJournal starts a fresh journal, truncating any stale file from a
-// previous run at the same path.
+// CreateJournal starts a fresh journal on the real filesystem.
 func CreateJournal(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	return CreateJournalFS(path, Options{})
+}
+
+// CreateJournalFS starts a fresh journal: any rotated segments from a
+// previous run are retired and the active segment is replaced atomically
+// (temp file + rename + directory fsync), so a crash during creation leaves
+// the previous run's journal fully intact — never a truncated-in-place file.
+func CreateJournalFS(path string, opt Options) (*Journal, error) {
+	fsys := opt.fsys()
+	segs, err := store.JournalSegments(fsys, path)
 	if err != nil {
 		return nil, err
 	}
-	return &Journal{f: f, path: path}, nil
+	for _, seg := range segs {
+		if err := fsys.Remove(seg); err != nil && !store.NotExist(err) {
+			return nil, err
+		}
+	}
+	// One directory fsync (inside the atomic replace) commits the segment
+	// removals and the fresh active segment together.
+	if err := store.WriteFileAtomic(fsys, path, nil); err != nil {
+		return nil, err
+	}
+	f, err := fsys.Append(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{fs: fsys, f: f, path: path, every: opt.every()}, nil
 }
 
-// AppendJournal opens an existing journal for appending — the resume path,
-// which must keep the already-replayed prefix intact.
+// AppendJournal opens an existing journal for appending on the real
+// filesystem — the resume path, which must keep the replayed prefix intact.
 func AppendJournal(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	return AppendJournalFS(path, Options{})
+}
+
+// AppendJournalFS opens an existing journal for appending.
+func AppendJournalFS(path string, opt Options) (*Journal, error) {
+	f, err := opt.fsys().Append(path)
 	if err != nil {
 		return nil, err
 	}
-	return &Journal{f: f, path: path}, nil
+	return &Journal{fs: opt.fsys(), f: f, path: path, every: opt.every()}, nil
 }
 
-// Path returns the journal's file path.
+// Path returns the journal's active-segment path.
 func (j *Journal) Path() string { return j.path }
 
-// Append writes one record and fsyncs it; on return the record is durable.
+// Append writes one record; it is durable once the group-commit fsync runs
+// (immediately with SyncEvery <= 1).
 func (j *Journal) Append(r Record) error {
 	r.Version = JournalVersion
 	crc, err := recordCRC(r)
@@ -108,20 +172,186 @@ func (j *Journal) Append(r Record) error {
 	if _, err := j.f.Write(buf); err != nil {
 		return err
 	}
-	return j.f.Sync()
+	j.pending++
+	if j.pending >= j.every {
+		return j.Sync()
+	}
+	return nil
 }
 
-// Close closes the journal file.
+// Sync flushes any unsynced appends to durable storage.
+func (j *Journal) Sync() error {
+	if j.pending == 0 {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.pending = 0
+	return nil
+}
+
+// Rotate closes the active segment under the next rotation name and starts a
+// fresh active segment, committing both with a directory fsync before any
+// new record lands. The caller rotates right after a checkpoint commit, so
+// the rotated segment holds only steps the checkpoint already covers;
+// CompactJournal can then retire it. Returns the rotated segment's path.
+func (j *Journal) Rotate() (string, error) {
+	if err := j.Sync(); err != nil {
+		return "", err
+	}
+	if err := j.f.Close(); err != nil {
+		return "", err
+	}
+	j.f = nil
+	seq, err := store.NextSegmentSeq(j.fs, j.path)
+	if err != nil {
+		return "", err
+	}
+	segPath := store.SegmentPath(j.path, seq)
+	if err := j.fs.Rename(j.path, segPath); err != nil {
+		return "", err
+	}
+	f, err := j.fs.Create(j.path)
+	if err != nil {
+		return "", err
+	}
+	if err := j.fs.SyncDir(store.Dir(j.path)); err != nil {
+		f.Close()
+		return "", err
+	}
+	j.f = f
+	return segPath, nil
+}
+
+// Close flushes pending appends and closes the active segment.
 func (j *Journal) Close() error {
 	if j == nil || j.f == nil {
 		return nil
 	}
+	syncErr := j.Sync()
 	err := j.f.Close()
 	j.f = nil
+	if syncErr != nil {
+		return syncErr
+	}
 	return err
 }
 
-// ReadJournal decodes a journal's records in order. A torn or corrupt *final*
+// CompactJournal retires rotated segments made redundant by a checkpoint at
+// ckptStep: every segment whose records all commit steps <= ckptStep is
+// removed (the checkpoint already holds that state). The active segment and
+// anything torn or corrupt are left for Scan/Repair to adjudicate. Returns
+// the removed paths.
+func CompactJournal(fsys store.FS, path string, ckptStep int) ([]string, error) {
+	segs, err := store.JournalSegments(fsys, path)
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, seg := range segs {
+		data, err := fsys.ReadFile(seg)
+		if err != nil {
+			if store.NotExist(err) {
+				continue
+			}
+			return removed, err
+		}
+		steps, validLen, serr := ScanSegment(data)
+		if serr != nil || validLen < len(data) {
+			continue
+		}
+		if len(steps) > 0 && steps[len(steps)-1] > ckptStep {
+			continue
+		}
+		if err := fsys.Remove(seg); err != nil && !store.NotExist(err) {
+			return removed, err
+		}
+		removed = append(removed, seg)
+	}
+	if len(removed) > 0 {
+		if err := fsys.SyncDir(store.Dir(path)); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// Rewind rewrites the active segment keeping only records through step,
+// atomically — the resume path's truncation of uncommitted tail records.
+// Rotated segments are untouched: they predate the checkpoint the resume is
+// built on.
+func Rewind(fsys store.FS, path string, step int) error {
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		if store.NotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var keep []byte
+	err = walkSegment(data, func(rec Record, start, end int) bool {
+		if rec.Step > step {
+			return false
+		}
+		keep = append(keep, data[start:end]...)
+		return true
+	})
+	if err != nil && !errors.Is(err, ErrJournalCorrupt) {
+		return err
+	}
+	return store.WriteFileAtomic(fsys, path, keep)
+}
+
+// walkSegment iterates the valid newline-terminated records of a segment
+// image, calling fn with each record and its byte extent; fn returning false
+// stops the walk. It returns ErrJournalCorrupt for damage followed by further
+// content; a torn tail ends the walk silently.
+func walkSegment(data []byte, fn func(rec Record, start, end int) bool) error {
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			return nil // torn tail: an unterminated final line
+		}
+		line := data[off : off+nl]
+		end := off + nl + 1
+		if len(bytes.TrimSpace(line)) == 0 {
+			off = end
+			continue
+		}
+		rec, err := decodeRecord(string(line))
+		if err != nil {
+			if errors.Is(err, ErrJournalVersion) {
+				return err
+			}
+			if len(bytes.TrimSpace(data[end:])) == 0 {
+				return nil // damaged final record: the shape of a torn append
+			}
+			return err
+		}
+		if !fn(rec, off, end) {
+			return nil
+		}
+		off = end
+	}
+	return nil
+}
+
+// ScanSegment validates one segment image for the recovery manager: the
+// steps committed by its valid prefix (one per record, in order), the byte
+// length of that prefix, and a non-nil error only for interior corruption.
+// A torn tail is validLen < len(data) with a nil error.
+func ScanSegment(data []byte) (steps []int, validLen int, err error) {
+	err = walkSegment(data, func(rec Record, start, end int) bool {
+		steps = append(steps, rec.Step)
+		validLen = end
+		return true
+	})
+	return steps, validLen, err
+}
+
+// ReadJournal decodes journal lines in order. A torn or corrupt *final*
 // line is dropped silently — that is what a crash mid-append leaves behind —
 // but damage followed by further valid records is real corruption and returns
 // the valid prefix together with ErrJournalCorrupt.
@@ -143,27 +373,52 @@ func ReadJournal(lines []string) ([]Record, error) {
 	return recs, nil
 }
 
-// ReadJournalFile reads a journal from disk; a missing file is an empty
-// journal.
+// ReadJournalFile reads a full journal from the real filesystem — rotated
+// segments in order, then the active segment. A missing journal is empty.
 func ReadJournalFile(path string) ([]Record, error) {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
-	}
+	return ReadJournalFS(store.OS(), path)
+}
+
+// ReadJournalFS reads a full journal through a store VFS: the records of
+// every rotated segment in rotation order, then the active segment. A torn
+// tail on the last thing read is tolerated; interior corruption — including
+// a torn rotated segment followed by more records — returns the valid prefix
+// with ErrJournalCorrupt.
+func ReadJournalFS(fsys store.FS, path string) ([]Record, error) {
+	segs, err := store.JournalSegments(fsys, path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	var lines []string
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		lines = append(lines, sc.Text())
+	paths := append(segs, path)
+	var recs []Record
+	sawDamage := false
+	for _, p := range paths {
+		data, err := fsys.ReadFile(p)
+		if err != nil {
+			if store.NotExist(err) {
+				continue
+			}
+			return recs, err
+		}
+		if sawDamage && len(bytes.TrimSpace(data)) > 0 {
+			return recs, fmt.Errorf("%w: records beyond damaged segment", ErrJournalCorrupt)
+		}
+		consumed := 0
+		walkErr := walkSegment(data, func(rec Record, start, end int) bool {
+			recs = append(recs, rec)
+			consumed = end
+			return true
+		})
+		if walkErr != nil {
+			return recs, walkErr
+		}
+		// A torn tail is only tolerable on the newest data; records in a
+		// later segment would sit beyond lost history.
+		if len(bytes.TrimSpace(data[consumed:])) > 0 {
+			sawDamage = true
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return ReadJournal(lines)
+	return recs, nil
 }
 
 func decodeRecord(line string) (Record, error) {

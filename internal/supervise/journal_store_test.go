@@ -1,0 +1,246 @@
+package supervise
+
+import (
+	"errors"
+	"testing"
+
+	"mdm/internal/fault"
+	"mdm/internal/store"
+)
+
+func faultFS(t *testing.T, scenario string) *store.FaultFS {
+	t.Helper()
+	if scenario == "" {
+		return store.NewFaultFS(nil)
+	}
+	in, err := fault.ParseInjector(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store.NewFaultFS(in)
+}
+
+func appendSteps(t *testing.T, j *Journal, steps ...int) {
+	t.Helper()
+	for _, s := range steps {
+		if err := j.Append(Record{Step: s, Stage: "nvt"}); err != nil {
+			t.Fatalf("Append step %d: %v", s, err)
+		}
+	}
+}
+
+func readSteps(t *testing.T, fsys store.FS, path string) []int {
+	t.Helper()
+	recs, err := ReadJournalFS(fsys, path)
+	if err != nil {
+		t.Fatalf("ReadJournalFS: %v", err)
+	}
+	steps := make([]int, len(recs))
+	for i, r := range recs {
+		steps[i] = r.Step
+	}
+	return steps
+}
+
+func eqInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Rotation moves the active segment aside and the full read spans segments.
+func TestJournalRotateAndReadAcrossSegments(t *testing.T) {
+	fs := faultFS(t, "")
+	j, err := CreateJournalFS("wal", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendSteps(t, j, 1, 2)
+	seg, err := j.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg != store.SegmentPath("wal", 1) {
+		t.Fatalf("rotated to %q", seg)
+	}
+	appendSteps(t, j, 3, 4)
+	if _, err := j.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	appendSteps(t, j, 5)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readSteps(t, fs, "wal"); !eqInts(got, []int{1, 2, 3, 4, 5}) {
+		t.Fatalf("steps across segments: %v", got)
+	}
+	// Everything is durable: the same read works after a crash.
+	fs.Reboot(nil)
+	if got := readSteps(t, fs, "wal"); !eqInts(got, []int{1, 2, 3, 4, 5}) {
+		t.Fatalf("steps after reboot: %v", got)
+	}
+}
+
+// Compaction retires rotated segments fully covered by the checkpoint and
+// keeps newer ones and the active segment.
+func TestCompactJournal(t *testing.T) {
+	fs := faultFS(t, "")
+	j, _ := CreateJournalFS("wal", Options{FS: fs})
+	appendSteps(t, j, 1, 2)
+	j.Rotate() // wal.0001: steps 1-2
+	appendSteps(t, j, 3, 4)
+	j.Rotate() // wal.0002: steps 3-4
+	appendSteps(t, j, 5)
+	j.Close()
+
+	removed, err := CompactJournal(fs, "wal", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != store.SegmentPath("wal", 1) {
+		t.Fatalf("compact(2) removed %v", removed)
+	}
+	if got := readSteps(t, fs, "wal"); !eqInts(got, []int{3, 4, 5}) {
+		t.Fatalf("after compact: %v", got)
+	}
+	// The removal is durable (directory fsync ran).
+	fs.Reboot(nil)
+	if _, err := fs.ReadFile(store.SegmentPath("wal", 1)); !store.NotExist(err) {
+		t.Fatalf("compacted segment resurrected: %v", err)
+	}
+}
+
+// A fresh CreateJournalFS retires a previous run's rotated segments, and a
+// crash during creation leaves the previous journal intact.
+func TestCreateJournalCrashSafe(t *testing.T) {
+	fs := faultFS(t, "")
+	j, _ := CreateJournalFS("wal", Options{FS: fs})
+	appendSteps(t, j, 1)
+	j.Rotate()
+	appendSteps(t, j, 2)
+	j.Close()
+
+	// Crash at the rename that would commit the new empty journal: the old
+	// run's records must survive to the durable view.
+	in, err := fault.ParseInjector("store:crash-before-rename@rename=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Reboot(in)
+	if _, err := CreateJournalFS("wal", Options{FS: fs}); !errors.Is(err, store.ErrCrashed) {
+		t.Fatalf("create under crash: %v", err)
+	}
+	fs.Reboot(nil)
+	if got := readSteps(t, fs, "wal"); !eqInts(got, []int{1, 2}) {
+		t.Fatalf("old journal damaged by crashed create: %v\n%s", got, fs.Dump())
+	}
+
+	// A clean re-create starts empty and retires the stale segment.
+	if _, err := CreateJournalFS("wal", Options{FS: fs}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readSteps(t, fs, "wal"); len(got) != 0 {
+		t.Fatalf("fresh journal not empty: %v", got)
+	}
+	segs, _ := store.JournalSegments(fs, "wal")
+	if len(segs) != 0 {
+		t.Fatalf("stale segments survived create: %v", segs)
+	}
+}
+
+// Group commit: with SyncEvery=3, a crash after two appends loses both; the
+// third append syncs and all three survive.
+func TestJournalGroupCommit(t *testing.T) {
+	fs := faultFS(t, "")
+	j, _ := CreateJournalFS("wal", Options{FS: fs, SyncEvery: 3})
+	appendSteps(t, j, 1, 2)
+	fs.Reboot(nil)
+	if got := readSteps(t, fs, "wal"); len(got) != 0 {
+		t.Fatalf("unsynced appends survived: %v", got)
+	}
+
+	fs = faultFS(t, "")
+	j, _ = CreateJournalFS("wal", Options{FS: fs, SyncEvery: 3})
+	appendSteps(t, j, 1, 2, 3) // third append triggers the group fsync
+	fs.Reboot(nil)
+	if got := readSteps(t, fs, "wal"); !eqInts(got, []int{1, 2, 3}) {
+		t.Fatalf("group-committed records lost: %v", got)
+	}
+}
+
+// Close flushes pending group-commit records.
+func TestJournalCloseFlushes(t *testing.T) {
+	fs := faultFS(t, "")
+	j, _ := CreateJournalFS("wal", Options{FS: fs, SyncEvery: 10})
+	appendSteps(t, j, 1, 2)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Reboot(nil)
+	if got := readSteps(t, fs, "wal"); !eqInts(got, []int{1, 2}) {
+		t.Fatalf("Close lost pending records: %v", got)
+	}
+}
+
+// Rewind truncates the active segment after step, atomically, leaving
+// rotated segments alone.
+func TestRewindActiveSegment(t *testing.T) {
+	fs := faultFS(t, "")
+	j, _ := CreateJournalFS("wal", Options{FS: fs})
+	appendSteps(t, j, 1, 2)
+	j.Rotate()
+	appendSteps(t, j, 3, 4, 5)
+	j.Close()
+	if err := Rewind(fs, "wal", 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := readSteps(t, fs, "wal"); !eqInts(got, []int{1, 2, 3}) {
+		t.Fatalf("after rewind: %v", got)
+	}
+	fs.Reboot(nil)
+	if got := readSteps(t, fs, "wal"); !eqInts(got, []int{1, 2, 3}) {
+		t.Fatalf("rewind not durable: %v", got)
+	}
+}
+
+// An injected eio on the journal read surfaces as an error — never a silent
+// short read (satellite: typed-error coverage).
+func TestReadJournalFSEIO(t *testing.T) {
+	fs := faultFS(t, "")
+	j, _ := CreateJournalFS("wal", Options{FS: fs})
+	appendSteps(t, j, 1, 2)
+	j.Close()
+	in, err := fault.ParseInjector("store:eio@read=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Reboot(in)
+	if _, err := ReadJournalFS(fs, "wal"); !errors.Is(err, store.ErrIO) {
+		t.Fatalf("eio read: err = %v, want ErrIO", err)
+	}
+}
+
+// An injected bitrot lands on a record's CRC: the reader reports
+// ErrJournalCorrupt for interior damage rather than returning rotted data.
+func TestReadJournalFSBitRot(t *testing.T) {
+	fs := faultFS(t, "")
+	j, _ := CreateJournalFS("wal", Options{FS: fs})
+	appendSteps(t, j, 1, 2, 3)
+	j.Close()
+	// Corrupt a byte in the first record: damage followed by valid records.
+	in, err := fault.ParseInjector("store:bitrot@read=1,offset=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Reboot(in)
+	_, rerr := ReadJournalFS(fs, "wal")
+	if !errors.Is(rerr, ErrJournalCorrupt) {
+		t.Fatalf("bitrot read: err = %v, want ErrJournalCorrupt", rerr)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"mdm/internal/fault"
 	"mdm/internal/md"
 	"mdm/internal/perf"
+	"mdm/internal/store"
 	"mdm/internal/supervise"
 	"mdm/internal/units"
 )
@@ -119,6 +120,24 @@ type Config struct {
 	// and a write-ahead step journal. The zero value disables all of it and
 	// costs nothing on the force path.
 	Supervise SuperviseConfig
+
+	// fsys overrides the storage layer for checkpoint and journal I/O (nil =
+	// the real filesystem). Unexported: only in-package tests inject the
+	// fault filesystem; the public API never leaks internal/store types.
+	fsys store.FS
+}
+
+// storeFS resolves the storage layer checkpoints and journals write through.
+func (c Config) storeFS() store.FS {
+	if c.fsys == nil {
+		return store.OS()
+	}
+	return c.fsys
+}
+
+// journalOptions resolves the journal's storage options.
+func (c Config) journalOptions() supervise.Options {
+	return supervise.Options{FS: c.storeFS(), SyncEvery: c.Supervise.SyncEvery}
 }
 
 // SuperviseConfig is the long-run supervision policy of a Simulation. The
@@ -137,6 +156,12 @@ type SuperviseConfig struct {
 	// run moves on; ResumeFromJournal replays the tail over a checkpoint,
 	// recovering a killed run at the exact committed step.
 	Journal string
+
+	// SyncEvery is the journal's group-commit interval: fsync after every
+	// Nth step record (0 or 1 = every record, today's semantics; larger
+	// values trade the durability of up to N-1 trailing steps for fewer
+	// fsyncs on the step path). Checkpoints always flush.
+	SyncEvery int
 
 	// BreakerTrip, BreakerWindow and BreakerCooldown tune the circuit
 	// breakers (0 = package defaults): a board or site failing BreakerTrip
@@ -334,7 +359,7 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		return nil, err
 	}
 	if path := cfg.Supervise.Journal; path != "" {
-		j, err := supervise.CreateJournal(path)
+		j, err := supervise.CreateJournalFS(path, cfg.journalOptions())
 		if err != nil {
 			_ = sim.Free()
 			return nil, fmt.Errorf("mdm: journal: %w", err)
@@ -372,7 +397,7 @@ func ResumeSimulation(prev *Simulation, sys *md.System, step int) (*Simulation, 
 	if jpath != "" {
 		// Rewind the journal to the checkpoint step: the restarted timeline
 		// re-executes — and re-journals — everything after it.
-		j, err := rewindJournal(jpath, step)
+		j, err := rewindJournal(prev.cfg, jpath, step)
 		if err != nil {
 			_ = sim.Free()
 			return nil, err
@@ -382,58 +407,71 @@ func ResumeSimulation(prev *Simulation, sys *md.System, step int) (*Simulation, 
 	return sim, nil
 }
 
-// rewindJournal rewrites the journal at path keeping only records through
-// step, and returns it open for appending. The rewrite also discards any torn
-// trailing bytes a crash left behind.
-func rewindJournal(path string, step int) (*supervise.Journal, error) {
-	recs, err := supervise.ReadJournalFile(path)
-	if err != nil {
+// rewindJournal truncates the active journal segment to records through step
+// (atomically, discarding any torn trailing bytes a crash left behind) and
+// reopens it for appending.
+func rewindJournal(cfg Config, path string, step int) (*supervise.Journal, error) {
+	if err := supervise.Rewind(cfg.storeFS(), path, step); err != nil {
 		return nil, fmt.Errorf("mdm: journal: %w", err)
 	}
-	j, err := supervise.CreateJournal(path)
+	j, err := supervise.AppendJournalFS(path, cfg.journalOptions())
 	if err != nil {
 		return nil, fmt.Errorf("mdm: journal: %w", err)
-	}
-	for _, r := range recs {
-		if r.Step > step {
-			break
-		}
-		if err := j.Append(r); err != nil {
-			_ = j.Close()
-			return nil, fmt.Errorf("mdm: journal: %w", err)
-		}
 	}
 	return j, nil
 }
 
 // ResumeFromJournal rebuilds a run that was killed between checkpoints — the
-// recovery path for a hard kill (power loss, OOM, SIGKILL). The checkpoint
-// restores the last durable state; the journal tail replays the steps that
-// committed after it under the original ensemble schedule and fault timeline,
-// yielding the exact pre-kill state bit for bit. cfg must be the original
-// run's Config (including Supervise.Journal and Faults).
+// recovery path for a hard kill (power loss, OOM, SIGKILL). The recovery
+// manager (store.Scan) inventories the run's artifacts, repairs crash debris
+// (torn journal tails, stale atomic-replace temps), and picks the newest
+// consistent checkpoint + journal-tail pair; the checkpoint restores the last
+// durable state and the tail replays the steps that committed after it under
+// the original ensemble schedule and fault timeline, yielding the exact
+// pre-kill state bit for bit. cfg must be the original run's Config
+// (including Supervise.Journal and Faults).
 func ResumeFromJournal(cfg Config, ckptPath string) (*Simulation, error) {
 	cfg.fillDefaults()
 	if cfg.Supervise.Journal == "" {
 		return nil, fmt.Errorf("mdm: ResumeFromJournal requires Config.Supervise.Journal")
 	}
-	sys, step, err := md.ReadCheckpointFile(ckptPath)
+	fsys := cfg.storeFS()
+	lay := store.Layout{Checkpoint: ckptPath, Journal: cfg.Supervise.Journal}
+	inv, err := store.Scan(fsys, lay, storeValidators())
+	if err != nil {
+		return nil, fmt.Errorf("mdm: recovery scan: %w", err)
+	}
+	if !inv.Healthy() {
+		if inv.Unrecoverable() {
+			return nil, fmt.Errorf("mdm: recovery scan: no consistent resume state (damaged: %v)", inv.Damaged)
+		}
+		// Crash debris is the expected shape after a kill: truncate torn
+		// tails, drop stale temps, and take the post-repair verdict.
+		if _, err := store.Repair(fsys, inv); err != nil {
+			return nil, fmt.Errorf("mdm: recovery repair: %w", err)
+		}
+		if inv, err = store.Scan(fsys, lay, storeValidators()); err != nil {
+			return nil, fmt.Errorf("mdm: recovery scan: %w", err)
+		}
+	}
+	sys, step, err := md.ReadCheckpointFS(fsys, ckptPath)
 	if err != nil {
 		return nil, err
 	}
-	recs, err := supervise.ReadJournalFile(cfg.Supervise.Journal)
+	recs, err := supervise.ReadJournalFS(fsys, cfg.Supervise.Journal)
 	if err != nil {
 		return nil, fmt.Errorf("mdm: journal: %w", err)
 	}
-	// The tail must continue the checkpoint step contiguously; a gap means
-	// the journal and checkpoint belong to different runs.
+	// The replay tail is the contiguous run the scan certified: records past
+	// inv.ResumeStep (a gap, or content beyond damage) are not consistently
+	// reachable and are dropped rather than trusted.
 	tail := make([]supervise.Record, 0, len(recs))
 	var at *supervise.Record
 	for i := range recs {
 		switch {
 		case recs[i].Step == step:
 			at = &recs[i]
-		case recs[i].Step > step:
+		case recs[i].Step > step && recs[i].Step <= inv.ResumeStep:
 			tail = append(tail, recs[i])
 		}
 	}
@@ -474,7 +512,7 @@ func ResumeFromJournal(cfg Config, ckptPath string) (*Simulation, error) {
 	if n := len(tail); n > 0 {
 		lastStep = tail[n-1].Step
 	}
-	j, err := rewindJournal(cfg.Supervise.Journal, lastStep)
+	j, err := rewindJournal(cfg, cfg.Supervise.Journal, lastStep)
 	if err != nil {
 		_ = sim.Free()
 		return nil, err
@@ -501,6 +539,37 @@ func ResumeFromJournal(cfg Config, ckptPath string) (*Simulation, error) {
 	}
 	sim.replaying = false
 	return sim, nil
+}
+
+// storeValidators wires the checkpoint and journal format knowledge into the
+// recovery manager's scan.
+func storeValidators() store.Validators {
+	return store.Validators{
+		CheckpointStep: md.CheckpointStep,
+		ScanSegment:    supervise.ScanSegment,
+	}
+}
+
+// WriteCheckpoint commits the simulation's current state to path with the
+// atomic-replace discipline, then rotates the write-ahead journal and
+// retires rotated segments the checkpoint made redundant — the journal stays
+// bounded over a long campaign instead of growing one record per step
+// forever. This is the durable commit point of a supervised run; mdmsim
+// calls it at every -checkpoint-every boundary.
+func (s *Simulation) WriteCheckpoint(path string) error {
+	step := s.Integrator.StepCount()
+	if err := md.WriteCheckpointFS(s.cfg.storeFS(), path, s.System, step); err != nil {
+		return err
+	}
+	if s.journal != nil {
+		if _, err := s.journal.Rotate(); err != nil {
+			return fmt.Errorf("mdm: journal rotate: %w", err)
+		}
+		if _, err := supervise.CompactJournal(s.cfg.storeFS(), s.journal.Path(), step); err != nil {
+			return fmt.Errorf("mdm: journal compact: %w", err)
+		}
+	}
+	return nil
 }
 
 // Params returns the Ewald discretization in use.

@@ -31,13 +31,13 @@ go test ./...
 echo "==> go test -race (concurrency-bearing packages)"
 go test -race ./internal/fault/... ./internal/mpi/... ./internal/core/... \
     ./internal/parallelize/... ./internal/wine2/... ./internal/mdgrape2/... \
-    ./internal/cellindex/... ./internal/supervise/...
+    ./internal/cellindex/... ./internal/supervise/... ./internal/store/...
 
 echo "==> bench smoke (parallel must not lose to serial; pipeline overlap at GOMAXPROCS=2)"
 GOMAXPROCS=2 go run ./cmd/mdmbench -smoke -iters 3 -reps 2
 
-echo "==> chaos suite (fault injection, recovery, checkpoint restart, supervision)"
-go test -run 'Chaos|Resilient|FaultHook|RunProtocol|CheckpointFile|CheckpointTyped|Watchdog|Breaker|Journal|Supervise|Interrupt' \
+echo "==> chaos suite (fault injection, recovery, checkpoint restart, supervision, crash matrix)"
+go test -run 'Chaos|Resilient|FaultHook|RunProtocol|CheckpointFile|CheckpointTyped|Watchdog|Breaker|Journal|Supervise|Interrupt|CrashMatrix' \
     ./internal/core/... ./internal/wine2/... ./internal/mdgrape2/... \
     ./internal/md/... ./internal/supervise/... ./cmd/mdmsim/... .
 
@@ -45,5 +45,6 @@ echo "==> fuzz smoke (decoders and the fault DSL must hold up under mutation)"
 go test ./internal/fault/ -run '^$' -fuzz FuzzParseScenario -fuzztime 3s
 go test ./internal/md/ -run '^$' -fuzz FuzzReadCheckpoint -fuzztime 3s
 go test ./internal/supervise/ -run '^$' -fuzz FuzzReadJournal -fuzztime 3s
+go test ./internal/store/ -run '^$' -fuzz FuzzScanRunDir -fuzztime 3s
 
 echo "==> all checks passed"
