@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-smoke vet mdmvet audit race chaos fuzz-smoke check fmt
+.PHONY: all build test bench bench-json bench-smoke batch-smoke bench-compare vet mdmvet audit race chaos fuzz-smoke check fmt
 
 all: build
 
@@ -20,6 +20,12 @@ bench-json:
 
 bench-smoke:
 	GOMAXPROCS=2 $(GO) run ./cmd/mdmbench -smoke -iters 3 -reps 2
+
+batch-smoke:
+	GOMAXPROCS=1 $(GO) run ./cmd/mdmbench -batch-smoke
+
+bench-compare:
+	$(GO) run ./cmd/mdmbench -compare -threshold 0.2 BENCH_2.json BENCH_3.json
 
 vet:
 	$(GO) vet ./...

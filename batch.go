@@ -1,0 +1,141 @@
+package mdm
+
+import (
+	"fmt"
+
+	"mdm/internal/core"
+	"mdm/internal/md"
+)
+
+// BatchResult is one slot's outcome from RunBatch: the final system state and
+// the per-step observable track, plus the summary figures the single-run API
+// exposes as methods.
+type BatchResult struct {
+	Seed    int64       // velocity seed the slot was initialized with
+	System  *md.System  // final positions/velocities
+	Records []md.Record // one sample per step (plus the initial state)
+
+	TemperatureMean float64 // mean sampled temperature (K)
+	TemperatureStd  float64 // its standard deviation (the Figure 2 quantity)
+	EnergyDrift     float64 // max relative total-energy deviation over the NVE segment
+
+	JSetRebuilds int // cell sorts this slot performed
+	JSetReuses   int // force calls that reused the slot's sorted layout
+}
+
+// RunBatch runs k independent replicas of the configured system — identical
+// except for the velocity seed, which is cfg.Seed + slot — through ONE
+// simulated MDM, using the paper's §5 protocol: nvtSteps of velocity-scaling
+// thermostat followed by nveSteps at constant energy.
+//
+// This is the throughput mode for small-N parameter sweeps: the machine's
+// fixed per-run costs (kernel table loads, coefficient RAMs, the wavevector
+// enumeration, the cell grid, every step-path scratch buffer) are paid once
+// and amortized over all k replicas, and the potential energy is evaluated
+// every 100 steps per slot unless cfg.PotentialEvery says otherwise — the
+// paper's own bookkeeping cadence (§5), where the single-run API defaults to
+// every step. Slots step serially in a fixed order, so each trajectory is
+// bit-identical to running that replica alone under the same MachineConfig:
+// results are independent of k and of slot order by construction.
+//
+// The batch driver targets the plain machine backend: cfg.Backend must be
+// BackendMDM, and fault injection or supervision must be off (those layers
+// wrap a single trajectory's step clock).
+//
+//mdm:stepflow -- hot-path root: the batch driver's run loop; its sampling closure runs between rounds, so the whole body is step-adjacent
+func RunBatch(cfg Config, k, nvtSteps, nveSteps int) ([]BatchResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("mdm: batch of %d replicas", k)
+	}
+	if cfg.Backend != BackendMDM {
+		return nil, fmt.Errorf("mdm: batch driver requires the MDM backend, got %v", cfg.Backend)
+	}
+	if cfg.Faults != "" {
+		return nil, fmt.Errorf("mdm: batch driver does not support fault injection")
+	}
+	if cfg.Supervise.enabled() || cfg.Supervise.Journal != "" {
+		return nil, fmt.Errorf("mdm: batch driver does not support supervision")
+	}
+	if cfg.PotentialEvery == 0 {
+		// Throughput default: the paper evaluated the potential every 100
+		// steps (§5). fillDefaults would pick 1 (the interactive default).
+		cfg.PotentialEvery = 100
+	}
+	cfg.fillDefaults()
+	p, err := cfg.EwaldParams()
+	if err != nil {
+		return nil, err
+	}
+	mcfg := core.CurrentMachineConfig(p)
+	mcfg.PotentialEvery = cfg.PotentialEvery
+	mcfg.Workers = cfg.Workers
+	mcfg.Pipeline = cfg.Pipeline
+	mcfg.Skin = cfg.Skin
+
+	systems := make([]*md.System, k)
+	seeds := make([]int64, k)
+	for i := range systems {
+		sys, err := md.NewRockSalt(cfg.Cells, cfg.Lattice)
+		if err != nil {
+			return nil, err
+		}
+		seeds[i] = cfg.Seed + int64(i)
+		sys.SetMaxwellVelocities(cfg.Temperature, seeds[i])
+		systems[i] = sys
+	}
+
+	bm, err := core.NewBatchMachine(mcfg, systems, cfg.Dt)
+	if err != nil {
+		return nil, err
+	}
+	recorders := make([]md.Recorder, k)
+	sampleAll := func(int) error {
+		for i := range recorders {
+			recorders[i].Sample(bm.Integrator(i))
+		}
+		return nil
+	}
+	sampleAll(0)
+
+	for i := 0; i < k; i++ {
+		it := bm.Integrator(i)
+		it.Mode = md.NVT
+		it.Target = cfg.Temperature
+	}
+	if err := bm.Run(nvtSteps, sampleAll); err != nil {
+		_ = bm.Free()
+		return nil, err
+	}
+
+	// The NVE segment is the conservation measurement window; note where it
+	// starts in each track and sample the segment's opening energy, mirroring
+	// Simulation.RunNVE.
+	nveStart := make([]int, k)
+	for i := 0; i < k; i++ {
+		nveStart[i] = len(recorders[i].Records)
+		recorders[i].Sample(bm.Integrator(i))
+		bm.Integrator(i).Mode = md.NVE
+	}
+	if err := bm.Run(nveSteps, sampleAll); err != nil {
+		_ = bm.Free()
+		return nil, err
+	}
+
+	results := make([]BatchResult, k)
+	for i := range results {
+		mean, std := recorders[i].TemperatureStats()
+		nve := md.Recorder{Records: recorders[i].Records[nveStart[i]:]}
+		rebuilds, reuses := bm.JSetStats(i)
+		results[i] = BatchResult{
+			Seed:            seeds[i],
+			System:          systems[i],
+			Records:         recorders[i].Records,
+			TemperatureMean: mean,
+			TemperatureStd:  std,
+			EnergyDrift:     nve.EnergyDrift(),
+			JSetRebuilds:    rebuilds,
+			JSetReuses:      reuses,
+		}
+	}
+	return results, bm.Free()
+}

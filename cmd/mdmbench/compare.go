@@ -3,8 +3,12 @@
 // perf change can be judged from checked-in artifacts instead of re-running
 // both sides. Configurations are matched by (name, workers); pipeline rows by
 // workers. A configuration is called a regression when the new ns/op exceeds
-// the old by more than the threshold, or when allocs/op grew at all (the
-// arena work made allocation counts exact, so any growth is a real leak).
+// the old by more than the threshold, or when allocs/op grew by more than
+// half an allocation per op: the arena work made per-step allocation counts
+// exact integers, so a real leak adds at least 1.0/op, while the recorded
+// figure carries sub-integer jitter (it is a process-wide Mallocs delta over
+// the timing window, so background runtime allocation and amortized
+// rebuild-cadence effects land in the fraction).
 package main
 
 import (
@@ -79,9 +83,10 @@ func compareReports(aPath, bPath string, threshold float64) (int, error) {
 		if delta > threshold {
 			mark = "  REGRESSION"
 			regressions++
-		} else if or.AllocsPerOp > 0 && nr.AllocsPerOp > or.AllocsPerOp {
+		} else if or.AllocsPerOp > 0 && nr.AllocsPerOp > or.AllocsPerOp+0.5 {
 			// Reports from before alloc recording carry 0; only a real
-			// old measurement can regress.
+			// old measurement can regress. The half-alloc slack absorbs
+			// window-counting jitter; a leak is at least +1.0/op.
 			mark = "  ALLOC REGRESSION"
 			regressions++
 		}
@@ -111,6 +116,29 @@ func compareReports(aPath, bPath string, threshold float64) (int, error) {
 		}
 		fmt.Printf("%-34s %14.0f %14.0f %+8.1f%% speedup %.2f → %.2f%s\n",
 			fmt.Sprintf("pipeline-on/w%d", p.Workers), op.OnNsPerOp, p.OnNsPerOp, 100*delta, op.Speedup, p.Speedup, mark)
+	}
+	oldBatch := make(map[int]BatchThroughputResult, len(a.Batch))
+	for _, r := range a.Batch {
+		oldBatch[r.K] = r
+	}
+	for _, r := range b.Batch {
+		label := fmt.Sprintf("batchThroughput/K%d", r.K)
+		or, ok := oldBatch[r.K]
+		if !ok || or.Steps != r.Steps {
+			// No prior batch section (pre-throughput-mode artifact) or a
+			// different protocol length: nothing comparable.
+			fmt.Printf("%-34s %14s %14.0f %9s batched %.2fx sequential\n",
+				label, "-", r.BatchedNsPerRun, "new", r.Speedup)
+			continue
+		}
+		delta := r.BatchedNsPerRun/or.BatchedNsPerRun - 1
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-34s %14.0f %14.0f %+8.1f%% batched %.2fx → %.2fx sequential%s\n",
+			label, or.BatchedNsPerRun, r.BatchedNsPerRun, 100*delta, or.Speedup, r.Speedup, mark)
 	}
 	if regressions > 0 {
 		fmt.Printf("\n%d regression(s) beyond %.0f%%\n", regressions, 100*threshold)

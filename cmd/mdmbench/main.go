@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"time"
 
+	"mdm"
 	"mdm/internal/cellindex"
 	"mdm/internal/core"
 	"mdm/internal/ewald"
@@ -50,14 +51,32 @@ type PipelineResult struct {
 	Speedup    float64 `json:"speedup"` // off / on
 }
 
+// BatchThroughputResult compares K replicas of the 216-ion system run
+// batched through one shared machine (mdm.RunBatch, the throughput protocol:
+// potential every 100 steps as in §5) against K sequential full runs through
+// the single-run API (mdm.NewSimulation + RunNVE, whose interactive default
+// evaluates the potential every step). Both arms run serially (Workers=1), so
+// the ratio is pure amortization — shared setup, shared step-path arenas and
+// the paper's bookkeeping cadence — not parallelism.
+type BatchThroughputResult struct {
+	K                    int     `json:"k"`
+	Steps                int     `json:"steps"` // NVE steps per replica
+	BatchedNsPerRun      float64 `json:"batched_ns_per_run"`
+	SequentialNsPerRun   float64 `json:"sequential_ns_per_run"`
+	BatchedRunsPerSec    float64 `json:"batched_runs_per_sec"`
+	SequentialRunsPerSec float64 `json:"sequential_runs_per_sec"`
+	Speedup              float64 `json:"speedup"` // sequential / batched, in runs/sec
+}
+
 // Report is the whole artifact (a BENCH_<n>.json file).
 type Report struct {
-	GOMAXPROCS int              `json:"gomaxprocs"`
-	NumCPU     int              `json:"num_cpu"`
-	N          int              `json:"n_particles"`
-	Iters      int              `json:"iters_per_sample"`
-	Results    []Result         `json:"results"`
-	Pipeline   []PipelineResult `json:"pipeline,omitempty"`
+	GOMAXPROCS int                     `json:"gomaxprocs"`
+	NumCPU     int                     `json:"num_cpu"`
+	N          int                     `json:"n_particles"`
+	Iters      int                     `json:"iters_per_sample"`
+	Results    []Result                `json:"results"`
+	Pipeline   []PipelineResult        `json:"pipeline,omitempty"`
+	Batch      []BatchThroughputResult `json:"batch,omitempty"`
 }
 
 // benchSystem is the 216-ion perturbed crystal of the bench_test.go
@@ -159,7 +178,49 @@ func figure2Family(p ewald.Params, pipeline bool, skin float64) func(workers int
 	}
 }
 
-func run(widths []int, iters, reps int) (*Report, error) {
+// batchThroughput times one batched-vs-sequential comparison at batch size k:
+// K full replica runs (steps NVE steps each, seeds 1..K) through one shared
+// machine, then the same K runs through K fresh single-run simulations. These
+// are macro-benchmarks seconds long, so a single sample per arm is stable.
+func batchThroughput(k, steps int) (BatchThroughputResult, error) {
+	cfg := mdm.Config{Cells: 3, Temperature: 1200, Workers: 1}
+
+	start := time.Now()
+	if _, err := mdm.RunBatch(cfg, k, 0, steps); err != nil {
+		return BatchThroughputResult{}, fmt.Errorf("batched K=%d: %w", k, err)
+	}
+	batched := time.Since(start)
+
+	start = time.Now()
+	for i := 0; i < k; i++ {
+		c := cfg
+		c.Seed = 1 + int64(i) // the same replica set RunBatch runs
+		sim, err := mdm.NewSimulation(c)
+		if err != nil {
+			return BatchThroughputResult{}, fmt.Errorf("sequential K=%d slot %d: %w", k, i, err)
+		}
+		if err := sim.RunNVE(steps); err != nil {
+			_ = sim.Free()
+			return BatchThroughputResult{}, fmt.Errorf("sequential K=%d slot %d: %w", k, i, err)
+		}
+		if err := sim.Free(); err != nil {
+			return BatchThroughputResult{}, fmt.Errorf("sequential K=%d slot %d: %w", k, i, err)
+		}
+	}
+	sequential := time.Since(start)
+
+	return BatchThroughputResult{
+		K:                    k,
+		Steps:                steps,
+		BatchedNsPerRun:      float64(batched.Nanoseconds()) / float64(k),
+		SequentialNsPerRun:   float64(sequential.Nanoseconds()) / float64(k),
+		BatchedRunsPerSec:    float64(k) / batched.Seconds(),
+		SequentialRunsPerSec: float64(k) / sequential.Seconds(),
+		Speedup:              sequential.Seconds() / batched.Seconds(),
+	}, nil
+}
+
+func run(widths []int, iters, reps, batchSteps int) (*Report, error) {
 	sys, p, err := benchSystem()
 	if err != nil {
 		return nil, err
@@ -248,6 +309,21 @@ func run(widths []int, iters, reps int) (*Report, error) {
 		rep.Pipeline = append(rep.Pipeline, pr)
 	}
 
+	// Throughput mode: batched small-N replicas vs sequential full runs.
+	// These are multi-second macro runs (skipped when batchSteps is 0, e.g.
+	// in smoke mode, which has its own quick batch gate).
+	if batchSteps > 0 {
+		for _, k := range []int{1, 4, 16, 64} {
+			br, err := batchThroughput(k, batchSteps)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "batchThroughput K=%d: %.2f runs/s batched vs %.2f sequential (%.2fx)\n",
+				k, br.BatchedRunsPerSec, br.SequentialRunsPerSec, br.Speedup)
+			rep.Batch = append(rep.Batch, br)
+		}
+	}
+
 	return rep, nil
 }
 
@@ -318,7 +394,7 @@ func smoke(iters, reps int) error {
 	if widths[1] == 1 {
 		widths = widths[:1]
 	}
-	rep, err := run(widths, iters, reps)
+	rep, err := run(widths, iters, reps, 0)
 	if err != nil {
 		return err
 	}
@@ -372,11 +448,32 @@ func smoke(iters, reps int) error {
 	return nil
 }
 
+// batchSmoke gates CI on the throughput mode's whole reason to exist: a
+// batched K=16 run of the 216-ion system must deliver at least 1.8× the
+// runs/sec of 16 sequential single-run simulations on the serial path (the
+// design point is ≥ 2×; the margin absorbs loaded CI machines). Both arms are
+// Workers=1, so the ratio measures amortization, not parallelism.
+func batchSmoke(steps int) error {
+	br, err := batchThroughput(16, steps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("batch smoke: K=%d steps=%d: %.2f runs/s batched vs %.2f sequential (%.2fx)\n",
+		br.K, br.Steps, br.BatchedRunsPerSec, br.SequentialRunsPerSec, br.Speedup)
+	const margin = 1.8
+	if br.Speedup < margin {
+		return fmt.Errorf("batched K=%d throughput is only %.2fx sequential (required ≥ %.1fx)", br.K, br.Speedup, margin)
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
 	iters := flag.Int("iters", 10, "operations per timing sample")
 	reps := flag.Int("reps", 3, "timing samples per configuration (best is kept)")
 	smokeMode := flag.Bool("smoke", false, "CI gate: check parallel is not slower than serial on the Figure-2 step")
+	batchSmokeMode := flag.Bool("batch-smoke", false, "CI gate: batched K=16 must beat 16 sequential runs by ≥ 1.8x runs/sec")
+	batchSteps := flag.Int("batch-steps", 25, "NVE steps per replica in the batchThroughput family (0 skips the family)")
 	compareMode := flag.Bool("compare", false, "compare two recorded reports: mdmbench -compare OLD.json NEW.json")
 	threshold := flag.Float64("threshold", 0.20, "ns/op growth beyond this fraction counts as a regression in -compare")
 	flag.Parse()
@@ -405,7 +502,15 @@ func main() {
 		return
 	}
 
-	rep, err := run([]int{1, 2, 4, 8}, *iters, *reps)
+	if *batchSmokeMode {
+		if err := batchSmoke(15); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep, err := run([]int{1, 2, 4, 8}, *iters, *reps, *batchSteps)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -173,6 +173,31 @@ func writeSummary(path string, s runSummary) error {
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
+// runBatchMode drives the -batch throughput protocol: k replicas of the
+// configured system, differing only in velocity seed, stepped through one
+// shared machine. Reports per-replica observables and aggregate throughput.
+func runBatchMode(cfg mdm.Config, k, nvt, nve int) int {
+	fmt.Printf("batch:  %d replicas, seeds %d..%d, %d NVT + %d NVE steps each\n",
+		k, cfg.Seed, cfg.Seed+int64(k)-1, nvt, nve)
+	start := time.Now()
+	results, err := mdm.RunBatch(cfg, k, nvt, nve)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("%6s %6s %14s %12s %10s\n", "slot", "seed", "T (K)", "NVE drift", "sort/reuse")
+	for i, r := range results {
+		fmt.Printf("%6d %6d %8.1f±%5.1f %12.3g %5d/%d\n",
+			i, r.Seed, r.TemperatureMean, r.TemperatureStd, r.EnergyDrift, r.JSetRebuilds, r.JSetReuses)
+	}
+	steps := k * (nvt + nve)
+	fmt.Printf("\nwall clock: %.2f s total, %.2f ms/replica-step, %.2f full runs/s\n",
+		elapsed.Seconds(), elapsed.Seconds()*1000/float64(steps), float64(k)/elapsed.Seconds())
+	return 0
+}
+
 func main() {
 	// run() owns every cleanup as a defer and reports an exit code; the only
 	// os.Exit on the normal paths is here, so profiles, trajectories, the
@@ -195,6 +220,7 @@ func run() (exit int) {
 	ckpt := flag.String("checkpoint", "", "crash-safe checkpoint file (enables restart after fatal faults)")
 	ckptEvery := flag.Int("checkpoint-every", 25, "steps between checkpoints")
 	maxRestarts := flag.Int("max-restarts", 3, "restarts from checkpoint after fatal faults")
+	batch := flag.Int("batch", 0, "throughput mode: run K independent replicas (seeds seed..seed+K-1) through one machine; incompatible with faults/checkpointing/supervision")
 	workers := flag.Int("workers", 0, "worker-pool width striping the simulated pipelines across cores (0 = GOMAXPROCS, 1 = serial); bit-identical at any width")
 	pipeline := flag.Bool("pipeline", false, "overlap the WINE-2 wavenumber pass with the MDGRAPE-2 real-space sweep and fuse the four real-space passes; bit-identical to the sequential path")
 	skin := flag.Float64("skin", 0, "Verlet skin in Å: reuse the sorted cell layout until a particle moves more than skin/2 (0 = rebuild every step)")
@@ -261,6 +287,27 @@ func run() (exit int) {
 	if (*pipeline || *skin != 0) && be != mdm.BackendMDM {
 		fmt.Fprintln(os.Stderr, "-pipeline and -skin require the mdm backend")
 		return 2
+	}
+	if *batch > 0 {
+		if be != mdm.BackendMDM {
+			fmt.Fprintln(os.Stderr, "-batch requires the mdm backend")
+			return 2
+		}
+		if *faults != "" || *ckpt != "" || *journal != "" || *resume || *watchdog > 0 || *xyz != "" {
+			fmt.Fprintln(os.Stderr, "-batch is incompatible with -faults, -checkpoint, -journal, -resume, -watchdog and -xyz")
+			return 2
+		}
+		// PotentialEvery stays 0: RunBatch defaults it to the paper's
+		// every-100-steps cadence (§5), the throughput protocol.
+		return runBatchMode(mdm.Config{
+			Cells:       *cells,
+			Temperature: *temp,
+			Dt:          *dt,
+			Seed:        *seed,
+			Workers:     *workers,
+			Pipeline:    *pipeline,
+			Skin:        *skin,
+		}, *batch, *nvt, *nve)
 	}
 
 	cfg := mdm.Config{

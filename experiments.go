@@ -208,7 +208,7 @@ func MeasureAccuracy(cells int, seed int64) (*Accuracy, error) {
 		for _, nb := range grid.Neighbors(ci) {
 			jstart, jend := sorted.CellRange(nb.Cell)
 			for j := jstart; j < jend; j++ {
-				rij := sys.Pos[i].Sub(sorted.Pos[j].Add(nb.Shift))
+				rij := sys.Pos[i].Sub(sorted.At(j).Add(nb.Shift))
 				r2 := rij.Norm2()
 				if r2 == 0 {
 					continue

@@ -1,0 +1,129 @@
+package mdm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"mdm/internal/md"
+	"mdm/internal/vec"
+)
+
+// Golden 50-step NVE trajectory hashes captured from the seed AoS
+// implementation (pre-SoA), pinning the machine backend's numbers across the
+// structure-of-arrays refactor and every bit-identity knob: worker width,
+// pipeline overlap, and — per skin value, since a Verlet skin selects its own
+// discretization — the j-set reuse path. Config: Cells/Temperature=1200/
+// Seed=1/Dt=2/BackendMDM/PotentialEvery=100, RunNVE(50).
+//
+// If one of these ever changes, the step path's arithmetic changed: that is a
+// physics regression (or an intentional discretization change that must
+// re-capture the goldens and say so in the commit).
+var goldenNVE = []struct {
+	cells int
+	skin  float64
+	init  string // hash of all positions before the run
+	final string // hash of positions then velocities after 50 NVE steps
+}{
+	{cells: 2, skin: 0, init: "b10ea6a48da85105", final: "21b4654a55f7805a"},
+	{cells: 2, skin: 0.5, init: "b10ea6a48da85105", final: "56b71747254744ae"},
+	{cells: 3, skin: 0, init: "faf5142d2a2f554d", final: "cf600f310cdd6446"},
+	{cells: 3, skin: 0.5, init: "faf5142d2a2f554d", final: "be381edb9b4c29f2"},
+}
+
+// hashVecs folds vectors into an FNV-64a running hash, little-endian float64
+// bits — stable across architectures for identical values.
+func hashVecs(h interface{ Write([]byte) (int, error) }, vs []vec.V) {
+	var buf [8]byte
+	w := func(f float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		h.Write(buf[:])
+	}
+	for _, v := range vs {
+		w(v.X)
+		w(v.Y)
+		w(v.Z)
+	}
+}
+
+func hashPos(s *md.System) string {
+	h := fnv.New64a()
+	hashVecs(h, s.Pos)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func hashState(s *md.System) string {
+	h := fnv.New64a()
+	hashVecs(h, s.Pos)
+	hashVecs(h, s.Vel)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TestGoldenNVEBitIdentity drives every bit-identity axis of the machine
+// backend — SoA hot path vs the captured AoS goldens, worker widths 1/2/4/8,
+// pipeline on/off — at two system sizes and two skins, and demands the exact
+// seed trajectory hash from each. The width and pipeline axes are contracts
+// (same discretization, same bits); the skin axis has one golden per value.
+func TestGoldenNVEBitIdentity(t *testing.T) {
+	widths := []int{1, 2, 4, 8}
+	if testing.Short() {
+		widths = []int{1, 4}
+	}
+	for _, g := range goldenNVE {
+		for _, workers := range widths {
+			for _, pipeline := range []bool{false, true} {
+				name := fmt.Sprintf("cells=%d/skin=%g/workers=%d/pipeline=%v", g.cells, g.skin, workers, pipeline)
+				t.Run(name, func(t *testing.T) {
+					if testing.Short() && g.cells == 3 && workers != 1 {
+						t.Skip("short mode: cells=3 width sweep skipped")
+					}
+					sim, err := NewSimulation(Config{
+						Cells:          g.cells,
+						Temperature:    1200,
+						Backend:        BackendMDM,
+						PotentialEvery: 100,
+						Workers:        workers,
+						Pipeline:       pipeline,
+						Skin:           g.skin,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer func() { _ = sim.Free() }()
+					if got := hashPos(sim.System); got != g.init {
+						t.Fatalf("initial positions hash %s, golden %s", got, g.init)
+					}
+					if err := sim.RunNVE(50); err != nil {
+						t.Fatal(err)
+					}
+					if got := hashState(sim.System); got != g.final {
+						t.Fatalf("50-step NVE state hash %s, golden %s", got, g.final)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestGoldenNVEBatchSlot runs the golden configuration as slot 0 of a batch:
+// the shared-machine driver must reproduce the solo golden hash exactly (the
+// other slot exists to perturb the shared scratch between slot-0 steps).
+func TestGoldenNVEBatchSlot(t *testing.T) {
+	g := goldenNVE[0]
+	res, err := RunBatch(Config{
+		Cells:          g.cells,
+		Temperature:    1200,
+		Backend:        BackendMDM,
+		PotentialEvery: 100,
+		Workers:        1,
+		Skin:           g.skin,
+	}, 2, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hashState(res[0].System); got != g.final {
+		t.Fatalf("batch slot 0 NVE state hash %s, golden %s", got, g.final)
+	}
+}

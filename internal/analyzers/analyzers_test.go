@@ -96,6 +96,13 @@ func TestShardMergeFixtures(t *testing.T) {
 	atest.Run(t, analyzers.ShardMerge, "shardmerge", "mdm/fixture/shardmerge")
 }
 
+func TestBatchFlowFixtures(t *testing.T) {
+	// The batch driver's swap dispatch: the stepflow fact must flow from a
+	// batch root through the per-slot adapter's interface call into the
+	// shared machine, so hotalloc sees allocations on the batched step path.
+	atest.Run(t, analyzers.HotAlloc, "batchflow", "mdm/fixture/batchflow")
+}
+
 // TestStepFlowFactPropagation checks the callgraph pass across real module
 // boundaries: functions nowhere near an //mdm:stepflow comment must be marked
 // because a root reaches them — through plain calls, interface dispatch
@@ -126,6 +133,15 @@ func TestStepFlowFactPropagation(t *testing.T) {
 		"(*mdm.Simulation).observe",
 		// Explicitly annotated root whose wiring is an assignment.
 		"(*mdm/internal/supervise.Watchdog).Beat",
+		// Batch entry points: the per-round driver and the per-slot swap
+		// adapter it dispatches through (interface fan-out from
+		// Integrator.Step's ForceField call).
+		"(*mdm/internal/core.BatchMachine).Step",
+		"(mdm/internal/core.slotField).Forces",
+		// The batch driver root; its sampling closure runs between rounds, so
+		// the recorder it calls must be hot too.
+		"mdm.RunBatch",
+		"(*mdm/internal/md.Recorder).Sample",
 	}
 	for _, name := range hot {
 		if !facts.StepFlowName(name) {

@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"mdm/internal/parallelize"
+	"mdm/internal/soa"
 	"mdm/internal/vec"
 )
 
@@ -183,13 +184,20 @@ func wrapCell(i, n int) (wrapped, shift int) {
 }
 
 // Sorted is the contiguous-per-cell particle layout: the paper's particle
-// memory plus cell memory. Positions are wrapped into the box.
+// memory plus cell memory. Positions are wrapped into the box and stored as
+// structure-of-arrays planes — the flat banked j-particle memory the board
+// streams (§3.3) — with a float32 mirror for the single-precision pipelines
+// (one narrowing per particle per rebuild instead of one per visited pair).
 type Sorted struct {
 	Grid  *Grid
-	Pos   []vec.V // positions in sorted order, wrapped into [0, L)³
-	Order []int   // Order[k] = original index of sorted particle k
-	Start []int   // len NumCells+1; cell c owns sorted indices [Start[c], Start[c+1])
+	Pos   soa.Coords   // positions in sorted order, wrapped into [0, L)³
+	P32   soa.Coords32 // float32(Pos) mirror, maintained by SortInto/Refresh
+	Order []int        // Order[k] = original index of sorted particle k
+	Start []int        // len NumCells+1; cell c owns sorted indices [Start[c], Start[c+1])
 }
+
+// At returns sorted position k as a vector.
+func (s *Sorted) At(k int) vec.V { return s.Pos.At(k) }
 
 // Sort builds the sorted layout for the given positions.
 func Sort(g *Grid, pos []vec.V) *Sorted {
@@ -246,12 +254,16 @@ func (so *Sorter) SortInto(dst *Sorted, pos []vec.V, pool *parallelize.Pool) *So
 		dst = &Sorted{}
 	}
 	dst.Grid = g
-	if len(dst.Pos) != n {
-		dst.Pos = make([]vec.V, n)
-		dst.Order = make([]int, n)
+	if dst.Pos.Len() != n {
+		dst.Pos = dst.Pos.Resize(n)
+		dst.P32 = dst.P32.Resize(n)
 	}
-	if len(dst.Start) != nc+1 {
-		dst.Start = make([]int, nc+1)
+	if len(dst.Order) != n || len(dst.Start) != nc+1 {
+		// One slab carved into both index tables; the capped slices keep the
+		// planes independent (an append can never cross into the neighbor).
+		s := make([]int, n+nc+1)
+		dst.Order = s[0:n:n]
+		dst.Start = s[n : n+nc+1 : n+nc+1]
 	}
 	if n < serialSortCutoff {
 		pool = nil
@@ -314,7 +326,9 @@ func (so *Sorter) SortInto(dst *Sorted, pos []vec.V, pool *parallelize.Pool) *So
 			c := cells[i]
 			k := fill[c]
 			fill[c]++
-			dst.Pos[k] = pos[i].Wrap(g.L)
+			w := pos[i].Wrap(g.L)
+			dst.Pos.Set(k, w)
+			dst.P32.Set(k, w)
 			dst.Order[k] = i
 		}
 		return nil
@@ -323,7 +337,7 @@ func (so *Sorter) SortInto(dst *Sorted, pos []vec.V, pool *parallelize.Pool) *So
 }
 
 // Len returns the number of particles.
-func (s *Sorted) Len() int { return len(s.Pos) }
+func (s *Sorted) Len() int { return s.Pos.Len() }
 
 // CellRange returns the half-open sorted-index range of cell c — the paper's
 // (jstart_c, jend_c) pair as read from the board's cell memory.
@@ -349,7 +363,9 @@ func (s *Sorted) Unsort(dst, src []vec.V) {
 func (s *Sorted) Refresh(pos []vec.V) {
 	l := s.Grid.L
 	for k, orig := range s.Order {
-		s.Pos[k] = pos[orig].Wrap(l)
+		w := pos[orig].Wrap(l)
+		s.Pos.Set(k, w)
+		s.P32.Set(k, w)
 	}
 }
 
@@ -385,11 +401,11 @@ func (s *Sorted) forEachOrderedPair(nbt *NeighborTable, f func(i, j int, rij vec
 			nbrs = g.Neighbors(c)
 		}
 		for i := is; i < ie; i++ {
-			ri := s.Pos[i]
+			ri := s.Pos.At(i)
 			for _, nb := range nbrs {
 				js, je := s.CellRange(nb.Cell)
 				for j := js; j < je; j++ {
-					rij := ri.Sub(s.Pos[j].Add(nb.Shift))
+					rij := ri.Sub(s.Pos.At(j).Add(nb.Shift))
 					f(i, j, rij)
 				}
 			}
@@ -434,7 +450,7 @@ func (s *Sorted) ForEachHalfPair(rcut float64, f func(i, j int, rij vec.V)) {
 		for _, nb := range g.Neighbors(c) {
 			js, je := s.CellRange(nb.Cell)
 			for i := is; i < ie; i++ {
-				ri := s.Pos[i]
+				ri := s.Pos.At(i)
 				for j := js; j < je; j++ {
 					// Visit each unordered pair once: within the same image
 					// of the same cell use j > i; across cells/images use a
@@ -446,7 +462,7 @@ func (s *Sorted) ForEachHalfPair(rcut float64, f func(i, j int, rij vec.V)) {
 					} else if !canonical(c, nb, i, j) {
 						continue
 					}
-					rij := ri.Sub(s.Pos[j].Add(nb.Shift))
+					rij := ri.Sub(s.Pos.At(j).Add(nb.Shift))
 					if rij.Norm2() < r2 {
 						f(i, j, rij)
 					}

@@ -114,7 +114,7 @@ func TestSortedLayoutContiguous(t *testing.T) {
 		a, b := s.CellRange(c)
 		total += b - a
 		for k := a; k < b; k++ {
-			if got := g.CellOf(s.Pos[k]); got != c {
+			if got := g.CellOf(s.At(k)); got != c {
 				t.Fatalf("sorted particle %d in range of cell %d but located in %d", k, c, got)
 			}
 		}
@@ -137,7 +137,7 @@ func TestUnsort(t *testing.T) {
 	pos := randomPositions(100, 20, 2)
 	s := Sort(g, pos)
 	dst := make([]vec.V, 100)
-	s.Unsort(dst, s.Pos)
+	s.Unsort(dst, s.Pos.AppendAoS(nil))
 	for i := range pos {
 		if vec.Dist(dst[i], pos[i].Wrap(20)) > 1e-12 {
 			t.Fatalf("Unsort mismatch at %d: %v vs %v", i, dst[i], pos[i])
@@ -265,7 +265,7 @@ func TestHalfPairDisplacementProperty(t *testing.T) {
 				ok = false
 			}
 			// rij must equal ri - rj modulo the box.
-			d := s.Pos[i].Sub(s.Pos[j]).Sub(rij)
+			d := s.At(i).Sub(s.At(j)).Sub(rij)
 			for _, comp := range []float64{d.X, d.Y, d.Z} {
 				k := comp / l
 				if math.Abs(k-math.Round(k)) > 1e-9 {

@@ -27,13 +27,13 @@ func TestSortPoolBitIdentical(t *testing.T) {
 	serial := Sort(g, pos)
 	for _, w := range []int{1, 2, 3, 4, 8, 16} {
 		par := SortPool(g, pos, parallelize.New(w))
-		if len(par.Pos) != len(serial.Pos) || len(par.Order) != len(serial.Order) {
+		if par.Pos.Len() != serial.Pos.Len() || len(par.Order) != len(serial.Order) {
 			t.Fatalf("workers=%d: layout sizes differ", w)
 		}
-		for k := range serial.Pos {
-			if par.Pos[k] != serial.Pos[k] || par.Order[k] != serial.Order[k] {
+		for k := 0; k < serial.Pos.Len(); k++ {
+			if par.At(k) != serial.At(k) || par.Order[k] != serial.Order[k] {
 				t.Fatalf("workers=%d: sorted slot %d differs: %v/%d vs %v/%d",
-					w, k, par.Pos[k], par.Order[k], serial.Pos[k], serial.Order[k])
+					w, k, par.At(k), par.Order[k], serial.At(k), serial.Order[k])
 			}
 		}
 		for c := range serial.Start {

@@ -70,11 +70,11 @@ func TestSorterMatchesSortPool(t *testing.T) {
 		var got *Sorted
 		for trial := 0; trial < 3; trial++ { // reuse across calls
 			got = so.SortInto(got, pos, pool)
-			if len(got.Pos) != len(want.Pos) || len(got.Start) != len(want.Start) {
+			if got.Pos.Len() != want.Pos.Len() || len(got.Start) != len(want.Start) {
 				t.Fatalf("n=%d trial %d: layout size mismatch", n, trial)
 			}
-			for k := range want.Pos {
-				if got.Pos[k] != want.Pos[k] || got.Order[k] != want.Order[k] {
+			for k := 0; k < want.Pos.Len(); k++ {
+				if got.At(k) != want.At(k) || got.Order[k] != want.Order[k] {
 					t.Fatalf("n=%d trial %d: slot %d differs", n, trial, k)
 				}
 			}
@@ -114,12 +114,12 @@ func TestRefreshMatchesResort(t *testing.T) {
 	}
 	s.Refresh(moved)
 	want := Sort(g, moved)
-	for k := range want.Pos {
+	for k := 0; k < want.Pos.Len(); k++ {
 		if s.Order[k] != want.Order[k] {
 			t.Fatalf("slot %d: order %d != %d", k, s.Order[k], want.Order[k])
 		}
-		if s.Pos[k] != want.Pos[k] {
-			t.Fatalf("slot %d: pos %v != %v", k, s.Pos[k], want.Pos[k])
+		if s.At(k) != want.At(k) {
+			t.Fatalf("slot %d: pos %v != %v", k, s.At(k), want.At(k))
 		}
 	}
 	for c := range want.Start {

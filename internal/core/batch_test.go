@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"mdm/internal/md"
+)
+
+// The batch driver's whole claim is that sharing one machine is invisible in
+// the numbers: every slot's trajectory must be bit-identical to running that
+// system alone on a fresh Machine, independent of K and of slot order. The
+// -race pass over this package exercises the slot swap under the overlapped
+// pipeline.
+
+// soloTrajectory steps one system on its own Machine and returns the sampled
+// records plus the final system state.
+func soloTrajectory(t *testing.T, cfg MachineConfig, seed int64, steps int) ([]md.Record, *md.System) {
+	t.Helper()
+	s := meltLike(t, 2, 5.64, 600, seed)
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Free() }()
+	it, err := md.NewIntegrator(s, m, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &md.Recorder{}
+	rec.Sample(it)
+	if err := it.Run(steps, func(int) error { rec.Sample(it); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Records, s
+}
+
+// batchTrajectories steps the seeded systems through one BatchMachine and
+// returns per-slot records and final states.
+func batchTrajectories(t *testing.T, cfg MachineConfig, seeds []int64, steps int) ([][]md.Record, []*md.System) {
+	t.Helper()
+	systems := make([]*md.System, len(seeds))
+	for i, seed := range seeds {
+		systems[i] = meltLike(t, 2, 5.64, 600, seed)
+	}
+	b, err := NewBatchMachine(cfg, systems, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Free() }()
+	recs := make([]*md.Recorder, len(seeds))
+	for i := range recs {
+		recs[i] = &md.Recorder{}
+		recs[i].Sample(b.Integrator(i))
+	}
+	err = b.Run(steps, func(int) error {
+		for i := range recs {
+			recs[i].Sample(b.Integrator(i))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]md.Record, len(seeds))
+	for i := range recs {
+		out[i] = recs[i].Records
+	}
+	return out, systems
+}
+
+func sameTrajectory(t *testing.T, label string, got, want []md.Record, gotSys, wantSys *md.System) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d records vs %d", label, len(got), len(want))
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("%s: record %d diverges: %+v vs %+v", label, k, got[k], want[k])
+		}
+	}
+	for i := range wantSys.Pos {
+		if gotSys.Pos[i] != wantSys.Pos[i] || gotSys.Vel[i] != wantSys.Vel[i] {
+			t.Fatalf("%s: final state diverges at particle %d", label, i)
+		}
+	}
+}
+
+// TestBatchSlotsBitIdenticalToSolo pins the batch determinism contract: each
+// slot of a K=3 batch reproduces, bit for bit, the same system run alone on
+// a fresh machine; permuting the slots or shrinking the batch to K=1 changes
+// nothing. Runs under the overlapped pipeline with a Verlet skin, the most
+// state-laden configuration of the step path.
+func TestBatchSlotsBitIdenticalToSolo(t *testing.T) {
+	s := meltLike(t, 2, 5.64, 600, 1)
+	cfg := CurrentMachineConfig(smallParams(s.L))
+	cfg.Pipeline = true
+	cfg.Skin = 0.6
+	cfg.PotentialEvery = 5
+	const steps = 20
+	seeds := []int64{101, 102, 103}
+
+	solo := make(map[int64][]md.Record)
+	soloSys := make(map[int64]*md.System)
+	for _, seed := range seeds {
+		solo[seed], soloSys[seed] = soloTrajectory(t, cfg, seed, steps)
+	}
+
+	recs, systems := batchTrajectories(t, cfg, seeds, steps)
+	for i, seed := range seeds {
+		sameTrajectory(t, "K=3 slot vs solo", recs[i], solo[seed], systems[i], soloSys[seed])
+	}
+
+	// Slot order must not matter.
+	perm := []int64{103, 101, 102}
+	recsP, systemsP := batchTrajectories(t, cfg, perm, steps)
+	for i, seed := range perm {
+		sameTrajectory(t, "permuted slot vs solo", recsP[i], solo[seed], systemsP[i], soloSys[seed])
+	}
+
+	// Neither must K.
+	recs1, systems1 := batchTrajectories(t, cfg, seeds[1:2], steps)
+	sameTrajectory(t, "K=1 slot vs solo", recs1[0], solo[seeds[1]], systems1[0], soloSys[seeds[1]])
+}
+
+// TestBatchSlotJSetStatsIndependent checks the per-slot Verlet-skin
+// bookkeeping: every slot's rebuild/reuse split covers its own force calls,
+// and a quiet slot actually reuses its layout even while sharing the machine.
+func TestBatchSlotJSetStatsIndependent(t *testing.T) {
+	s := meltLike(t, 2, 5.64, 80, 1)
+	cfg := CurrentMachineConfig(smallParams(s.L))
+	cfg.Skin = 0.8
+	const steps = 15
+	systems := []*md.System{
+		meltLike(t, 2, 5.64, 80, 7),
+		meltLike(t, 2, 5.64, 80, 8),
+	}
+	b, err := NewBatchMachine(cfg, systems, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Free() }()
+	if err := b.Run(steps, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range systems {
+		rebuilds, reuses := b.JSetStats(i)
+		if rebuilds+reuses != steps+1 {
+			t.Errorf("slot %d: j-set stats %d+%d don't cover %d force calls", i, rebuilds, reuses, steps+1)
+		}
+		if reuses == 0 {
+			t.Errorf("slot %d: skin=%g never reused the j-set", i, cfg.Skin)
+		}
+	}
+}
+
+// TestBatchBoxMismatch rejects a slot whose box differs from the machine's.
+func TestBatchBoxMismatch(t *testing.T) {
+	s := meltLike(t, 2, 5.64, 600, 1)
+	cfg := CurrentMachineConfig(smallParams(s.L))
+	bad, err := md.NewRockSalt(3, 5.64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBatchMachine(cfg, []*md.System{s, bad}, 2.0); err == nil {
+		t.Fatal("batch accepted a slot with a mismatched box")
+	}
+	if _, err := NewBatchMachine(cfg, nil, 2.0); err == nil {
+		t.Fatal("batch accepted zero systems")
+	}
+}

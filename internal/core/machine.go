@@ -10,6 +10,7 @@ import (
 	"mdm/internal/md"
 	"mdm/internal/mdgrape2"
 	"mdm/internal/parallelize"
+	"mdm/internal/soa"
 	"mdm/internal/tosifumi"
 	"mdm/internal/units"
 	"mdm/internal/vec"
@@ -135,6 +136,15 @@ type Machine struct {
 	potCalls int
 	lastPot  float64
 
+	// fuse runs the real-space work as one fused four-table sweep even
+	// without the pipeline's engine overlap — same bits (the fixed reduction
+	// order is preserved), one pair enumeration instead of four, still
+	// strictly serial. The batch driver sets it: batched throughput must not
+	// depend on a second core, but may amortize the pair walk across tables.
+	// It stays off for the plain sequential path because the recovery layer's
+	// fault scenarios count four MDGRAPE-2 calls per step there.
+	fuse bool
+
 	// Step-path state, reused across Forces calls (the zero-alloc step path).
 	jsb          *mdgrape2.JSetBuilder // amortized j-set construction
 	js           *mdgrape2.JSet        // current j-set (owned by jsb)
@@ -145,13 +155,15 @@ type Machine struct {
 	scale        []float64 // hoisted per-i Coulomb force prefactor
 	potScale     []float64 // hoisted per-i Coulomb potential prefactor
 	passes       [4]mdgrape2.ForcePass
-	wineForces   []vec.V         // wavenumber force buffer (pipeline path)
+	wineForces   []vec.V         // wavenumber force buffer (sequential path)
+	realFC       soa.Coords      // fused-sweep force planes (pipeline path)
+	wineFC       soa.Coords      // wavenumber force planes (pipeline path)
 	wineDone     chan wineResult // join channel, reused across steps
 }
 
 // wineResult carries the wavenumber pass result across the pipeline join.
 type wineResult struct {
-	f   []vec.V
+	fc  soa.Coords
 	pot float64
 	err error
 }
@@ -458,13 +470,16 @@ func (m *Machine) Forces(s *md.System) ([]vec.V, float64, error) {
 		// flight (the recovery layer tears the machine down on failure).
 		//mdm:hotallocok -- one pipeline launch per step by design; the closure capture is the overlap mechanism and fits the ~10 allocs/step budget
 		go func() {
-			wf, wp, werr := m.wine.CalcForceAndPotWavepartInto(p, m.waves, s.Pos, s.Charge, m.wineForces)
-			m.wineDone <- wineResult{f: wf, pot: wp, err: werr}
+			fc, wp, werr := m.wine.CalcForceAndPotWavepartCoordsInto(p, m.waves, s.Pos, s.Charge, m.wineFC)
+			m.wineDone <- wineResult{fc: fc, pot: wp, err: werr}
 		}()
-		f, mdgErr := m.mr1.CalcVDWFused(m.realPasses(), s.Pos, s.Type, js)
+		fc, mdgErr := m.mr1.CalcVDWFusedInto(m.realPasses(), s.Pos, s.Type, js, m.realFC)
 		res := <-m.wineDone
-		if res.f != nil {
-			m.wineForces = res.f // keep the buffer even on an error path
+		if res.fc.Len() != 0 {
+			m.wineFC = res.fc // keep the planes even on an error path
+		}
+		if fc.Len() != 0 {
+			m.realFC = fc
 		}
 		if mdgErr != nil {
 			// Real-space error wins when both engines fail: the serial path
@@ -475,11 +490,40 @@ func (m *Machine) Forces(s *md.System) ([]vec.V, float64, error) {
 		if res.err != nil {
 			return nil, 0, fmt.Errorf("core: wavenumber pass: %w", res.err)
 		}
-		forces = f
 		wavePot = res.pot
-		for i := range forces {
-			forces[i] = forces[i].Add(res.f[i])
+		// Combine on the planes in the fixed reduction order (real + wave) —
+		// componentwise float64 adds, bit-identical to the AoS vec.Add loop —
+		// then interleave once into the AoS []vec.V the md boundary expects.
+		wx, wy, wz := res.fc.X, res.fc.Y, res.fc.Z
+		for i := range fc.X {
+			fc.X[i] += wx[i]
+			fc.Y[i] += wy[i]
+			fc.Z[i] += wz[i]
 		}
+		//mdm:hotallocok -- the one fresh output slice per step the md.ForceField contract requires; every intermediate buffer is reused
+		forces = fc.AppendAoS(make([]vec.V, 0, n))
+	} else if m.fuse {
+		// Fused-serial path (batch driver): one four-table sweep, then the
+		// wavenumber pass, back to back on the calling goroutine. Bit-identical
+		// to both other paths — same fixed reduction order on the same planes.
+		fc, err := m.mr1.CalcVDWFusedInto(m.realPasses(), s.Pos, s.Type, js, m.realFC)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: real-space sweep: %w", err)
+		}
+		m.realFC = fc
+		wfc, wp, err := m.wine.CalcForceAndPotWavepartCoordsInto(p, m.waves, s.Pos, s.Charge, m.wineFC)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: wavenumber pass: %w", err)
+		}
+		m.wineFC = wfc
+		wavePot = wp
+		for i := range fc.X {
+			fc.X[i] += wfc.X[i]
+			fc.Y[i] += wfc.Y[i]
+			fc.Z[i] += wfc.Z[i]
+		}
+		//mdm:hotallocok -- the one fresh output slice per step the md.ForceField contract requires; every intermediate buffer is reused
+		forces = fc.AppendAoS(make([]vec.V, 0, n))
 	} else {
 		// Sequential path: four real-space passes back to back, then the
 		// wavenumber pass.

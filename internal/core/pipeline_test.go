@@ -201,3 +201,51 @@ func TestPipelineStepAllocs(t *testing.T) {
 		t.Errorf("steady-state pipeline step does %.1f allocs, want ≤ 12", avg)
 	}
 }
+
+// TestStepAllocsFlatAcrossWidths pins the fix for the per-width allocation
+// growth of the parallel dispatch (BENCH_2: machineForces climbed from 11 to
+// 144 allocs/op between widths 1 and 8, one shard list + error slice + capture
+// struct per goroutine per dispatch): with dispatch records pooled, the
+// steady-state force call must cost the same few allocations at every width.
+func TestStepAllocsFlatAcrossWidths(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race-detector instrumentation allocates per goroutine handoff; the pinned counts only hold in uninstrumented builds")
+	}
+	s := meltLike(t, 2, 5.64, 300, 31)
+	p := smallParams(s.L)
+	base := 0.0
+	for _, workers := range []int{1, 2, 4, 8} {
+		cfg := CurrentMachineConfig(p)
+		cfg.Pipeline = true
+		cfg.Skin = 0.6
+		cfg.Workers = workers
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm the arena: grow the pooled dispatch records to this width.
+		for i := 0; i < 5; i++ {
+			if _, _, err := m.Forces(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		avg := testing.AllocsPerRun(10, func() {
+			if _, _, err := m.Forces(s); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if workers == 1 {
+			base = avg
+		}
+		t.Logf("workers=%d: %.1f allocs/op", workers, avg)
+		if avg > base+4 {
+			t.Errorf("workers=%d: %.1f allocs/op grew past width-1 baseline %.1f+4", workers, avg, base)
+		}
+		if avg > 16 {
+			t.Errorf("workers=%d: %.1f allocs/op exceeds the flat budget of 16", workers, avg)
+		}
+		if err := m.Free(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

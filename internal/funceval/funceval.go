@@ -32,8 +32,9 @@ const DefaultSegments = 1024
 
 // Table holds the coefficient RAM for one function g(x).
 type Table struct {
-	emin, emax int // domain is [2^emin, 2^emax)
-	segPerOct  int // segments per octave
+	emin, emax int     // domain is [2^emin, 2^emax)
+	lo, hi     float64 // cached 2^emin, 2^emax: Eval runs once per pair per pass
+	segPerOct  int     // segments per octave
 	coeff      [][Order + 1]float32
 	highValue  float32 // returned for x >= 2^emax (hardware cutoff tail)
 }
@@ -58,6 +59,8 @@ func NewTable(g func(float64) float64, emin, emax, nseg int) (*Table, error) {
 	t := &Table{
 		emin:      emin,
 		emax:      emax,
+		lo:        math.Ldexp(1, emin),
+		hi:        math.Ldexp(1, emax),
 		segPerOct: nseg / oct,
 		coeff:     make([][Order + 1]float32, nseg),
 		highValue: 0,
@@ -86,9 +89,7 @@ func MustNewTable(g func(float64) float64, emin, emax, nseg int) *Table {
 func (t *Table) Segments() int { return len(t.coeff) }
 
 // Domain returns the representable argument range [lo, hi).
-func (t *Table) Domain() (lo, hi float64) {
-	return math.Ldexp(1, t.emin), math.Ldexp(1, t.emax)
-}
+func (t *Table) Domain() (lo, hi float64) { return t.lo, t.hi }
 
 // segmentBounds returns the argument interval covered by segment s.
 func (t *Table) segmentBounds(s int) (lo, hi float64) {
@@ -102,11 +103,27 @@ func (t *Table) segmentBounds(s int) (lo, hi float64) {
 }
 
 // segmentIndex maps a positive argument inside the domain to its segment and
-// the local coordinate u in [0,1).
+// the local coordinate u in [0,1). For a normal argument the exponent and
+// mantissa come straight from the IEEE-754 word — the addressing the hardware
+// performs on the argument's floating-point representation — which yields
+// exactly frexp's decomposition (octave e, mantissa position frac·2−1, both
+// exact operations) without frexp's call and normalization overhead.
 func (t *Table) segmentIndex(x float64) (seg int, u float64) {
-	frac, exp := math.Frexp(x) // x = frac * 2^exp, frac in [0.5, 1)
-	e := exp - 1               // octave exponent: x in [2^e, 2^(e+1))
-	m := frac*2 - 1            // mantissa position in the octave, [0, 1)
+	const expMask = uint64(0x7ff) << 52
+	bits := math.Float64bits(x)
+	biased := int(bits >> 52 & 0x7ff)
+	var e int
+	var m float64
+	if biased != 0 {
+		e = biased - 1023
+		m = math.Float64frombits(bits&^expMask|(1023<<52)) - 1
+	} else {
+		// Subnormal argument (a domain bottom below 2^-1022): the exponent
+		// field carries no information, fall back to the general decomposition.
+		frac, exp := math.Frexp(x) // x = frac * 2^exp, frac in [0.5, 1)
+		e = exp - 1                // octave exponent: x in [2^e, 2^(e+1))
+		m = frac*2 - 1             // mantissa position in the octave, [0, 1)
+	}
 	pos := m * float64(t.segPerOct)
 	sub := int(pos)
 	if sub >= t.segPerOct { // guard against rounding at the octave edge
@@ -196,24 +213,24 @@ func solveVandermonde(u, v [Order + 1]float64) ([Order + 1]float64, error) {
 // high-side tail value (0 by default — the implicit cutoff).
 func (t *Table) Eval(x float32) float32 {
 	xf := float64(x) //mdm:float64ok -- exact widening used only for segment addressing, not arithmetic
-	if !(xf > 0) || math.IsNaN(xf) {
+	if !(xf > 0) {   // also rejects NaN, which fails every comparison
 		return 0
 	}
-	lo, hi := t.Domain()
-	if xf >= hi {
+	if xf >= t.hi {
 		return t.highValue
 	}
-	if xf < lo {
-		xf = lo
+	if xf < t.lo {
+		xf = t.lo
 	}
 	seg, u := t.segmentIndex(xf)
 	c := &t.coeff[seg]
-	// Horner in float32.
+	// Horner in float32, unrolled over the fixed quartic order (the same
+	// operation sequence as the loop form, so the same bits).
 	uu := float32(u)
-	r := c[Order]
-	for i := Order - 1; i >= 0; i-- {
-		r = r*uu + c[i]
-	}
+	r := c[4]*uu + c[3]
+	r = r*uu + c[2]
+	r = r*uu + c[1]
+	r = r*uu + c[0]
 	return r
 }
 

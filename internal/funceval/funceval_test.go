@@ -218,3 +218,61 @@ func BenchmarkEvalVsMathExact(b *testing.B) {
 		_ = sink
 	})
 }
+
+// TestSegmentIndexMatchesFrexp pins the bit-field segment addressing to the
+// frexp decomposition it replaced, across octave edges, segment edges and
+// values one ulp either side of them.
+func TestSegmentIndexMatchesFrexp(t *testing.T) {
+	tbl := MustNewTable(func(x float64) float64 { return 1 / x }, -20, 12, DefaultSegments)
+	ref := func(x float64) (int, float64) {
+		frac, exp := math.Frexp(x)
+		e := exp - 1
+		m := frac*2 - 1
+		pos := m * float64(tbl.segPerOct)
+		sub := int(pos)
+		if sub >= tbl.segPerOct {
+			sub = tbl.segPerOct - 1
+		}
+		return (e-tbl.emin)*tbl.segPerOct + sub, pos - float64(sub)
+	}
+	probe := func(x float64) {
+		t.Helper()
+		lo, hi := tbl.Domain()
+		if x < lo || x >= hi {
+			return
+		}
+		gs, gu := tbl.segmentIndex(x)
+		ws, wu := ref(x)
+		if gs != ws || gu != wu {
+			t.Fatalf("segmentIndex(%g) = (%d, %v), frexp path gives (%d, %v)", x, gs, gu, ws, wu)
+		}
+	}
+	for s := 0; s < tbl.Segments(); s++ {
+		lo, hi := tbl.segmentBounds(s)
+		for _, x := range []float64{lo, math.Nextafter(lo, 0), math.Nextafter(lo, hi),
+			(lo + hi) / 2, math.Nextafter(hi, lo), hi} {
+			probe(x)
+		}
+	}
+}
+
+// TestSegmentIndexSubnormalFallback exercises the non-normal branch: a table
+// whose domain bottom sits in the subnormal range must still address exactly
+// as the frexp decomposition does.
+func TestSegmentIndexSubnormalFallback(t *testing.T) {
+	tbl := MustNewTable(func(x float64) float64 { return 1 }, -1030, -1020, 10)
+	for _, x := range []float64{math.Ldexp(1, -1030), math.Ldexp(1.5, -1028), math.Ldexp(1, -1023)} {
+		frac, exp := math.Frexp(x)
+		e := exp - 1
+		pos := (frac*2 - 1) * float64(tbl.segPerOct)
+		sub := int(pos)
+		if sub >= tbl.segPerOct {
+			sub = tbl.segPerOct - 1
+		}
+		ws, wu := (e-tbl.emin)*tbl.segPerOct+sub, pos-float64(sub)
+		gs, gu := tbl.segmentIndex(x)
+		if gs != ws || gu != wu {
+			t.Fatalf("segmentIndex(%g) = (%d, %v), frexp path gives (%d, %v)", x, gs, gu, ws, wu)
+		}
+	}
+}

@@ -65,26 +65,28 @@ func NewRockSalt(cells int, a float64) (*System, error) {
 	n := 8 * cells * cells * cells
 	s := &System{
 		L:      float64(cells) * a,
-		Pos:    make([]vec.V, 0, n),
+		Pos:    make([]vec.V, n),
 		Vel:    make([]vec.V, n),
-		Mass:   make([]float64, 0, n),
-		Charge: make([]float64, 0, n),
-		Type:   make([]int, 0, n),
+		Mass:   make([]float64, n),
+		Charge: make([]float64, n),
+		Type:   make([]int, n),
 	}
 	d := a / 2
+	i := 0
 	for cz := 0; cz < 2*cells; cz++ {
 		for cy := 0; cy < 2*cells; cy++ {
 			for cx := 0; cx < 2*cells; cx++ {
-				s.Pos = append(s.Pos, vec.New(float64(cx)*d, float64(cy)*d, float64(cz)*d))
+				s.Pos[i] = vec.New(float64(cx)*d, float64(cy)*d, float64(cz)*d)
 				var sp tosifumi.Species
 				if (cx+cy+cz)%2 == 0 {
 					sp = tosifumi.Na
 				} else {
 					sp = tosifumi.Cl
 				}
-				s.Type = append(s.Type, int(sp))
-				s.Charge = append(s.Charge, tosifumi.Charge(sp))
-				s.Mass = append(s.Mass, tosifumi.Mass(sp))
+				s.Type[i] = int(sp)
+				s.Charge[i] = tosifumi.Charge(sp)
+				s.Mass[i] = tosifumi.Mass(sp)
+				i++
 			}
 		}
 	}
@@ -95,10 +97,12 @@ func NewRockSalt(cells int, a float64) (*System, error) {
 // distribution at temperature tK, removes the net momentum, and rescales to
 // hit tK exactly. The given seed makes runs reproducible.
 func (s *System) SetMaxwellVelocities(tK float64, seed int64) {
+	//mdm:wallclockok -- the source IS explicitly seeded (the seed parameter); construction-time draw, reached from the batch-driver root but never from a step
 	rng := rand.New(rand.NewSource(seed))
 	for i := range s.Vel {
 		// σ² = k_B T / m in (Å/fs)² via the eV→(Å/fs)² conversion.
 		sigma := math.Sqrt(units.Boltzmann * tK / s.Mass[i] * units.ForceToAccel)
+		//mdm:wallclockok -- deterministic draws from the explicitly seeded source above; construction-time, not step-time
 		s.Vel[i] = vec.New(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
 	}
 	s.RemoveNetMomentum()

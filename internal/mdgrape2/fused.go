@@ -7,6 +7,7 @@ import (
 	"mdm/internal/fault"
 	"mdm/internal/funceval"
 	"mdm/internal/parallelize"
+	"mdm/internal/soa"
 	"mdm/internal/vec"
 )
 
@@ -52,38 +53,50 @@ type fusedFlip struct {
 // those calls never touches the injector, so the injector-visible event
 // stream is unchanged).
 func (s *System) ComputeForcesFused(passes []ForcePass, xi []vec.V, ti []int, js *JSet) ([]vec.V, error) {
+	fc, err := s.ComputeForcesFusedInto(passes, xi, ti, js, soa.Coords{})
+	if err != nil {
+		return nil, err
+	}
+	return fc.AppendAoS(make([]vec.V, 0, fc.Len())), nil
+}
+
+// ComputeForcesFusedInto is ComputeForcesFused writing the summed force
+// components into structure-of-arrays planes (dst is resized and reused when
+// its backing arrays are large enough), so a steady-state step path feeds the
+// host combine stage without re-allocating or re-interleaving the output.
+func (s *System) ComputeForcesFusedInto(passes []ForcePass, xi []vec.V, ti []int, js *JSet, dst soa.Coords) (soa.Coords, error) {
 	np := len(passes)
 	if np == 0 || np > maxFusedPasses {
-		return nil, fmt.Errorf("mdgrape2: %d fused passes outside [1, %d]", np, maxFusedPasses)
+		return soa.Coords{}, fmt.Errorf("mdgrape2: %d fused passes outside [1, %d]", np, maxFusedPasses)
 	}
 	if len(xi) != len(ti) {
-		return nil, fmt.Errorf("mdgrape2: %d i-positions vs %d i-types", len(xi), len(ti))
+		return soa.Coords{}, fmt.Errorf("mdgrape2: %d i-positions vs %d i-types", len(xi), len(ti))
 	}
 	if js.Sorted.Len() > s.cfg.ParticleCapacity() {
-		return nil, fmt.Errorf("mdgrape2: %d j-particles exceed board particle memory capacity %d",
+		return soa.Coords{}, fmt.Errorf("mdgrape2: %d j-particles exceed board particle memory capacity %d",
 			js.Sorted.Len(), s.cfg.ParticleCapacity())
 	}
 	var tbls [maxFusedPasses]tableRef
 	for p := range passes {
 		tbl, err := s.Table(passes[p].Table)
 		if err != nil {
-			return nil, err
+			return soa.Coords{}, err
 		}
 		tbls[p].tbl = tbl
 		co := passes[p].Co
 		if passes[p].ScaleI != nil && len(passes[p].ScaleI) != len(xi) {
-			return nil, fmt.Errorf("mdgrape2: %s: %d i-positions vs %d scales",
+			return soa.Coords{}, fmt.Errorf("mdgrape2: %s: %d i-positions vs %d scales",
 				passes[p].Table, len(xi), len(passes[p].ScaleI))
 		}
 		nt := len(co.A)
 		for _, t := range ti {
 			if t < 0 || t >= nt {
-				return nil, fmt.Errorf("mdgrape2: i-type %d outside coefficient RAM (%d types)", t, nt)
+				return soa.Coords{}, fmt.Errorf("mdgrape2: i-type %d outside coefficient RAM (%d types)", t, nt)
 			}
 		}
 		for _, t := range js.Types {
 			if t < 0 || t >= nt {
-				return nil, fmt.Errorf("mdgrape2: j-type %d outside coefficient RAM (%d types)", t, nt)
+				return soa.Coords{}, fmt.Errorf("mdgrape2: j-type %d outside coefficient RAM (%d types)", t, nt)
 			}
 		}
 		tbls[p].a32, tbls[p].b32 = co.quant32()
@@ -100,7 +113,7 @@ func (s *System) ComputeForcesFused(passes []ForcePass, xi []vec.V, ti []int, js
 		}
 		if s.hook != nil {
 			if err := s.hook.HardwareCall(fault.MDG2); err != nil {
-				return nil, fmt.Errorf("%s pass: %w", passes[p].Table, err)
+				return soa.Coords{}, fmt.Errorf("%s pass: %w", passes[p].Table, err)
 			}
 			if len(xi) > 0 {
 				if word, bit, ok := s.hook.PendingFlip(fault.MDG2); ok {
@@ -116,7 +129,8 @@ func (s *System) ComputeForcesFused(passes []ForcePass, xi []vec.V, ti []int, js
 	}
 
 	grid := js.Sorted.Grid
-	forces := make([]vec.V, len(xi))
+	dst = dst.Resize(len(xi))
+	fX, fY, fZ := dst.X, dst.Y, dst.Z
 	shardPairs := s.pairScratch(parallelize.NumShards(len(xi), s.pool.Workers()))
 	_ = s.pool.Run(len(xi), func(shard, lo, hi int) error {
 		var pairs int64
@@ -138,25 +152,35 @@ func (s *System) ComputeForcesFused(passes []ForcePass, xi []vec.V, ti []int, js
 				sx := float32(nb.Shift.X)
 				sy := float32(nb.Shift.Y)
 				sz := float32(nb.Shift.Z)
-				for j := jstart; j < jend; j++ {
-					pj := js.Sorted.Pos[j]
-					dx := pix - (float32(pj.X) + sx)
-					dy := piy - (float32(pj.Y) + sy)
-					dz := piz - (float32(pj.Z) + sz)
-					tj := js.Types[j]
+				// Stream the cell's j-run from the float32 planes — the banked
+				// particle-memory read of §3.3. Equal-length subslices let the
+				// compiler drop the per-pair bounds checks.
+				jx := js.Sorted.P32.X[jstart:jend]
+				jy := js.Sorted.P32.Y[jstart:jend:jend]
+				jz := js.Sorted.P32.Z[jstart:jend:jend]
+				jt := js.Types[jstart:jend:jend]
+				for j := range jx {
+					dx := pix - (jx[j] + sx)
+					dy := piy - (jy[j] + sy)
+					dz := piz - (jz[j] + sz)
+					// One squared distance serves all fused passes — the same
+					// expression pairForce evaluates, so the same bits, computed
+					// once instead of once per table.
+					r2 := dx*dx + dy*dy + dz*dz
+					tj := jt[j]
 					var w float32 = 1
 					if js.Weights != nil {
-						w = float32(js.Weights[j])
+						w = float32(js.Weights[jstart+j])
 					}
 					for p := 0; p < np; p++ {
 						b := tb[p][tj]
 						if js.Weights != nil {
 							b *= w
 						}
-						fx, fy, fz := pairForce(tbls[p].tbl, ta[p][tj], b, dx, dy, dz)
-						ax[p] += float64(fx)
-						ay[p] += float64(fy)
-						az[p] += float64(fz)
+						bg := b * tbls[p].tbl.Eval(ta[p][tj]*r2)
+						ax[p] += float64(bg * dx)
+						ay[p] += float64(bg * dy)
+						az[p] += float64(bg * dz)
 					}
 					pairs++
 				}
@@ -185,7 +209,7 @@ func (s *System) ComputeForcesFused(passes []ForcePass, xi []vec.V, ti []int, js
 					f = f.Add(fp)
 				}
 			}
-			forces[i] = f
+			fX[i], fY[i], fZ[i] = f.X, f.Y, f.Z
 		}
 		shardPairs[shard] = pairs
 		return nil
@@ -199,7 +223,7 @@ func (s *System) ComputeForcesFused(passes []ForcePass, xi []vec.V, ti []int, js
 	s.stats.IParticles += int64(len(xi) * np)
 	s.stats.JLoads += int64(js.Sorted.Len() * s.cfg.Boards() * np)
 	s.stats.Calls += int64(np)
-	return forces, nil
+	return dst, nil
 }
 
 // tableRef is the resolved per-pass state of a fused sweep.
@@ -217,6 +241,18 @@ func (m *MR1) CalcVDWFused(passes []ForcePass, xi []vec.V, ti []int, js *JSet) (
 		return nil, fmt.Errorf("mdgrape2: MR1calcvdw_block2 before MR1init")
 	}
 	return m.sys.ComputeForcesFused(passes, xi, ti, js)
+}
+
+// CalcVDWFusedInto is CalcVDWFused writing the summed forces into
+// structure-of-arrays planes (see System.ComputeForcesFusedInto) — the
+// zero-alloc variant the machine's step path feeds its combine stage from.
+//
+//mdm:stepflow -- hot-path root: the MDGRAPE-2 session's fused per-step sweep, SoA output (Table 3 loop, four tables at once)
+func (m *MR1) CalcVDWFusedInto(passes []ForcePass, xi []vec.V, ti []int, js *JSet, dst soa.Coords) (soa.Coords, error) {
+	if m.sys == nil {
+		return soa.Coords{}, fmt.Errorf("mdgrape2: MR1calcvdw_block2 before MR1init")
+	}
+	return m.sys.ComputeForcesFusedInto(passes, xi, ti, js, dst)
 }
 
 // JSetBuilder amortizes per-step j-set construction: the neighbor table is
@@ -243,6 +279,18 @@ func NewJSetBuilder(grid *cellindex.Grid, pool *parallelize.Pool) *JSetBuilder {
 // NeighborTable exposes the builder's cached per-cell neighbor lists, so
 // host-side pair walks over the built j-set can share them.
 func (b *JSetBuilder) NeighborTable() *cellindex.NeighborTable { return b.nbt }
+
+// Clone returns a builder with its own j-set (sorted layout, types, reference
+// state) sharing this builder's neighbor table and counting-sort scratch.
+// The shared pieces are value-independent between calls — the neighbor table
+// is immutable after construction and the sorter's buckets are fully
+// rewritten by every SortInto — so clones stepped serially (one Build/Refresh
+// at a time) are exactly as deterministic as independent builders, without
+// re-enumerating the 27-cell table per clone. This is how a batch of systems
+// on one grid shares per-machine setup while keeping per-system layouts.
+func (b *JSetBuilder) Clone() *JSetBuilder {
+	return &JSetBuilder{nbt: b.nbt, sorter: b.sorter}
+}
 
 // Build (re)sorts the particles into the board layout, reusing all internal
 // buffers. types are in original (unsorted) order; the charge field is 1.

@@ -203,8 +203,8 @@ func TestJSetBuilderMatchesNewJSet(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for k := range want.Sorted.Pos {
-			if js.Sorted.Pos[k] != want.Sorted.Pos[k] || js.Types[k] != want.Types[k] {
+		for k := 0; k < want.Sorted.Len(); k++ {
+			if js.Sorted.At(k) != want.Sorted.At(k) || js.Types[k] != want.Types[k] {
 				t.Fatalf("trial %d: sorted slot %d differs", trial, k)
 			}
 		}
@@ -216,7 +216,7 @@ func TestJSetBuilderMatchesNewJSet(t *testing.T) {
 			t.Fatal(err)
 		}
 		for k, orig := range js.Sorted.Order {
-			if js.Sorted.Pos[k] != pos[orig].Wrap(l) {
+			if js.Sorted.At(k) != pos[orig].Wrap(l) {
 				t.Fatalf("trial %d: refreshed slot %d stale", trial, k)
 			}
 		}

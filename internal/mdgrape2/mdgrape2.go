@@ -430,16 +430,16 @@ func (s *System) ComputeForces(table string, co *Coeffs, xi []vec.V, ti []int, s
 			var ax, ay, az float64 // double-precision accumulators (§3.5.4)
 			ta := a32[ti[i]]
 			tb := b32[ti[i]]
+			jx, jy, jz := js.Sorted.P32.X, js.Sorted.P32.Y, js.Sorted.P32.Z
 			for _, nb := range js.neighbors(ci) {
 				jstart, jend := js.Sorted.CellRange(nb.Cell)
 				sx := float32(nb.Shift.X)
 				sy := float32(nb.Shift.Y)
 				sz := float32(nb.Shift.Z)
 				for j := jstart; j < jend; j++ {
-					pj := js.Sorted.Pos[j]
-					dx := pix - (float32(pj.X) + sx)
-					dy := piy - (float32(pj.Y) + sy)
-					dz := piz - (float32(pj.Z) + sz)
+					dx := pix - (jx[j] + sx)
+					dy := piy - (jy[j] + sy)
+					dz := piz - (jz[j] + sz)
 					tj := js.Types[j]
 					b := tb[tj]
 					if js.Weights != nil {

@@ -172,7 +172,7 @@ func TestRealSpaceCoulombVsFloat64SamePairs(t *testing.T) {
 		for _, nb := range grid.Neighbors(ci) {
 			jstart, jend := sorted.CellRange(nb.Cell)
 			for j := jstart; j < jend; j++ {
-				rij := pos[i].Sub(sorted.Pos[j].Add(nb.Shift))
+				rij := pos[i].Sub(sorted.At(j).Add(nb.Shift))
 				r2 := rij.Norm2()
 				if r2 == 0 {
 					continue
@@ -281,7 +281,7 @@ func TestVDWMatchesLJ(t *testing.T) {
 		for _, nb := range grid.Neighbors(ci) {
 			jstart, jend := sorted.CellRange(nb.Cell)
 			for j := jstart; j < jend; j++ {
-				rij := pos[i].Sub(sorted.Pos[j].Add(nb.Shift))
+				rij := pos[i].Sub(sorted.At(j).Add(nb.Shift))
 				acc = acc.Add(ljc.Force(types[i], js.Types[j], rij))
 			}
 		}

@@ -68,11 +68,14 @@ func (s *System) BuildNeighborLists(xi []vec.V, js *JSet, rcut float64) (*Neighb
 			for _, nb := range js.neighbors(ci) {
 				jstart, jend := js.Sorted.CellRange(nb.Cell)
 				sx, sy, sz := float32(nb.Shift.X), float32(nb.Shift.Y), float32(nb.Shift.Z)
-				for j := jstart; j < jend; j++ {
-					pj := js.Sorted.Pos[j]
-					dx := pix - (float32(pj.X) + sx)
-					dy := piy - (float32(pj.Y) + sy)
-					dz := piz - (float32(pj.Z) + sz)
+				jx := js.Sorted.P32.X[jstart:jend]
+				jy := js.Sorted.P32.Y[jstart:jend:jend]
+				jz := js.Sorted.P32.Z[jstart:jend:jend]
+				for jj := range jx {
+					j := jstart + jj
+					dx := pix - (jx[jj] + sx)
+					dy := piy - (jy[jj] + sy)
+					dz := piz - (jz[jj] + sz)
 					r2 := float64(dx*dx + dy*dy + dz*dz)
 					pairs++
 					if r2 == 0 || r2 >= r2cut {
@@ -134,10 +137,9 @@ func (s *System) ComputeForcesNL(table string, co *Coeffs, xi []vec.V, ti []int,
 			ta, tb := a32[ti[i]], b32[ti[i]]
 			var ax, ay, az float64
 			for _, e := range nl.Lists[i] {
-				pj := js.Sorted.Pos[e.J]
-				dx := pix - (float32(pj.X) + float32(e.Shift.X))
-				dy := piy - (float32(pj.Y) + float32(e.Shift.Y))
-				dz := piz - (float32(pj.Z) + float32(e.Shift.Z))
+				dx := pix - (js.Sorted.P32.X[e.J] + float32(e.Shift.X))
+				dy := piy - (js.Sorted.P32.Y[e.J] + float32(e.Shift.Y))
+				dz := piz - (js.Sorted.P32.Z[e.J] + float32(e.Shift.Z))
 				tj := js.Types[e.J]
 				if tj < 0 || tj >= n {
 					return fmt.Errorf("mdgrape2: j-type %d outside coefficient RAM", tj)
@@ -213,12 +215,16 @@ func (s *System) ComputePotentials(table string, co *Coeffs, xi []vec.V, ti []in
 			for _, nb := range js.neighbors(ci) {
 				jstart, jend := js.Sorted.CellRange(nb.Cell)
 				sx, sy, sz := float32(nb.Shift.X), float32(nb.Shift.Y), float32(nb.Shift.Z)
-				for j := jstart; j < jend; j++ {
-					pj := js.Sorted.Pos[j]
-					dx := pix - (float32(pj.X) + sx)
-					dy := piy - (float32(pj.Y) + sy)
-					dz := piz - (float32(pj.Z) + sz)
-					tj := js.Types[j]
+				jx := js.Sorted.P32.X[jstart:jend]
+				jy := js.Sorted.P32.Y[jstart:jend:jend]
+				jz := js.Sorted.P32.Z[jstart:jend:jend]
+				jt := js.Types[jstart:jend:jend]
+				for jj := range jx {
+					j := jstart + jj
+					dx := pix - (jx[jj] + sx)
+					dy := piy - (jy[jj] + sy)
+					dz := piz - (jz[jj] + sz)
+					tj := jt[jj]
 					r2 := dx*dx + dy*dy + dz*dz
 					phi := tbl.Eval(ta[tj] * r2)
 					b := tb[tj]

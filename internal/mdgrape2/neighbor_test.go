@@ -67,7 +67,7 @@ func TestNeighborListForcesMatchCutoffOracle(t *testing.T) {
 	for i := range pos {
 		var acc vec.V
 		for _, e := range nl.Lists[i] {
-			rij := pos[i].Sub(js.Sorted.Pos[e.J].Add(e.Shift))
+			rij := pos[i].Sub(js.Sorted.At(e.J).Add(e.Shift))
 			qj := q[js.Sorted.Order[e.J]]
 			acc = acc.Add(rij.Scale(q[i] * qj * ewaldG(aC*rij.Norm2())))
 		}
@@ -190,7 +190,7 @@ func TestComputePotentialsCoulomb(t *testing.T) {
 		for _, nb := range grid.Neighbors(ci) {
 			jstart, jend := js.Sorted.CellRange(nb.Cell)
 			for j := jstart; j < jend; j++ {
-				rij := pos[i].Sub(js.Sorted.Pos[j].Add(nb.Shift))
+				rij := pos[i].Sub(js.Sorted.At(j).Add(nb.Shift))
 				r2 := rij.Norm2()
 				if r2 == 0 {
 					continue

@@ -77,8 +77,14 @@ func (e *PanicError) Error() string {
 // once, empty shards are dropped, and the split depends only on (n, workers)
 // — the deterministic striping the bit-exactness contract rests on.
 func Shards(n, workers int) [][2]int {
+	return appendShards(nil, n, workers)
+}
+
+// appendShards appends the contiguous split of [0, n) to dst — the in-place
+// form Run uses to keep dispatch records allocation-free once grown.
+func appendShards(dst [][2]int, n, workers int) [][2]int {
 	if n <= 0 {
-		return nil
+		return dst
 	}
 	if workers < 1 {
 		workers = 1
@@ -86,15 +92,15 @@ func Shards(n, workers int) [][2]int {
 	if workers > n {
 		workers = n
 	}
-	out := make([][2]int, 0, workers)
 	for s := 0; s < workers; s++ {
 		lo := s * n / workers
 		hi := (s + 1) * n / workers
 		if lo < hi {
-			out = append(out, [2]int{lo, hi})
+			//mdm:hotallocok -- appends into dst[:0] of a pooled dispatch record; the backing array grows once per record, then every Run reuses it
+			dst = append(dst, [2]int{lo, hi})
 		}
 	}
-	return out
+	return dst
 }
 
 // NumShards returns len(Shards(n, workers)) without building the slice:
@@ -115,6 +121,59 @@ func NumShards(n, workers int) int {
 	return workers
 }
 
+// dispatch is the reusable scratch of one multi-shard Run: the shard table,
+// the per-shard error slots, the join WaitGroup, and one pre-built spawn
+// closure per shard slot. Records live in a process-wide sync.Pool, so a
+// steady-state Run allocates nothing regardless of width — the per-width
+// allocation growth of allocating the shard list, error slice and one
+// hidden capture struct per `go fn(args)` statement on every dispatch is
+// what the pooling removes (the BENCH_2 machineForces 11 → 144 allocs/op
+// climb across widths 1 → 8).
+type dispatch struct {
+	fn     func(shard, lo, hi int) error
+	shards [][2]int
+	errs   []error
+	calls  []*shardCall
+	wg     sync.WaitGroup
+}
+
+// shardCall is one shard slot of a dispatch. Its spawn closure g is built
+// once, when the slot is first grown, and captures only the slot itself —
+// `go c.g()` passes an existing zero-argument funcval to the scheduler, which
+// is the one goroutine-spawn shape that does not allocate a capture struct.
+type shardCall struct {
+	d *dispatch
+	s int
+	g func()
+}
+
+var dispatchPool = sync.Pool{New: func() any { return new(dispatch) }}
+
+// grow ensures the dispatch has at least n shard slots, building the
+// per-slot spawn closures once (amortized: a record that has dispatched at
+// width w never allocates again at widths ≤ w).
+func (d *dispatch) grow(n int) {
+	for len(d.calls) < n {
+		c := &shardCall{d: d, s: len(d.calls)}
+		c.g = func() { c.d.runShard(c.s) }
+		//mdm:hotallocok -- slot construction is amortized: a record that has dispatched at width w never allocates again at widths ≤ w
+		d.calls = append(d.calls, c)
+	}
+}
+
+// runShard executes one shard on its worker goroutine, keeping the panic
+// and per-shard error contracts of Run.
+func (d *dispatch) runShard(s int) {
+	defer d.wg.Done()
+	defer func() {
+		if v := recover(); v != nil {
+			d.errs[s] = &PanicError{Shard: s, Value: v}
+		}
+	}()
+	r := d.shards[s]
+	d.errs[s] = d.fn(s, r[0], r[1])
+}
+
 // Run executes fn over the index range [0, n), split into at most Workers()
 // contiguous shards. fn receives its shard number and half-open range
 // [lo, hi); it must write only to per-index state of its own range (or to
@@ -124,37 +183,42 @@ func NumShards(n, workers int) int {
 // The returned error is the lowest-numbered failing shard's error; a shard
 // panic surfaces as a *PanicError.
 func (p *Pool) Run(n int, fn func(shard, lo, hi int) error) error {
+	workers := p.Workers()
 	if n <= 0 {
 		return nil
 	}
-	if NumShards(n, p.Workers()) == 1 {
+	if NumShards(n, workers) == 1 {
 		// Single-shard fast path without materializing the shard list: the
 		// zero-alloc step path runs through here at width 1.
 		return runInline(fn, 0, n)
 	}
-	shards := Shards(n, p.Workers())
-	errs := make([]error, len(shards))
-	var wg sync.WaitGroup
-	wg.Add(len(shards))
-	for s, r := range shards {
-		//mdm:hotallocok -- the pool's dispatch mechanism: one goroutine per shard with the WaitGroup capture is the join; width 1 takes the zero-alloc runInline path
-		go func(s, lo, hi int) {
-			defer wg.Done()
-			defer func() {
-				if v := recover(); v != nil {
-					errs[s] = &PanicError{Shard: s, Value: v}
-				}
-			}()
-			errs[s] = fn(s, lo, hi)
-		}(s, r[0], r[1])
+	d := dispatchPool.Get().(*dispatch)
+	d.fn = fn
+	d.shards = appendShards(d.shards[:0], n, workers)
+	ns := len(d.shards)
+	if cap(d.errs) < ns {
+		d.errs = make([]error, ns)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	d.errs = d.errs[:ns]
+	for s := range d.errs {
+		d.errs[s] = nil
+	}
+	d.grow(ns)
+	d.wg.Add(ns)
+	for s := 0; s < ns; s++ {
+		go d.calls[s].g()
+	}
+	d.wg.Wait()
+	var err error
+	for _, e := range d.errs {
+		if e != nil {
+			err = e
+			break
 		}
 	}
-	return nil
+	d.fn = nil // do not retain the caller's closure across pool reuse
+	dispatchPool.Put(d)
+	return err
 }
 
 // runInline is the single-shard fast path: no goroutine, no channel — the

@@ -182,3 +182,32 @@ func TestRunZeroLength(t *testing.T) {
 		t.Fatal("fn called for empty range")
 	}
 }
+
+// TestRunSteadyStateAllocsFlatAcrossWidths pins the dispatch-record pooling:
+// once a record has dispatched at a width, further Runs at that width must
+// not allocate per shard (the BENCH_2 regression was ~1 capture struct per
+// spawned shard plus the shard/error slices, so allocs/op climbed with the
+// pool width). The bound is loose enough for scheduler stack growth and an
+// occasional GC emptying the sync.Pool, but far below one alloc per shard.
+func TestRunSteadyStateAllocsFlatAcrossWidths(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race-detector instrumentation allocates per goroutine handoff; the pinned counts only hold in uninstrumented builds")
+	}
+	out := make([]int, 1024)
+	for _, w := range []int{2, 4, 8} {
+		p := New(w)
+		body := func() {
+			_ = p.Run(len(out), func(shard, lo, hi int) error {
+				for i := lo; i < hi; i++ {
+					out[i] = shard
+				}
+				return nil
+			})
+		}
+		body() // warm the dispatch pool at this width
+		avg := testing.AllocsPerRun(100, body)
+		if avg > 2 {
+			t.Errorf("width %d: %.2f allocs per Run, want ~0 (dispatch scratch not pooled?)", w, avg)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package parallelize
+
+const raceDetectorEnabled = false

@@ -6,6 +6,7 @@ import (
 	"mdm/internal/ewald"
 	"mdm/internal/fault"
 	"mdm/internal/parallelize"
+	"mdm/internal/soa"
 	"mdm/internal/vec"
 )
 
@@ -165,25 +166,60 @@ func (l *Library) CalcForceAndPotWavepart(p ewald.Params, waves []ewald.Wave, po
 //
 //mdm:stepflow -- hot-path root: the WINE-2 session's per-step wavenumber pass (Table 2 loop)
 func (l *Library) CalcForceAndPotWavepartInto(p ewald.Params, waves []ewald.Wave, pos []vec.V, q []float64, dst []vec.V) ([]vec.V, float64, error) {
+	pw, sn, cn, err := l.wavePrepare(p, waves, pos, q)
+	if err != nil {
+		return nil, 0, err
+	}
+	forces, err := l.sys.IDFTQuantizedInto(waves, sn, cn, pw, dst)
+	if err != nil {
+		return nil, 0, err
+	}
+	pot := ewald.WavenumberEnergy(p, waves, sn, cn)
+	return forces, pot, nil
+}
+
+// CalcForceAndPotWavepartCoordsInto is CalcForceAndPotWavepartInto writing
+// the force components into structure-of-arrays planes; the DFT pass, the
+// structure-factor reduction and the returned potential are shared word for
+// word with the AoS call.
+//
+//mdm:stepflow -- hot-path root: the WINE-2 session's per-step wavenumber pass, SoA output (Table 2 loop)
+func (l *Library) CalcForceAndPotWavepartCoordsInto(p ewald.Params, waves []ewald.Wave, pos []vec.V, q []float64, dst soa.Coords) (soa.Coords, float64, error) {
+	pw, sn, cn, err := l.wavePrepare(p, waves, pos, q)
+	if err != nil {
+		return soa.Coords{}, 0, err
+	}
+	fc, err := l.sys.IDFTQuantizedCoordsInto(waves, sn, cn, pw, dst)
+	if err != nil {
+		return soa.Coords{}, 0, err
+	}
+	pot := ewald.WavenumberEnergy(p, waves, sn, cn)
+	return fc, pot, nil
+}
+
+// wavePrepare is the shared host flow of a force call up to the IDFT: session
+// checks, the single SDRAM particle-image write both passes read, the DFT,
+// and the cross-process structure-factor reduction.
+func (l *Library) wavePrepare(p ewald.Params, waves []ewald.Wave, pos []vec.V, q []float64) (*ParticleWords, []float64, []float64, error) {
 	if l.sys == nil {
-		return nil, 0, fmt.Errorf("wine2: force call before initialize")
+		return nil, nil, nil, fmt.Errorf("wine2: force call before initialize")
 	}
 	if l.nn == 0 {
-		return nil, 0, fmt.Errorf("wine2: force call before set_nn")
+		return nil, nil, nil, fmt.Errorf("wine2: force call before set_nn")
 	}
 	if len(pos) > l.nn {
-		return nil, 0, fmt.Errorf("wine2: %d particles exceed declared nn %d", len(pos), l.nn)
+		return nil, nil, nil, fmt.Errorf("wine2: %d particles exceed declared nn %d", len(pos), l.nn)
 	}
 	// Write the SDRAM particle image once; the DFT and IDFT passes both read
 	// it, halving the host quantization work of the call pair.
 	pw, err := l.sys.QuantizeInto(l.pw, p.L, pos, q)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, nil, err
 	}
 	l.pw = pw
 	sn, cn, err := l.sys.DFTQuantizedInto(waves, pw, l.sn, l.cn)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, nil, err
 	}
 	l.sn, l.cn = sn, cn
 	if l.comm != nil && l.comm.Size() > 1 {
@@ -197,17 +233,12 @@ func (l *Library) CalcForceAndPotWavepartInto(p ewald.Params, waves []ewald.Wave
 		buf = append(buf, cn...)
 		buf, err = l.comm.AllreduceSum(buf)
 		if err != nil {
-			return nil, 0, fmt.Errorf("wine2: structure-factor reduction: %w", err)
+			return nil, nil, nil, fmt.Errorf("wine2: structure-factor reduction: %w", err)
 		}
 		sn = buf[:len(waves)]
 		cn = buf[len(waves):]
 	}
-	forces, err := l.sys.IDFTQuantizedInto(waves, sn, cn, pw, dst)
-	if err != nil {
-		return nil, 0, err
-	}
-	pot := ewald.WavenumberEnergy(p, waves, sn, cn)
-	return forces, pot, nil
+	return pw, sn, cn, nil
 }
 
 // FreeBoards releases the boards (wine2_free_board).

@@ -37,6 +37,7 @@ import (
 	"mdm/internal/fault"
 	"mdm/internal/fixed"
 	"mdm/internal/parallelize"
+	"mdm/internal/soa"
 	"mdm/internal/units"
 	"mdm/internal/vec"
 )
@@ -196,15 +197,19 @@ func (s *System) SetPool(p *parallelize.Pool) { s.pool = p }
 // (§3.4.2, Fig. 6); Quantize + DFTQuantized/IDFTQuantized reproduce that
 // flow, so the host quantization cost is paid once per image instead of once
 // per pass.
+// The position words are stored as one plane per component (structure of
+// arrays) — the layout of the banked SDRAM itself, where the pipelines
+// stream each coordinate word column-wise rather than gathering per-particle
+// records.
 type ParticleWords struct {
-	L float64    // box side the words were quantized against
-	U [][3]int64 // box-fraction position words, PosFrac fractional bits
-	Q []int64    // charge words, QFrac fractional bits
-	q []float64  // original charges (host side of the IDFT prefactor q_i)
+	L          float64   // box side the words were quantized against
+	Ux, Uy, Uz []int64   // box-fraction position word planes, PosFrac fractional bits
+	Q          []int64   // charge words, QFrac fractional bits
+	q          []float64 // original charges (host side of the IDFT prefactor q_i)
 }
 
 // N returns the number of particles in the image.
-func (pw *ParticleWords) N() int { return len(pw.U) }
+func (pw *ParticleWords) N() int { return len(pw.Ux) }
 
 // Quantize converts a particle block to the fixed-point SDRAM image shared
 // by the DFT and IDFT passes. len(pos) must equal len(q) and fit the board
@@ -229,9 +234,15 @@ func (s *System) QuantizeInto(pw *ParticleWords, l float64, pos []vec.V, q []flo
 		pw = &ParticleWords{}
 	}
 	pw.L = l
-	if len(pw.U) != len(pos) {
-		pw.U = make([][3]int64, len(pos))
-		pw.Q = make([]int64, len(pos))
+	if len(pw.Ux) != len(pos) {
+		// One slab carved into the four word planes — one SDRAM image, one
+		// allocation; the capped slices keep the planes independent.
+		n := len(pos)
+		s := make([]int64, 4*n)
+		pw.Ux = s[0:n:n]
+		pw.Uy = s[n : 2*n : 2*n]
+		pw.Uz = s[2*n : 3*n : 3*n]
+		pw.Q = s[3*n : 4*n : 4*n]
 	}
 	pw.q = q
 	pf := fixed.F(0, s.cfg.PosFrac)
@@ -241,9 +252,9 @@ func (s *System) QuantizeInto(pw *ParticleWords, l float64, pos []vec.V, q []flo
 	_ = s.pool.Run(len(pos), func(_, lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			w := pos[i].Wrap(l)
-			pw.U[i][0] = pf.QuantizeWrap(w.X / l)
-			pw.U[i][1] = pf.QuantizeWrap(w.Y / l)
-			pw.U[i][2] = pf.QuantizeWrap(w.Z / l)
+			pw.Ux[i] = pf.QuantizeWrap(w.X / l)
+			pw.Uy[i] = pf.QuantizeWrap(w.Y / l)
+			pw.Uz[i] = pf.QuantizeWrap(w.Z / l)
 			pw.Q[i] = qf.Quantize(q[i])
 		}
 		return nil
@@ -254,8 +265,8 @@ func (s *System) QuantizeInto(pw *ParticleWords, l float64, pos []vec.V, q []flo
 // phase computes n⃗·u⃗ in fixed-point turns (PosFrac fractional bits). The
 // int64 product of small integers with PosFrac-bit fractions cannot
 // overflow for |n| below 2^20.
-func phase(n [3]int, u [3]int64) int64 {
-	return int64(n[0])*u[0] + int64(n[1])*u[1] + int64(n[2])*u[2]
+func phase(n [3]int, ux, uy, uz int64) int64 {
+	return int64(n[0])*ux + int64(n[1])*uy + int64(n[2])*uz
 }
 
 // DFT runs the pipelines in DFT mode (eqs. 9, 10): it returns the structure
@@ -318,8 +329,8 @@ func (s *System) DFTQuantizedInto(waves []ewald.Wave, pw *ParticleWords, sn, cn 
 	_ = s.pool.Run(len(waves), func(_, lo, hi int) error {
 		for w := lo; w < hi; w++ {
 			var accPlus, accMinus int64 // S+C and S-C, AccFrac fractional bits
-			for j := range pw.U {
-				ph := phase(waves[w].N, pw.U[j])
+			for j := range pw.Ux {
+				ph := phase(waves[w].N, pw.Ux[j], pw.Uy[j], pw.Uz[j])
 				sj, cj := s.trig.SinCos(ph, s.cfg.PosFrac)
 				qs := fixed.MulRound(pw.Q[j], sj, s.cfg.QFrac, trigFrac, prodFrac)
 				qc := fixed.MulRound(pw.Q[j], cj, s.cfg.QFrac, trigFrac, prodFrac)
@@ -368,25 +379,23 @@ func (s *System) IDFTQuantized(waves []ewald.Wave, sn, cn []float64, pw *Particl
 	return s.IDFTQuantizedInto(waves, sn, cn, pw, nil)
 }
 
-// IDFTQuantizedInto is IDFTQuantized writing the forces into dst (reused
-// when its length matches the particle count, allocated otherwise); the
-// normalized per-wave coefficients live in session scratch.
-func (s *System) IDFTQuantizedInto(waves []ewald.Wave, sn, cn []float64, pw *ParticleWords, dst []vec.V) ([]vec.V, error) {
+// idftPrepare runs the host side of an IDFT call — liveness and fault
+// bookkeeping, the block normalization of a_n·S_n and a_n·C_n, and the
+// coefficient quantization into session scratch. A zero scale return (with
+// nil error) means every structure factor vanished and the force is zero.
+func (s *System) idftPrepare(waves []ewald.Wave, sn, cn []float64) (aS, aC []int64, scale float64, err error) {
 	if len(sn) != len(waves) || len(cn) != len(waves) {
-		return nil, fmt.Errorf("wine2: %d waves vs %d/%d structure factors", len(waves), len(sn), len(cn))
+		return nil, nil, 0, fmt.Errorf("wine2: %d waves vs %d/%d structure factors", len(waves), len(sn), len(cn))
 	}
 	if s.beat != nil {
 		s.beat()
 	}
 	if s.hook != nil {
 		if err := s.hook.HardwareCall(fault.WINE2); err != nil {
-			return nil, err
+			return nil, nil, 0, err
 		}
 	}
-	l := pw.L
-
 	// Host-side block normalization of a_n S_n and a_n C_n.
-	scale := 0.0
 	for w := range waves {
 		as := math.Abs(waves[w].A * sn[w])
 		ac := math.Abs(waves[w].A * cn[w])
@@ -397,6 +406,31 @@ func (s *System) IDFTQuantizedInto(waves []ewald.Wave, sn, cn []float64, pw *Par
 			scale = ac
 		}
 	}
+	if scale == 0 {
+		return nil, nil, 0, nil // all structure factors vanish
+	}
+	cf := fixed.F(1, s.cfg.CoefFrac)
+	if cap(s.aS) < len(waves) {
+		s.aS = make([]int64, len(waves))
+		s.aC = make([]int64, len(waves))
+	}
+	aS = s.aS[:len(waves)]
+	aC = s.aC[:len(waves)]
+	for w := range waves {
+		aS[w] = cf.Quantize(waves[w].A * sn[w] / scale)
+		aC[w] = cf.Quantize(waves[w].A * cn[w] / scale)
+	}
+	return aS, aC, scale, nil
+}
+
+// IDFTQuantizedInto is IDFTQuantized writing the forces into dst (reused
+// when its length matches the particle count, allocated otherwise); the
+// normalized per-wave coefficients live in session scratch.
+func (s *System) IDFTQuantizedInto(waves []ewald.Wave, sn, cn []float64, pw *ParticleWords, dst []vec.V) ([]vec.V, error) {
+	aS, aC, scale, err := s.idftPrepare(waves, sn, cn)
+	if err != nil {
+		return nil, err
+	}
 	forces := dst
 	if len(forces) != pw.N() {
 		forces = make([]vec.V, pw.N())
@@ -406,24 +440,14 @@ func (s *System) IDFTQuantizedInto(waves []ewald.Wave, sn, cn []float64, pw *Par
 			forces[i] = vec.V{}
 		}
 		s.stats.Calls++
-		return forces, nil // all structure factors vanish
-	}
-	cf := fixed.F(1, s.cfg.CoefFrac)
-	if cap(s.aS) < len(waves) {
-		s.aS = make([]int64, len(waves))
-		s.aC = make([]int64, len(waves))
-	}
-	aS := s.aS[:len(waves)]
-	aC := s.aC[:len(waves)]
-	for w := range waves {
-		aS[w] = cf.Quantize(waves[w].A * sn[w] / scale)
-		aC[w] = cf.Quantize(waves[w].A * cn[w] / scale)
+		return forces, nil
 	}
 
 	trigFrac := s.cfg.TrigFormat.Frac
 	prodFrac := s.cfg.CoefFrac + trigFrac
 	tF := fixed.F(2, s.cfg.IAccFrac)
 	iaccF := fixed.F(0, s.cfg.IAccFrac)
+	l := pw.L
 	// Physical prefactor: F = (q_i/(π ε0 L³)) Σ a_n [C sinθ - S cosθ] k⃗ with
 	// k⃗ = n⃗/L and the block scale restored.
 	pref := 4 * units.Coulomb / (l * l * l * l) * scale
@@ -433,7 +457,7 @@ func (s *System) IDFTQuantizedInto(waves []ewald.Wave, sn, cn []float64, pw *Par
 		for i := lo; i < hi; i++ {
 			var ax, ay, az int64 // IAccFrac fractional bits
 			for w := range waves {
-				ph := phase(waves[w].N, pw.U[i])
+				ph := phase(waves[w].N, pw.Ux[i], pw.Uy[i], pw.Uz[i])
 				si, ci := s.trig.SinCos(ph, s.cfg.PosFrac)
 				t1 := fixed.MulRound(aC[w], si, s.cfg.CoefFrac, trigFrac, prodFrac)
 				t2 := fixed.MulRound(aS[w], ci, s.cfg.CoefFrac, trigFrac, prodFrac)
@@ -449,6 +473,57 @@ func (s *System) IDFTQuantizedInto(waves []ewald.Wave, sn, cn []float64, pw *Par
 	s.stats.IDFTOps += int64(len(waves)) * int64(pw.N())
 	s.stats.Calls++
 	return forces, nil
+}
+
+// IDFTQuantizedCoordsInto is IDFTQuantizedInto writing the force components
+// into structure-of-arrays planes (dst is resized and reused when its backing
+// arrays are large enough). The per-particle arithmetic is identical word for
+// word; only the destination layout differs, so the planes carry exactly the
+// bits of the AoS call.
+func (s *System) IDFTQuantizedCoordsInto(waves []ewald.Wave, sn, cn []float64, pw *ParticleWords, dst soa.Coords) (soa.Coords, error) {
+	aS, aC, scale, err := s.idftPrepare(waves, sn, cn)
+	if err != nil {
+		return soa.Coords{}, err
+	}
+	dst = dst.Resize(pw.N())
+	fx, fy, fz := dst.X, dst.Y, dst.Z
+	if scale == 0 {
+		dst.Zero()
+		s.stats.Calls++
+		return dst, nil
+	}
+
+	trigFrac := s.cfg.TrigFormat.Frac
+	prodFrac := s.cfg.CoefFrac + trigFrac
+	tF := fixed.F(2, s.cfg.IAccFrac)
+	iaccF := fixed.F(0, s.cfg.IAccFrac)
+	l := pw.L
+	pref := 4 * units.Coulomb / (l * l * l * l) * scale
+
+	prodWide := fixed.WideFor(prodFrac)
+	_ = s.pool.Run(pw.N(), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			var ax, ay, az int64 // IAccFrac fractional bits
+			for w := range waves {
+				ph := phase(waves[w].N, pw.Ux[i], pw.Uy[i], pw.Uz[i])
+				si, ci := s.trig.SinCos(ph, s.cfg.PosFrac)
+				t1 := fixed.MulRound(aC[w], si, s.cfg.CoefFrac, trigFrac, prodFrac)
+				t2 := fixed.MulRound(aS[w], ci, s.cfg.CoefFrac, trigFrac, prodFrac)
+				t := fixed.Convert(t1-t2, prodWide, tF)
+				ax += t * int64(waves[w].N[0])
+				ay += t * int64(waves[w].N[1])
+				az += t * int64(waves[w].N[2])
+			}
+			qp := pref * pw.q[i]
+			fx[i] = iaccF.Float(ax) * qp
+			fy[i] = iaccF.Float(ay) * qp
+			fz[i] = iaccF.Float(az) * qp
+		}
+		return nil
+	})
+	s.stats.IDFTOps += int64(len(waves)) * int64(pw.N())
+	s.stats.Calls++
+	return dst, nil
 }
 
 // ComputeTime returns the pipeline wall-clock time for the given number of

@@ -36,6 +36,12 @@ go test -race ./internal/fault/... ./internal/mpi/... ./internal/core/... \
 echo "==> bench smoke (parallel must not lose to serial; pipeline overlap at GOMAXPROCS=2)"
 GOMAXPROCS=2 go run ./cmd/mdmbench -smoke -iters 3 -reps 2
 
+echo "==> batch throughput smoke (K=16 batched must amortize >=1.8x over sequential, single core)"
+GOMAXPROCS=1 go run ./cmd/mdmbench -batch-smoke
+
+echo "==> bench artifact regression gate (BENCH_2 -> BENCH_3 on the recorded families)"
+go run ./cmd/mdmbench -compare -threshold 0.2 BENCH_2.json BENCH_3.json
+
 echo "==> chaos suite (fault injection, recovery, checkpoint restart, supervision, crash matrix)"
 go test -run 'Chaos|Resilient|FaultHook|RunProtocol|CheckpointFile|CheckpointTyped|Watchdog|Breaker|Journal|Supervise|Interrupt|CrashMatrix' \
     ./internal/core/... ./internal/wine2/... ./internal/mdgrape2/... \
