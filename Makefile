@@ -39,12 +39,14 @@ audit:
 race:
 	$(GO) test -race ./internal/fault/... ./internal/mpi/... ./internal/core/... \
 		./internal/parallelize/... ./internal/wine2/... ./internal/mdgrape2/... \
-		./internal/cellindex/... ./internal/supervise/... ./internal/store/...
+		./internal/cellindex/... ./internal/supervise/... ./internal/store/... \
+		./internal/lifecycle/... ./internal/serve/...
 
 chaos:
-	$(GO) test -run 'Chaos|Resilient|FaultHook|RunProtocol|CheckpointFile|CheckpointTyped|Watchdog|Breaker|Journal|Supervise|Interrupt|CrashMatrix' \
+	$(GO) test -run 'Chaos|Resilient|FaultHook|RunProtocol|CheckpointFile|CheckpointTyped|Watchdog|Breaker|Journal|Supervise|Interrupt|CrashMatrix|Serve' \
 		./internal/core/... ./internal/wine2/... ./internal/mdgrape2/... \
-		./internal/md/... ./internal/supervise/... ./cmd/mdmsim/... .
+		./internal/md/... ./internal/supervise/... ./internal/serve/... \
+		./cmd/mdmsim/... ./cmd/mdmserve/... .
 
 fuzz-smoke:
 	$(GO) test ./internal/fault/ -run '^$$' -fuzz FuzzParseScenario -fuzztime 3s

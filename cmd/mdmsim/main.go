@@ -28,20 +28,17 @@
 package main
 
 import (
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"runtime"
 	"runtime/pprof"
-	"sync/atomic"
-	"syscall"
 	"time"
 
 	"mdm"
 	"mdm/internal/fault"
+	"mdm/internal/lifecycle"
 	"mdm/internal/md"
 )
 
@@ -162,15 +159,7 @@ func summarize(sim *mdm.Simulation, status string, restarts int, elapsed time.Du
 }
 
 func writeSummary(path string, s runSummary) error {
-	if path == "" {
-		return nil
-	}
-	buf, err := json.MarshalIndent(s, "", "  ")
-	if err != nil {
-		return err
-	}
-	//mdm:rawiook -- run-summary report: re-runnable output, not durable run state
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
+	return lifecycle.WriteSummary(path, s)
 }
 
 // runBatchMode drives the -batch throughput protocol: k replicas of the
@@ -343,21 +332,10 @@ func run() (exit int) {
 	defer func() { _ = sim.Free() }()
 
 	// Graceful shutdown: the first signal stops the run on the next completed
-	// step; a second signal kills the process without waiting.
-	var interrupted atomic.Bool
-	sigc := make(chan os.Signal, 2)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	defer signal.Stop(sigc)
-	//mdm:gojoinok -- process-lifetime signal watcher; parked on sigc, detached by design
-	go func() {
-		<-sigc
-		interrupted.Store(true)
-		fmt.Fprintln(os.Stderr, "mdmsim: signal received; finishing the current step (repeat to kill)")
-		<-sigc
-		fmt.Fprintln(os.Stderr, "mdmsim: killed")
-		os.Exit(130)
-	}()
-	sim.SetInterrupt(interrupted.Load)
+	// step; a second signal kills the process without waiting (exit 130).
+	sd := lifecycle.Watch(nil)
+	defer sd.Stop()
+	sim.SetInterrupt(sd.Requested)
 
 	p := sim.Params()
 	fmt.Printf("system: %d NaCl ions in a %.2f Å box, backend %s\n", sim.N(), p.L, be)

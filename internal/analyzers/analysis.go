@@ -25,6 +25,9 @@
 //	gojoin      — launched goroutines must signal completion (channel send,
 //	              close, or WaitGroup Done/Wait) so the launcher can join
 //	              them and collect their errors
+//	httpdeadline — net/http servers and clients must carry explicit I/O
+//	              deadlines (ReadHeaderTimeout on servers, Timeout on
+//	              clients); the deadline-less package defaults are flagged
 //
 // On top of the per-package checks, a callgraph pass (callgraph.go) computes
 // transitive reachability from //mdm:stepflow-annotated roots and marks every
@@ -258,6 +261,7 @@ func RunPackageFacts(pkg *load.Package, analyzers []*Analyzer, facts *Facts) []D
 func All() []*Analyzer {
 	return []*Analyzer{
 		FixedFormat, SinglePrec, MPITags, UnitsMix, GoroutineLoop, RecvWithin, GoJoin, RawIO,
+		HTTPDeadline,
 		MapOrder, WallClock, HotAlloc, ShardMerge,
 	}
 }

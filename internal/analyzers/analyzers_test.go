@@ -80,6 +80,10 @@ func TestRawIOExemptsStore(t *testing.T) {
 	}
 }
 
+func TestHTTPDeadlineFixtures(t *testing.T) {
+	atest.Run(t, analyzers.HTTPDeadline, "httpdeadline", "mdm/fixture/httpdeadline")
+}
+
 func TestMapOrderFixtures(t *testing.T) {
 	atest.Run(t, analyzers.MapOrder, "maporder", "mdm/fixture/maporder")
 }

@@ -1,0 +1,105 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// httpDeadlineFuncs are the net/http package-level conveniences that run on
+// the deadline-less defaults: DefaultServeMux servers with zero timeouts and
+// DefaultClient requests that wait forever. In a daemon that supervises
+// multi-hour simulation campaigns, one silent peer pins a goroutine (or a
+// whole drain) indefinitely.
+var httpDeadlineFuncs = map[string]string{
+	"ListenAndServe":    "serves with no ReadHeaderTimeout: a client that opens a connection and goes silent pins a goroutine forever",
+	"ListenAndServeTLS": "serves with no ReadHeaderTimeout: a client that opens a connection and goes silent pins a goroutine forever",
+	"Serve":             "serves with no ReadHeaderTimeout: a client that opens a connection and goes silent pins a goroutine forever",
+	"ServeTLS":          "serves with no ReadHeaderTimeout: a client that opens a connection and goes silent pins a goroutine forever",
+	"Get":               "uses http.DefaultClient, which has no Timeout: a stalled server blocks the caller forever",
+	"Post":              "uses http.DefaultClient, which has no Timeout: a stalled server blocks the caller forever",
+	"PostForm":          "uses http.DefaultClient, which has no Timeout: a stalled server blocks the caller forever",
+	"Head":              "uses http.DefaultClient, which has no Timeout: a stalled server blocks the caller forever",
+}
+
+// HTTPDeadline flags HTTP server and client construction without I/O
+// deadlines: http.Server composite literals that set no ReadHeaderTimeout (or
+// ReadTimeout), http.Client literals that set no Timeout, and the net/http
+// package-level helpers (ListenAndServe, Serve, Get, Post, PostForm, Head)
+// that bake the deadline-less defaults in. The serve daemon's availability
+// argument assumes every accept loop and every outbound request eventually
+// times out; a reviewed //mdm:httpok -- suppression marks the sites where an
+// unbounded wait is the intended behaviour (e.g. a test client whose test
+// binary already carries a deadline).
+var HTTPDeadline = &Analyzer{
+	Name:     "httpdeadline",
+	Doc:      "flag net/http servers and clients constructed without I/O deadlines",
+	Suppress: "httpok",
+	Run:      runHTTPDeadline,
+}
+
+func runHTTPDeadline(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.Info, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					// Methods are fine: (*http.Server).Serve runs with whatever
+					// deadlines its receiver carries; only the package-level
+					// helpers hard-code the deadline-less defaults.
+					return true
+				}
+				if why, ok := httpDeadlineFuncs[fn.Name()]; ok {
+					pass.Reportf(n.Pos(), "http.%s %s; build an http.Server/http.Client with explicit timeouts instead", fn.Name(), why)
+				}
+			case *ast.CompositeLit:
+				switch httpNamedType(pass.Info, n) {
+				case "Server":
+					if !hasField(n, "ReadHeaderTimeout") && !hasField(n, "ReadTimeout") {
+						pass.Reportf(n.Pos(), "http.Server literal sets no ReadHeaderTimeout (or ReadTimeout): a client that opens a connection and goes silent pins a goroutine forever")
+					}
+				case "Client":
+					if !hasField(n, "Timeout") {
+						pass.Reportf(n.Pos(), "http.Client literal sets no Timeout: a stalled server blocks every request on this client forever")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// httpNamedType returns the type name of a composite literal when it is a
+// named net/http type, "" otherwise.
+func httpNamedType(info *types.Info, lit *ast.CompositeLit) string {
+	tv, ok := info.Types[lit]
+	if !ok {
+		return ""
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+		return ""
+	}
+	return obj.Name()
+}
+
+// hasField reports whether a keyed composite literal sets the named field.
+func hasField(lit *ast.CompositeLit, name string) bool {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == name {
+			return true
+		}
+	}
+	return false
+}

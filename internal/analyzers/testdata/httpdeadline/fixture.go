@@ -1,0 +1,65 @@
+package fixture
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Servers: the accept loop must carry a header deadline.
+
+func serveDefaults() error {
+	return http.ListenAndServe(":8080", nil) // want "http.ListenAndServe serves with no ReadHeaderTimeout"
+}
+
+func serveListener(ln net.Listener) error {
+	return http.Serve(ln, nil) // want "http.Serve serves with no ReadHeaderTimeout"
+}
+
+func serverNoTimeouts() *http.Server {
+	return &http.Server{Addr: ":8080"} // want "http.Server literal sets no ReadHeaderTimeout"
+}
+
+func serverWriteOnly() *http.Server {
+	return &http.Server{ // want "http.Server literal sets no ReadHeaderTimeout"
+		Addr:         ":8080",
+		WriteTimeout: 30 * time.Second,
+	}
+}
+
+func serverHeaderDeadline() *http.Server {
+	return &http.Server{
+		Addr:              ":8080",
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+}
+
+func serverReadDeadline() *http.Server {
+	return &http.Server{
+		Addr:        ":8080",
+		ReadTimeout: 30 * time.Second,
+	}
+}
+
+// Clients: every outbound request must eventually time out.
+
+func getDefaultClient(url string) (*http.Response, error) {
+	return http.Get(url) // want "http.Get uses http.DefaultClient"
+}
+
+func postDefaultClient(url string) (*http.Response, error) {
+	return http.Post(url, "application/json", nil) // want "http.Post uses http.DefaultClient"
+}
+
+func clientNoTimeout() *http.Client {
+	return &http.Client{} // want "http.Client literal sets no Timeout"
+}
+
+func clientWithTimeout() *http.Client {
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+// A reviewed suppression is the sanctioned escape hatch.
+func getSuppressed(url string) (*http.Response, error) {
+	return http.Get(url) //mdm:httpok -- fixture: documents the reviewed-suppression form
+}

@@ -216,6 +216,18 @@ func (f *FaultFS) Remove(path string) error {
 	return nil
 }
 
+// MkdirAll implements FS. The fault filesystem's namespace is name-keyed
+// with no first-class directories, so materializing one is a crash-gated
+// no-op: files under any path can be created directly.
+func (f *FaultFS) MkdirAll(string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
 // ReadDir implements FS.
 func (f *FaultFS) ReadDir(dir string) ([]string, error) {
 	f.mu.Lock()

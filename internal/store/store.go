@@ -43,6 +43,23 @@ var (
 	ErrIO = errors.New("store: i/o error (injected)")
 )
 
+// Recovery-manager verdicts on a run directory that cannot be resumed. The
+// serving layer maps these to distinct HTTP statuses, so resume failures
+// must stay typed rather than collapsing into one wrapped string.
+var (
+	// ErrNoRunState means neither a checkpoint nor any journal record
+	// exists: there is nothing to resume, and the only recovery is to start
+	// the run over (which is safe — no committed progress is lost, because
+	// none was ever durable).
+	ErrNoRunState = errors.New("store: no resumable run state")
+	// ErrStaleRunDir means durable artifacts exist but do not form a
+	// consistent timeline for the configured run — a journal whose steps do
+	// not continue the checkpoint, or journal records stranded without any
+	// validating checkpoint. Resuming would splice two different histories,
+	// so the caller must decide: discard the directory or investigate.
+	ErrStaleRunDir = errors.New("store: stale run state")
+)
+
 // File is a writable file handle.
 type File interface {
 	io.Writer
@@ -71,6 +88,11 @@ type FS interface {
 	ReadDir(dir string) ([]string, error)
 	// SyncDir fsyncs dir, committing creates, renames and removes in it.
 	SyncDir(dir string) error
+	// MkdirAll materializes dir and its parents (the serving layer carves a
+	// run directory per session). Like Remove and ReadDir it is
+	// metadata-only and not independently faultable: crash coverage comes
+	// from the create/sync/rename counters of the files inside it.
+	MkdirAll(dir string) error
 }
 
 // OS returns the real-filesystem implementation.
@@ -111,6 +133,13 @@ func (osFS) ReadDir(dir string) ([]string, error) {
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+func (osFS) MkdirAll(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	return os.MkdirAll(dir, 0o755)
 }
 
 func (osFS) SyncDir(dir string) error {

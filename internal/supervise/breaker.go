@@ -197,6 +197,38 @@ func (s *BreakerSet) OK(step int) {
 	}
 }
 
+// Allow reports whether traffic may pass for one scope at a step. A scope
+// with no recorded failure always passes.
+func (s *BreakerSet) Allow(scope string, step int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[scope]
+	return b == nil || b.Allow(step)
+}
+
+// OKScope records a success for one scope only, closing its half-open probe.
+// Unlike hardware boards sharing a step clock (OK), the serving layer's
+// tenants succeed and fail independently, so a success must not close another
+// tenant's probe.
+func (s *BreakerSet) OKScope(scope string, step int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b := s.m[scope]; b != nil {
+		b.OK(step)
+	}
+}
+
+// States snapshots every live breaker's state at a step, keyed by scope.
+func (s *BreakerSet) States(step int) map[string]State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]State, len(s.m))
+	for scope, b := range s.m {
+		out[scope] = b.State(step)
+	}
+	return out
+}
+
 // FirstOpen returns the first registered scope whose breaker rejects traffic
 // at a step, in registration order (deterministic for a scripted schedule).
 func (s *BreakerSet) FirstOpen(step int) (string, bool) {

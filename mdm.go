@@ -26,7 +26,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"math"
+	"sync"
 	"time"
 
 	"mdm/internal/core"
@@ -126,6 +128,15 @@ type Config struct {
 	// fault filesystem; the public API never leaks internal/store types.
 	fsys store.FS
 }
+
+// SetStoreFS routes the simulation's durable artifacts — journal segments
+// and checkpoints — through an alternate storage layer; nil keeps the real
+// filesystem. The serving daemon (internal/serve) injects its shared
+// filesystem here so a whole fleet of sessions lives on one crash-testable
+// store, and chaos suites inject store.FaultFS. The parameter type lives in
+// an internal package on purpose: outside this module only the default OS
+// filesystem is reachable, so the public Config surface stays closed.
+func (c *Config) SetStoreFS(fsys store.FS) { c.fsys = fsys }
 
 // storeFS resolves the storage layer checkpoints and journals write through.
 func (c Config) storeFS() store.FS {
@@ -250,6 +261,9 @@ type Simulation struct {
 	stage     string             // "nvt"/"nve": the running segment, tags journal records
 	replaying bool               // journal replay in progress: suppress re-journaling
 	interrupt func() bool        // graceful-shutdown check; survives restarts
+
+	freeOnce sync.Once // Free is idempotent and safe to race with itself
+	freeErr  error     // the first Free's verdict, replayed to later callers
 }
 
 // newForceField builds the configured engine. A non-nil injector (the
@@ -441,10 +455,19 @@ func ResumeFromJournal(cfg Config, ckptPath string) (*Simulation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mdm: recovery scan: %w", err)
 	}
+	if len(inv.Artifacts) == 0 {
+		// The run never made anything durable (killed before the first
+		// directory fsync): nothing to resume, restarting from scratch loses
+		// no committed progress.
+		return nil, fmt.Errorf("mdm: resume %s: %w", ckptPath, store.ErrNoRunState)
+	}
+	// Unrecoverable state can look "clean" — journal records with no
+	// checkpoint at all leave nothing torn or damaged — so the verdict
+	// comes before the health check, not inside it.
+	if inv.Unrecoverable() {
+		return nil, fmt.Errorf("mdm: recovery scan: %w", unrecoverableCause(fsys, ckptPath, inv))
+	}
 	if !inv.Healthy() {
-		if inv.Unrecoverable() {
-			return nil, fmt.Errorf("mdm: recovery scan: no consistent resume state (damaged: %v)", inv.Damaged)
-		}
 		// Crash debris is the expected shape after a kill: truncate torn
 		// tails, drop stale temps, and take the post-repair verdict.
 		if _, err := store.Repair(fsys, inv); err != nil {
@@ -454,6 +477,28 @@ func ResumeFromJournal(cfg Config, ckptPath string) (*Simulation, error) {
 			return nil, fmt.Errorf("mdm: recovery scan: %w", err)
 		}
 	}
+	if inv.CheckpointStep < 0 {
+		// Artifacts survived (a freshly created, still-empty journal) but
+		// nothing is committed: no checkpoint, and — since the unrecoverable
+		// verdict above didn't fire — no durable records either. Restarting
+		// from scratch loses no committed progress.
+		return nil, fmt.Errorf("mdm: resume %s: %w", ckptPath, store.ErrNoRunState)
+	}
+	// A checkpoint with no journal file at all (not even an empty active
+	// segment) is not the layout a journaled run leaves behind — rotation
+	// always materializes a fresh segment. Surface the absence as a typed
+	// not-exist rather than silently resuming with an empty tail.
+	hasSegment := false
+	for _, a := range inv.Artifacts {
+		if a.Kind == "segment" {
+			hasSegment = true
+			break
+		}
+	}
+	if !hasSegment {
+		return nil, fmt.Errorf("mdm: journal %s: %w",
+			cfg.Supervise.Journal, &fs.PathError{Op: "open", Path: cfg.Supervise.Journal, Err: fs.ErrNotExist})
+	}
 	sys, step, err := md.ReadCheckpointFS(fsys, ckptPath)
 	if err != nil {
 		return nil, err
@@ -462,9 +507,11 @@ func ResumeFromJournal(cfg Config, ckptPath string) (*Simulation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mdm: journal: %w", err)
 	}
-	// The replay tail is the contiguous run the scan certified: records past
-	// inv.ResumeStep (a gap, or content beyond damage) are not consistently
-	// reachable and are dropped rather than trusted.
+	// The replay tail is the contiguous run the scan certified. A committed
+	// record past inv.ResumeStep means the journal holds a timeline disjoint
+	// from the checkpoint's — a leftover from another incarnation of the run
+	// directory. Discarding it would silently lose committed history, so the
+	// directory is refused as stale instead.
 	tail := make([]supervise.Record, 0, len(recs))
 	var at *supervise.Record
 	for i := range recs {
@@ -473,12 +520,15 @@ func ResumeFromJournal(cfg Config, ckptPath string) (*Simulation, error) {
 			at = &recs[i]
 		case recs[i].Step > step && recs[i].Step <= inv.ResumeStep:
 			tail = append(tail, recs[i])
+		case recs[i].Step > inv.ResumeStep:
+			return nil, fmt.Errorf("mdm: journal: committed step %d is unreachable from checkpoint step %d: %w",
+				recs[i].Step, step, store.ErrStaleRunDir)
 		}
 	}
 	for i := range tail {
 		if tail[i].Step != step+i+1 {
-			return nil, fmt.Errorf("mdm: journal: step %d follows checkpoint step %d non-contiguously",
-				tail[i].Step, step)
+			return nil, fmt.Errorf("mdm: journal: step %d follows checkpoint step %d non-contiguously: %w",
+				tail[i].Step, step, store.ErrStaleRunDir)
 		}
 	}
 	// Rebuild the fault schedule and consume the events the journal says had
@@ -539,6 +589,25 @@ func ResumeFromJournal(cfg Config, ckptPath string) (*Simulation, error) {
 	}
 	sim.replaying = false
 	return sim, nil
+}
+
+// unrecoverableCause turns an unrecoverable scan verdict into its typed
+// cause: a damaged checkpoint surfaces the checkpoint reader's own error
+// (ErrCheckpointCorrupt / ErrCheckpointTruncated / ErrCheckpointVersion from
+// internal/md), and journal records stranded without a validating checkpoint
+// surface store.ErrStaleRunDir — the directory holds history this run cannot
+// splice onto. The serving layer maps the two to distinct HTTP statuses.
+func unrecoverableCause(fsys store.FS, ckptPath string, inv *store.Inventory) error {
+	for _, a := range inv.Artifacts {
+		if a.Kind == "checkpoint" && a.Status != "ok" {
+			if _, _, err := md.ReadCheckpointFS(fsys, ckptPath); err != nil {
+				return err
+			}
+			break
+		}
+	}
+	return fmt.Errorf("journal records with no validating checkpoint (damaged: %v): %w",
+		inv.Damaged, store.ErrStaleRunDir)
 }
 
 // storeValidators wires the checkpoint and journal format knowledge into the
@@ -680,8 +749,16 @@ func (s *Simulation) FaultReport() (rep FaultReport, ok bool) {
 
 // Free releases the simulated boards of the MDM backend (no-op for the
 // reference backend) and closes the journal, making the last committed step
-// its final record.
+// its final record. Free is idempotent and safe for concurrent use: the
+// serving layer's reaper may tear a session down while another goroutine is
+// still holding the deferred Free of a completed run, and the loser of that
+// race must observe the first call's verdict, not a double-close panic.
 func (s *Simulation) Free() error {
+	s.freeOnce.Do(func() { s.freeErr = s.free() })
+	return s.freeErr
+}
+
+func (s *Simulation) free() error {
 	jerr := s.journal.Close() // nil-safe
 	s.journal = nil
 	switch {

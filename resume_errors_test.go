@@ -1,0 +1,193 @@
+package mdm
+
+import (
+	"errors"
+	"io/fs"
+	"sync"
+	"testing"
+
+	"mdm/internal/md"
+	"mdm/internal/store"
+	"mdm/internal/supervise"
+)
+
+// ResumeFromJournal's failure modes must stay typed — the serving layer maps
+// them to distinct HTTP statuses (nothing durable → restart from scratch;
+// damaged checkpoint → permanent failure; stale directory → operator
+// decision) — so each path is pinned against errors.Is here.
+
+// reTestConfig is a journaled config over a fresh fault-free FaultFS.
+func reTestConfig(fsys store.FS) Config {
+	cfg := Config{
+		Cells:     2,
+		Backend:   BackendReference,
+		Supervise: SuperviseConfig{Journal: "run.wal"},
+	}
+	cfg.fsys = fsys
+	return cfg
+}
+
+// reRun runs a short journaled protocol with a mid-run checkpoint, leaving a
+// consistent checkpoint + journal-tail pair on fsys.
+func reRun(t *testing.T, fsys store.FS) {
+	t.Helper()
+	sim, err := NewSimulation(reTestConfig(fsys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sim.Free() }()
+	if err := sim.RunNVT(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.WriteCheckpoint("run.ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunNVE(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Nothing durable at all: the typed verdict is store.ErrNoRunState, which
+// the caller may treat as "start the run over, no progress is lost".
+func TestResumeErrorNoRunState(t *testing.T) {
+	fsys := store.NewFaultFS(nil)
+	_, err := ResumeFromJournal(reTestConfig(fsys), "run.ckpt")
+	if !errors.Is(err, store.ErrNoRunState) {
+		t.Fatalf("resume over empty store: %v, want store.ErrNoRunState", err)
+	}
+}
+
+// A journal exists but the checkpoint file is gone (deleted underfoot, or a
+// different run's layout): missing-file errors must surface as fs.ErrNotExist
+// (store.NotExist recognizes it), not a generic string.
+func TestResumeErrorMissingJournal(t *testing.T) {
+	fsys := store.NewFaultFS(nil)
+	reRun(t, fsys)
+	// Remove the whole journal: active segment and any rotated ones.
+	if err := fsys.Remove("run.wal"); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := store.JournalSegments(fsys, "run.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range segs {
+		if err := fsys.Remove(seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fsys.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := ResumeFromJournal(reTestConfig(fsys), "run.ckpt")
+	if rerr == nil {
+		t.Fatal("resume with missing journal succeeded")
+	}
+	if !store.NotExist(rerr) && !errors.Is(rerr, fs.ErrNotExist) {
+		t.Fatalf("missing journal: %v, want fs.ErrNotExist", rerr)
+	}
+}
+
+// A corrupt checkpoint image is unrecoverable: the typed verdict is the
+// checkpoint reader's own md.ErrCheckpointCorrupt, not a scan wrapper.
+func TestResumeErrorDamagedCheckpoint(t *testing.T) {
+	fsys := store.NewFaultFS(nil)
+	reRun(t, fsys)
+	// Flip a byte in the middle of the checkpoint image.
+	buf, err := fsys.ReadFile("run.ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x40
+	if err := store.WriteFileAtomic(fsys, "run.ckpt", buf); err != nil {
+		t.Fatal(err)
+	}
+	// With the checkpoint dead, the journal's records are stranded history:
+	// resume must refuse with the checkpoint's typed corruption error.
+	_, rerr := ResumeFromJournal(reTestConfig(fsys), "run.ckpt")
+	if !errors.Is(rerr, md.ErrCheckpointCorrupt) {
+		t.Fatalf("damaged checkpoint: %v, want md.ErrCheckpointCorrupt", rerr)
+	}
+}
+
+// A journal that does not continue the checkpoint's timeline (here: a
+// leftover journal from an older incarnation whose steps are disjoint from
+// the fresh checkpoint) is a stale run directory: store.ErrStaleRunDir.
+func TestResumeErrorStaleRunDir(t *testing.T) {
+	fsys := store.NewFaultFS(nil)
+	reRun(t, fsys)
+	// Rewrite the active journal segment with records far past the
+	// checkpoint: a committed step 3 checkpoint followed by steps 7..8 has a
+	// hole no replay can cross.
+	j, err := supervise.CreateJournalFS("run.wal", supervise.Options{FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range []int{7, 8} {
+		if err := j.Append(supervise.Record{Step: step, Stage: "nve"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := ResumeFromJournal(reTestConfig(fsys), "run.ckpt")
+	if !errors.Is(rerr, store.ErrStaleRunDir) {
+		t.Fatalf("stale run dir: %v, want store.ErrStaleRunDir", rerr)
+	}
+}
+
+// Journal records with no checkpoint at all are equally stale: progress
+// exists on disk that a fresh start would silently discard.
+func TestResumeErrorStrandedJournal(t *testing.T) {
+	fsys := store.NewFaultFS(nil)
+	reRun(t, fsys)
+	if err := fsys.Remove("run.ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := ResumeFromJournal(reTestConfig(fsys), "run.ckpt")
+	if !errors.Is(rerr, store.ErrStaleRunDir) {
+		t.Fatalf("stranded journal: %v, want store.ErrStaleRunDir", rerr)
+	}
+}
+
+// Free is idempotent and safe to call concurrently with itself on a
+// completed run: the session manager's reaper races the executor's deferred
+// Free, and the loser must observe the first call's verdict, not a
+// double-close panic from the journal or the board arena.
+func TestFreeIdempotentAndConcurrent(t *testing.T) {
+	fsys := store.NewFaultFS(nil)
+	cfg := reTestConfig(fsys)
+	cfg.Backend = BackendMDM // exercise the board-freeing path too
+	sim, err := NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunNVT(2); err != nil {
+		t.Fatal(err)
+	}
+
+	first := sim.Free()
+	if first != nil {
+		t.Fatalf("first Free: %v", first)
+	}
+	const frees = 8
+	var wg sync.WaitGroup
+	errs := make([]error, frees)
+	for i := 0; i < frees; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = sim.Free()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, first) {
+			t.Errorf("concurrent Free %d = %v, want the first call's verdict (%v)", i, err, first)
+		}
+	}
+}

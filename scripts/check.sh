@@ -31,7 +31,8 @@ go test ./...
 echo "==> go test -race (concurrency-bearing packages)"
 go test -race ./internal/fault/... ./internal/mpi/... ./internal/core/... \
     ./internal/parallelize/... ./internal/wine2/... ./internal/mdgrape2/... \
-    ./internal/cellindex/... ./internal/supervise/... ./internal/store/...
+    ./internal/cellindex/... ./internal/supervise/... ./internal/store/... \
+    ./internal/lifecycle/... ./internal/serve/...
 
 echo "==> bench smoke (parallel must not lose to serial; pipeline overlap at GOMAXPROCS=2)"
 GOMAXPROCS=2 go run ./cmd/mdmbench -smoke -iters 3 -reps 2
@@ -43,9 +44,10 @@ echo "==> bench artifact regression gate (BENCH_2 -> BENCH_3 on the recorded fam
 go run ./cmd/mdmbench -compare -threshold 0.2 BENCH_2.json BENCH_3.json
 
 echo "==> chaos suite (fault injection, recovery, checkpoint restart, supervision, crash matrix)"
-go test -run 'Chaos|Resilient|FaultHook|RunProtocol|CheckpointFile|CheckpointTyped|Watchdog|Breaker|Journal|Supervise|Interrupt|CrashMatrix' \
+go test -run 'Chaos|Resilient|FaultHook|RunProtocol|CheckpointFile|CheckpointTyped|Watchdog|Breaker|Journal|Supervise|Interrupt|CrashMatrix|Serve' \
     ./internal/core/... ./internal/wine2/... ./internal/mdgrape2/... \
-    ./internal/md/... ./internal/supervise/... ./cmd/mdmsim/... .
+    ./internal/md/... ./internal/supervise/... ./internal/serve/... \
+    ./cmd/mdmsim/... ./cmd/mdmserve/... .
 
 echo "==> fuzz smoke (decoders and the fault DSL must hold up under mutation)"
 go test ./internal/fault/ -run '^$' -fuzz FuzzParseScenario -fuzztime 3s
