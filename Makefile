@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-smoke batch-smoke bench-compare vet mdmvet audit race chaos fuzz-smoke check fmt
+.PHONY: all build test bench bench-json bench-smoke batch-smoke weak-smoke bench-compare vet mdmvet audit race chaos fuzz-smoke check fmt
 
 all: build
 
@@ -24,8 +24,11 @@ bench-smoke:
 batch-smoke:
 	GOMAXPROCS=1 $(GO) run ./cmd/mdmbench -batch-smoke
 
+weak-smoke:
+	$(GO) run ./cmd/mdmbench -weak-smoke
+
 bench-compare:
-	$(GO) run ./cmd/mdmbench -compare -threshold 0.2 BENCH_2.json BENCH_3.json
+	$(GO) run ./cmd/mdmbench -compare -threshold 0.2 BENCH_3.json BENCH_4.json
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +41,7 @@ audit:
 
 race:
 	$(GO) test -race ./internal/fault/... ./internal/mpi/... ./internal/core/... \
+		./internal/domain/... \
 		./internal/parallelize/... ./internal/wine2/... ./internal/mdgrape2/... \
 		./internal/cellindex/... ./internal/supervise/... ./internal/store/... \
 		./internal/lifecycle/... ./internal/serve/...

@@ -56,6 +56,9 @@ func RunBatch(cfg Config, k, nvtSteps, nveSteps int) ([]BatchResult, error) {
 	if cfg.Supervise.enabled() || cfg.Supervise.Journal != "" {
 		return nil, fmt.Errorf("mdm: batch driver does not support supervision")
 	}
+	if cfg.Ranks != 0 {
+		return nil, fmt.Errorf("mdm: batch driver does not support the spatial decomposition")
+	}
 	if cfg.PotentialEvery == 0 {
 		// Throughput default: the paper evaluated the potential every 100
 		// steps (§5). fillDefaults would pick 1 (the interactive default).

@@ -140,6 +140,29 @@ func compareReports(aPath, bPath string, threshold float64) (int, error) {
 		fmt.Printf("%-34s %14.0f %14.0f %+8.1f%% batched %.2fx → %.2fx sequential%s\n",
 			label, or.BatchedNsPerRun, r.BatchedNsPerRun, 100*delta, or.Speedup, r.Speedup, mark)
 	}
+	oldWeak := make(map[int]WeakScalingResult, len(a.WeakScaling))
+	for _, r := range a.WeakScaling {
+		oldWeak[r.Ranks] = r
+	}
+	for _, r := range b.WeakScaling {
+		label := fmt.Sprintf("weakScaling/p%d", r.Ranks)
+		or, ok := oldWeak[r.Ranks]
+		if !ok || or.N != r.N {
+			// No prior weak-scaling section (pre-decomposition artifact) or a
+			// different rung size: nothing comparable.
+			fmt.Printf("%-34s %14s %14.0f %9s per-particle eff %.2f\n",
+				label, "-", r.NsPerStep, "new", r.PerParticleEff)
+			continue
+		}
+		delta := r.NsPerStep/or.NsPerStep - 1
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-34s %14.0f %14.0f %+8.1f%% per-particle eff %.2f → %.2f%s\n",
+			label, or.NsPerStep, r.NsPerStep, 100*delta, or.PerParticleEff, r.PerParticleEff, mark)
+	}
 	if regressions > 0 {
 		fmt.Printf("\n%d regression(s) beyond %.0f%%\n", regressions, 100*threshold)
 	} else {

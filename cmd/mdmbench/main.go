@@ -70,13 +70,14 @@ type BatchThroughputResult struct {
 
 // Report is the whole artifact (a BENCH_<n>.json file).
 type Report struct {
-	GOMAXPROCS int                     `json:"gomaxprocs"`
-	NumCPU     int                     `json:"num_cpu"`
-	N          int                     `json:"n_particles"`
-	Iters      int                     `json:"iters_per_sample"`
-	Results    []Result                `json:"results"`
-	Pipeline   []PipelineResult        `json:"pipeline,omitempty"`
-	Batch      []BatchThroughputResult `json:"batch,omitempty"`
+	GOMAXPROCS  int                     `json:"gomaxprocs"`
+	NumCPU      int                     `json:"num_cpu"`
+	N           int                     `json:"n_particles"`
+	Iters       int                     `json:"iters_per_sample"`
+	Results     []Result                `json:"results"`
+	Pipeline    []PipelineResult        `json:"pipeline,omitempty"`
+	Batch       []BatchThroughputResult `json:"batch,omitempty"`
+	WeakScaling []WeakScalingResult     `json:"weak_scaling,omitempty"`
 }
 
 // benchSystem is the 216-ion perturbed crystal of the bench_test.go
@@ -220,7 +221,7 @@ func batchThroughput(k, steps int) (BatchThroughputResult, error) {
 	}, nil
 }
 
-func run(widths []int, iters, reps, batchSteps int) (*Report, error) {
+func run(widths []int, iters, reps, batchSteps, weakSteps int) (*Report, error) {
 	sys, p, err := benchSystem()
 	if err != nil {
 		return nil, err
@@ -324,6 +325,18 @@ func run(widths []int, iters, reps, batchSteps int) (*Report, error) {
 		}
 	}
 
+	// Weak scaling of the spatial decomposition: fixed 64 ions/rank at
+	// growing rank counts, with per-tag traffic for the rebuild and reuse
+	// step shapes (skipped when weakSteps is 0, e.g. in smoke mode, which
+	// has its own quick weak-scaling gate).
+	if weakSteps > 0 {
+		ws, err := weakScaling(weakRungs, 2, weakSteps)
+		if err != nil {
+			return nil, err
+		}
+		rep.WeakScaling = ws
+	}
+
 	return rep, nil
 }
 
@@ -394,7 +407,7 @@ func smoke(iters, reps int) error {
 	if widths[1] == 1 {
 		widths = widths[:1]
 	}
-	rep, err := run(widths, iters, reps, 0)
+	rep, err := run(widths, iters, reps, 0, 0)
 	if err != nil {
 		return err
 	}
@@ -474,6 +487,8 @@ func main() {
 	smokeMode := flag.Bool("smoke", false, "CI gate: check parallel is not slower than serial on the Figure-2 step")
 	batchSmokeMode := flag.Bool("batch-smoke", false, "CI gate: batched K=16 must beat 16 sequential runs by ≥ 1.8x runs/sec")
 	batchSteps := flag.Int("batch-steps", 25, "NVE steps per replica in the batchThroughput family (0 skips the family)")
+	weakSmokeMode := flag.Bool("weak-smoke", false, "CI gate: the decomposition's reuse step must stream only ghost positions, and per-particle cost must stay flat at 8 ranks")
+	weakSteps := flag.Int("weak-steps", 6, "timed steps per rung in the weak-scaling family (0 skips the family)")
 	compareMode := flag.Bool("compare", false, "compare two recorded reports: mdmbench -compare OLD.json NEW.json")
 	threshold := flag.Float64("threshold", 0.20, "ns/op growth beyond this fraction counts as a regression in -compare")
 	flag.Parse()
@@ -510,7 +525,15 @@ func main() {
 		return
 	}
 
-	rep, err := run([]int{1, 2, 4, 8}, *iters, *reps, *batchSteps)
+	if *weakSmokeMode {
+		if err := weakSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep, err := run([]int{1, 2, 4, 8}, *iters, *reps, *batchSteps, *weakSteps)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -202,6 +202,8 @@ func run() (exit int) {
 	nvt := flag.Int("nvt", 100, "NVT steps, paper: 2000")
 	nve := flag.Int("nve", 50, "NVE steps, paper: 1000")
 	backend := flag.String("backend", "mdm", "force engine: mdm or reference")
+	alpha := flag.Float64("alpha", 0, "Ewald splitting parameter (0 = balanced for the box; large boxes may prefer the machine balance, e.g. ewald.CostModel with the 27-cell geometry)")
+	potEvery := flag.Int("potential-every", 1, "evaluate the potential energy every k steps on the mdm backend (paper: 100)")
 	seed := flag.Int64("seed", 1, "velocity seed")
 	every := flag.Int("every", 10, "print a sample every k steps")
 	xyz := flag.String("xyz", "", "write an XYZ trajectory frame every k steps to this file")
@@ -213,6 +215,8 @@ func run() (exit int) {
 	workers := flag.Int("workers", 0, "worker-pool width striping the simulated pipelines across cores (0 = GOMAXPROCS, 1 = serial); bit-identical at any width")
 	pipeline := flag.Bool("pipeline", false, "overlap the WINE-2 wavenumber pass with the MDGRAPE-2 real-space sweep and fuse the four real-space passes; bit-identical to the sequential path")
 	skin := flag.Float64("skin", 0, "Verlet skin in Å: reuse the sorted cell layout until a particle moves more than skin/2 (0 = rebuild every step)")
+	ranks := flag.Int("ranks", 0, "spatial decomposition: split the box into this many cell blocks, one real-space process each (0 = single process); bit-identical with -wave-ranks 1")
+	waveRanks := flag.Int("wave-ranks", 0, "wavenumber processes alongside -ranks (default 1); >1 regroups the structure-factor reduction and agrees to float64 rounding")
 	watchdog := flag.Duration("watchdog", 0, "stall deadline for one hardware call, e.g. 30s (0 disables the watchdog)")
 	journal := flag.String("journal", "", "write-ahead step journal path (with -checkpoint, enables -resume after a kill)")
 	syncEvery := flag.Int("sync-every", 1, "journal group-commit interval: fsync every Nth step record (1 = every step, the strongest durability; N > 1 risks the last N-1 steps on a power cut)")
@@ -277,6 +281,18 @@ func run() (exit int) {
 		fmt.Fprintln(os.Stderr, "-pipeline and -skin require the mdm backend")
 		return 2
 	}
+	if *ranks != 0 && be != mdm.BackendMDM {
+		fmt.Fprintln(os.Stderr, "-ranks requires the mdm backend")
+		return 2
+	}
+	if *waveRanks != 0 && *ranks == 0 {
+		fmt.Fprintln(os.Stderr, "-wave-ranks requires -ranks")
+		return 2
+	}
+	if *ranks != 0 && *batch > 0 {
+		fmt.Fprintln(os.Stderr, "-batch is incompatible with -ranks")
+		return 2
+	}
 	if *batch > 0 {
 		if be != mdm.BackendMDM {
 			fmt.Fprintln(os.Stderr, "-batch requires the mdm backend")
@@ -292,6 +308,7 @@ func run() (exit int) {
 			Cells:       *cells,
 			Temperature: *temp,
 			Dt:          *dt,
+			Alpha:       *alpha,
 			Seed:        *seed,
 			Workers:     *workers,
 			Pipeline:    *pipeline,
@@ -303,13 +320,16 @@ func run() (exit int) {
 		Cells:          *cells,
 		Temperature:    *temp,
 		Dt:             *dt,
+		Alpha:          *alpha,
 		Backend:        be,
 		Seed:           *seed,
-		PotentialEvery: 1,
+		PotentialEvery: *potEvery,
 		Faults:         *faults,
 		Workers:        *workers,
 		Pipeline:       *pipeline,
 		Skin:           *skin,
+		Ranks:          *ranks,
+		WaveRanks:      *waveRanks,
 		Supervise: mdm.SuperviseConfig{
 			Watchdog:  *watchdog,
 			Journal:   *journal,
@@ -341,6 +361,13 @@ func run() (exit int) {
 	fmt.Printf("system: %d NaCl ions in a %.2f Å box, backend %s\n", sim.N(), p.L, be)
 	fmt.Printf("ewald:  alpha=%.2f r_cut=%.2f Å Lk_cut=%.2f (N_wv ≈ %.0f)\n",
 		p.Alpha, p.RCut, p.LKCut, p.NWv())
+	if *ranks > 0 {
+		nw := *waveRanks
+		if nw == 0 {
+			nw = 1
+		}
+		fmt.Printf("ranks:  %d real-space blocks + %d wavenumber processes\n", *ranks, nw)
+	}
 	fmt.Printf("run:    %d NVT + %d NVE steps of %.1f fs at %.0f K\n", *nvt, *nve, *dt, *temp)
 	if *faults != "" {
 		fmt.Printf("faults: %s\n", *faults)

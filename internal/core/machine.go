@@ -403,20 +403,10 @@ func (m *Machine) jset(s *md.System) (*mdgrape2.JSet, error) {
 }
 
 // maxDisp2 returns the largest squared minimum-image displacement of any
-// particle from the reference positions of the last j-set rebuild.
+// particle from the reference positions of the last j-set rebuild (shared
+// with the decomposed session, which applies the same rule driver-side).
 func (m *Machine) maxDisp2(pos []vec.V) float64 {
-	l := m.cfg.Ewald.L
-	worst := 0.0
-	for i := range pos {
-		d := pos[i].Sub(m.refPos[i])
-		d.X -= l * math.Round(d.X/l)
-		d.Y -= l * math.Round(d.Y/l)
-		d.Z -= l * math.Round(d.Z/l)
-		if d2 := d.Norm2(); d2 > worst {
-			worst = d2
-		}
-	}
-	return worst
+	return maxDisp2(m.cfg.Ewald.L, pos, m.refPos)
 }
 
 // realPasses fills the per-step pass descriptors of the fused real-space

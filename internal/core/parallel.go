@@ -4,15 +4,11 @@ import (
 	"fmt"
 	"math"
 
-	"mdm/internal/cellindex"
-	"mdm/internal/domain"
 	"mdm/internal/ewald"
 	"mdm/internal/md"
 	"mdm/internal/mdgrape2"
 	"mdm/internal/mpi"
-	"mdm/internal/parallelize"
 	"mdm/internal/tosifumi"
-	"mdm/internal/units"
 	"mdm/internal/vec"
 	"mdm/internal/wine2"
 )
@@ -21,14 +17,50 @@ import (
 // and 8 processes for wavenumber-part. The simulation box is divided into 16
 // domains, and one process for real-space part performs all the calculation
 // in each domain... For real-space part, communication between processes
-// must be done by user." ParallelForces reproduces that organization at a
-// configurable scale on the in-process MPI substrate.
+// must be done by user." ParallelRun reproduces that organization at a
+// configurable scale on the in-process MPI substrate, with persistent
+// cell-block ownership per real rank; ParallelForces is the one-shot wrapper
+// (build a session, run one step, free it).
 
-// Message tags of the parallel step.
+// Message tags of the parallel step, exported so per-tag traffic (Stats.
+// StatsByTag) can be labeled by tools.
 const (
-	tagHalo   = 100
-	tagForces = 101
+	// TagHalo carries rebuild-step ghost records: stride-5
+	// (x, y, z, species, globalIndex) per particle.
+	TagHalo = 100
+	// TagForces carries per-rank (globalIndex, force) records to rank 0;
+	// wavenumber payloads lead with a potential slot.
+	TagForces = 101
+	// TagGroupReduce is the wavenumber group's structure-factor reduction.
+	TagGroupReduce = 102
+	// TagMigrate carries rebuild-step ownership transfers: the global
+	// indices of particles that crossed a domain face.
+	TagMigrate = 103
+	// TagGhostPos carries reuse-step ghost positions: three SoA planes
+	// packed back to back in one slab.
+	TagGhostPos = 104
 )
+
+// haloStride is the per-particle record width of a TagHalo payload.
+const haloStride = 5
+
+// TagName labels the parallel step's message tags for reports.
+func TagName(tag int) string {
+	switch tag {
+	case TagHalo:
+		return "halo"
+	case TagForces:
+		return "forces"
+	case TagGroupReduce:
+		return "group-reduce"
+	case TagMigrate:
+		return "migrate"
+	case TagGhostPos:
+		return "ghost-pos"
+	default:
+		return fmt.Sprintf("tag%d", tag)
+	}
+}
 
 // groupComm adapts a subset of world ranks to the wine2.Communicator
 // interface, so the WINE-2 library's internal parallelization (Table 2) runs
@@ -41,8 +73,6 @@ type groupComm struct {
 
 func (g *groupComm) Rank() int { return g.me }
 func (g *groupComm) Size() int { return len(g.members) }
-
-const tagGroupReduce = 102
 
 // AllreduceSum gathers to the group root, sums, and broadcasts back, all
 // within the group's world ranks.
@@ -57,7 +87,7 @@ func (g *groupComm) AllreduceSum(vals []float64) ([]float64, error) {
 		total := make([]float64, len(vals))
 		copy(total, vals)
 		for _, m := range g.members[1:] {
-			part, err := g.c.RecvFloat64s(m, tagGroupReduce) //mdm:recvok -- world deadline (SetTimeout) bounds this receive
+			part, err := g.c.RecvFloat64s(m, TagGroupReduce) //mdm:recvok -- world deadline (SetTimeout) bounds this receive
 			if err != nil {
 				return nil, err
 			}
@@ -69,7 +99,7 @@ func (g *groupComm) AllreduceSum(vals []float64) ([]float64, error) {
 			}
 		}
 		for _, m := range g.members[1:] {
-			if err := g.c.Send(m, tagGroupReduce, total); err != nil {
+			if err := g.c.Send(m, TagGroupReduce, total); err != nil {
 				return nil, err
 			}
 		}
@@ -77,286 +107,67 @@ func (g *groupComm) AllreduceSum(vals []float64) ([]float64, error) {
 	}
 	part := make([]float64, len(vals))
 	copy(part, vals)
-	if err := g.c.Send(root, tagGroupReduce, part); err != nil {
+	if err := g.c.Send(root, TagGroupReduce, part); err != nil {
 		return nil, err
 	}
-	return g.c.RecvFloat64s(root, tagGroupReduce) //mdm:recvok -- world deadline (SetTimeout) bounds this receive
+	return g.c.RecvFloat64s(root, TagGroupReduce) //mdm:recvok -- world deadline (SetTimeout) bounds this receive
 }
 
 // ParallelResult is the assembled output of a parallel force step.
 type ParallelResult struct {
 	Forces    []vec.V
 	Potential float64
-	// Traffic is the MPI byte count of the step (halo exchange, structure
-	// factor reduction, force gathering).
+	// Traffic is the MPI message/byte count of the step (migration, halo
+	// exchange, ghost position streaming, structure factor reduction, force
+	// gathering).
 	Traffic mpi.Stats
+	// TrafficByTag breaks Traffic down by message tag (TagName labels
+	// them). Filled by the one-shot ParallelForces; persistent sessions
+	// leave it nil on the hot path — read World.StatsByTag around a run
+	// instead.
+	TrafficByTag map[int]mpi.Stats
 }
 
 // ParallelForces computes the full force field with the §4 process layout:
-// nReal domain processes run the MDGRAPE-2 real-space passes, nWave
-// processes run the WINE-2 wavenumber library, and world rank 0 assembles
-// the result. The world must have exactly nReal+nWave ranks.
-//
-// The halo a real-space process imports spans the full 27-cell neighborhood
-// of its domain (2√3 cell widths), so the parallel pair walk is identical to
-// the serial one up to floating-point summation order.
+// nReal domain processes run the MDGRAPE-2 real-space passes over their own
+// cell blocks, nWave processes run the WINE-2 wavenumber library, and world
+// rank 0 assembles the result. The world must have exactly nReal+nWave
+// ranks. This is the one-shot form — it builds a ParallelRun session, runs a
+// single step, and frees the session; integrator runs should hold a
+// ParallelRun instead.
 func ParallelForces(world *mpi.World, cfg MachineConfig, nReal, nWave int, s *md.System) (*ParallelResult, error) {
-	if nReal < 1 || nWave < 1 {
-		return nil, fmt.Errorf("core: need at least one process of each kind (got %d real, %d wave)", nReal, nWave)
-	}
-	if world.Size() != nReal+nWave {
-		return nil, fmt.Errorf("core: world size %d != %d real + %d wave", world.Size(), nReal, nWave)
-	}
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	p := cfg.Ewald
-	if s.L != p.L {
-		return nil, fmt.Errorf("core: system box %g differs from machine box %g", s.L, p.L)
+	if s.L != cfg.Ewald.L {
+		return nil, fmt.Errorf("core: system box %g differs from machine box %g", s.L, cfg.Ewald.L)
 	}
-	dec, err := domain.New(p.L, nReal)
+	pr, err := NewParallelRun(world, cfg, nReal, nWave)
 	if err != nil {
 		return nil, err
 	}
-	before := world.Stats()
-
-	var result ParallelResult
-	runErr := world.Run(func(c *mpi.Comm) error {
-		if c.Rank() < nReal {
-			return realSpaceRank(c, cfg, dec, nReal, s, &result)
-		}
-		return waveRank(c, cfg, nReal, nWave, s, &result)
-	})
-	if runErr != nil {
-		return nil, runErr
+	defer func() { _ = pr.Free() }()
+	beforeByTag := world.StatsByTag()
+	res, err := pr.Step(s)
+	if err != nil {
+		return nil, err
 	}
-	after := world.Stats()
-	result.Traffic = mpi.Stats{
-		Messages: after.Messages - before.Messages,
-		Bytes:    after.Bytes - before.Bytes,
-	}
-	// Self-energy bookkeeping on the host.
-	result.Potential += ewald.SelfEnergy(p, s.Charge)
-	return &result, nil
+	res.TrafficByTag = subtractByTag(world.StatsByTag(), beforeByTag)
+	return res, nil
 }
 
-// packParticles serializes (x, y, z, charge, type, globalIndex) per particle.
-const packStride = 6
-
-func packParticles(s *md.System, idx []int) []float64 {
-	out := make([]float64, 0, packStride*len(idx))
-	for _, i := range idx {
-		out = append(out, s.Pos[i].X, s.Pos[i].Y, s.Pos[i].Z, s.Charge[i], float64(s.Type[i]), float64(i))
+// subtractByTag returns after − before per tag, dropping zero rows.
+func subtractByTag(after, before map[int]mpi.Stats) map[int]mpi.Stats {
+	out := make(map[int]mpi.Stats, len(after))
+	//mdm:maporderok -- per-tag subtraction into a fresh map: rows are independent, order cannot affect the result
+	for tag, a := range after {
+		b := before[tag]
+		d := mpi.Stats{Messages: a.Messages - b.Messages, Bytes: a.Bytes - b.Bytes}
+		if d.Messages != 0 || d.Bytes != 0 {
+			out[tag] = d
+		}
 	}
 	return out
-}
-
-// realSpaceRank is the SPMD body of one real-space (domain) process.
-func realSpaceRank(c *mpi.Comm, cfg MachineConfig, dec *domain.Decomposition, nReal int, s *md.System, result *ParallelResult) error {
-	p := cfg.Ewald
-	me := c.Rank()
-	parts := dec.Partition(s.Pos)
-	own := parts[me]
-
-	// Halo radius covering the whole 27-cell neighborhood.
-	grid, err := mdgrape2Grid(p)
-	if err != nil {
-		return err
-	}
-	haloR := 2 * math.Sqrt(3) * grid.CellSize
-	if haloR > p.L/2 {
-		haloR = p.L / 2 * 0.999999 // everything beyond half a box is an image anyway
-	}
-
-	// Exchange: send my particles that fall inside each other domain's halo.
-	send := make([]int, 0, len(own))
-	for other := 0; other < nReal; other++ {
-		if other == me {
-			continue
-		}
-		send = send[:0]
-		for _, i := range own {
-			if dec.InHalo(other, s.Pos[i], haloR) {
-				send = append(send, i)
-			}
-		}
-		if err := c.Send(other, tagHalo, packParticles(s, send)); err != nil {
-			return err
-		}
-	}
-	// Receive halos. Note: with a large halo radius relative to the domain
-	// size this degenerates to (almost) an allgather, which is also what the
-	// O(N) communication scaling of §3.1 assumes.
-	type halo struct {
-		pos  []vec.V
-		chg  []float64
-		typ  []int
-		gidx []int
-	}
-	// Size the halo buffers for their upper bound up front (every particle
-	// this rank does not own), so the receive loop below never regrows them.
-	var h halo
-	hcap := len(s.Pos) - len(own)
-	h.pos = make([]vec.V, 0, hcap)
-	h.chg = make([]float64, 0, hcap)
-	h.typ = make([]int, 0, hcap)
-	h.gidx = make([]int, 0, hcap)
-	for other := 0; other < nReal; other++ {
-		if other == me {
-			continue
-		}
-		buf, err := c.RecvFloat64s(other, tagHalo) //mdm:recvok -- world deadline (SetTimeout) bounds this receive
-		if err != nil {
-			return err
-		}
-		for k := 0; k+packStride <= len(buf); k += packStride {
-			h.pos = append(h.pos, vec.New(buf[k], buf[k+1], buf[k+2]))
-			h.chg = append(h.chg, buf[k+3])
-			h.typ = append(h.typ, int(buf[k+4]))
-			h.gidx = append(h.gidx, int(buf[k+5]))
-		}
-	}
-
-	// Assemble the j-side set (own + halo) and this rank's i-side block.
-	jpos := make([]vec.V, 0, len(own)+len(h.pos))
-	jtyp := make([]int, 0, len(own)+len(h.pos))
-	for _, i := range own {
-		jpos = append(jpos, s.Pos[i])
-		jtyp = append(jtyp, s.Type[i])
-	}
-	jpos = append(jpos, h.pos...)
-	jtyp = append(jtyp, h.typ...)
-
-	// Per-rank MDGRAPE-2 session over this rank's share of the boards. All
-	// rank sessions share one stateless pool: the pool owns no goroutines
-	// between calls, so concurrent ranks stripe their own loops independently.
-	pool := parallelize.New(cfg.Workers)
-	m, err := newRankMDG(cfg, nReal, me)
-	if err != nil {
-		return err
-	}
-	m.SetPool(pool)
-	defer func() { _ = m.Free() }()
-
-	xi := make([]vec.V, len(own))
-	ti := make([]int, len(own))
-	for k, i := range own {
-		xi[k] = s.Pos[i]
-		ti[k] = s.Type[i]
-	}
-	js, err := mdgrape2.NewJSetPool(grid, jpos, jtyp, nil, pool)
-	if err != nil {
-		return err
-	}
-	co, err := machineCoeffs(p)
-	if err != nil {
-		return err
-	}
-	scale := make([]float64, len(own))
-	pref := units.Coulomb * math.Pow(p.Alpha/p.L, 3)
-	for i := range scale {
-		scale[i] = pref
-	}
-	// One fused sweep replaces the four back-to-back passes; the combine
-	// order (Coulomb + BM + r⁻⁶ + r⁻⁸) and the per-pass hardware call
-	// sequence are identical, so forces and fault schedules are unchanged.
-	forces, err := m.CalcVDWFused([]mdgrape2.ForcePass{
-		{Table: tableCoulomb, Co: co.coulomb, ScaleI: scale},
-		{Table: tableBM, Co: co.bm},
-		{Table: tableDisp6, Co: co.d6},
-		{Table: tableDisp8, Co: co.d8},
-	}, xi, ti, js)
-	if err != nil {
-		return err
-	}
-
-	// Ship (globalIndex, force) triples to rank 0.
-	out := make([]float64, 0, 4*len(own))
-	for k, i := range own {
-		out = append(out, float64(i), forces[k].X, forces[k].Y, forces[k].Z)
-	}
-	if err := c.Send(0, tagForces, out); err != nil {
-		return err
-	}
-
-	if me == 0 {
-		return assembleRank0(c, cfg, s, result)
-	}
-	return nil
-}
-
-// waveRank is the SPMD body of one wavenumber process.
-func waveRank(c *mpi.Comm, cfg MachineConfig, nReal, nWave int, s *md.System, result *ParallelResult) error {
-	p := cfg.Ewald
-	w := c.Rank() - nReal
-	n := s.N()
-	lo := w * n / nWave
-	hi := (w + 1) * n / nWave
-
-	members := make([]int, nWave)
-	for i := range members {
-		members[i] = nReal + i
-	}
-	lib, err := newRankWine(cfg, nWave, w)
-	if err != nil {
-		return err
-	}
-	lib.SetPool(parallelize.New(cfg.Workers))
-	defer func() { _ = lib.FreeBoards() }()
-	lib.SetMPICommunity(&groupComm{c: c, members: members, me: w})
-	if err := lib.SetNN(max(hi-lo, 1)); err != nil {
-		return err
-	}
-	waves := ewald.Waves(p)
-	forces, pot, err := lib.CalcForceAndPotWavepart(p, waves, s.Pos[lo:hi], s.Charge[lo:hi])
-	if err != nil {
-		return err
-	}
-	out := make([]float64, 0, 4*(hi-lo)+1)
-	// First slot: the wavenumber potential (only wave rank 0 reports it to
-	// avoid double counting).
-	if w == 0 {
-		out = append(out, pot)
-	} else {
-		out = append(out, math.NaN())
-	}
-	for k := lo; k < hi; k++ {
-		out = append(out, float64(k), forces[k-lo].X, forces[k-lo].Y, forces[k-lo].Z)
-	}
-	return c.Send(0, tagForces, out)
-}
-
-// assembleRank0 gathers force contributions at world rank 0. Wave-rank
-// payloads are distinguished by length: they lead with a potential slot, so
-// their length is ≡ 1 (mod 4), while real-rank payloads are ≡ 0 (mod 4).
-func assembleRank0(c *mpi.Comm, cfg MachineConfig, s *md.System, result *ParallelResult) error {
-	total := make([]vec.V, s.N())
-	for src := 0; src < c.Size(); src++ {
-		buf, err := c.RecvFloat64s(src, tagForces) //mdm:recvok -- world deadline (SetTimeout) bounds this receive
-		if err != nil {
-			return err
-		}
-		k := 0
-		if len(buf)%4 == 1 { // wave-rank payload: leading potential slot
-			if !math.IsNaN(buf[0]) {
-				result.Potential += buf[0]
-			}
-			k = 1
-		}
-		for ; k+4 <= len(buf); k += 4 {
-			i := int(buf[k])
-			total[i] = total[i].Add(vec.New(buf[k+1], buf[k+2], buf[k+3]))
-		}
-	}
-	// Host-side real-space + short-range potential in float64, consistent
-	// with the cutoff-free pair set the MDGRAPE-2 passes evaluated.
-	grid, err := mdgrape2Grid(cfg.Ewald)
-	if err != nil {
-		return err
-	}
-	result.Potential += machineRealPotential(cfg.Ewald, grid, tosifumi.Default(), s)
-	result.Forces = total
-	return nil
 }
 
 // machineCoeffsSet bundles the four coefficient RAMs.
@@ -386,13 +197,13 @@ func machineCoeffs(p ewald.Params) (*machineCoeffsSet, error) {
 			d8.Set(i, j, 1, -8*tf.D[i][j])
 		}
 	}
+	// Load the RAM images while setup is still single-threaded: the domain
+	// ranks share this set and read it concurrently on the force path.
+	coulomb.Load()
+	bm.Load()
+	d6.Load()
+	d8.Load()
 	return &machineCoeffsSet{coulomb: coulomb, bm: bm, d6: d6, d8: d8}, nil
-}
-
-// mdgrape2Grid builds the global cell grid for the discretization; its
-// geometry depends only on (L, r_cut), so every rank agrees on it.
-func mdgrape2Grid(p ewald.Params) (*cellindex.Grid, error) {
-	return cellindex.NewGrid(p.L, p.RCut)
 }
 
 // newRankMDG builds an MR1 session over one rank's share of the MDGRAPE-2

@@ -143,19 +143,30 @@ func (e *serialEngine) invalidateGeometry() { e.m.InvalidateGeometry() }
 
 func (e *serialEngine) free() error { return e.m.Free() }
 
-// parallelEngine runs the §4 process layout. Rank sessions are rebuilt on
-// every step, so a re-stripe only shrinks the board counts; the world's
-// inboxes are drained before each attempt so an aborted step's stragglers
-// cannot pollute the retry.
+// parallelEngine runs the §4 process layout on a persistent ParallelRun
+// session: rank sessions, the decomposition, and all exchange buffers live
+// across steps. The world's inboxes are drained before each attempt so an
+// aborted step's stragglers cannot pollute the retry; a failed step marks
+// the session's geometry invalid (Step does this itself), so the retry
+// re-derives ownership from scratch. A re-stripe frees the session and
+// rebuilds it with the shrunken board counts.
 type parallelEngine struct {
 	cfg          MachineConfig
 	world        *mpi.World
 	nReal, nWave int
+	run          *ParallelRun
 }
 
 func (e *parallelEngine) forces(s *md.System) ([]vec.V, float64, error) {
 	e.world.Reset()
-	res, err := ParallelForces(e.world, e.cfg, e.nReal, e.nWave, s)
+	if e.run == nil {
+		run, err := NewParallelRun(e.world, e.cfg, e.nReal, e.nWave)
+		if err != nil {
+			return nil, 0, err
+		}
+		e.run = run
+	}
+	res, err := e.run.Step(s)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -183,14 +194,32 @@ func (e *parallelEngine) restripe(site fault.Site) (bool, error) {
 	default:
 		return false, nil
 	}
+	// Rank sessions are sized from the board counts at construction, so a
+	// re-stripe rebuilds the whole session over the survivors.
+	if e.run != nil {
+		_ = e.run.Free()
+		e.run = nil
+	}
 	return true, nil
 }
 
-// invalidateGeometry is a no-op: rank sessions rebuild their j-sets on every
-// step.
-func (e *parallelEngine) invalidateGeometry() {}
+// invalidateGeometry drops the session's ownership, ghost lists, and j-set
+// layouts; the next step re-derives the decomposition from the rewritten
+// positions.
+func (e *parallelEngine) invalidateGeometry() {
+	if e.run != nil {
+		e.run.InvalidateGeometry()
+	}
+}
 
-func (e *parallelEngine) free() error { return nil }
+func (e *parallelEngine) free() error {
+	if e.run == nil {
+		return nil
+	}
+	err := e.run.Free()
+	e.run = nil
+	return err
+}
 
 // Resilient wraps a hardware force path in the recovery policy of the
 // ISSUE's degradation ladder: sanity guards classify a completed step as

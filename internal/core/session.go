@@ -1,0 +1,753 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"mdm/internal/cellindex"
+	"mdm/internal/domain"
+	"mdm/internal/ewald"
+	"mdm/internal/fault"
+	"mdm/internal/md"
+	"mdm/internal/mdgrape2"
+	"mdm/internal/mpi"
+	"mdm/internal/parallelize"
+	"mdm/internal/soa"
+	"mdm/internal/tosifumi"
+	"mdm/internal/units"
+	"mdm/internal/vec"
+	"mdm/internal/wine2"
+)
+
+// ParallelRun is a persistent multi-step rank session for the §4 process
+// layout: the MPI world, the spatial decomposition, every rank's MDGRAPE-2 /
+// WINE-2 session, j-set layout, and exchange buffers live across an
+// integrator run instead of being rebuilt per force call.
+//
+// Ownership is spatial and persistent. The global cell grid (side r_cut +
+// skin, exactly the serial Machine's discretization) is split into
+// contiguous cell blocks, one per real-space rank (domain.Blocks); a rank
+// owns the particles whose cell it owns. Between neighbor-list rebuilds
+// ownership is frozen: reuse steps stream only ghost *positions* (tag
+// TagGhostPos, slab-allocated SoA planes, zero steady-state allocations).
+// On a rebuild step particles that crossed a domain face migrate to their
+// new owner (tag TagMigrate, global indices only), and the full ghost shell
+// — position, species, global index per particle — is re-exchanged (tag
+// TagHalo). The rebuild schedule is the serial Verlet-skin rule (max
+// displacement > skin/2 since the last rebuild), decided on the driver so
+// every rank agrees.
+//
+// Determinism: because every cell is filled by exactly one rank and owned
+// particle lists are kept ascending by global index, each rank's local
+// cell-sorted layout has the same within-cell particle order as the serial
+// machine's. The per-particle real-space force is therefore bit-identical to
+// the serial machine at any rank count, and with a single wavenumber rank
+// the wavenumber path is the serial one too, making whole trajectories
+// bit-identical to the serial goldens. With several wavenumber ranks the
+// structure-factor reduction reorders float64 sums; that path is pinned by
+// an energy-drift parity gate instead (see session tests and DESIGN.md §15).
+type ParallelRun struct {
+	world        *mpi.World
+	cfg          MachineConfig
+	nReal, nWave int
+
+	grid   *cellindex.Grid
+	blocks *domain.Blocks
+	co     *machineCoeffsSet
+	pref   float64
+	waves  []ewald.Wave
+	tf     *tosifumi.Potential
+
+	// needGhost[r][c] reports whether real rank r needs cell c as a ghost.
+	// ghostSrc[r] / ghostDst[r]: ranks r receives ghosts from / sends ghosts
+	// to, ascending. All three are static block-geometry facts.
+	needGhost [][]bool
+	ghostSrc  [][]int
+	ghostDst  [][]int
+
+	real []*realRankState
+	wave []*waveRankState
+
+	// Driver state.
+	n        int     // particle count, fixed at the first step
+	needInit bool    // full ownership (re)derivation on the next step
+	refPos   []vec.V // positions at the last rebuild (the skin reference)
+	rebuild  bool    // this step rebuilds (set by the driver, read by ranks)
+	initStep bool    // this step derives ownership from scratch
+
+	potCalls int
+	lastPot  float64
+	wavePot  float64 // written by rank 0 during Run, read by the driver after
+	out      []vec.V // written by rank 0 during Run
+
+	potPool   *parallelize.Pool
+	potSorter *cellindex.Sorter
+	potSorted *cellindex.Sorted
+	potNbt    *cellindex.NeighborTable
+	potDirty  bool
+
+	res ParallelResult
+
+	rebuilds, reuses int
+}
+
+// realRankState is the persistent state of one real-space (domain) rank.
+type realRankState struct {
+	rank int
+	comm *mpi.Comm
+	m    *mdgrape2.MR1
+	pool *parallelize.Pool
+	jsb  *mdgrape2.JSetBuilder
+	js   *mdgrape2.JSet
+
+	owned []int // global indices of owned particles, ascending
+
+	// Local j-side arrays: owned particles first, then ghosts grouped by
+	// source rank (ascending), each group in the sender's (ascending) order.
+	locPos []vec.V
+	locTyp []int
+	nOwn   int
+
+	// Sender-side scratch, indexed by destination rank. sendIdx is the
+	// per-destination ghost list frozen at the last rebuild; haloBuf packs
+	// stride-5 rebuild records, posBuf packs the 3 SoA position planes of a
+	// reuse step back to back in one slab.
+	sendIdx [][]int
+	haloBuf [][]float64
+	posBuf  [][]float64
+	migBuf  [][]int
+
+	ghostCnt []int // ghosts received per source rank at the last rebuild
+
+	scale  []float64
+	passes [4]mdgrape2.ForcePass
+	fc     soa.Coords
+	ship   []float64
+}
+
+// waveRankState is the persistent state of one wavenumber rank.
+type waveRankState struct {
+	rank   int // world rank
+	comm   *mpi.Comm
+	lib    *wine2.Library
+	lo, hi int // global particle stripe
+	fc     soa.Coords
+	ship   []float64
+}
+
+// NewParallelRun validates the layout and builds the persistent rank
+// sessions. The first Forces call derives the initial ownership; Free
+// releases every rank's boards.
+func NewParallelRun(world *mpi.World, cfg MachineConfig, nReal, nWave int) (*ParallelRun, error) {
+	if nReal < 1 || nWave < 1 {
+		return nil, fmt.Errorf("core: need at least one process of each kind (got %d real, %d wave)", nReal, nWave)
+	}
+	if world.Size() != nReal+nWave {
+		return nil, fmt.Errorf("core: world size %d != %d real + %d wave", world.Size(), nReal, nWave)
+	}
+	if cfg.PotentialEvery < 1 {
+		cfg.PotentialEvery = 1
+	}
+	p := cfg.Ewald
+	// The serial machine's discretization: cell side ≥ r_cut + skin, so a
+	// frozen neighbor list stays valid until some displacement exceeds
+	// skin/2. Every rank shares this one global grid — the keystone of the
+	// bit-identity argument.
+	grid, err := cellindex.NewGrid(p.L, p.RCut+cfg.Skin)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := domain.NewBlocks(grid.N, nReal)
+	if err != nil {
+		return nil, err
+	}
+	co, err := machineCoeffs(p)
+	if err != nil {
+		return nil, err
+	}
+	pr := &ParallelRun{
+		world:    world,
+		cfg:      cfg,
+		nReal:    nReal,
+		nWave:    nWave,
+		grid:     grid,
+		blocks:   blocks,
+		co:       co,
+		pref:     units.Coulomb * math.Pow(p.Alpha/p.L, 3),
+		waves:    ewald.Waves(p),
+		tf:       tosifumi.Default(),
+		needInit: true,
+		potPool:  parallelize.New(cfg.Workers),
+	}
+	pr.potSorter = cellindex.NewSorter(grid)
+	pr.potNbt = cellindex.BuildNeighborTable(grid, pr.potPool)
+
+	// Static ghost geometry: which cells each rank needs, hence which rank
+	// pairs exchange ghosts. Both sides derive the same lists, so the
+	// message pattern is deterministic and deadlock-free.
+	nc := grid.NumCells()
+	pr.needGhost = make([][]bool, nReal)
+	pr.ghostSrc = make([][]int, nReal)
+	pr.ghostDst = make([][]int, nReal)
+	srcSet := make([]bool, nReal)
+	for r := 0; r < nReal; r++ {
+		pr.needGhost[r] = make([]bool, nc)
+		for i := range srcSet {
+			srcSet[i] = false
+		}
+		for _, c := range blocks.GhostCells(r) {
+			pr.needGhost[r][c] = true
+			srcSet[blocks.Owner(c)] = true
+		}
+		// Ascending rank iteration keeps both lists sorted, so every rank
+		// derives the same deterministic message order.
+		pr.ghostSrc[r] = make([]int, 0, nReal)
+		for src := 0; src < nReal; src++ {
+			if srcSet[src] {
+				pr.ghostSrc[r] = append(pr.ghostSrc[r], src)
+			}
+		}
+	}
+	for src := 0; src < nReal; src++ {
+		pr.ghostDst[src] = make([]int, 0, nReal)
+		for r := 0; r < nReal; r++ {
+			if slices.Contains(pr.ghostSrc[r], src) {
+				pr.ghostDst[src] = append(pr.ghostDst[src], r)
+			}
+		}
+	}
+
+	free := func() { _ = pr.Free() }
+	pr.real = make([]*realRankState, 0, nReal)
+	pr.wave = make([]*waveRankState, 0, nWave)
+	for r := 0; r < nReal; r++ {
+		comm, err := world.Comm(r)
+		if err != nil {
+			free()
+			return nil, err
+		}
+		m, err := newRankMDG(cfg, nReal, r)
+		if err != nil {
+			free()
+			return nil, err
+		}
+		pool := parallelize.New(cfg.Workers)
+		m.SetPool(pool)
+		rr := &realRankState{
+			rank:     r,
+			comm:     comm,
+			m:        m,
+			pool:     pool,
+			jsb:      mdgrape2.NewJSetBuilder(grid, pool),
+			sendIdx:  make([][]int, nReal),
+			haloBuf:  make([][]float64, nReal),
+			posBuf:   make([][]float64, nReal),
+			migBuf:   make([][]int, nReal),
+			ghostCnt: make([]int, len(pr.ghostSrc[r])),
+		}
+		pr.real = append(pr.real, rr)
+	}
+	for w := 0; w < nWave; w++ {
+		rank := nReal + w
+		comm, err := world.Comm(rank)
+		if err != nil {
+			free()
+			return nil, err
+		}
+		lib, err := newRankWine(cfg, nWave, w)
+		if err != nil {
+			free()
+			return nil, err
+		}
+		lib.SetPool(parallelize.New(cfg.Workers))
+		members := make([]int, nWave)
+		for i := range members {
+			members[i] = nReal + i
+		}
+		lib.SetMPICommunity(&groupComm{c: comm, members: members, me: w})
+		pr.wave = append(pr.wave, &waveRankState{rank: rank, comm: comm, lib: lib})
+	}
+	return pr, nil
+}
+
+// Free releases every rank's hardware sessions.
+func (pr *ParallelRun) Free() error {
+	var first error
+	for _, rr := range pr.real {
+		if rr.m != nil {
+			if err := rr.m.Free(); err != nil && first == nil {
+				first = err
+			}
+			rr.m = nil
+		}
+	}
+	for _, wr := range pr.wave {
+		if wr.lib != nil {
+			if err := wr.lib.FreeBoards(); err != nil && first == nil {
+				first = err
+			}
+			wr.lib = nil
+		}
+	}
+	return first
+}
+
+// InvalidateGeometry drops all cached position-dependent state: ownership,
+// ghost lists, j-set layouts, and the skin reference. The next step
+// re-derives the decomposition from scratch — required after an external
+// position rewrite (checkpoint restore) and after any failed step, which may
+// have half-applied a migration.
+func (pr *ParallelRun) InvalidateGeometry() { pr.needInit = true }
+
+// JSetStats reports how many steps rebuilt the decomposition (migration +
+// full ghost exchange) and how many reused it (ghost position streaming).
+func (pr *ParallelRun) JSetStats() (rebuilds, reuses int) { return pr.rebuilds, pr.reuses }
+
+// Forces implements md.ForceField on the persistent session.
+func (pr *ParallelRun) Forces(s *md.System) ([]vec.V, float64, error) {
+	res, err := pr.Step(s)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Forces, res.Potential, nil
+}
+
+// Step runs one decomposed force evaluation and returns the assembled
+// result. The returned value aliases session-owned bookkeeping (it is
+// overwritten by the next Step); the Forces slice itself is fresh each call,
+// per the md.ForceField contract.
+//
+//mdm:stepflow -- hot-path root: the decomposed per-step force evaluation; everything it reaches must stay deterministic and allocation-free
+func (pr *ParallelRun) Step(s *md.System) (*ParallelResult, error) {
+	p := pr.cfg.Ewald
+	if s.L != p.L {
+		return nil, fmt.Errorf("core: system box %g differs from machine box %g", s.L, p.L)
+	}
+	if pr.n != 0 && s.N() != pr.n {
+		return nil, fmt.Errorf("core: session built for %d particles, got %d", pr.n, s.N())
+	}
+	if pr.n == 0 {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		pr.n = s.N()
+	}
+
+	// The rebuild decision is the serial Machine's Verlet-skin rule, made
+	// once on the driver so all ranks agree on the step's protocol.
+	skin2 := (pr.cfg.Skin / 2) * (pr.cfg.Skin / 2)
+	pr.initStep = pr.needInit || len(pr.refPos) != pr.n
+	pr.rebuild = pr.initStep || maxDisp2(p.L, s.Pos, pr.refPos) > skin2
+
+	before := pr.world.Stats()
+	runErr := pr.world.Run(func(c *mpi.Comm) error {
+		if c.Rank() < pr.nReal {
+			return pr.realStep(pr.real[c.Rank()], s)
+		}
+		return pr.waveStep(pr.wave[c.Rank()-pr.nReal], s)
+	})
+	if runErr != nil {
+		// A failed step may have half-applied a migration; rebuild the
+		// decomposition from scratch on the next attempt.
+		pr.needInit = true
+		return nil, runErr
+	}
+	pr.needInit = false
+	if pr.rebuild {
+		if len(pr.refPos) != pr.n {
+			pr.refPos = make([]vec.V, pr.n)
+		}
+		copy(pr.refPos, s.Pos)
+		pr.potDirty = true
+		pr.rebuilds++
+	} else {
+		pr.reuses++
+	}
+
+	// Potential bookkeeping on the driver, every PotentialEvery calls like
+	// the serial machine: the real-space walk shares the cell assignment of
+	// the last rebuild (sorted from the skin reference positions, refreshed
+	// to the current ones), so the pair set — and the energy — match the
+	// serial host potential bit for bit.
+	if pr.potCalls%pr.cfg.PotentialEvery == 0 {
+		if pr.potDirty {
+			pr.potSorted = pr.potSorter.SortInto(pr.potSorted, pr.refPos, pr.potPool)
+			pr.potDirty = false
+		}
+		pr.potSorted.Refresh(s.Pos)
+		realPot := pr.realPotential(s)
+		pr.lastPot = realPot + pr.wavePot + ewald.SelfEnergy(p, s.Charge)
+	}
+	pr.potCalls++
+
+	after := pr.world.Stats()
+	pr.res.Forces = pr.out
+	pr.res.Potential = pr.lastPot
+	pr.res.Traffic = mpi.Stats{
+		Messages: after.Messages - before.Messages,
+		Bytes:    after.Bytes - before.Bytes,
+	}
+	pr.res.TrafficByTag = nil
+	pr.out = nil
+	return &pr.res, nil
+}
+
+// realPotential walks every ordered 27-cell pair of the driver's sorted
+// layout — the same pair set as the rank force passes — in float64, exactly
+// like Machine.hostPotential.
+func (pr *ParallelRun) realPotential(s *md.System) float64 {
+	p := pr.cfg.Ewald
+	tf := pr.tf
+	sorted := pr.potSorted
+	pot := 0.0
+	sorted.ForEachOrderedPairTable(pr.potNbt, func(i, j int, rij vec.V) {
+		r2 := rij.Norm2()
+		if r2 == 0 {
+			return
+		}
+		oi, oj := sorted.Order[i], sorted.Order[j]
+		pot += p.RealPairEnergy(s.Charge[oi], s.Charge[oj], rij)
+		pot += tf.ShortEnergy(tosifumi.Species(s.Type[oi]), tosifumi.Species(s.Type[oj]), rij.Norm())
+	})
+	return pot / 2
+}
+
+// wireError wraps a malformed incoming payload as a link fault, so the
+// recovery ladder treats it like any other transient message corruption
+// (retryable; the resend is clean).
+//
+//mdm:hotallocok -- constructed only when an incoming payload fails validation, never on the clean step path
+func wireError(src, dst int, format string, args ...any) error {
+	return fmt.Errorf("core: %s: %w", fmt.Sprintf(format, args...), &fault.LinkError{Src: src, Dst: dst})
+}
+
+// realStep is the per-step body of one real-space rank: migrate (rebuild
+// steps), exchange or stream ghosts, run the fused MDGRAPE-2 sweep over the
+// owned block, ship (index, force) records to rank 0.
+func (pr *ParallelRun) realStep(rr *realRankState, s *md.System) error {
+	me := rr.rank
+	c := rr.comm
+	n := pr.n
+
+	switch {
+	case pr.initStep:
+		// Derive ownership from scratch: scan all positions once. No
+		// messages — every rank sees the same assignment.
+		rr.owned = rr.owned[:0]
+		for g := 0; g < n; g++ {
+			if pr.blocks.Owner(pr.grid.CellOf(s.Pos[g])) == me {
+				rr.owned = append(rr.owned, g)
+			}
+		}
+	case pr.rebuild:
+		// Migration: re-key my particles by cell; departures go straight to
+		// their new owner. Every real rank pair exchanges a (possibly
+		// empty) index list — a particle can cross several faces between
+		// rebuilds, so arrivals are not restricted to block neighbors.
+		for other := 0; other < pr.nReal; other++ {
+			rr.migBuf[other] = rr.migBuf[other][:0]
+		}
+		keep := rr.owned[:0]
+		for _, g := range rr.owned {
+			owner := pr.blocks.Owner(pr.grid.CellOf(s.Pos[g]))
+			if owner == me {
+				keep = append(keep, g)
+			} else {
+				rr.migBuf[owner] = append(rr.migBuf[owner], g)
+			}
+		}
+		rr.owned = keep
+		for other := 0; other < pr.nReal; other++ {
+			if other == me {
+				continue
+			}
+			if err := c.Send(other, TagMigrate, rr.migBuf[other]); err != nil {
+				return err
+			}
+		}
+		for other := 0; other < pr.nReal; other++ {
+			if other == me {
+				continue
+			}
+			data, err := c.Recv(other, TagMigrate) //mdm:recvok -- world deadline (SetTimeout) bounds this receive
+			if err != nil {
+				return err
+			}
+			arrivals, ok := data.([]int)
+			if !ok {
+				return wireError(other, me, "rank %d expected migration indices from %d, got %T", me, other, data)
+			}
+			for _, g := range arrivals {
+				if g < 0 || g >= n {
+					return wireError(other, me, "rank %d: migrated index %d out of range [0,%d)", me, g, n)
+				}
+				rr.owned = append(rr.owned, g)
+			}
+		}
+		// Deterministic merge: ownership is a set keyed by global index,
+		// independent of message arrival interleaving.
+		slices.Sort(rr.owned)
+	}
+
+	if pr.rebuild {
+		if err := pr.exchangeGhosts(rr, s); err != nil {
+			return err
+		}
+		js, err := rr.jsb.Build(rr.locPos, rr.locTyp, rr.pool)
+		if err != nil {
+			return err
+		}
+		rr.js = js
+		if cap(rr.scale) < rr.nOwn {
+			rr.scale = make([]float64, rr.nOwn)
+		}
+		rr.scale = rr.scale[:rr.nOwn]
+		for i := range rr.scale {
+			rr.scale[i] = pr.pref
+		}
+	} else {
+		if err := pr.streamGhosts(rr, s); err != nil {
+			return err
+		}
+		js, err := rr.jsb.Refresh(rr.locPos)
+		if err != nil {
+			return err
+		}
+		rr.js = js
+	}
+
+	// The fused four-pass sweep over the owned block, identical pass and
+	// reduction order to the serial machine.
+	rr.passes = [4]mdgrape2.ForcePass{
+		{Table: tableCoulomb, Co: pr.co.coulomb, ScaleI: rr.scale},
+		{Table: tableBM, Co: pr.co.bm},
+		{Table: tableDisp6, Co: pr.co.d6},
+		{Table: tableDisp8, Co: pr.co.d8},
+	}
+	fc, err := rr.m.CalcVDWFusedInto(rr.passes[:], rr.locPos[:rr.nOwn], rr.locTyp[:rr.nOwn], rr.js, rr.fc)
+	if err != nil {
+		return err
+	}
+	rr.fc = fc
+
+	// Ship (globalIndex, force) records to rank 0.
+	rr.ship = rr.ship[:0]
+	for k, g := range rr.owned {
+		rr.ship = append(rr.ship, float64(g), fc.X[k], fc.Y[k], fc.Z[k])
+	}
+	if err := c.Send(0, TagForces, rr.ship); err != nil {
+		return err
+	}
+	if me == 0 {
+		return pr.assemble(rr, s)
+	}
+	return nil
+}
+
+// exchangeGhosts runs the full rebuild-step halo exchange: stride-5 records
+// (x, y, z, species, globalIndex) for every owned particle sitting in a cell
+// some other rank needs, then rebuilds the local particle arrays (owned
+// first, then ghosts grouped by ascending source rank).
+func (pr *ParallelRun) exchangeGhosts(rr *realRankState, s *md.System) error {
+	me := rr.rank
+	c := rr.comm
+	n := pr.n
+
+	for _, dst := range pr.ghostDst[me] {
+		rr.sendIdx[dst] = rr.sendIdx[dst][:0]
+	}
+	for _, g := range rr.owned {
+		cell := pr.grid.CellOf(s.Pos[g])
+		for _, dst := range pr.ghostDst[me] {
+			if pr.needGhost[dst][cell] {
+				rr.sendIdx[dst] = append(rr.sendIdx[dst], g)
+			}
+		}
+	}
+	for _, dst := range pr.ghostDst[me] {
+		idx := rr.sendIdx[dst]
+		buf := rr.haloBuf[dst]
+		if cap(buf) < haloStride*len(idx) {
+			buf = make([]float64, 0, haloStride*len(idx))
+		}
+		buf = buf[:0]
+		for _, g := range idx {
+			buf = append(buf, s.Pos[g].X, s.Pos[g].Y, s.Pos[g].Z, float64(s.Type[g]), float64(g))
+		}
+		rr.haloBuf[dst] = buf
+		if err := c.Send(dst, TagHalo, buf); err != nil {
+			return err
+		}
+	}
+
+	rr.locPos = rr.locPos[:0]
+	rr.locTyp = rr.locTyp[:0]
+	for _, g := range rr.owned {
+		rr.locPos = append(rr.locPos, s.Pos[g])
+		rr.locTyp = append(rr.locTyp, s.Type[g])
+	}
+	rr.nOwn = len(rr.owned)
+	for si, src := range pr.ghostSrc[me] {
+		buf, err := c.RecvFloat64s(src, TagHalo) //mdm:recvok -- world deadline (SetTimeout) bounds this receive
+		if err != nil {
+			return err
+		}
+		if len(buf)%haloStride != 0 {
+			return wireError(src, me, "rank %d: halo payload length %d not a multiple of %d", me, len(buf), haloStride)
+		}
+		rr.ghostCnt[si] = len(buf) / haloStride
+		for k := 0; k+haloStride <= len(buf); k += haloStride {
+			typ := int(buf[k+3])
+			gidx := int(buf[k+4])
+			if gidx < 0 || gidx >= n {
+				return wireError(src, me, "rank %d: ghost index %d out of range [0,%d)", me, gidx, n)
+			}
+			if typ < 0 || typ >= tosifumi.NumSpecies {
+				return wireError(src, me, "rank %d: ghost species %d out of range [0,%d)", me, typ, tosifumi.NumSpecies)
+			}
+			rr.locPos = append(rr.locPos, vec.New(buf[k], buf[k+1], buf[k+2]))
+			rr.locTyp = append(rr.locTyp, typ)
+		}
+	}
+	return nil
+}
+
+// streamGhosts runs the reuse-step exchange: only ghost positions move, as
+// three SoA planes packed back to back in one reused slab per destination.
+// The ghost lists themselves are frozen since the last rebuild, so both
+// sides already agree on counts and order.
+func (pr *ParallelRun) streamGhosts(rr *realRankState, s *md.System) error {
+	me := rr.rank
+	c := rr.comm
+
+	// Owned positions come straight from the integrator's arrays (the host
+	// holds them, §4); ghosts must arrive over the wire.
+	for k, g := range rr.owned {
+		rr.locPos[k] = s.Pos[g]
+	}
+
+	for _, dst := range pr.ghostDst[me] {
+		idx := rr.sendIdx[dst]
+		cnt := len(idx)
+		slab := rr.posBuf[dst]
+		if cap(slab) < 3*cnt {
+			slab = make([]float64, 3*cnt)
+		}
+		slab = slab[:3*cnt]
+		planes := soa.Coords{X: slab[:cnt], Y: slab[cnt : 2*cnt], Z: slab[2*cnt:]}
+		for k, g := range idx {
+			planes.Set(k, s.Pos[g])
+		}
+		rr.posBuf[dst] = slab
+		if err := c.Send(dst, TagGhostPos, slab); err != nil {
+			return err
+		}
+	}
+	off := rr.nOwn
+	for si, src := range pr.ghostSrc[me] {
+		buf, err := c.RecvFloat64s(src, TagGhostPos) //mdm:recvok -- world deadline (SetTimeout) bounds this receive
+		if err != nil {
+			return err
+		}
+		cnt := rr.ghostCnt[si]
+		if len(buf) != 3*cnt {
+			return wireError(src, me, "rank %d: ghost position payload %d floats, want %d", me, len(buf), 3*cnt)
+		}
+		for k := 0; k < cnt; k++ {
+			rr.locPos[off+k] = vec.New(buf[k], buf[cnt+k], buf[2*cnt+k])
+		}
+		off += cnt
+	}
+	return nil
+}
+
+// waveStep is the per-step body of one wavenumber rank: the WINE-2 library
+// over this rank's particle stripe, with the group communicator reducing the
+// structure factor when the group has more than one member.
+func (pr *ParallelRun) waveStep(wr *waveRankState, s *md.System) error {
+	p := pr.cfg.Ewald
+	w := wr.rank - pr.nReal
+	if pr.initStep {
+		wr.lo = w * pr.n / pr.nWave
+		wr.hi = (w + 1) * pr.n / pr.nWave
+		if err := wr.lib.SetNN(max(wr.hi-wr.lo, 1)); err != nil {
+			return err
+		}
+	}
+	fc, pot, err := wr.lib.CalcForceAndPotWavepartCoordsInto(p, pr.waves, s.Pos[wr.lo:wr.hi], s.Charge[wr.lo:wr.hi], wr.fc)
+	if err != nil {
+		return err
+	}
+	wr.fc = fc
+	wr.ship = wr.ship[:0]
+	// Leading slot: the wavenumber potential (only wave rank 0 reports it,
+	// to avoid double counting after the group reduction).
+	if w == 0 {
+		wr.ship = append(wr.ship, pot)
+	} else {
+		wr.ship = append(wr.ship, math.NaN())
+	}
+	for k := wr.lo; k < wr.hi; k++ {
+		wr.ship = append(wr.ship, float64(k), fc.X[k-wr.lo], fc.Y[k-wr.lo], fc.Z[k-wr.lo])
+	}
+	return wr.comm.Send(0, TagForces, wr.ship)
+}
+
+// assemble gathers force contributions at world rank 0. Real-rank payloads
+// (length ≡ 0 mod 4) carry each owned particle exactly once, so they are
+// assignments; wave-rank payloads (length ≡ 1 mod 4, leading potential
+// slot) add on top — the same real + wave reduction order as the serial
+// combine, hence bit-identical sums.
+func (pr *ParallelRun) assemble(rr *realRankState, s *md.System) error {
+	c := rr.comm
+	n := pr.n
+	//mdm:hotallocok -- the one fresh output slice per step the md.ForceField contract requires; every exchange buffer is reused
+	total := make([]vec.V, n)
+	for src := 0; src < c.Size(); src++ {
+		buf, err := c.RecvFloat64s(src, TagForces) //mdm:recvok -- world deadline (SetTimeout) bounds this receive
+		if err != nil {
+			return err
+		}
+		k := 0
+		wavePayload := len(buf)%4 == 1
+		if wavePayload {
+			if !math.IsNaN(buf[0]) {
+				pr.wavePot = buf[0]
+			}
+			k = 1
+		} else if len(buf)%4 != 0 {
+			return wireError(src, 0, "rank 0: force payload length %d not 4k or 4k+1", len(buf))
+		}
+		for ; k+4 <= len(buf); k += 4 {
+			i := int(buf[k])
+			if i < 0 || i >= n {
+				return wireError(src, 0, "rank 0: force index %d out of range [0,%d)", i, n)
+			}
+			f := vec.New(buf[k+1], buf[k+2], buf[k+3])
+			if wavePayload {
+				total[i] = total[i].Add(f)
+			} else {
+				total[i] = f
+			}
+		}
+	}
+	pr.out = total
+	return nil
+}
+
+// maxDisp2 returns the largest squared minimum-image displacement of any
+// position from its reference.
+func maxDisp2(l float64, pos, ref []vec.V) float64 {
+	worst := 0.0
+	for i := range pos {
+		d := pos[i].Sub(ref[i])
+		d.X -= l * math.Round(d.X/l)
+		d.Y -= l * math.Round(d.Y/l)
+		d.Z -= l * math.Round(d.Z/l)
+		if d2 := d.Norm2(); d2 > worst {
+			worst = d2
+		}
+	}
+	return worst
+}

@@ -182,6 +182,110 @@ func TestHaloPeriodicProperty(t *testing.T) {
 	}
 }
 
+// TestDomainFaceAssignment pins the half-open ownership convention for
+// particles exactly on a domain face: the face belongs to the upper domain,
+// and the assignment agrees with Bounds bit-for-bit even when the box side
+// is not exactly divisible.
+func TestDomainFaceAssignment(t *testing.T) {
+	for _, l := range []float64{10, 8.523, 28.2, 1.0 / 3.0 * 30} {
+		for _, n := range []int{2, 8, 12, 16, 27} {
+			d, err := New(l, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for dom := 0; dom < d.NumDomains(); dom++ {
+				lo, hi := d.Bounds(dom)
+				// The lower-left corner is owned by this domain...
+				if got := d.DomainOf(lo); got != dom {
+					glo, ghi := d.Bounds(got)
+					t.Fatalf("l=%g n=%d: corner %v of domain %d [%v,%v) assigned to %d [%v,%v)",
+						l, n, lo, dom, lo, hi, got, glo, ghi)
+				}
+				// ...and the upper corner is not (it is the lower corner of a
+				// neighbor, possibly through the periodic wrap).
+				if hi.X < l && hi.Y < l && hi.Z < l {
+					if got := d.DomainOf(hi); got == dom {
+						t.Fatalf("l=%g n=%d: upper corner %v still assigned to domain %d", l, n, hi, dom)
+					}
+				}
+				// Face midpoints: exactly on the x-face between dom and its
+				// +x neighbor.
+				mid := vec.New(hi.X, (lo.Y+hi.Y)/2, (lo.Z+hi.Z)/2)
+				got := d.DomainOf(mid)
+				glo, _ := d.Bounds(got)
+				w := mid.Wrap(l)
+				if w.X < glo.X {
+					t.Fatalf("l=%g n=%d: face point %v assigned below its face (domain %d, lo.X=%g)", l, n, mid, got, glo.X)
+				}
+			}
+		}
+	}
+}
+
+// TestInHaloMinimumImageWrap pins the periodic minimum-image behavior of
+// InHalo and HaloOf: a particle just inside the far side of the box is in
+// the halo of the domain block touching the near side, through the wrap.
+func TestInHaloMinimumImageWrap(t *testing.T) {
+	const l = 10.0
+	d, _ := New(l, 8) // 2×2×2 domains of side 5
+	// Domain 0 is [0,5)³. A particle at x=9.9 is 0.1 away through the wrap.
+	p := vec.New(9.9, 2.5, 2.5)
+	if !d.InHalo(0, p, 0.2) {
+		t.Error("wrap neighbor at distance 0.1 not in halo (rcut 0.2)")
+	}
+	if d.InHalo(0, p, 0.05) {
+		t.Error("wrap neighbor at distance 0.1 in halo at rcut 0.05")
+	}
+	// Corner wrap: distance is the 3-D diagonal through the periodic corner.
+	q := vec.New(9.9, 9.9, 9.9) // 0.1 beyond the corner of domain 0 in all axes
+	want := math.Sqrt(3 * 0.1 * 0.1)
+	if !d.InHalo(0, q, want+1e-9) {
+		t.Errorf("corner wrap at distance %g not in halo", want)
+	}
+	if d.InHalo(0, q, want-1e-3) {
+		t.Errorf("corner wrap at distance %g in halo below that radius", want)
+	}
+	// HaloOf must agree with InHalo and exclude owned particles.
+	pos := []vec.V{p, q, vec.New(2.5, 2.5, 2.5)}
+	// rcut 0.15 reaches p (0.1 through the face wrap) but not q (√0.03 ≈
+	// 0.173 through the corner wrap), and never the owned particle.
+	halo := d.HaloOf(0, pos, 0.15)
+	if len(halo) != 1 || halo[0] != 0 {
+		t.Errorf("HaloOf = %v, want [0]", halo)
+	}
+}
+
+// TestFactor3Property: for every n the three factors multiply back to n,
+// are non-increasing, and have the minimal spread over all factorizations
+// (the near-cubic requirement of the §4 decomposition).
+func TestFactor3Property(t *testing.T) {
+	for n := 1; n <= 400; n++ {
+		a, b, c := factor3(n)
+		if a*b*c != n {
+			t.Fatalf("factor3(%d) = %d×%d×%d ≠ %d", n, a, b, c, n)
+		}
+		if !(a >= b && b >= c) {
+			t.Fatalf("factor3(%d) = (%d,%d,%d) not non-increasing", n, a, b, c)
+		}
+		// Brute-force minimal spread.
+		best := n - 1
+		for x := 1; x*x*x <= n; x++ {
+			if n%x != 0 {
+				continue
+			}
+			m := n / x
+			for y := x; y*y <= m; y++ {
+				if m%y == 0 && m/y-x < best {
+					best = m/y - x
+				}
+			}
+		}
+		if a-c != best {
+			t.Fatalf("factor3(%d) spread %d, minimal %d", n, a-c, best)
+		}
+	}
+}
+
 func BenchmarkHaloOf(b *testing.B) {
 	const l = 30.0
 	d, _ := New(l, 16)

@@ -253,6 +253,14 @@ func (c *Coeffs) Set(i, j int, a, b float64) {
 	c.stale = true
 }
 
+// Load materializes the float32 coefficient RAM image now, as the host
+// library does when a session is configured. A Coeffs shared by boards that
+// run concurrently (the domain-decomposed ranks) must be loaded before the
+// first force call: the hot-path staleness check is a plain flag read,
+// coherent only once the image exists — on real hardware, likewise, RAMs
+// are written before particles stream, never during.
+func (c *Coeffs) Load() { c.quant32() }
+
 // quant32 returns the float32 coefficient RAM image, rebuilding it if a Set
 // invalidated the cache. Coefficient RAMs are loaded during session setup, so
 // on the hot path this is a flag check; concurrent readers of a coherent

@@ -85,6 +85,13 @@ func (g *runGroup) cancel() { g.once.Do(func() { close(g.done) }) }
 
 type hookBox struct{ h FaultHook }
 
+// tagCounter accumulates per-tag traffic. Counters are atomic so concurrent
+// senders on different ranks can share one entry without a write lock.
+type tagCounter struct {
+	messages atomic.Int64
+	bytes    atomic.Int64
+}
+
 // World is a communicator universe of a fixed number of ranks.
 type World struct {
 	size     int
@@ -95,6 +102,9 @@ type World struct {
 	dead     []atomic.Bool
 	group    atomic.Pointer[runGroup]
 	hook     atomic.Pointer[hookBox]
+
+	tagMu sync.RWMutex
+	tags  map[int]*tagCounter
 }
 
 // NewWorld creates a world with the given number of ranks. Channel buffers
@@ -107,6 +117,7 @@ func NewWorld(size int) (*World, error) {
 		size:  size,
 		inbox: make([][]chan message, size),
 		dead:  make([]atomic.Bool, size),
+		tags:  make(map[int]*tagCounter),
 	}
 	w.timeout.Store(int64(RecvTimeout))
 	for d := 0; d < size; d++ {
@@ -124,6 +135,42 @@ func (w *World) Size() int { return w.size }
 // Stats returns the accumulated traffic counters.
 func (w *World) Stats() Stats {
 	return Stats{Messages: w.messages.Load(), Bytes: w.bytes.Load()}
+}
+
+// StatsByTag returns a snapshot of the traffic counters broken down by
+// message tag, so halo, reduction, and gather traffic are separately
+// visible. The returned map is a fresh copy.
+func (w *World) StatsByTag() map[int]Stats {
+	w.tagMu.RLock()
+	defer w.tagMu.RUnlock()
+	out := make(map[int]Stats, len(w.tags))
+	//mdm:maporderok -- snapshot copy into a fresh map: rows are independent, order cannot affect the result
+	for tag, tc := range w.tags {
+		out[tag] = Stats{Messages: tc.messages.Load(), Bytes: tc.bytes.Load()}
+	}
+	return out
+}
+
+// count records one delivered message of nbytes under tag, in both the
+// global and the per-tag counters. The per-tag entry is created on first
+// use; the steady-state path is a read-locked map hit plus atomic adds.
+func (w *World) count(tag int, nbytes int64) {
+	w.messages.Add(1)
+	w.bytes.Add(nbytes)
+	w.tagMu.RLock()
+	tc := w.tags[tag]
+	w.tagMu.RUnlock()
+	if tc == nil {
+		w.tagMu.Lock()
+		tc = w.tags[tag]
+		if tc == nil {
+			tc = &tagCounter{}
+			w.tags[tag] = tc
+		}
+		w.tagMu.Unlock()
+	}
+	tc.messages.Add(1)
+	tc.bytes.Add(nbytes)
 }
 
 // SetTimeout bounds every blocking Send/Recv (and the collectives built on
@@ -355,8 +402,7 @@ func (c *Comm) Send(dst, tag int, data any) error {
 	}
 	select {
 	case c.w.inbox[dst][c.rank] <- message{tag: tag, data: data}:
-		c.w.messages.Add(1)
-		c.w.bytes.Add(payloadBytes(data))
+		c.w.count(tag, payloadBytes(data))
 		return nil
 	default:
 	}
@@ -364,8 +410,7 @@ func (c *Comm) Send(dst, tag int, data any) error {
 	defer timer.Stop()
 	select {
 	case c.w.inbox[dst][c.rank] <- message{tag: tag, data: data}:
-		c.w.messages.Add(1)
-		c.w.bytes.Add(payloadBytes(data))
+		c.w.count(tag, payloadBytes(data))
 		return nil
 	case <-timer.C:
 		return fmt.Errorf("mpi: send %d→%d tag %d (receiver buffer full): %w", c.rank, dst, tag, ErrTimeout)

@@ -254,6 +254,49 @@ func TestTrafficStats(t *testing.T) {
 	}
 }
 
+func TestStatsByTag(t *testing.T) {
+	const tagA, tagB = 7, 8
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, tagA, make([]float64, 10)); err != nil {
+				return err
+			}
+			if err := c.Send(1, tagA, make([]float64, 5)); err != nil {
+				return err
+			}
+			return c.Send(1, tagB, make([]int, 3))
+		}
+		if _, err := c.Recv(0, tagA); err != nil {
+			return err
+		}
+		if _, err := c.Recv(0, tagA); err != nil {
+			return err
+		}
+		_, err := c.Recv(0, tagB)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := w.StatsByTag()
+	if got := by[tagA]; got.Messages != 2 || got.Bytes != 120 {
+		t.Errorf("tag %d stats = %+v, want 2 messages / 120 bytes", tagA, got)
+	}
+	if got := by[tagB]; got.Messages != 1 || got.Bytes != 24 {
+		t.Errorf("tag %d stats = %+v, want 1 message / 24 bytes", tagB, got)
+	}
+	// Per-tag counters must sum to the global counters.
+	var msgs, bytes int64
+	for _, st := range by {
+		msgs += st.Messages
+		bytes += st.Bytes
+	}
+	if tot := w.Stats(); msgs != tot.Messages || bytes != tot.Bytes {
+		t.Errorf("per-tag sums (%d msgs, %d bytes) != totals %+v", msgs, bytes, tot)
+	}
+}
+
 func TestRunPropagatesError(t *testing.T) {
 	w, _ := NewWorld(3)
 	sentinel := fmt.Errorf("boom")

@@ -35,6 +35,7 @@ import (
 	"mdm/internal/ewald"
 	"mdm/internal/fault"
 	"mdm/internal/md"
+	"mdm/internal/mpi"
 	"mdm/internal/perf"
 	"mdm/internal/store"
 	"mdm/internal/supervise"
@@ -116,6 +117,23 @@ type Config struct {
 	// skin widens the cutoff-free 27-cell pair walk, so it selects a
 	// different — equally energy-conserving — discretization.
 	Skin float64
+
+	// Ranks enables the §4 spatial decomposition on the MDM backend: the
+	// simulation box is split into Ranks contiguous cell blocks, each owned
+	// by one real-space process of an in-process MPI world, with WaveRanks
+	// wavenumber processes running the WINE-2 library alongside (the paper
+	// ran 16 + 8). Zero keeps the single-process machine. Ownership is
+	// persistent across steps: particles migrate only when they cross a
+	// domain face, and between neighbor-list rebuilds only ghost positions
+	// move over the wire. With WaveRanks <= 1 trajectories are bit-identical
+	// to the single-process machine at the same Skin; larger wavenumber
+	// groups reorder the structure-factor reduction and agree to float64
+	// rounding instead.
+	Ranks int
+
+	// WaveRanks is the number of wavenumber processes when Ranks > 0
+	// (default 1). Ignored when Ranks is 0.
+	WaveRanks int
 
 	// Supervise enables long-run supervision on the MDM backend: a watchdog
 	// over the simulated hardware, circuit breakers over boards and sites,
@@ -251,11 +269,12 @@ type Simulation struct {
 	Integrator *md.Integrator
 	Recorder   *md.Recorder
 
-	machine   *core.Machine   // nil for the reference backend
-	resilient *core.Resilient // non-nil under a fault scenario or supervision
-	injector  *fault.Injector // the scenario's schedule; survives restarts
-	obs       *core.Reference // host-side observable evaluation (pressure)
-	nveStart  int             // record index where the latest NVE segment began
+	machine   *core.Machine     // nil for the reference backend
+	resilient *core.Resilient   // non-nil under a fault scenario or supervision
+	prun      *core.ParallelRun // non-nil when Config.Ranks selects the decomposition
+	injector  *fault.Injector   // the scenario's schedule; survives restarts
+	obs       *core.Reference   // host-side observable evaluation (pressure)
+	nveStart  int               // record index where the latest NVE segment began
 
 	journal   *supervise.Journal // write-ahead step journal (nil when disabled)
 	stage     string             // "nvt"/"nve": the running segment, tags journal records
@@ -269,7 +288,7 @@ type Simulation struct {
 // newForceField builds the configured engine. A non-nil injector (the
 // restart path) takes precedence over parsing cfg.Faults again, so events
 // that already fired before a restart stay consumed.
-func newForceField(cfg Config, p ewald.Params, in *fault.Injector) (md.ForceField, *core.Machine, *core.Resilient, *fault.Injector, error) {
+func newForceField(cfg Config, p ewald.Params, in *fault.Injector) (md.ForceField, *core.Machine, *core.Resilient, *core.ParallelRun, *fault.Injector, error) {
 	switch cfg.Backend {
 	case BackendMDM:
 		mcfg := core.CurrentMachineConfig(p)
@@ -281,11 +300,13 @@ func newForceField(cfg Config, p ewald.Params, in *fault.Injector) (md.ForceFiel
 			var err error
 			in, err = fault.ParseInjector(cfg.Faults)
 			if err != nil {
-				return nil, nil, nil, nil, fmt.Errorf("mdm: fault scenario: %w", err)
+				return nil, nil, nil, nil, nil, fmt.Errorf("mdm: fault scenario: %w", err)
 			}
 		}
-		if in != nil || cfg.Supervise.enabled() {
-			rc := core.RecoveryConfig{
+		var rc core.RecoveryConfig
+		recovered := in != nil || cfg.Supervise.enabled()
+		if recovered {
+			rc = core.RecoveryConfig{
 				MaxRetries: cfg.MaxRetries,
 				Injector:   in,
 			}
@@ -299,25 +320,62 @@ func newForceField(cfg Config, p ewald.Params, in *fault.Injector) (md.ForceFiel
 					Cooldown: cfg.Supervise.BreakerCooldown,
 				})
 			}
+		}
+		if cfg.Ranks > 0 {
+			nReal, nWave := cfg.Ranks, cfg.WaveRanks
+			if nWave == 0 {
+				nWave = 1
+			}
+			world, err := mpi.NewWorld(nReal + nWave)
+			if err != nil {
+				return nil, nil, nil, nil, nil, err
+			}
+			// The world's default 30 s deadline is sized for tests; a
+			// legitimate 10^5-particle wavenumber pass runs longer than
+			// that on one host core. A production session's stall
+			// detection is the supervision watchdog, so the wire deadline
+			// only has to catch a truly wedged run. Under a fault
+			// scenario the tight default stays: drop scenarios rely on
+			// the receiver noticing a swallowed message quickly.
+			if in == nil {
+				world.SetTimeout(time.Hour)
+			}
+			if recovered {
+				res, err := core.NewResilientParallel(mcfg, rc, world, nReal, nWave)
+				if err != nil {
+					return nil, nil, nil, nil, nil, err
+				}
+				return res, nil, res, nil, in, nil
+			}
+			run, err := core.NewParallelRun(world, mcfg, nReal, nWave)
+			if err != nil {
+				return nil, nil, nil, nil, nil, err
+			}
+			return run, nil, nil, run, nil, nil
+		}
+		if recovered {
 			res, err := core.NewResilient(mcfg, rc)
 			if err != nil {
-				return nil, nil, nil, nil, err
+				return nil, nil, nil, nil, nil, err
 			}
-			return res, nil, res, in, nil
+			return res, nil, res, nil, in, nil
 		}
 		machine, err := core.NewMachine(mcfg)
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, nil, nil, nil, err
 		}
-		return machine, machine, nil, nil, nil
+		return machine, machine, nil, nil, nil, nil
 	case BackendReference:
+		if cfg.Ranks > 0 {
+			return nil, nil, nil, nil, nil, fmt.Errorf("mdm: the spatial decomposition requires the MDM backend")
+		}
 		ff, err := core.NewReference(p)
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, nil, nil, nil, err
 		}
-		return ff, nil, nil, nil, nil
+		return ff, nil, nil, nil, nil, nil
 	default:
-		return nil, nil, nil, nil, fmt.Errorf("mdm: unknown backend %v", cfg.Backend)
+		return nil, nil, nil, nil, nil, fmt.Errorf("mdm: unknown backend %v", cfg.Backend)
 	}
 }
 
@@ -326,7 +384,7 @@ func newSimulation(cfg Config, sys *md.System, step int, in *fault.Injector) (*S
 	if err != nil {
 		return nil, err
 	}
-	ff, machine, resilient, injector, err := newForceField(cfg, p, in)
+	ff, machine, resilient, prun, injector, err := newForceField(cfg, p, in)
 	if err != nil {
 		return nil, err
 	}
@@ -352,6 +410,7 @@ func newSimulation(cfg Config, sys *md.System, step int, in *fault.Injector) (*S
 		Recorder:   &md.Recorder{},
 		machine:    machine,
 		resilient:  resilient,
+		prun:       prun,
 		injector:   injector,
 		obs:        obs,
 	}
@@ -764,6 +823,8 @@ func (s *Simulation) free() error {
 	switch {
 	case s.resilient != nil:
 		return errors.Join(s.resilient.Free(), jerr)
+	case s.prun != nil:
+		return errors.Join(s.prun.Free(), jerr)
 	case s.machine != nil:
 		return errors.Join(s.machine.Free(), jerr)
 	}

@@ -8,8 +8,10 @@
 # comparison at the engine-balanced Ewald splitting, plus the batchThroughput
 # family (simulations/sec for K in {1,4,16,64} replicas of the 216-ion system
 # through one batched machine vs K sequential machines; -batch-steps 0 skips
-# it). The artifact records gomaxprocs and num_cpu, so baselines taken on
-# single-core hosts are recognizable as serial measurements.
+# it), plus the weakScaling family (the spatial decomposition at 64 ions/rank
+# for 1/8/27 ranks with per-tag rebuild and reuse traffic; -weak-steps 0
+# skips it). The artifact records gomaxprocs and num_cpu, so baselines taken
+# on single-core hosts are recognizable as serial measurements.
 #
 # Usage: scripts/bench.sh [extra mdmbench flags, e.g. -iters 20]
 #        scripts/bench.sh -compare BENCH_a.json BENCH_b.json

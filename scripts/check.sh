@@ -30,6 +30,7 @@ go test ./...
 
 echo "==> go test -race (concurrency-bearing packages)"
 go test -race ./internal/fault/... ./internal/mpi/... ./internal/core/... \
+    ./internal/domain/... \
     ./internal/parallelize/... ./internal/wine2/... ./internal/mdgrape2/... \
     ./internal/cellindex/... ./internal/supervise/... ./internal/store/... \
     ./internal/lifecycle/... ./internal/serve/...
@@ -40,8 +41,11 @@ GOMAXPROCS=2 go run ./cmd/mdmbench -smoke -iters 3 -reps 2
 echo "==> batch throughput smoke (K=16 batched must amortize >=1.8x over sequential, single core)"
 GOMAXPROCS=1 go run ./cmd/mdmbench -batch-smoke
 
-echo "==> bench artifact regression gate (BENCH_2 -> BENCH_3 on the recorded families)"
-go run ./cmd/mdmbench -compare -threshold 0.2 BENCH_2.json BENCH_3.json
+echo "==> weak-scaling smoke (reuse steps stream ghost positions only; per-particle cost flat at 8 ranks)"
+go run ./cmd/mdmbench -weak-smoke
+
+echo "==> bench artifact regression gate (BENCH_3 -> BENCH_4 on the recorded families)"
+go run ./cmd/mdmbench -compare -threshold 0.2 BENCH_3.json BENCH_4.json
 
 echo "==> chaos suite (fault injection, recovery, checkpoint restart, supervision, crash matrix)"
 go test -run 'Chaos|Resilient|FaultHook|RunProtocol|CheckpointFile|CheckpointTyped|Watchdog|Breaker|Journal|Supervise|Interrupt|CrashMatrix|Serve' \
